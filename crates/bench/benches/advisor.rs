@@ -1,0 +1,123 @@
+//! Benchmarks for the advisor pipeline itself — the paper's Figure 19
+//! measures exactly this (solver vs regularization cost as the problem
+//! grows); `repro fig19` reports wall-clock numbers, while this bench
+//! gives statistically robust per-phase measurements on a fixed
+//! problem.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use wasla::core::{
+    initial_layout, recommend, regularize, solve_nlp, AdvisorOptions, LayoutProblem,
+    SolverOptions, UtilizationEstimator,
+};
+use wasla::model::{calibrate_device, CalibrationGrid, CostModel, TableModel};
+use wasla::simlib::SimRng;
+use wasla::storage::{DeviceSpec, DiskParams, GIB};
+use wasla::workload::{WorkloadSet, WorkloadSpec};
+
+/// A synthetic layout problem with `n` objects on `m` disk targets,
+/// deterministic but irregular (mixed rates, run counts, overlaps).
+fn synthetic_problem(n: usize, m: usize, model: Arc<TableModel>) -> LayoutProblem {
+    let mut rng = SimRng::new(42);
+    let mut specs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let seq = rng.chance(0.5);
+        specs.push(WorkloadSpec {
+            read_size: if seq { 131072.0 } else { 8192.0 },
+            write_size: 8192.0,
+            read_rate: rng.uniform_range(1.0, 120.0),
+            write_rate: rng.uniform_range(0.0, 15.0),
+            run_count: if seq {
+                rng.uniform_range(16.0, 256.0)
+            } else {
+                1.0
+            },
+            overlaps: (0..n).map(|_| rng.uniform_range(0.0, 1.0)).collect(),
+        });
+    }
+    LayoutProblem {
+        workloads: WorkloadSet {
+            names: (0..n).map(|i| format!("obj{i}")).collect(),
+            sizes: (0..n)
+                .map(|_| rng.uniform_range(1e7, 4e8) as u64)
+                .collect(),
+            specs,
+        },
+        kinds: (0..n)
+            .map(|i| {
+                if i % 3 == 0 {
+                    wasla::workload::ObjectKind::Index
+                } else {
+                    wasla::workload::ObjectKind::Table
+                }
+            })
+            .collect(),
+        capacities: vec![4 * GIB; m],
+        target_names: (0..m).map(|j| format!("t{j}")).collect(),
+        models: (0..m)
+            .map(|_| model.clone() as Arc<dyn CostModel>)
+            .collect(),
+        stripe_size: 1024.0 * 1024.0,
+        constraints: vec![],
+    }
+}
+
+fn disk_model() -> Arc<TableModel> {
+    Arc::new(calibrate_device(
+        &DeviceSpec::Disk(DiskParams::scsi_15k(18 * GIB)),
+        &CalibrationGrid::coarse(),
+        7,
+    ))
+}
+
+fn bench_utilization_estimation(c: &mut Criterion) {
+    let model = disk_model();
+    let problem = synthetic_problem(40, 4, model);
+    let est = UtilizationEstimator::new(&problem);
+    let layout = wasla::core::Layout::see(40, 4);
+    c.bench_function("estimate_utilizations_n40_m4", |b| {
+        b.iter(|| black_box(est.utilizations(black_box(&layout))))
+    });
+}
+
+fn bench_solver_phase(c: &mut Criterion) {
+    let model = disk_model();
+    let problem = synthetic_problem(20, 4, model);
+    let initial = initial_layout(&problem).expect("initial");
+    let opts = SolverOptions::default();
+    c.bench_function("solve_nlp_n20_m4", |b| {
+        b.iter(|| black_box(solve_nlp(&problem, &initial, &opts)))
+    });
+}
+
+fn bench_regularization_phase(c: &mut Criterion) {
+    let model = disk_model();
+    let problem = synthetic_problem(20, 4, model);
+    let initial = initial_layout(&problem).expect("initial");
+    let solved = solve_nlp(&problem, &initial, &SolverOptions::default());
+    c.bench_function("regularize_n20_m4", |b| {
+        b.iter(|| black_box(regularize(&problem, &solved.layout).expect("regularize")))
+    });
+}
+
+fn bench_full_recommendation(c: &mut Criterion) {
+    let model = disk_model();
+    let problem = synthetic_problem(20, 4, model);
+    let opts = AdvisorOptions {
+        regularize: true,
+        ..AdvisorOptions::default()
+    };
+    c.bench_function("recommend_n20_m4", |b| {
+        b.iter(|| black_box(recommend(&problem, &opts).expect("recommend")))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_utilization_estimation,
+    bench_solver_phase,
+    bench_regularization_phase,
+    bench_full_recommendation
+);
+criterion_main!(benches);

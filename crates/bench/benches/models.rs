@@ -1,0 +1,48 @@
+//! Micro-benchmarks for cost-model calibration and lookup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wasla::model::{calibrate_device, CalibrationGrid, CostModel};
+use wasla::storage::{DeviceSpec, DiskParams, IoKind, GIB};
+
+fn bench_calibration(c: &mut Criterion) {
+    let spec = DeviceSpec::Disk(DiskParams::scsi_15k(18 * GIB));
+    let grid = CalibrationGrid::coarse();
+    c.bench_function("calibrate_disk_coarse_grid", |b| {
+        b.iter(|| black_box(calibrate_device(black_box(&spec), &grid, 7)))
+    });
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let spec = DeviceSpec::Disk(DiskParams::scsi_15k(18 * GIB));
+    let model = calibrate_device(&spec, &CalibrationGrid::default(), 7);
+    c.bench_function("table_model_interpolated_lookup", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            let size = 4096.0 + (k % 64) as f64 * 4096.0;
+            let run = 1.0 + (k % 200) as f64;
+            let chi = (k % 16) as f64 * 0.5;
+            black_box(model.request_cost(IoKind::Read, size, run, chi))
+        })
+    });
+}
+
+fn bench_model_serialization(c: &mut Criterion) {
+    let spec = DeviceSpec::Disk(DiskParams::scsi_15k(18 * GIB));
+    let model = calibrate_device(&spec, &CalibrationGrid::default(), 7);
+    c.bench_function("table_model_json_roundtrip", |b| {
+        b.iter(|| {
+            let json = model.to_json();
+            black_box(wasla::model::TableModel::from_json(&json).expect("round trip"))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_calibration,
+    bench_lookup,
+    bench_model_serialization
+);
+criterion_main!(benches);

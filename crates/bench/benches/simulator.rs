@@ -1,0 +1,95 @@
+//! Micro-benchmarks for the storage simulator substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use wasla::simlib::{SimRng, SimTime};
+use wasla::storage::{
+    device::DeviceModel, disk::Disk, DeviceSpec, DiskParams, StorageSystem, TargetConfig,
+    TargetIo, GIB,
+};
+
+fn bench_disk_service_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disk_service_time");
+    group.bench_function("sequential", |b| {
+        let mut disk = Disk::new(DiskParams::scsi_15k(18 * GIB));
+        let mut rng = SimRng::new(1);
+        let mut off = 0u64;
+        b.iter(|| {
+            let req = wasla::storage::request::DeviceIo {
+                kind: wasla::storage::IoKind::Read,
+                offset: off,
+                len: 131072,
+                stream: 0,
+            };
+            off = (off + 131072) % (17 * GIB);
+            black_box(disk.service_time(&req, &mut rng))
+        })
+    });
+    group.bench_function("random", |b| {
+        let mut disk = Disk::new(DiskParams::scsi_15k(18 * GIB));
+        let mut rng = SimRng::new(1);
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            let req = wasla::storage::request::DeviceIo {
+                kind: wasla::storage::IoKind::Read,
+                offset: (k * 7_919_999_983) % (17 * GIB),
+                len: 8192,
+                stream: 0,
+            };
+            black_box(disk.service_time(&req, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+fn bench_storage_system_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage_system");
+    let batch = 10_000u64;
+    group.throughput(Throughput::Elements(batch));
+    group.bench_function("submit_drain_10k_requests_4_disks", |b| {
+        b.iter(|| {
+            let mut sys = StorageSystem::new(
+                (0..4)
+                    .map(|i| {
+                        TargetConfig::single(
+                            format!("d{i}"),
+                            DeviceSpec::Disk(DiskParams::scsi_15k(18 * GIB)),
+                        )
+                    })
+                    .collect(),
+                7,
+            );
+            for k in 0..batch {
+                sys.submit(
+                    SimTime::ZERO,
+                    (k % 4) as usize,
+                    TargetIo::read((k * 1_000_003) % (17 * GIB), 8192, 0),
+                    k,
+                );
+            }
+            black_box(sys.drain(SimTime::ZERO))
+        })
+    });
+    group.finish();
+}
+
+fn bench_raid_translation(c: &mut Criterion) {
+    let target = TargetConfig::raid0(
+        "r4",
+        vec![DeviceSpec::Disk(DiskParams::scsi_15k(18 * GIB)); 4],
+        256 * 1024,
+    );
+    let io = TargetIo::read(1_000_000, 1_048_576, 3);
+    c.bench_function("raid0_translate_1MiB", |b| {
+        b.iter(|| black_box(target.translate(black_box(&io))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_disk_service_time,
+    bench_storage_system_throughput,
+    bench_raid_translation
+);
+criterion_main!(benches);

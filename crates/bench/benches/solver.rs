@@ -1,0 +1,91 @@
+//! Micro-benchmarks for the NLP toolkit.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use wasla::simlib::SimRng;
+use wasla::solver::{anneal, lse_max, minimize, project_simplex, AnnealOptions, PgOptions};
+
+fn bench_simplex_projection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_projection");
+    for m in [4usize, 10, 40] {
+        let mut rng = SimRng::new(7);
+        let base: Vec<f64> = (0..m).map(|_| rng.uniform_range(-1.0, 2.0)).collect();
+        group.bench_function(format!("m{m}"), |b| {
+            b.iter_batched(
+                || base.clone(),
+                |mut row| {
+                    project_simplex(&mut row);
+                    black_box(row)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_lse(c: &mut Criterion) {
+    let values: Vec<f64> = (0..40).map(|i| (i as f64 * 0.7).sin().abs()).collect();
+    c.bench_function("lse_max_40", |b| {
+        b.iter(|| black_box(lse_max(black_box(&values), 0.05)))
+    });
+}
+
+fn bench_projected_gradient(c: &mut Criterion) {
+    // A simplex-constrained quadratic comparable to one solver stage of
+    // a small layout problem.
+    let n = 20;
+    let target: Vec<f64> = (0..n).map(|i| ((i * 7) % n) as f64 / n as f64).collect();
+    let f = move |x: &[f64]| -> f64 {
+        x.iter()
+            .zip(&target)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    };
+    let target2: Vec<f64> = (0..n).map(|i| ((i * 7) % n) as f64 / n as f64).collect();
+    let grad = move |x: &[f64], g: &mut [f64]| {
+        for i in 0..x.len() {
+            g[i] = 2.0 * (x[i] - target2[i]);
+        }
+    };
+    let x0 = vec![1.0 / n as f64; n];
+    c.bench_function("pg_quadratic_n20", |b| {
+        b.iter(|| {
+            black_box(minimize(
+                &f,
+                &grad,
+                |x: &mut [f64]| project_simplex(x),
+                black_box(&x0),
+                &PgOptions::default(),
+            ))
+        })
+    });
+}
+
+fn bench_anneal(c: &mut Criterion) {
+    let f = |x: &[f64]| x.iter().enumerate().map(|(i, v)| v * (i as f64)).sum::<f64>();
+    let x0 = vec![0.25; 4];
+    let opts = AnnealOptions {
+        steps: 1_000,
+        ..AnnealOptions::default()
+    };
+    c.bench_function("anneal_1000_steps", |b| {
+        b.iter(|| {
+            black_box(anneal(
+                f,
+                |x: &mut [f64]| project_simplex(x),
+                black_box(&x0),
+                &opts,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_simplex_projection,
+    bench_lse,
+    bench_projected_gradient,
+    bench_anneal
+);
+criterion_main!(benches);

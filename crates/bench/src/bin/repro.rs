@@ -1,0 +1,128 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--scale S] [--seed N] [--out DIR] <experiment>...
+//! repro all                # every figure/table
+//! repro ablations          # the DESIGN.md §5 ablations
+//! repro fig11 fig17        # a subset
+//! ```
+//!
+//! Experiments: fig1 fig8 fig11 fig12 fig13 fig14 fig15 fig16 fig17
+//! fig18 fig19 fig20, ablation-solver ablation-starts
+//! ablation-costmodel ablation-regularization.
+
+use std::io::Write as _;
+use wasla_bench::common::{ExpConfig, ExperimentResult};
+use wasla_bench::{ablations, autoadmin, future_work, layouts, models, runs, scaling, validation};
+
+const FIGS: &[&str] = &[
+    "fig1", "fig8", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+    "fig19", "fig20",
+];
+const ABLATIONS: &[&str] = &[
+    "ablation-solver",
+    "ablation-starts",
+    "ablation-costmodel",
+    "ablation-regularization",
+    "ablation-contention",
+    "validate-eq1",
+    "estimator-input",
+    "dynamic-growth",
+    "config-sweep",
+    "fig15-pagesize",
+];
+
+fn run_one(id: &str, config: &ExpConfig) -> ExperimentResult {
+    match id {
+        "fig1" => layouts::fig1(config),
+        "fig8" => models::fig8(config),
+        "fig11" => runs::fig11(config),
+        "fig12" => layouts::fig12(config),
+        "fig13" => models::fig13(config),
+        "fig14" => layouts::fig14(config),
+        "fig15" => runs::fig15(config),
+        "fig16" => layouts::fig16(config),
+        "fig17" => runs::fig17(config),
+        "fig18" => runs::fig18(config),
+        "fig19" => scaling::fig19(config),
+        "fig20" => autoadmin::fig20(config),
+        "ablation-solver" => ablations::ablation_solver(config),
+        "ablation-starts" => ablations::ablation_starts(config),
+        "ablation-costmodel" => ablations::ablation_costmodel(config),
+        "ablation-regularization" => ablations::ablation_regularization(config),
+        "ablation-contention" => ablations::ablation_contention(config),
+        "validate-eq1" => validation::validate_eq1(config),
+        "estimator-input" => validation::estimator_input(config),
+        "dynamic-growth" => future_work::dynamic_growth(config),
+        "config-sweep" => future_work::config_sweep(config),
+        "fig15-pagesize" => validation::fig15_pagesize(config),
+        other => {
+            eprintln!("unknown experiment {other}; known: {FIGS:?} {ABLATIONS:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let mut config = ExpConfig::default();
+    let mut out_dir: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                config.scale = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--scale takes a number");
+            }
+            "--seed" => {
+                config.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed takes an integer");
+            }
+            "--out" => {
+                out_dir = Some(args.next().expect("--out takes a directory"));
+            }
+            "all" => ids.extend(FIGS.iter().map(|s| s.to_string())),
+            "ablations" => ids.extend(ABLATIONS.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("usage: repro [--scale S] [--seed N] [--out DIR] <experiment>|all|ablations ...");
+        eprintln!("experiments: {FIGS:?} {ABLATIONS:?}");
+        std::process::exit(2);
+    }
+
+    println!(
+        "# WASLA experiment suite (scale {}, seed {})\n",
+        config.scale, config.seed
+    );
+    let mut results = Vec::new();
+    for id in &ids {
+        let t0 = std::time::Instant::now();
+        let result = run_one(id, &config);
+        println!("{}", result.render());
+        println!(
+            "[{id} completed in {:.1}s wall]\n",
+            t0.elapsed().as_secs_f64()
+        );
+        results.push(result);
+    }
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(&dir).expect("create out dir");
+        for result in &results {
+            let path = format!("{dir}/{}.json", result.id);
+            let mut f = std::fs::File::create(&path).expect("create result file");
+            f.write_all(
+                serde_json::to_string_pretty(result)
+                    .expect("serialize result")
+                    .as_bytes(),
+            )
+            .expect("write result file");
+        }
+        println!("results written to {dir}/");
+    }
+}

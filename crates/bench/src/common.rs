@@ -1,0 +1,163 @@
+//! Shared experiment plumbing.
+
+use serde::{Deserialize, Serialize};
+use wasla::pipeline::{self, AdviseConfig, AdviseOutcome, RunSettings, Scenario};
+use wasla::workload::SqlWorkload;
+
+/// Global experiment configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExpConfig {
+    /// Scale factor relative to the paper's data sizes (1.0 = the full
+    /// TPC-H SF5 / TPC-C SF90 databases and 18.4 GB disks).
+    pub scale: f64,
+    /// Base RNG seed for workload mixes and the simulator.
+    pub seed: u64,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            scale: 0.05,
+            seed: 11,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// Tiny configuration for smoke tests.
+    pub fn smoke() -> Self {
+        ExpConfig {
+            scale: 0.01,
+            seed: 11,
+        }
+    }
+}
+
+/// One labelled row of a result table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Row {
+    /// Row label ("OLAP1-63 SEE", "3-1 optimized", ...).
+    pub label: String,
+    /// Named metric values.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl Row {
+    /// Builds a row.
+    pub fn new(label: impl Into<String>, metrics: Vec<(&str, f64)>) -> Self {
+        Row {
+            label: label.into(),
+            metrics: metrics
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
+
+    /// Fetches a metric by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// A completed experiment: rows plus free-form rendered text (layout
+/// tables etc.).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Experiment id ("fig11", ...).
+    pub id: String,
+    /// What the experiment reproduces.
+    pub title: String,
+    /// Result rows.
+    pub rows: Vec<Row>,
+    /// Rendered text artifacts (layout tables, notes).
+    pub text: String,
+}
+
+impl ExperimentResult {
+    /// Renders the result as a text report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        for row in &self.rows {
+            out.push_str(&format!("{:label_w$}", row.label));
+            for (k, v) in &row.metrics {
+                out.push_str(&format!("  {k}={v:.3}"));
+            }
+            out.push('\n');
+        }
+        if !self.text.is_empty() {
+            out.push('\n');
+            out.push_str(&self.text);
+        }
+        out
+    }
+
+    /// Fetches a row by label.
+    pub fn row(&self, label: &str) -> Option<&Row> {
+        self.rows.iter().find(|r| r.label == label)
+    }
+}
+
+/// Runs the full advise pipeline for a scenario + workloads at this
+/// configuration (paper methodology: trace under SEE, fit, calibrate,
+/// advise).
+pub fn advise(config: &ExpConfig, scenario: &Scenario, workloads: &[SqlWorkload]) -> AdviseOutcome {
+    pipeline::advise(scenario, workloads, &advise_config(config))
+}
+
+/// The advise configuration used by all experiments: full calibration
+/// grid at paper scale, coarse for smoke scale.
+pub fn advise_config(config: &ExpConfig) -> AdviseConfig {
+    if config.scale < 0.02 {
+        AdviseConfig::fast()
+    } else {
+        AdviseConfig::full()
+    }
+}
+
+/// Standard validation-run settings.
+pub fn run_settings(seed: u64) -> RunSettings {
+    RunSettings {
+        seed,
+        ..RunSettings::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_roundtrip() {
+        let r = Row::new("x", vec![("elapsed", 1.5), ("speedup", 2.0)]);
+        assert_eq!(r.metric("elapsed"), Some(1.5));
+        assert_eq!(r.metric("speedup"), Some(2.0));
+        assert_eq!(r.metric("nope"), None);
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let res = ExperimentResult {
+            id: "figX".into(),
+            title: "test".into(),
+            rows: vec![Row::new("a", vec![("v", 1.0)])],
+            text: "layout".into(),
+        };
+        let s = res.render();
+        assert!(s.contains("figX"));
+        assert!(s.contains("v=1.000"));
+        assert!(s.contains("layout"));
+        assert!(res.row("a").is_some());
+    }
+}

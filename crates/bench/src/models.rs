@@ -1,0 +1,90 @@
+//! Cost-model and estimator experiments (paper Figures 8 and 13).
+
+use crate::common::{advise, ExpConfig, ExperimentResult, Row};
+use wasla::model::{calibrate_device, CalibrationGrid, CostModel};
+use wasla::pipeline::{Scenario, DISK_BYTES};
+use wasla::storage::{DeviceSpec, DiskParams, IoKind};
+use wasla::workload::SqlWorkload;
+
+/// Figure 8: one slice of the calibrated read cost model for the SCSI
+/// disk — 8 KB read request cost as a function of the contention
+/// factor, one curve per run count. The paper's shape: sequential
+/// requests are far cheaper at low contention, the advantage survives
+/// small contention and collapses quickly, and the random (run 1)
+/// curve *decreases* gently as deeper queues help head scheduling.
+pub fn fig8(config: &ExpConfig) -> ExperimentResult {
+    let spec = DeviceSpec::Disk(DiskParams::scsi_15k((DISK_BYTES * config.scale) as u64));
+    let model = calibrate_device(&spec, &CalibrationGrid::default(), config.seed);
+    let chis = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0];
+    let runs = [1.0, 4.0, 16.0, 64.0, 256.0];
+    let mut rows = Vec::new();
+    let mut text = String::from("8 KB read request cost (ms) vs contention factor:\n");
+    text.push_str("run\\chi ");
+    for chi in chis {
+        text.push_str(&format!("{chi:>8.1}"));
+    }
+    text.push('\n');
+    for run in runs {
+        text.push_str(&format!("{run:>7} "));
+        let mut metrics = Vec::new();
+        for chi in chis {
+            let cost_ms = model.request_cost(IoKind::Read, 8192.0, run, chi) * 1e3;
+            text.push_str(&format!("{cost_ms:>8.3}"));
+            metrics.push((format!("chi{chi}"), cost_ms));
+        }
+        text.push('\n');
+        rows.push(Row {
+            label: format!("run{run}"),
+            metrics,
+        });
+    }
+    ExperimentResult {
+        id: "fig8".into(),
+        title: "calibrated cost-model slice: 8 KB reads vs contention".into(),
+        rows,
+        text,
+    }
+}
+
+/// Figure 13: predicted target utilizations at the four advisor stages
+/// (SEE baseline, greedy initial, NLP solver, regularized) for the
+/// OLAP1-63 and OLAP8-63 workloads. The paper's shape: initial layouts
+/// are unbalanced, solver layouts very balanced and lower than SEE,
+/// regularization disturbs balance only slightly.
+pub fn fig13(config: &ExpConfig) -> ExperimentResult {
+    let mut rows = Vec::new();
+    let mut text = String::new();
+    for (name, workload) in [
+        ("OLAP1-63", SqlWorkload::olap1_63(config.seed)),
+        ("OLAP8-63", SqlWorkload::olap8_63(config.seed)),
+    ] {
+        let scenario = Scenario::homogeneous_disks(4, config.scale);
+        let workloads = [workload];
+        let outcome = advise(config, &scenario, &workloads);
+        let rec = outcome.recommendation.expect("advise succeeds");
+        for stage in &rec.stages {
+            rows.push(Row {
+                label: format!("{name} {}", stage.stage),
+                metrics: stage
+                    .utilizations
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &u)| (format!("target{j}"), u))
+                    .chain(std::iter::once(("max".to_string(), stage.max_utilization)))
+                    .collect(),
+            });
+        }
+        text.push_str(&format!("--- {name} ---\n"));
+        text.push_str(&wasla::core::report::render_stages(
+            &outcome.problem,
+            &rec.stages,
+        ));
+        text.push('\n');
+    }
+    ExperimentResult {
+        id: "fig13".into(),
+        title: "estimated utilizations at each advisor stage".into(),
+        rows,
+        text,
+    }
+}

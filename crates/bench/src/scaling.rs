@@ -1,0 +1,122 @@
+//! Advisor-cost scaling experiment (paper Figure 19).
+//!
+//! The paper times the advisor on growing problems: the 20-object
+//! OLAP8-63 workload on 4 targets, the 40-object consolidation
+//! workload on 4/10/20/40 targets, and synthetic 80/120/160-object
+//! problems built by replicating the consolidation workload
+//! descriptions, on 10 targets. The findings to reproduce: the solver
+//! dominates the regularization post-processing, and total time stays
+//! in the interactive-tool range (the paper's largest case: ~10 min).
+
+use crate::common::{advise, advise_config, ExpConfig, ExperimentResult, Row};
+use std::sync::Arc;
+use wasla::core::{recommend, AdvisorOptions, LayoutProblem};
+use wasla::model::TargetCostModel;
+use wasla::pipeline::{Scenario, DISK_BYTES, LVM_STRIPE};
+use wasla::storage::{DeviceSpec, DiskParams, TargetConfig};
+use wasla::workload::{replicate_problem, ObjectKind, SqlWorkload, WorkloadSet};
+
+/// Builds a problem from a (possibly replicated) workload set on `m`
+/// scaled disks, reusing one calibrated model.
+fn disk_problem(
+    config: &ExpConfig,
+    workloads: WorkloadSet,
+    kinds: Vec<ObjectKind>,
+    m: usize,
+) -> LayoutProblem {
+    let disk = DeviceSpec::Disk(DiskParams::scsi_15k((DISK_BYTES * config.scale) as u64));
+    let targets: Vec<TargetConfig> = (0..m)
+        .map(|j| TargetConfig::single(format!("disk{j}"), disk.clone()))
+        .collect();
+    let grid = advise_config(config).grid;
+    let model = Arc::new(TargetCostModel::from_target(&targets[0], &grid, config.seed));
+    LayoutProblem {
+        kinds,
+        capacities: targets.iter().map(|t| t.capacity()).collect(),
+        target_names: targets.iter().map(|t| t.name.clone()).collect(),
+        models: (0..m)
+            .map(|_| model.clone() as Arc<dyn wasla::model::CostModel>)
+            .collect(),
+        workloads,
+        stripe_size: LVM_STRIPE as f64,
+        constraints: vec![],
+    }
+}
+
+/// Figure 19: advisor execution time across problem sizes.
+pub fn fig19(config: &ExpConfig) -> ExperimentResult {
+    let mut rows = Vec::new();
+    let advisor_opts = AdvisorOptions {
+        regularize: true,
+        ..AdvisorOptions::default()
+    };
+
+    // Case 1: OLAP8-63, N=20, M=4 — fitted via the standard pipeline.
+    let scenario = Scenario::homogeneous_disks(4, config.scale);
+    let outcome = advise(config, &scenario, &[SqlWorkload::olap8_63(config.seed)]);
+    {
+        let rec = outcome.recommendation.as_ref().expect("advise succeeds");
+        rows.push(Row::new(
+            "OLAP8-63 N=20 M=4",
+            vec![
+                ("solver_s", rec.timings.solver_s),
+                ("regularize_s", rec.timings.regularize_s),
+                ("total_s", rec.timings.total_s()),
+            ],
+        ));
+    }
+
+    // Consolidation workload descriptions: fit once, reuse.
+    let cons = Scenario::consolidation(config.scale);
+    let cons_workloads = [
+        SqlWorkload::olap1_21(config.seed),
+        SqlWorkload::oltp().with_prefix("C_"),
+    ];
+    let cons_outcome = advise(config, &cons, &cons_workloads);
+    let kinds: Vec<ObjectKind> = cons.catalog.objects().iter().map(|o| o.kind).collect();
+
+    // Case 2: consolidation (N=40) on M ∈ {4, 10, 20, 40} targets.
+    for m in [4usize, 10, 20, 40] {
+        let problem = disk_problem(config, cons_outcome.fitted.clone(), kinds.clone(), m);
+        let rec = recommend(&problem, &advisor_opts).expect("recommend succeeds");
+        rows.push(Row::new(
+            format!("consolidation N=40 M={m}"),
+            vec![
+                ("solver_s", rec.timings.solver_s),
+                ("regularize_s", rec.timings.regularize_s),
+                ("total_s", rec.timings.total_s()),
+            ],
+        ));
+    }
+
+    // Case 3: replicated consolidation (N=80/120/160) on 10 targets.
+    for k in [2usize, 3, 4] {
+        let workloads = replicate_problem(&cons_outcome.fitted, k);
+        let kinds_k: Vec<ObjectKind> = (0..k).flat_map(|_| kinds.iter().copied()).collect();
+        let problem = disk_problem(config, workloads, kinds_k, 10);
+        let rec = recommend(&problem, &advisor_opts).expect("recommend succeeds");
+        rows.push(Row::new(
+            format!("{k}xconsolidation N={} M=10", 40 * k),
+            vec![
+                ("solver_s", rec.timings.solver_s),
+                ("regularize_s", rec.timings.regularize_s),
+                ("total_s", rec.timings.total_s()),
+            ],
+        ));
+    }
+
+    // The finding the paper highlights: solver time dominates
+    // regularization time.
+    let solver_total: f64 = rows.iter().filter_map(|r| r.metric("solver_s")).sum();
+    let reg_total: f64 = rows.iter().filter_map(|r| r.metric("regularize_s")).sum();
+    let text = format!(
+        "solver time total {solver_total:.2}s vs regularization total {reg_total:.2}s \
+         (paper: solver dominates)\n"
+    );
+    ExperimentResult {
+        id: "fig19".into(),
+        title: "advisor execution time vs problem size".into(),
+        rows,
+        text,
+    }
+}

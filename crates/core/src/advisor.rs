@@ -1,0 +1,434 @@
+//! The layout advisor façade (paper Figure 4).
+//!
+//! Ties the pipeline together: validate the problem, build the
+//! rate-greedy initial layout, run the NLP solver (optionally from
+//! extra expert-supplied starts), and — when the layout mechanism needs
+//! it — regularize. Reports predicted utilizations at every stage (the
+//! paper's Figure 13 shows exactly these four bars) plus wall-clock
+//! timings (Figure 19 reports solver vs. regularization time).
+
+use crate::baselines;
+use crate::estimator::UtilizationEstimator;
+use crate::initial::{initial_layout, InitialLayoutError};
+use crate::optimizer::{solve_multistart, NlpOutcome, SolverOptions};
+use crate::problem::{Layout, LayoutProblem};
+use crate::regularize::{regularize, RegularizeError};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use wasla_simlib::SimRng;
+
+/// Advisor configuration.
+#[derive(Clone, Debug)]
+pub struct AdvisorOptions {
+    /// NLP solver options.
+    pub solver: SolverOptions,
+    /// Produce a regular layout (paper Figure 4's "looking for a
+    /// regularized solution?" branch).
+    pub regularize: bool,
+    /// Additional initial layouts to multi-start from (§4.1: a way for
+    /// domain experts to inject candidate layouts).
+    pub extra_starts: Vec<Layout>,
+    /// Automatically generated additional starts: one interference-
+    /// aware greedy start (co-accessed objects separated) plus this
+    /// many randomized single-assignment starts. The paper's Figure 4
+    /// `repeat?` loop: more starts trade time for layout quality.
+    pub random_starts: usize,
+    /// Seed for the randomized starts.
+    pub seed: u64,
+}
+
+impl Default for AdvisorOptions {
+    fn default() -> Self {
+        AdvisorOptions {
+            solver: SolverOptions::default(),
+            regularize: false,
+            extra_starts: Vec::new(),
+            random_starts: 2,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// An interference-aware greedy start: objects in decreasing rate
+/// order, each placed whole on the target minimizing co-access weight
+/// with already-placed objects (assigned rate as tie-break), capacity
+/// permitting. This is the separation-flavoured counterpart of the
+/// §4.2 rate-greedy start.
+fn separation_start(problem: &LayoutProblem) -> Option<Layout> {
+    let n = problem.n();
+    let m = problem.m();
+    let rate = |i: usize| problem.workloads.specs[i].total_rate();
+    let mut layout = Layout::zero(n, m);
+    let mut remaining: Vec<f64> = problem.capacities.iter().map(|&c| c as f64).collect();
+    let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); m];
+    let mut load = vec![0.0f64; m];
+    for &i in &problem.workloads.by_decreasing_rate() {
+        let size = problem.workloads.sizes[i] as f64;
+        let oi = &problem.workloads.specs[i].overlaps;
+        let mut best: Option<(f64, f64, usize)> = None;
+        for j in 0..m {
+            if remaining[j] < size {
+                continue;
+            }
+            let co: f64 = assigned[j]
+                .iter()
+                .map(|&k| rate(i) * oi[k] + rate(k) * problem.workloads.specs[k].overlaps[i])
+                .sum();
+            let key = (co, load[j], j);
+            if best
+                .map(|(bc, bl, bj)| (key.0, key.1, key.2) < (bc, bl, bj))
+                .unwrap_or(true)
+            {
+                best = Some(key);
+            }
+        }
+        let (_, _, j) = best?;
+        layout.set(i, j, 1.0);
+        assigned[j].push(i);
+        load[j] += rate(i);
+        remaining[j] -= size;
+    }
+    Some(layout)
+}
+
+/// A randomized single-assignment start: objects in random order, each
+/// on a random target with room (largest-remaining as fallback).
+fn random_start(problem: &LayoutProblem, rng: &mut SimRng) -> Option<Layout> {
+    let n = problem.n();
+    let m = problem.m();
+    let mut layout = Layout::zero(n, m);
+    let mut remaining: Vec<f64> = problem.capacities.iter().map(|&c| c as f64).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    for &i in &order {
+        let size = problem.workloads.sizes[i] as f64;
+        let fits: Vec<usize> = (0..m).filter(|&j| remaining[j] >= size).collect();
+        let j = if fits.is_empty() {
+            // Nothing fits whole; give up on this start (the rate-greedy
+            // start covers tight-capacity cases with its own error).
+            return None;
+        } else {
+            fits[rng.index(fits.len())]
+        };
+        layout.set(i, j, 1.0);
+        remaining[j] -= size;
+    }
+    Some(layout)
+}
+
+/// Advisor failure modes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AdvisorError {
+    /// The problem description is inconsistent.
+    InvalidProblem(String),
+    /// No valid initial layout exists (capacity too tight).
+    Initial(InitialLayoutError),
+    /// Regularization dead-ended (§4.3's manual-intervention case).
+    Regularize(RegularizeError),
+}
+
+impl std::fmt::Display for AdvisorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdvisorError::InvalidProblem(msg) => write!(f, "invalid problem: {msg}"),
+            AdvisorError::Initial(e) => write!(f, "initial layout: {e}"),
+            AdvisorError::Regularize(e) => write!(f, "regularization: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AdvisorError {}
+
+/// Predicted utilizations at one stage of the pipeline (one group of
+/// bars in the paper's Figure 13).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StageReport {
+    /// Stage name: "see", "initial", "solver", or "regular".
+    pub stage: String,
+    /// Predicted per-target utilizations.
+    pub utilizations: Vec<f64>,
+    /// The min-max objective value.
+    pub max_utilization: f64,
+}
+
+/// Wall-clock costs of the advisor phases (paper Figure 19's columns).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct Timings {
+    /// Initial-layout construction (paper: "much less than a second").
+    pub initial_s: f64,
+    /// NLP solver time.
+    pub solver_s: f64,
+    /// Regularization post-processing time.
+    pub regularize_s: f64,
+}
+
+impl Timings {
+    /// Total advisor time.
+    pub fn total_s(&self) -> f64 {
+        self.initial_s + self.solver_s + self.regularize_s
+    }
+}
+
+/// The advisor's output.
+#[derive(Clone, Debug)]
+pub struct Recommendation {
+    /// The solver's (generally non-regular) layout — implementable
+    /// directly if the layout mechanism supports arbitrary fractions.
+    pub solver_layout: Layout,
+    /// The regularized layout, when requested.
+    pub regular_layout: Option<Layout>,
+    /// Predicted utilizations at each pipeline stage.
+    pub stages: Vec<StageReport>,
+    /// Phase timings.
+    pub timings: Timings,
+    /// Solver convergence flag.
+    pub converged: bool,
+    /// True when the pipeline's candidate predicted worse than plain
+    /// SEE and the advisor recommended SEE instead. This happens when
+    /// the workload leaves no room for improvement (e.g. uniformly
+    /// random, overload-balanced workloads) — SEE is then a genuine
+    /// local optimum, as the paper's §4.2 observes.
+    pub fell_back_to_see: bool,
+}
+
+impl Recommendation {
+    /// The layout to implement: regular when available, else the
+    /// solver's.
+    pub fn final_layout(&self) -> &Layout {
+        self.regular_layout.as_ref().unwrap_or(&self.solver_layout)
+    }
+
+    /// A stage report by name.
+    pub fn stage(&self, name: &str) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.stage == name)
+    }
+}
+
+/// Runs the full advisor pipeline.
+pub fn recommend(
+    problem: &LayoutProblem,
+    options: &AdvisorOptions,
+) -> Result<Recommendation, AdvisorError> {
+    problem
+        .validate()
+        .map_err(AdvisorError::InvalidProblem)?;
+    let est = UtilizationEstimator::new(problem);
+    let mut stages = Vec::new();
+    let mut record = |name: &str, layout: &Layout| {
+        let utilizations = est.utilizations(layout);
+        let max_utilization = utilizations.iter().cloned().fold(0.0, f64::max);
+        stages.push(StageReport {
+            stage: name.to_string(),
+            utilizations,
+            max_utilization,
+        });
+    };
+
+    record("see", &baselines::see(problem));
+
+    let t0 = Instant::now();
+    let initial = initial_layout(problem).map_err(AdvisorError::Initial)?;
+    let initial_s = t0.elapsed().as_secs_f64();
+    record("initial", &initial);
+
+    let t1 = Instant::now();
+    let mut starts = vec![initial];
+    if let Some(sep) = separation_start(problem) {
+        starts.push(sep);
+    }
+    // Expert-style start (§4.1): tables isolated on the largest target.
+    if let Some(big) = (0..problem.m()).max_by_key(|&j| problem.capacities[j]) {
+        let iso = baselines::isolate_tables(problem, big);
+        if iso.is_valid(&problem.workloads.sizes, &problem.capacities)
+            && problem.satisfies_constraints(&iso)
+        {
+            starts.push(iso);
+        }
+    }
+    let mut rng = SimRng::new(options.seed);
+    for _ in 0..options.random_starts {
+        if let Some(r) = random_start(problem, &mut rng) {
+            starts.push(r);
+        }
+    }
+    starts.extend(options.extra_starts.iter().cloned());
+    let NlpOutcome {
+        layout: solver_layout,
+        converged,
+        ..
+    } = solve_multistart(problem, &starts, &options.solver);
+    let solver_s = t1.elapsed().as_secs_f64();
+    record("solver", &solver_layout);
+
+    let (mut regular_layout, regularize_s) = if options.regularize {
+        let t2 = Instant::now();
+        let reg = regularize(problem, &solver_layout).map_err(AdvisorError::Regularize)?;
+        let dt = t2.elapsed().as_secs_f64();
+        record("regular", &reg);
+        (Some(reg), dt)
+    } else {
+        (None, 0.0)
+    };
+
+    // Never recommend a layout the model itself rates worse than the
+    // trivial SEE default. (SEE can be a genuine local optimum; the
+    // solver is only seeded away from it to escape when escape helps.)
+    let see_layout = baselines::see(problem);
+    let see_max = stages[0].max_utilization;
+    let mut solver_layout = solver_layout;
+    let mut fell_back_to_see = false;
+    if options.regularize {
+        let final_max = stages.last().expect("stages recorded").max_utilization;
+        if problem.satisfies_constraints(&see_layout)
+            && see_layout.satisfies_capacity(&problem.workloads.sizes, &problem.capacities)
+            && see_max < final_max
+        {
+            regular_layout = Some(see_layout);
+            fell_back_to_see = true;
+        }
+    } else {
+        let solver_max = stages
+            .iter()
+            .find(|s| s.stage == "solver")
+            .expect("solver stage recorded")
+            .max_utilization;
+        if problem.satisfies_constraints(&see_layout)
+            && see_layout.satisfies_capacity(&problem.workloads.sizes, &problem.capacities)
+            && see_max < solver_max
+        {
+            solver_layout = see_layout;
+            fell_back_to_see = true;
+        }
+    }
+
+    Ok(Recommendation {
+        solver_layout,
+        regular_layout,
+        stages,
+        timings: Timings {
+            initial_s,
+            solver_s,
+            regularize_s,
+        },
+        converged,
+        fell_back_to_see,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wasla_model::CostModel;
+    use wasla_storage::IoKind;
+    use wasla_workload::{ObjectKind, WorkloadSet, WorkloadSpec};
+
+    struct ContentionModel;
+    impl CostModel for ContentionModel {
+        fn request_cost(&self, _: IoKind, _: f64, run: f64, chi: f64) -> f64 {
+            0.004 / run.max(1.0) + 0.003 * chi + 0.004
+        }
+    }
+
+    fn problem() -> LayoutProblem {
+        let _n = 4;
+        let spec = |rate: f64, run: f64, overlaps: Vec<f64>| WorkloadSpec {
+            read_size: 65536.0,
+            write_size: 8192.0,
+            read_rate: rate,
+            write_rate: rate * 0.1,
+            run_count: run,
+            overlaps,
+        };
+        LayoutProblem {
+            workloads: WorkloadSet {
+                names: vec!["L".into(), "O".into(), "I".into(), "T".into()],
+                sizes: vec![4 << 28, 1 << 28, 1 << 27, 1 << 27],
+                specs: vec![
+                    spec(60.0, 32.0, vec![0.0, 0.9, 0.5, 0.2]),
+                    spec(30.0, 32.0, vec![0.9, 0.0, 0.4, 0.1]),
+                    spec(15.0, 4.0, vec![0.5, 0.4, 0.0, 0.3]),
+                    spec(10.0, 16.0, vec![0.2, 0.1, 0.3, 0.0]),
+                ],
+            },
+            kinds: vec![
+                ObjectKind::Table,
+                ObjectKind::Table,
+                ObjectKind::Index,
+                ObjectKind::TempSpace,
+            ],
+            capacities: vec![2 << 30; 4],
+            target_names: (0..4).map(|j| format!("t{j}")).collect(),
+            models: (0..4).map(|_| Arc::new(ContentionModel) as _).collect(),
+            stripe_size: 1024.0 * 1024.0,
+            constraints: vec![],
+        }
+    }
+
+    #[test]
+    fn full_pipeline_produces_all_stages() {
+        let p = problem();
+        let opts = AdvisorOptions {
+            regularize: true,
+            ..AdvisorOptions::default()
+        };
+        let rec = recommend(&p, &opts).unwrap();
+        let names: Vec<&str> = rec.stages.iter().map(|s| s.stage.as_str()).collect();
+        assert_eq!(names, vec!["see", "initial", "solver", "regular"]);
+        let reg = rec.regular_layout.as_ref().unwrap();
+        assert!(reg.is_regular());
+        assert!(reg.is_valid(&p.workloads.sizes, &p.capacities));
+        assert_eq!(rec.final_layout(), reg);
+    }
+
+    #[test]
+    fn solver_beats_see_and_initial() {
+        let p = problem();
+        let rec = recommend(
+            &p,
+            &AdvisorOptions {
+                regularize: true,
+                ..AdvisorOptions::default()
+            },
+        )
+        .unwrap();
+        let see = rec.stage("see").unwrap().max_utilization;
+        let solver = rec.stage("solver").unwrap().max_utilization;
+        let regular = rec.stage("regular").unwrap().max_utilization;
+        assert!(solver < see, "solver {solver} vs see {see}");
+        // Regularization may cost a little but not catastrophically.
+        assert!(regular < see * 1.2, "regular {regular} vs see {see}");
+    }
+
+    #[test]
+    fn without_regularization_no_regular_stage() {
+        let p = problem();
+        let rec = recommend(&p, &AdvisorOptions::default()).unwrap();
+        assert!(rec.regular_layout.is_none());
+        assert!(rec.stage("regular").is_none());
+        assert_eq!(rec.final_layout(), &rec.solver_layout);
+    }
+
+    #[test]
+    fn invalid_problem_rejected() {
+        let mut p = problem();
+        p.capacities = vec![1; 4]; // can't hold the objects
+        let err = recommend(&p, &AdvisorOptions::default()).unwrap_err();
+        assert!(matches!(err, AdvisorError::InvalidProblem(_)));
+    }
+
+    #[test]
+    fn timings_populated() {
+        let p = problem();
+        let rec = recommend(
+            &p,
+            &AdvisorOptions {
+                regularize: true,
+                ..AdvisorOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(rec.timings.solver_s > 0.0);
+        assert!(rec.timings.total_s() >= rec.timings.solver_s);
+    }
+}

@@ -1,0 +1,183 @@
+//! Heuristic baseline layouts (paper §1, §6.2, §6.4).
+//!
+//! The paper compares the advisor against the layouts a database
+//! administrator would pick from rules of thumb:
+//!
+//! * **SEE** — stripe everything everywhere;
+//! * **isolate tables** — tables on a designated (large) target,
+//!   everything else striped across the rest (the 3-1 baseline);
+//! * **isolate tables and indexes** — tables, indexes, and
+//!   temp/log/other objects each get their own target group (the
+//!   2-1-1 baseline);
+//! * **all on one target** — e.g. everything on the SSD when it fits
+//!   (§6.4's SSD baseline).
+
+use crate::problem::{Layout, LayoutProblem};
+use wasla_workload::ObjectKind;
+
+/// The stripe-everything-everywhere layout.
+pub fn see(problem: &LayoutProblem) -> Layout {
+    Layout::see(problem.n(), problem.m())
+}
+
+/// Stripes a set of object indices evenly over a set of targets,
+/// leaving other rows untouched.
+fn stripe_group(layout: &mut Layout, objects: &[usize], targets: &[usize]) {
+    assert!(!targets.is_empty());
+    let f = 1.0 / targets.len() as f64;
+    for &i in objects {
+        layout.row_mut(i).fill(0.0);
+        for &j in targets {
+            layout.set(i, j, f);
+        }
+    }
+}
+
+/// Tables isolated on `table_target`; all other objects striped across
+/// the remaining targets (or across `table_target` too if it is the
+/// only target).
+pub fn isolate_tables(problem: &LayoutProblem, table_target: usize) -> Layout {
+    let n = problem.n();
+    let m = problem.m();
+    let mut layout = Layout::zero(n, m);
+    let tables: Vec<usize> = (0..n)
+        .filter(|&i| problem.kinds[i] == ObjectKind::Table)
+        .collect();
+    let others: Vec<usize> = (0..n)
+        .filter(|&i| problem.kinds[i] != ObjectKind::Table)
+        .collect();
+    let rest: Vec<usize> = (0..m).filter(|&j| j != table_target).collect();
+    stripe_group(&mut layout, &tables, &[table_target]);
+    if rest.is_empty() {
+        stripe_group(&mut layout, &others, &[table_target]);
+    } else {
+        stripe_group(&mut layout, &others, &rest);
+    }
+    layout
+}
+
+/// Tables on `table_target`, indexes on `index_target`, and everything
+/// else (temp space, logs, ...) on `other_target` (the paper's 2-1-1
+/// "isolate tables & indexes" baseline).
+pub fn isolate_tables_and_indexes(
+    problem: &LayoutProblem,
+    table_target: usize,
+    index_target: usize,
+    other_target: usize,
+) -> Layout {
+    let n = problem.n();
+    let m = problem.m();
+    let mut layout = Layout::zero(n, m);
+    for i in 0..n {
+        let j = match problem.kinds[i] {
+            ObjectKind::Table => table_target,
+            ObjectKind::Index => index_target,
+            ObjectKind::Log | ObjectKind::TempSpace => other_target,
+        };
+        layout.set(i, j, 1.0);
+    }
+    layout
+}
+
+/// Everything on a single target (e.g. the SSD). The caller must check
+/// validity — the paper only uses this baseline "in those scenarios for
+/// which the SSD capacity was sufficient to permit it".
+pub fn all_on_target(problem: &LayoutProblem, target: usize) -> Layout {
+    let n = problem.n();
+    let mut layout = Layout::zero(n, problem.m());
+    for i in 0..n {
+        layout.set(i, target, 1.0);
+    }
+    layout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wasla_model::CostModel;
+    use wasla_storage::IoKind;
+    use wasla_workload::{WorkloadSet, WorkloadSpec};
+
+    struct Flat;
+    impl CostModel for Flat {
+        fn request_cost(&self, _: IoKind, _: f64, _: f64, _: f64) -> f64 {
+            0.01
+        }
+    }
+
+    fn problem() -> LayoutProblem {
+        use ObjectKind::*;
+        let kinds = vec![Table, Table, Index, TempSpace, Log];
+        let n = kinds.len();
+        LayoutProblem {
+            workloads: WorkloadSet {
+                names: (0..n).map(|i| format!("o{i}")).collect(),
+                sizes: vec![100; n],
+                specs: (0..n)
+                    .map(|_| WorkloadSpec::idle(n))
+                    .collect(),
+            },
+            kinds,
+            capacities: vec![10_000; 3],
+            target_names: vec!["t0".into(), "t1".into(), "t2".into()],
+            models: (0..3).map(|_| Arc::new(Flat) as _).collect(),
+            stripe_size: 1024.0 * 1024.0,
+            constraints: vec![],
+        }
+    }
+
+    #[test]
+    fn see_covers_all_targets() {
+        let p = problem();
+        let l = see(&p);
+        assert!(l.is_regular());
+        for i in 0..p.n() {
+            assert_eq!(l.targets_of(i).len(), 3);
+        }
+    }
+
+    #[test]
+    fn isolate_tables_partitions_by_kind() {
+        let p = problem();
+        let l = isolate_tables(&p, 0);
+        assert!(l.satisfies_integrity());
+        assert_eq!(l.targets_of(0), vec![0]); // table
+        assert_eq!(l.targets_of(1), vec![0]); // table
+        assert_eq!(l.targets_of(2), vec![1, 2]); // index striped on rest
+        assert_eq!(l.targets_of(3), vec![1, 2]);
+    }
+
+    #[test]
+    fn isolate_tables_single_target_degenerates() {
+        let mut p = problem();
+        p.capacities = vec![10_000];
+        p.target_names = vec!["only".into()];
+        p.models.truncate(1);
+        let l = isolate_tables(&p, 0);
+        assert!(l.satisfies_integrity());
+        for i in 0..p.n() {
+            assert_eq!(l.targets_of(i), vec![0]);
+        }
+    }
+
+    #[test]
+    fn three_way_isolation() {
+        let p = problem();
+        let l = isolate_tables_and_indexes(&p, 0, 1, 2);
+        assert_eq!(l.targets_of(0), vec![0]);
+        assert_eq!(l.targets_of(2), vec![1]);
+        assert_eq!(l.targets_of(3), vec![2]); // temp
+        assert_eq!(l.targets_of(4), vec![2]); // log
+        assert!(l.is_regular());
+    }
+
+    #[test]
+    fn all_on_one() {
+        let p = problem();
+        let l = all_on_target(&p, 2);
+        for i in 0..p.n() {
+            assert_eq!(l.targets_of(i), vec![2]);
+        }
+    }
+}

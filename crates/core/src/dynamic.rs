@@ -1,0 +1,220 @@
+//! Incremental re-advising for dynamically growing storage
+//! (paper §8 future work).
+//!
+//! The paper's conclusion sketches using the layout technique to guide
+//! *dynamic* allocation decisions in systems like NetApp FlexVols,
+//! where capacity is assigned as data grows rather than up front. This
+//! module implements that direction: as object sizes grow (or
+//! workloads drift), the advisor re-optimizes **warm-started from the
+//! currently deployed layout**, reports how many bytes a migration to
+//! the new layout would move, and recommends migrating only when the
+//! predicted utilization win clears a threshold — avoiding churn for
+//! marginal gains.
+
+use crate::advisor::{recommend, AdvisorError, AdvisorOptions};
+use crate::estimator::UtilizationEstimator;
+use crate::problem::{Layout, LayoutProblem};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one re-advising round.
+#[derive(Clone, Debug)]
+pub struct ReadviseOutcome {
+    /// The layout to deploy going forward.
+    pub layout: Layout,
+    /// True if the advisor recommends migrating to a new layout;
+    /// false if the deployed layout should be kept.
+    pub migrate: bool,
+    /// Bytes that the migration would move between targets.
+    pub migration_bytes: u64,
+    /// Predicted max utilization of the deployed layout (at the new
+    /// sizes/workloads).
+    pub current_max_utilization: f64,
+    /// Predicted max utilization after migrating.
+    pub new_max_utilization: f64,
+}
+
+/// Options for [`readvise`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DynamicOptions {
+    /// Minimum relative utilization improvement that justifies moving
+    /// data (e.g. 0.1 = migrate only for a ≥10% better objective).
+    pub migrate_threshold: f64,
+}
+
+impl Default for DynamicOptions {
+    fn default() -> Self {
+        DynamicOptions {
+            migrate_threshold: 0.10,
+        }
+    }
+}
+
+/// Bytes moved between targets when switching `from → to`, given
+/// object sizes: `Σᵢ sᵢ · Σⱼ max(0, toᵢⱼ − fromᵢⱼ)`.
+pub fn migration_bytes(from: &Layout, to: &Layout, sizes: &[u64]) -> u64 {
+    let mut total = 0.0f64;
+    for (i, &size) in sizes.iter().enumerate().take(from.n_objects()) {
+        let moved: f64 = (0..from.n_targets())
+            .map(|j| (to.get(i, j) - from.get(i, j)).max(0.0))
+            .sum();
+        total += moved * size as f64;
+    }
+    total.round() as u64
+}
+
+/// Re-advises a (possibly grown/drifted) problem given the currently
+/// deployed layout.
+///
+/// The deployed layout is validated against the *new* sizes first; if
+/// it no longer fits (an object outgrew its targets), migration is
+/// forced regardless of the threshold.
+pub fn readvise(
+    problem: &LayoutProblem,
+    deployed: &Layout,
+    advisor_options: &AdvisorOptions,
+    options: &DynamicOptions,
+) -> Result<ReadviseOutcome, AdvisorError> {
+    let est = UtilizationEstimator::new(problem);
+    let still_fits = deployed.is_valid(&problem.workloads.sizes, &problem.capacities);
+    let current_max = est.max_utilization(deployed);
+
+    // Warm-start the solver from the deployed layout alongside the
+    // usual rate-greedy start.
+    let mut opts = advisor_options.clone();
+    opts.extra_starts.push(deployed.clone());
+    let rec = recommend(problem, &opts)?;
+    let new_layout = rec.final_layout().clone();
+    let new_max = est.max_utilization(&new_layout);
+
+    let improvement = (current_max - new_max) / current_max.max(1e-12);
+    let migrate = !still_fits || improvement >= options.migrate_threshold;
+    let bytes = migration_bytes(deployed, &new_layout, &problem.workloads.sizes);
+    Ok(ReadviseOutcome {
+        layout: if migrate {
+            new_layout
+        } else {
+            deployed.clone()
+        },
+        migrate,
+        migration_bytes: if migrate { bytes } else { 0 },
+        current_max_utilization: current_max,
+        new_max_utilization: new_max,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wasla_model::CostModel;
+    use wasla_storage::IoKind;
+    use wasla_workload::{ObjectKind, WorkloadSet, WorkloadSpec};
+
+    struct ContentionModel;
+    impl CostModel for ContentionModel {
+        fn request_cost(&self, _: IoKind, _: f64, run: f64, chi: f64) -> f64 {
+            0.004 / run.max(1.0) + 0.003 * chi + 0.004
+        }
+    }
+
+    fn problem(sizes: Vec<u64>, rates: Vec<f64>) -> LayoutProblem {
+        let n = sizes.len();
+        LayoutProblem {
+            workloads: WorkloadSet {
+                names: (0..n).map(|i| format!("o{i}")).collect(),
+                sizes,
+                specs: rates
+                    .into_iter()
+                    .map(|r| WorkloadSpec {
+                        read_size: 65536.0,
+                        write_size: 8192.0,
+                        read_rate: r,
+                        write_rate: 0.0,
+                        run_count: 16.0,
+                        overlaps: vec![0.8; n],
+                    })
+                    .collect(),
+            },
+            kinds: vec![ObjectKind::Table; n],
+            capacities: vec![1 << 30, 1 << 30],
+            target_names: vec!["t0".into(), "t1".into()],
+            models: vec![Arc::new(ContentionModel), Arc::new(ContentionModel)],
+            stripe_size: 1024.0 * 1024.0,
+            constraints: vec![],
+        }
+    }
+
+    #[test]
+    fn migration_bytes_counts_moved_fractions() {
+        let from = Layout::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let to = Layout::from_rows(vec![vec![0.5, 0.5], vec![0.0, 1.0]]);
+        assert_eq!(migration_bytes(&from, &to, &[1000, 400]), 500);
+        assert_eq!(migration_bytes(&from, &from, &[1000, 400]), 0);
+    }
+
+    #[test]
+    fn keeps_good_deployed_layout() {
+        let p = problem(vec![1 << 20, 1 << 20], vec![50.0, 50.0]);
+        // Deploy the isolated layout, which is already near-optimal for
+        // two overlapping objects.
+        let deployed = Layout::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let out = readvise(
+            &p,
+            &deployed,
+            &AdvisorOptions {
+                regularize: true,
+                ..AdvisorOptions::default()
+            },
+            &DynamicOptions::default(),
+        )
+        .unwrap();
+        assert!(!out.migrate, "should keep the deployed layout");
+        assert_eq!(out.layout, deployed);
+        assert_eq!(out.migration_bytes, 0);
+    }
+
+    #[test]
+    fn migrates_away_from_bad_layout() {
+        let p = problem(vec![1 << 20, 1 << 20], vec![80.0, 80.0]);
+        // Deployed: both hot, overlapping objects piled on one target.
+        let deployed = Layout::from_rows(vec![vec![1.0, 0.0], vec![1.0, 0.0]]);
+        let out = readvise(
+            &p,
+            &deployed,
+            &AdvisorOptions {
+                regularize: true,
+                ..AdvisorOptions::default()
+            },
+            &DynamicOptions::default(),
+        )
+        .unwrap();
+        assert!(out.migrate);
+        assert!(out.new_max_utilization < out.current_max_utilization);
+        assert!(out.migration_bytes > 0);
+    }
+
+    #[test]
+    fn outgrown_layout_forces_migration() {
+        // Both objects grew to 0.7 GiB; together they no longer fit the
+        // 1 GiB target they were deployed on (though each still fits a
+        // target by itself).
+        let p = problem(vec![700 << 20, 700 << 20], vec![10.0, 10.0]);
+        let deployed = Layout::from_rows(vec![vec![1.0, 0.0], vec![1.0, 0.0]]);
+        let out = readvise(
+            &p,
+            &deployed,
+            &AdvisorOptions {
+                regularize: true,
+                ..AdvisorOptions::default()
+            },
+            &DynamicOptions {
+                migrate_threshold: 10.0, // impossible threshold
+            },
+        )
+        .unwrap();
+        assert!(out.migrate, "capacity violation must force migration");
+        assert!(out
+            .layout
+            .is_valid(&p.workloads.sizes, &p.capacities));
+    }
+}

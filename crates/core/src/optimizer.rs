@@ -1,0 +1,414 @@
+//! The NLP solve step (paper §4.1).
+//!
+//! The layout problem — minimize `max_j µⱼ(L)` subject to integrity and
+//! capacity constraints — is a non-convex NLP whose objective calls
+//! black-box cost models. The paper hands it to MINOS; we solve it with
+//! projected-gradient descent:
+//!
+//! * each object's row lives on a probability simplex → exact
+//!   projection handles the integrity constraint (pinned/forbidden
+//!   targets are folded into the projection);
+//! * the coupling capacity constraints go through an augmented-
+//!   Lagrangian outer loop;
+//! * the `max` is smoothed by log-sum-exp with an annealed temperature;
+//! * gradients are finite differences, evaluated efficiently: perturbing
+//!   `Lᵢⱼ` only changes target `j`'s utilization, so each partial costs
+//!   two single-target evaluations (MINOS likewise differences external
+//!   black-box functions).
+//!
+//! A simulated-annealing alternative (`SolveMethod::Anneal`) is kept
+//! for ablation, mirroring the paper's §7 remark that a DAD-style
+//! randomized search could replace the NLP solver.
+
+use crate::estimator::UtilizationEstimator;
+use crate::problem::{AdminConstraint, Layout, LayoutProblem};
+use wasla_solver::{
+    anneal, lse_max, minimize_constrained, project_simplex, softmax_weights, AnnealOptions,
+    AugLagOptions, Constraint, PgOptions,
+};
+
+/// Which search engine drives the solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveMethod {
+    /// Projected gradient + augmented Lagrangian + LSE smoothing.
+    ProjectedGradient,
+    /// Randomized local search (ablation baseline).
+    Anneal,
+}
+
+/// Options for [`solve_nlp`].
+#[derive(Clone, Debug)]
+pub struct SolverOptions {
+    /// Search engine.
+    pub method: SolveMethod,
+    /// LSE temperatures relative to the current max utilization,
+    /// annealed in order.
+    pub temperatures: Vec<f64>,
+    /// Inner projected-gradient options.
+    pub pg: PgOptions,
+    /// Augmented-Lagrangian options (capacity constraints).
+    pub auglag: AugLagOptions,
+    /// Finite-difference step for the black-box gradient.
+    pub fd_step: f64,
+    /// Annealing options (when `method` is `Anneal`).
+    pub anneal: AnnealOptions,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            method: SolveMethod::ProjectedGradient,
+            temperatures: vec![0.25, 0.08, 0.02],
+            pg: PgOptions {
+                max_iters: 60,
+                tol: 1e-5,
+                ..PgOptions::default()
+            },
+            auglag: AugLagOptions {
+                outer_iters: 4,
+                ..AugLagOptions::default()
+            },
+            fd_step: 1e-4,
+            anneal: AnnealOptions {
+                steps: 20_000,
+                sigma: 0.2,
+                ..AnnealOptions::default()
+            },
+        }
+    }
+}
+
+/// Result of the NLP solve.
+#[derive(Clone, Debug)]
+pub struct NlpOutcome {
+    /// The (generally non-regular) optimized layout.
+    pub layout: Layout,
+    /// Predicted per-target utilizations under that layout.
+    pub utilizations: Vec<f64>,
+    /// The objective `max_j µⱼ`.
+    pub max_utilization: f64,
+    /// Whether the final stage converged.
+    pub converged: bool,
+}
+
+/// Builds the feasible-set projection for a problem: per-row simplex
+/// projection with pinned rows fixed and forbidden entries zeroed.
+pub fn make_projection(problem: &LayoutProblem) -> impl Fn(&mut [f64]) + '_ {
+    let n = problem.n();
+    let m = problem.m();
+    // Precompute per-object pin target and forbidden mask.
+    let mut pinned: Vec<Option<usize>> = vec![None; n];
+    let mut forbidden = vec![vec![false; m]; n];
+    for c in &problem.constraints {
+        match *c {
+            AdminConstraint::PinTo { object, target } => pinned[object] = Some(target),
+            AdminConstraint::Forbid { object, target } => forbidden[object][target] = true,
+        }
+    }
+    move |x: &mut [f64]| {
+        for i in 0..n {
+            let row = &mut x[i * m..(i + 1) * m];
+            if let Some(t) = pinned[i] {
+                row.fill(0.0);
+                row[t] = 1.0;
+                continue;
+            }
+            let banned = &forbidden[i];
+            if banned.iter().any(|&b| b) {
+                // Project the allowed coordinates only.
+                let mut allowed: Vec<f64> = (0..m)
+                    .filter(|&j| !banned[j])
+                    .map(|j| row[j])
+                    .collect();
+                project_simplex(&mut allowed);
+                let mut it = allowed.into_iter();
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = if banned[j] {
+                        0.0
+                    } else {
+                        it.next().expect("allowed coords")
+                    };
+                }
+            } else {
+                project_simplex(row);
+            }
+        }
+    }
+}
+
+/// Solves the layout NLP from one initial layout.
+pub fn solve_nlp(problem: &LayoutProblem, initial: &Layout, opts: &SolverOptions) -> NlpOutcome {
+    match opts.method {
+        SolveMethod::ProjectedGradient => solve_pg(problem, initial, opts),
+        SolveMethod::Anneal => solve_anneal(problem, initial, opts),
+    }
+}
+
+/// Solves from several initial layouts and keeps the best (the
+/// Figure 4 `repeat?` loop; extra starts are how domain experts inject
+/// candidate layouts, §4.1).
+pub fn solve_multistart(
+    problem: &LayoutProblem,
+    starts: &[Layout],
+    opts: &SolverOptions,
+) -> NlpOutcome {
+    assert!(!starts.is_empty());
+    starts
+        .iter()
+        .map(|s| solve_nlp(problem, s, opts))
+        .min_by(|a, b| {
+            a.max_utilization
+                .partial_cmp(&b.max_utilization)
+                .expect("finite objective")
+        })
+        .expect("at least one start")
+}
+
+fn capacity_constraints(problem: &LayoutProblem) -> Vec<Constraint<'_>> {
+    let n = problem.n();
+    let m = problem.m();
+    (0..m)
+        .map(|j| {
+            let sizes = &problem.workloads.sizes;
+            let cap = problem.capacities[j] as f64;
+            Constraint {
+                g: Box::new(move |x: &[f64]| {
+                    let used: f64 = (0..n).map(|i| sizes[i] as f64 * x[i * m + j]).sum();
+                    used / cap - 1.0
+                }),
+                grad: Box::new(move |_x: &[f64], g: &mut [f64]| {
+                    g.fill(0.0);
+                    for i in 0..n {
+                        g[i * m + j] = sizes[i] as f64 / cap;
+                    }
+                }),
+            }
+        })
+        .collect()
+}
+
+fn solve_pg(problem: &LayoutProblem, initial: &Layout, opts: &SolverOptions) -> NlpOutcome {
+    let n = problem.n();
+    let m = problem.m();
+    let est = UtilizationEstimator::new(problem);
+    let project = make_projection(problem);
+    let constraints = capacity_constraints(problem);
+    let mut x = initial.to_flat();
+    project(&mut x);
+    let mut converged = false;
+
+    for &rel_temp in &opts.temperatures {
+        let layout = Layout::from_flat(&x, n, m);
+        let current_max = est.max_utilization(&layout).max(1e-9);
+        let temp = rel_temp * current_max;
+
+        let f = |x: &[f64]| {
+            let l = Layout::from_flat(x, n, m);
+            lse_max(&est.utilizations(&l), temp)
+        };
+        let fd = opts.fd_step;
+        let grad = |x: &[f64], g: &mut [f64]| {
+            let mut l = Layout::from_flat(x, n, m);
+            let mus = est.utilizations(&l);
+            let mut w = Vec::new();
+            softmax_weights(&mus, temp, &mut w);
+            for i in 0..n {
+                for j in 0..m {
+                    let orig = l.get(i, j);
+                    let up_step = fd;
+                    let dn_step = fd.min(orig);
+                    l.set(i, j, orig + up_step);
+                    let up = est.target_utilization(&l, j);
+                    l.set(i, j, orig - dn_step);
+                    let dn = est.target_utilization(&l, j);
+                    l.set(i, j, orig);
+                    g[i * m + j] = w[j] * (up - dn) / (up_step + dn_step);
+                }
+            }
+        };
+        let mut stage_opts = opts.auglag.clone();
+        stage_opts.inner = opts.pg.clone();
+        let result = minimize_constrained(f, grad, &constraints, &project, &x, &stage_opts);
+        x = result.x;
+        converged = result.converged;
+    }
+    finish(problem, x, converged)
+}
+
+fn solve_anneal(problem: &LayoutProblem, initial: &Layout, opts: &SolverOptions) -> NlpOutcome {
+    let n = problem.n();
+    let m = problem.m();
+    let est = UtilizationEstimator::new(problem);
+    let project = make_projection(problem);
+    let sizes = &problem.workloads.sizes;
+    let caps = &problem.capacities;
+    // Direct max objective plus a quadratic capacity penalty.
+    let f = |x: &[f64]| {
+        let l = Layout::from_flat(x, n, m);
+        let mut v = est.max_utilization(&l);
+        for j in 0..m {
+            let used: f64 = (0..n).map(|i| sizes[i] as f64 * x[i * m + j]).sum();
+            let over = (used / caps[j] as f64 - 1.0).max(0.0);
+            v += 10.0 * over * over;
+        }
+        v
+    };
+    let mut x0 = initial.to_flat();
+    project(&mut x0);
+    let result = anneal(f, &project, &x0, &opts.anneal);
+    finish(problem, result.x, true)
+}
+
+fn finish(problem: &LayoutProblem, x: Vec<f64>, converged: bool) -> NlpOutcome {
+    let layout = Layout::from_flat(&x, problem.n(), problem.m());
+    let est = UtilizationEstimator::new(problem);
+    let utilizations = est.utilizations(&layout);
+    let max_utilization = utilizations.iter().cloned().fold(0.0, f64::max);
+    NlpOutcome {
+        layout,
+        utilizations,
+        max_utilization,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::initial::initial_layout;
+    use std::sync::Arc;
+    use wasla_model::CostModel;
+    use wasla_storage::IoKind;
+    use wasla_workload::{ObjectKind, WorkloadSet, WorkloadSpec};
+
+    /// Cost model where contention is expensive: isolating overlapping
+    /// objects is clearly optimal.
+    struct ContentionModel;
+    impl CostModel for ContentionModel {
+        fn request_cost(&self, _: IoKind, _: f64, run: f64, chi: f64) -> f64 {
+            0.005 / run.max(1.0) + 0.004 * chi + 0.005
+        }
+    }
+
+    fn two_hot_objects(m: usize) -> LayoutProblem {
+        // Two equally hot, fully-overlapping sequential objects.
+        let spec = |other: usize| WorkloadSpec {
+            read_size: 131072.0,
+            write_size: 8192.0,
+            read_rate: 50.0,
+            write_rate: 0.0,
+            run_count: 64.0,
+            overlaps: {
+                let mut o = vec![0.0; 2];
+                o[other] = 1.0;
+                o
+            },
+        };
+        LayoutProblem {
+            workloads: WorkloadSet {
+                names: vec!["A".into(), "B".into()],
+                sizes: vec![1 << 30, 1 << 30],
+                specs: vec![spec(1), spec(0)],
+            },
+            kinds: vec![ObjectKind::Table; 2],
+            capacities: vec![4 << 30; m],
+            target_names: (0..m).map(|j| format!("t{j}")).collect(),
+            models: (0..m).map(|_| Arc::new(ContentionModel) as _).collect(),
+            stripe_size: 1024.0 * 1024.0,
+            constraints: vec![],
+        }
+    }
+
+    #[test]
+    fn solver_separates_interfering_objects() {
+        let p = two_hot_objects(2);
+        let est = UtilizationEstimator::new(&p);
+        let see = Layout::see(2, 2);
+        let see_util = est.max_utilization(&see);
+        let init = initial_layout(&p).unwrap();
+        let out = solve_nlp(&p, &init, &SolverOptions::default());
+        assert!(
+            out.max_utilization < see_util,
+            "solver {:.4} vs SEE {:.4}",
+            out.max_utilization,
+            see_util
+        );
+        // The optimum separates A and B entirely.
+        let overlap: f64 = (0..2)
+            .map(|j| out.layout.get(0, j).min(out.layout.get(1, j)))
+            .sum();
+        assert!(overlap < 0.1, "layout {:?}", out.layout.rows());
+    }
+
+    #[test]
+    fn projection_enforces_constraints() {
+        let mut p = two_hot_objects(3);
+        p.constraints = vec![
+            AdminConstraint::PinTo {
+                object: 0,
+                target: 2,
+            },
+            AdminConstraint::Forbid {
+                object: 1,
+                target: 0,
+            },
+        ];
+        let project = make_projection(&p);
+        let mut x = vec![0.4, 0.3, 0.3, 0.6, 0.2, 0.2];
+        project(&mut x);
+        assert_eq!(&x[0..3], &[0.0, 0.0, 1.0]);
+        assert_eq!(x[3], 0.0);
+        assert!((x[4] + x[5] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_respects_admin_constraints() {
+        let mut p = two_hot_objects(2);
+        p.constraints = vec![AdminConstraint::PinTo {
+            object: 0,
+            target: 1,
+        }];
+        let init = initial_layout(&p).unwrap();
+        let out = solve_nlp(&p, &init, &SolverOptions::default());
+        assert!(p.satisfies_constraints(&out.layout));
+        assert!(out.layout.get(0, 1) > 0.999);
+    }
+
+    #[test]
+    fn capacity_constraint_respected() {
+        let mut p = two_hot_objects(2);
+        // Target 0 can hold only one object.
+        p.capacities = vec![1 << 30, 4 << 30];
+        let init = initial_layout(&p).unwrap();
+        let out = solve_nlp(&p, &init, &SolverOptions::default());
+        assert!(
+            out.layout
+                .satisfies_capacity(&p.workloads.sizes, &p.capacities),
+            "layout {:?}",
+            out.layout.rows()
+        );
+    }
+
+    #[test]
+    fn anneal_method_also_separates() {
+        let p = two_hot_objects(2);
+        let init = initial_layout(&p).unwrap();
+        let opts = SolverOptions {
+            method: SolveMethod::Anneal,
+            ..SolverOptions::default()
+        };
+        let out = solve_nlp(&p, &init, &opts);
+        let est = UtilizationEstimator::new(&p);
+        assert!(out.max_utilization <= est.max_utilization(&Layout::see(2, 2)) + 1e-9);
+    }
+
+    #[test]
+    fn multistart_no_worse_than_single() {
+        let p = two_hot_objects(2);
+        let init = initial_layout(&p).unwrap();
+        let opts = SolverOptions::default();
+        let single = solve_nlp(&p, &init, &opts);
+        let multi = solve_multistart(&p, &[init, Layout::see(2, 2)], &opts);
+        assert!(multi.max_utilization <= single.max_utilization + 1e-9);
+    }
+}

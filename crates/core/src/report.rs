@@ -1,0 +1,147 @@
+//! Human-readable layout and utilization rendering.
+//!
+//! The paper presents layouts as per-object rows of percentages across
+//! targets (Figures 1, 12, 14, 16, 20) and advisor behaviour as grouped
+//! utilization bars (Figure 13). These renderers produce the same views
+//! as text, used by the `repro` experiment binary and the examples.
+
+use crate::advisor::StageReport;
+use crate::problem::{Layout, LayoutProblem, EPS};
+
+/// Renders a layout as a table: one row per object (heaviest first by
+/// request rate), one column per target, entries in percent. Shows the
+/// `top` most heavily requested objects (the paper's figures show the
+/// eight most heavily accessed).
+pub fn render_layout(problem: &LayoutProblem, layout: &Layout, top: usize) -> String {
+    let order = problem.workloads.by_decreasing_rate();
+    let shown: Vec<usize> = order.into_iter().take(top).collect();
+    let name_w = shown
+        .iter()
+        .map(|&i| problem.workloads.names[i].len())
+        .max()
+        .unwrap_or(6)
+        .max(6);
+    let mut out = String::new();
+    out.push_str(&format!("{:name_w$} |", "object"));
+    for t in &problem.target_names {
+        out.push_str(&format!(" {t:>8} |"));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(name_w + 1 + problem.m() * 11));
+    out.push('\n');
+    for &i in &shown {
+        out.push_str(&format!("{:name_w$} |", problem.workloads.names[i]));
+        for j in 0..problem.m() {
+            let v = layout.get(i, j);
+            if v > EPS {
+                out.push_str(&format!(" {:>7.1}% |", v * 100.0));
+            } else {
+                out.push_str(&format!(" {:>8} |", "-"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the per-stage utilization table (the paper's Figure 13 as
+/// text): one row per target, one column per advisor stage.
+pub fn render_stages(problem: &LayoutProblem, stages: &[StageReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:>10} |", "target"));
+    for s in stages {
+        out.push_str(&format!(" {:>9} |", s.stage));
+    }
+    out.push('\n');
+    for j in 0..problem.m() {
+        out.push_str(&format!("{:>10} |", problem.target_names[j]));
+        for s in stages {
+            out.push_str(&format!(" {:>8.1}% |", s.utilizations[j] * 100.0));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10} |", "max"));
+    for s in stages {
+        out.push_str(&format!(" {:>8.1}% |", s.max_utilization * 100.0));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wasla_model::CostModel;
+    use wasla_storage::IoKind;
+    use wasla_workload::{ObjectKind, WorkloadSet, WorkloadSpec};
+
+    struct Flat;
+    impl CostModel for Flat {
+        fn request_cost(&self, _: IoKind, _: f64, _: f64, _: f64) -> f64 {
+            0.01
+        }
+    }
+
+    fn problem() -> LayoutProblem {
+        LayoutProblem {
+            workloads: WorkloadSet {
+                names: vec!["LINEITEM".into(), "ORDERS".into()],
+                sizes: vec![100, 50],
+                specs: vec![
+                    WorkloadSpec {
+                        read_rate: 100.0,
+                        ..WorkloadSpec::idle(2)
+                    },
+                    WorkloadSpec {
+                        read_rate: 50.0,
+                        ..WorkloadSpec::idle(2)
+                    },
+                ],
+            },
+            kinds: vec![ObjectKind::Table; 2],
+            capacities: vec![1000, 1000],
+            target_names: vec!["disk0".into(), "disk1".into()],
+            models: vec![Arc::new(Flat), Arc::new(Flat)],
+            stripe_size: 1024.0 * 1024.0,
+            constraints: vec![],
+        }
+    }
+
+    #[test]
+    fn layout_table_lists_hot_objects_first() {
+        let p = problem();
+        let l = Layout::from_rows(vec![vec![1.0, 0.0], vec![0.5, 0.5]]);
+        let s = render_layout(&p, &l, 2);
+        let li_pos = s.find("LINEITEM").unwrap();
+        let or_pos = s.find("ORDERS").unwrap();
+        assert!(li_pos < or_pos);
+        assert!(s.contains("100.0%"));
+        assert!(s.contains("50.0%"));
+        assert!(s.contains('-')); // zero entry rendered as dash
+    }
+
+    #[test]
+    fn top_limits_rows() {
+        let p = problem();
+        let l = Layout::see(2, 2);
+        let s = render_layout(&p, &l, 1);
+        assert!(s.contains("LINEITEM"));
+        assert!(!s.contains("ORDERS"));
+    }
+
+    #[test]
+    fn stage_table_shows_max_row() {
+        let p = problem();
+        let stages = vec![StageReport {
+            stage: "see".into(),
+            utilizations: vec![0.5, 0.25],
+            max_utilization: 0.5,
+        }];
+        let s = render_stages(&p, &stages);
+        assert!(s.contains("disk0"));
+        assert!(s.contains("see"));
+        assert!(s.contains("50.0%"));
+        assert!(s.contains("max"));
+    }
+}

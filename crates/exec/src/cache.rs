@@ -1,0 +1,208 @@
+//! Coarse buffer-pool model.
+//!
+//! The paper ran PostgreSQL with a 2 GB shared buffer (1.5 GB for
+//! OLTP). The first-order effect of that cache on the *storage*
+//! workload is: hot, small objects (indexes, dimension tables) are
+//! mostly served from memory, while scans of objects much larger than
+//! the pool stream past it. We model exactly that, at the object
+//! granularity:
+//!
+//! * Objects are ranked by heat density (logical requests per byte,
+//!   with indexes boosted for their internal reuse).
+//! * Pool capacity is granted greedily in that order, with one
+//!   exception: a scan-dominated object only receives a grant if it
+//!   fits *entirely* in the remaining pool — partially caching a scan
+//!   is useless (the scan of the uncached tail evicts its own head,
+//!   the classic LRU sequential-flooding behaviour that real buffer
+//!   managers fend off with ring buffers).
+//! * A fully granted object hits with high residency probability; a
+//!   partially granted one hits in proportion for random access only.
+//! * Log pages are written once and never re-read: no grant.
+//!
+//! The model is deliberately simple: the advisor never sees it; it only
+//! shapes the physical request streams the same way a real cache would.
+
+use serde::{Deserialize, Serialize};
+use wasla_workload::{Catalog, ObjectKind};
+
+/// Per-object cache behaviour produced by the pool model.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ObjectCachePolicy {
+    /// Probability a random logical read is served from memory.
+    pub random_hit: f64,
+    /// Probability a sequential-scan logical read is served from
+    /// memory (≈ residency for fully cached objects, else 0).
+    pub scan_hit: f64,
+}
+
+/// The buffer-pool model: per-object hit probabilities.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BufferPool {
+    policies: Vec<ObjectCachePolicy>,
+    pool_bytes: u64,
+}
+
+/// Residency probability for objects that fit entirely in their grant.
+const RESIDENT_HIT: f64 = 0.92;
+
+impl BufferPool {
+    /// Builds the pool model.
+    ///
+    /// * `catalog` — the objects;
+    /// * `random_heat` — relative random (point) logical request counts;
+    /// * `seq_heat` — relative sequential-scan logical request counts;
+    /// * `pool_bytes` — buffer pool capacity.
+    pub fn new(catalog: &Catalog, random_heat: &[f64], seq_heat: &[f64], pool_bytes: u64) -> Self {
+        assert_eq!(random_heat.len(), catalog.len());
+        assert_eq!(seq_heat.len(), catalog.len());
+        let n = catalog.len();
+        let density: Vec<f64> = (0..n)
+            .map(|i| {
+                let size = catalog.object(i).size.max(1) as f64;
+                let boost = match catalog.object(i).kind {
+                    ObjectKind::Index => 4.0,
+                    ObjectKind::Log => 0.0, // written once, never re-read
+                    _ => 1.0,
+                };
+                (random_heat[i] + seq_heat[i]) * boost / size
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| density[b].partial_cmp(&density[a]).expect("finite"));
+
+        let mut remaining = pool_bytes;
+        let mut policies = vec![ObjectCachePolicy::default(); n];
+        for &i in &order {
+            if density[i] <= 0.0 || remaining == 0 {
+                continue;
+            }
+            let size = catalog.object(i).size;
+            let scan_dominated = seq_heat[i] > 10.0 * random_heat[i];
+            if scan_dominated && size > remaining {
+                continue; // partial scan caching is useless
+            }
+            let granted = size.min(remaining);
+            remaining -= granted;
+            let frac = granted as f64 / size.max(1) as f64;
+            if frac >= 1.0 - 1e-9 {
+                policies[i] = ObjectCachePolicy {
+                    random_hit: RESIDENT_HIT,
+                    scan_hit: RESIDENT_HIT,
+                };
+            } else {
+                policies[i] = ObjectCachePolicy {
+                    random_hit: frac * RESIDENT_HIT,
+                    scan_hit: 0.0,
+                };
+            }
+        }
+        BufferPool {
+            policies,
+            pool_bytes,
+        }
+    }
+
+    /// A pass-through pool (no caching), for experiments that want raw
+    /// storage behaviour.
+    pub fn disabled(n_objects: usize) -> Self {
+        BufferPool {
+            policies: vec![ObjectCachePolicy::default(); n_objects],
+            pool_bytes: 0,
+        }
+    }
+
+    /// The policy for one object.
+    pub fn policy(&self, object: usize) -> &ObjectCachePolicy {
+        &self.policies[object]
+    }
+
+    /// Configured pool size in bytes.
+    pub fn pool_bytes(&self) -> u64 {
+        self.pool_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB: u64 = 1 << 30;
+
+    #[test]
+    fn hot_small_indexes_cached_big_scanned_tables_not() {
+        let catalog = Catalog::tpch_like(1.0);
+        let n = catalog.len();
+        let mut random = vec![100.0; n];
+        let mut seq = vec![0.0; n];
+        // LINEITEM: scan-dominated, far larger than the pool.
+        seq[catalog.expect_id("LINEITEM")] = 1_000_000.0;
+        random[catalog.expect_id("LINEITEM")] = 10.0;
+        random[catalog.expect_id("ORDERS_PKEY")] = 50_000.0;
+        let pool = BufferPool::new(&catalog, &random, &seq, 2 * GIB);
+        let li = pool.policy(catalog.expect_id("LINEITEM"));
+        let pk = pool.policy(catalog.expect_id("ORDERS_PKEY"));
+        // LINEITEM (4.2 GB) cannot be resident in 2 GB: scans miss.
+        assert_eq!(li.scan_hit, 0.0);
+        // ORDERS_PKEY (360 MB index) should be fully resident.
+        assert!(pk.random_hit > 0.9, "pkey hit {}", pk.random_hit);
+        assert!(pk.scan_hit > 0.9);
+    }
+
+    #[test]
+    fn partially_cached_random_object_gets_partial_hits() {
+        let catalog = Catalog::tpcc_like(1.0);
+        let n = catalog.len();
+        let mut random = vec![0.0; n];
+        // STOCK (2.9 GB) random-hot with a 1.5 GB pool: partial hits.
+        random[catalog.expect_id("STOCK")] = 1_000_000.0;
+        let pool = BufferPool::new(&catalog, &random, &vec![0.0; n], 3 * GIB / 2);
+        let stock = pool.policy(catalog.expect_id("STOCK"));
+        assert!(stock.random_hit > 0.2 && stock.random_hit < 0.8);
+        assert_eq!(stock.scan_hit, 0.0);
+    }
+
+    #[test]
+    fn zero_heat_objects_get_no_grant() {
+        let catalog = Catalog::tpch_like(0.01);
+        let zeros = vec![0.0; catalog.len()];
+        let pool = BufferPool::new(&catalog, &zeros, &zeros, GIB);
+        for i in 0..catalog.len() {
+            assert_eq!(pool.policy(i).random_hit, 0.0);
+        }
+    }
+
+    #[test]
+    fn disabled_pool_never_hits() {
+        let pool = BufferPool::disabled(5);
+        for i in 0..5 {
+            assert_eq!(pool.policy(i).random_hit, 0.0);
+            assert_eq!(pool.policy(i).scan_hit, 0.0);
+        }
+        assert_eq!(pool.pool_bytes(), 0);
+    }
+
+    #[test]
+    fn bigger_pool_covers_more() {
+        let catalog = Catalog::tpch_like(1.0);
+        let heat = vec![1000.0; catalog.len()];
+        let zeros = vec![0.0; catalog.len()];
+        let small = BufferPool::new(&catalog, &heat, &zeros, GIB / 4);
+        let large = BufferPool::new(&catalog, &heat, &zeros, 8 * GIB);
+        let covered = |p: &BufferPool| {
+            (0..catalog.len())
+                .filter(|&i| p.policy(i).random_hit > 0.5)
+                .count()
+        };
+        assert!(covered(&large) > covered(&small));
+    }
+
+    #[test]
+    fn log_never_cached() {
+        let catalog = Catalog::tpcc_like(1.0);
+        let heat = vec![1_000_000.0; catalog.len()];
+        let pool = BufferPool::new(&catalog, &heat, &heat, 64 * GIB);
+        let log = pool.policy(catalog.expect_id("XACTION_LOG"));
+        assert_eq!(log.random_hit, 0.0);
+        assert_eq!(log.scan_hit, 0.0);
+    }
+}

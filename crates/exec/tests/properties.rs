@@ -1,0 +1,101 @@
+//! Property tests for placement address translation.
+
+use proptest::prelude::*;
+use wasla_exec::Placement;
+
+const GIB: u64 = 1 << 30;
+const STRIPE: u64 = 256 * 1024;
+
+/// Strategy: a layout row over `m` targets that sums to 1 — either a
+/// regular even spread over a random subset, or arbitrary fractions.
+fn row_strategy(m: usize) -> impl Strategy<Value = Vec<f64>> {
+    let regular = proptest::collection::vec(any::<bool>(), m).prop_filter_map(
+        "at least one target",
+        move |mask| {
+            let k = mask.iter().filter(|&&b| b).count();
+            if k == 0 {
+                return None;
+            }
+            Some(
+                mask.iter()
+                    .map(|&b| if b { 1.0 / k as f64 } else { 0.0 })
+                    .collect::<Vec<f64>>(),
+            )
+        },
+    );
+    let fractional = proptest::collection::vec(0.0f64..1.0, m).prop_filter_map(
+        "positive total",
+        move |raw| {
+            let total: f64 = raw.iter().sum();
+            if total < 1e-6 {
+                return None;
+            }
+            Some(raw.iter().map(|v| v / total).collect::<Vec<f64>>())
+        },
+    );
+    prop_oneof![regular, fractional]
+}
+
+proptest! {
+    /// Whole-object translation covers every byte exactly once, within
+    /// target bounds, for both striped and chunked mappings.
+    #[test]
+    fn translation_partitions_object(
+        m in 1usize..6,
+        size_kib in 1u64..50_000,
+        (rows, probe) in (1usize..6).prop_flat_map(|m| {
+            (proptest::collection::vec(row_strategy(m), 1..4), 0.0f64..1.0)
+        }).prop_map(|(r, p)| (r, p)),
+    ) {
+        let _ = m; // m regenerated inside flat_map; rows define the real m
+        let m = rows[0].len();
+        prop_assume!(rows.iter().all(|r| r.len() == m));
+        let size = size_kib * 1024;
+        let sizes = vec![size; rows.len()];
+        let capacities = vec![64 * GIB; m];
+        let placement = Placement::build(&rows, &sizes, &capacities, STRIPE)
+            .expect("ample capacity");
+        for obj in 0..rows.len() {
+            // Whole-object cover.
+            let mut out = Vec::new();
+            placement.translate(obj, 0, size, &mut out);
+            let total: u64 = out.iter().map(|(_, _, l)| l).sum();
+            prop_assert_eq!(total, size);
+            for &(t, _, _) in &out {
+                prop_assert!(t < m);
+            }
+            // Random sub-range cover.
+            let start = ((probe * size as f64) as u64).min(size - 1);
+            let len = (size - start).clamp(1, 123_456);
+            out.clear();
+            placement.translate(obj, start, len, &mut out);
+            let total: u64 = out.iter().map(|(_, _, l)| l).sum();
+            prop_assert_eq!(total, len);
+        }
+    }
+
+    /// Two objects never overlap on a target: translating both whole
+    /// objects yields disjoint target extents.
+    #[test]
+    fn objects_get_disjoint_extents(
+        size_a_kib in 1u64..10_000,
+        size_b_kib in 1u64..10_000,
+    ) {
+        let rows = vec![vec![0.5, 0.5], vec![0.5, 0.5]];
+        let sizes = vec![size_a_kib * 1024, size_b_kib * 1024];
+        let placement =
+            Placement::build(&rows, &sizes, &[64 * GIB, 64 * GIB], STRIPE).expect("fits");
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        placement.translate(0, 0, sizes[0], &mut a);
+        placement.translate(1, 0, sizes[1], &mut b);
+        for &(ta, oa, la) in &a {
+            for &(tb, ob, lb) in &b {
+                if ta == tb {
+                    let overlap = oa < ob + lb && ob < oa + la;
+                    prop_assert!(!overlap, "extents overlap on target {ta}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Non-uniform grids and trilinear interpolation.
+
+use serde::{Deserialize, Serialize};
+
+/// A sorted, strictly increasing axis of calibration points.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Axis {
+    points: Vec<f64>,
+}
+
+impl Axis {
+    /// Creates an axis. Points must be strictly increasing and
+    /// non-empty.
+    pub fn new(points: Vec<f64>) -> Self {
+        assert!(!points.is_empty());
+        assert!(
+            points.windows(2).all(|w| w[0] < w[1]),
+            "axis points must be strictly increasing"
+        );
+        Axis { points }
+    }
+
+    /// The calibration points.
+    pub fn points(&self) -> &[f64] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the axis has a single point.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Finds the bracketing interval and interpolation weight for `x`,
+    /// clamping outside the range: returns `(i, w)` such that the value
+    /// is `v[i] * (1-w) + v[i+1] * w` (with `i+1` clamped).
+    pub fn locate(&self, x: f64) -> (usize, f64) {
+        let pts = &self.points;
+        if x <= pts[0] || pts.len() == 1 {
+            return (0, 0.0);
+        }
+        if x >= *pts.last().expect("non-empty") {
+            return (pts.len() - 1, 0.0);
+        }
+        let hi = pts.partition_point(|&p| p <= x);
+        let i = hi - 1;
+        let w = (x - pts[i]) / (pts[i + 1] - pts[i]);
+        (i, w)
+    }
+}
+
+/// A dense 3-D table over (size, run count, contention) with trilinear
+/// interpolation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Grid3 {
+    /// Request-size axis (bytes).
+    pub sizes: Axis,
+    /// Run-count axis (requests).
+    pub runs: Axis,
+    /// Contention-factor axis.
+    pub contentions: Axis,
+    /// Row-major values: `[size][run][contention]`.
+    values: Vec<f64>,
+}
+
+impl Grid3 {
+    /// Creates a grid from axes and a filled value table.
+    pub fn new(sizes: Axis, runs: Axis, contentions: Axis, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), sizes.len() * runs.len() * contentions.len());
+        Grid3 {
+            sizes,
+            runs,
+            contentions,
+            values,
+        }
+    }
+
+    #[inline]
+    fn at(&self, i: usize, j: usize, k: usize) -> f64 {
+        let (nr, nc) = (self.runs.len(), self.contentions.len());
+        self.values[(i * nr + j) * nc + k]
+    }
+
+    /// Trilinear interpolation at (size, run, contention), clamped to
+    /// the calibrated range.
+    pub fn interpolate(&self, size: f64, run: f64, contention: f64) -> f64 {
+        let (i, wi) = self.sizes.locate(size);
+        let (j, wj) = self.runs.locate(run);
+        let (k, wk) = self.contentions.locate(contention);
+        let i1 = (i + 1).min(self.sizes.len() - 1);
+        let j1 = (j + 1).min(self.runs.len() - 1);
+        let k1 = (k + 1).min(self.contentions.len() - 1);
+        let c000 = self.at(i, j, k);
+        let c001 = self.at(i, j, k1);
+        let c010 = self.at(i, j1, k);
+        let c011 = self.at(i, j1, k1);
+        let c100 = self.at(i1, j, k);
+        let c101 = self.at(i1, j, k1);
+        let c110 = self.at(i1, j1, k);
+        let c111 = self.at(i1, j1, k1);
+        let c00 = c000 * (1.0 - wk) + c001 * wk;
+        let c01 = c010 * (1.0 - wk) + c011 * wk;
+        let c10 = c100 * (1.0 - wk) + c101 * wk;
+        let c11 = c110 * (1.0 - wk) + c111 * wk;
+        let c0 = c00 * (1.0 - wj) + c01 * wj;
+        let c1 = c10 * (1.0 - wj) + c11 * wj;
+        c0 * (1.0 - wi) + c1 * wi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locate_brackets_and_clamps() {
+        let ax = Axis::new(vec![1.0, 2.0, 4.0]);
+        assert_eq!(ax.locate(0.5), (0, 0.0));
+        assert_eq!(ax.locate(1.0), (0, 0.0));
+        let (i, w) = ax.locate(1.5);
+        assert_eq!(i, 0);
+        assert!((w - 0.5).abs() < 1e-12);
+        let (i, w) = ax.locate(3.0);
+        assert_eq!(i, 1);
+        assert!((w - 0.5).abs() < 1e-12);
+        assert_eq!(ax.locate(4.0), (2, 0.0));
+        assert_eq!(ax.locate(99.0), (2, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_axis_rejected() {
+        Axis::new(vec![1.0, 1.0]);
+    }
+
+    fn linear_grid() -> Grid3 {
+        // values = size + 10*run + 100*contention at grid points.
+        let sizes = Axis::new(vec![1.0, 2.0]);
+        let runs = Axis::new(vec![1.0, 3.0]);
+        let cons = Axis::new(vec![0.0, 4.0]);
+        let mut values = Vec::new();
+        for &s in sizes.points() {
+            for &r in runs.points() {
+                for &c in cons.points() {
+                    values.push(s + 10.0 * r + 100.0 * c);
+                }
+            }
+        }
+        Grid3::new(sizes, runs, cons, values)
+    }
+
+    #[test]
+    fn interpolates_linear_function_exactly() {
+        let g = linear_grid();
+        for (s, r, c) in [(1.0, 1.0, 0.0), (1.5, 2.0, 2.0), (2.0, 3.0, 4.0), (1.25, 1.5, 1.0)] {
+            let expect = s + 10.0 * r + 100.0 * c;
+            let got = g.interpolate(s, r, c);
+            assert!((got - expect).abs() < 1e-9, "({s},{r},{c}) got {got}");
+        }
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let g = linear_grid();
+        // Below and above the grid use edge values.
+        assert!((g.interpolate(0.1, 1.0, 0.0) - 11.0).abs() < 1e-9);
+        assert!((g.interpolate(5.0, 3.0, 4.0) - 432.0).abs() < 1e-9);
+    }
+}

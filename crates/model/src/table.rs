@@ -1,0 +1,96 @@
+//! Tabulated cost models with interpolation.
+
+use crate::grid::Grid3;
+use serde::{Deserialize, Serialize};
+use wasla_storage::IoKind;
+
+/// A per-request cost model for one device or target type.
+///
+/// `request_cost` returns the expected *service occupancy* in seconds
+/// that one request of the given kind imposes, as a function of the
+/// three workload parameters the paper's models use: average request
+/// size (bytes), run count (sequentiality), and contention factor χ.
+pub trait CostModel: Send + Sync {
+    /// Expected per-request cost in seconds.
+    fn request_cost(&self, kind: IoKind, size: f64, run_count: f64, contention: f64) -> f64;
+}
+
+/// A black-box tabulated model: one 3-D grid per request direction,
+/// built from calibration measurements and interpolated at query time
+/// (paper §5.2.2, Figure 8 shows one slice of such a model).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TableModel {
+    /// Device name the model was calibrated for (diagnostic).
+    pub device: String,
+    /// Read-request costs.
+    pub reads: Grid3,
+    /// Write-request costs.
+    pub writes: Grid3,
+}
+
+impl CostModel for TableModel {
+    fn request_cost(&self, kind: IoKind, size: f64, run_count: f64, contention: f64) -> f64 {
+        let grid = match kind {
+            IoKind::Read => &self.reads,
+            IoKind::Write => &self.writes,
+        };
+        grid.interpolate(size, run_count, contention)
+    }
+}
+
+impl TableModel {
+    /// Serializes the model to JSON (models are expensive to calibrate
+    /// on real hardware; persisting them is standard practice).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model serializes")
+    }
+
+    /// Deserializes a model from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Axis;
+
+    fn tiny_model() -> TableModel {
+        let mk = |scale: f64| {
+            let sizes = Axis::new(vec![4096.0, 131072.0]);
+            let runs = Axis::new(vec![1.0, 64.0]);
+            let cons = Axis::new(vec![0.0, 8.0]);
+            let mut values = Vec::new();
+            for &s in sizes.points() {
+                for &r in runs.points() {
+                    for &c in cons.points() {
+                        values.push(scale * (s / 1e6 + 1.0 / r + c * 0.001));
+                    }
+                }
+            }
+            Grid3::new(sizes, runs, cons, values)
+        };
+        TableModel {
+            device: "test".into(),
+            reads: mk(1.0),
+            writes: mk(2.0),
+        }
+    }
+
+    #[test]
+    fn read_write_grids_distinct() {
+        let m = tiny_model();
+        let r = m.request_cost(IoKind::Read, 8192.0, 4.0, 1.0);
+        let w = m.request_cost(IoKind::Write, 8192.0, 4.0, 1.0);
+        assert!(w > r);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let m = tiny_model();
+        let j = m.to_json();
+        let back = TableModel::from_json(&j).unwrap();
+        assert_eq!(m, back);
+    }
+}

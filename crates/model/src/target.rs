@@ -1,0 +1,198 @@
+//! Target-level cost models.
+//!
+//! The advisor needs per-*target* request costs: the occupancy one
+//! target-level request imposes on the target's bottleneck resource.
+//! For a single-device target that is the device's service time
+//! (divided by internal parallelism for SSD channels). For a RAID-0
+//! group of `w` members, requests spread across members:
+//!
+//! * a request no larger than the stripe unit lands on exactly one
+//!   member, so only `1/w` of the stream's requests occupy any given
+//!   member — but the member-level run length also shrinks to `run/w`
+//!   because consecutive stripes round-robin;
+//! * a request spanning `k` stripes splits into `k` concurrent member
+//!   pieces of `size/k` each.
+//!
+//! This mirrors how the paper's per-target models absorb RAID
+//! configuration differences ("there may be a different model for each
+//! target type", §5.2).
+
+use crate::calibrate::{calibrate_device, CalibrationGrid};
+use crate::table::{CostModel, TableModel};
+use serde::{Deserialize, Serialize};
+use wasla_storage::{IoKind, TargetConfig};
+
+/// A cost model for one storage target.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TargetCostModel {
+    /// Calibrated model of the member device type.
+    pub member: TableModel,
+    /// Number of member devices (RAID-0 width).
+    pub width: usize,
+    /// RAID-0 stripe unit in bytes.
+    pub stripe_unit: u64,
+    /// Internal parallelism of each member (SSD channels).
+    pub parallelism: usize,
+    /// Target name (diagnostic).
+    pub name: String,
+}
+
+impl TargetCostModel {
+    /// Builds the model for a target by calibrating its member device
+    /// type. Members must be homogeneous (as RAID groups are).
+    pub fn from_target(config: &TargetConfig, grid: &CalibrationGrid, seed: u64) -> Self {
+        let first = &config.members[0];
+        assert!(
+            config.members.iter().all(|m| m == first),
+            "RAID members must be homogeneous for calibration"
+        );
+        let member = calibrate_device(first, grid, seed);
+        let parallelism = first.build().parallelism();
+        TargetCostModel {
+            member,
+            width: config.members.len(),
+            stripe_unit: config.stripe_unit,
+            parallelism,
+            name: config.name.clone(),
+        }
+    }
+
+    /// Builds models for every target in a configuration list,
+    /// calibrating each distinct member spec once.
+    pub fn for_targets(configs: &[TargetConfig], grid: &CalibrationGrid, seed: u64) -> Vec<Self> {
+        let mut cache: Vec<(wasla_storage::DeviceSpec, TableModel)> = Vec::new();
+        configs
+            .iter()
+            .map(|config| {
+                let first = &config.members[0];
+                let member = match cache.iter().find(|(s, _)| s == first) {
+                    Some((_, m)) => m.clone(),
+                    None => {
+                        let m = calibrate_device(first, grid, seed);
+                        cache.push((first.clone(), m.clone()));
+                        m
+                    }
+                };
+                let parallelism = first.build().parallelism();
+                TargetCostModel {
+                    member,
+                    width: config.members.len(),
+                    stripe_unit: config.stripe_unit,
+                    parallelism,
+                    name: config.name.clone(),
+                }
+            })
+            .collect()
+    }
+}
+
+impl CostModel for TargetCostModel {
+    fn request_cost(&self, kind: IoKind, size: f64, run_count: f64, contention: f64) -> f64 {
+        let w = self.width as f64;
+        let par = self.parallelism as f64;
+        if self.width == 1 {
+            return self.member.request_cost(kind, size, run_count, contention) / par;
+        }
+        let stripe = self.stripe_unit as f64;
+        if size <= stripe {
+            // One member per request; round-robin shortens member runs.
+            let member_run = (run_count / w).max(1.0);
+            self.member.request_cost(kind, size, member_run, contention) / (w * par)
+        } else {
+            // Split across k members servicing pieces concurrently.
+            let k = (size / stripe).ceil().min(w);
+            let piece = size / k;
+            let member_run = (run_count * k / w).max(1.0);
+            self.member.request_cost(kind, piece, member_run, contention) * k / (w * par)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasla_storage::{DeviceSpec, DiskParams, SsdParams, GIB, KIB};
+
+    fn disk_spec() -> DeviceSpec {
+        DeviceSpec::Disk(DiskParams::scsi_15k(18 * GIB))
+    }
+
+    #[test]
+    fn raid_width_divides_small_request_cost() {
+        let grid = CalibrationGrid::coarse();
+        let single =
+            TargetCostModel::from_target(&TargetConfig::single("d", disk_spec()), &grid, 3);
+        let raid3 = TargetCostModel::from_target(
+            &TargetConfig::raid0("r3", vec![disk_spec(); 3], 256 * KIB),
+            &grid,
+            3,
+        );
+        let c1 = single.request_cost(IoKind::Read, 8192.0, 1.0, 0.0);
+        let c3 = raid3.request_cost(IoKind::Read, 8192.0, 1.0, 0.0);
+        // Random 8 KiB on 3-wide RAID-0: one member busy per request,
+        // 1/3 of requests per member.
+        assert!((c3 - c1 / 3.0).abs() / c1 < 0.2, "c1 {c1} c3 {c3}");
+    }
+
+    #[test]
+    fn ssd_channels_divide_cost() {
+        let grid = CalibrationGrid::coarse();
+        let ssd = TargetCostModel::from_target(
+            &TargetConfig::single("ssd", DeviceSpec::Ssd(SsdParams::sata_gen1(32 * GIB))),
+            &grid,
+            3,
+        );
+        assert_eq!(ssd.parallelism, 4);
+        let occupancy = ssd.request_cost(IoKind::Read, 8192.0, 1.0, 0.0);
+        let service = ssd.member.request_cost(IoKind::Read, 8192.0, 1.0, 0.0);
+        assert!((occupancy - service / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_requests_split_across_members() {
+        let grid = CalibrationGrid::coarse();
+        let raid4 = TargetCostModel::from_target(
+            &TargetConfig::raid0("r4", vec![disk_spec(); 4], 64 * KIB),
+            &grid,
+            3,
+        );
+        // A 256 KiB sequential request spans 4 stripes: all members work.
+        let split = raid4.request_cost(IoKind::Read, 262144.0, 64.0, 0.0);
+        // Equivalent single-member cost for the whole request:
+        let single =
+            TargetCostModel::from_target(&TargetConfig::single("d", disk_spec()), &grid, 3);
+        let whole = single.request_cost(IoKind::Read, 262144.0, 64.0, 0.0);
+        assert!(split < whole, "split {split} whole {whole}");
+    }
+
+    #[test]
+    fn shared_member_specs_calibrated_once() {
+        let grid = CalibrationGrid::coarse();
+        let configs = vec![
+            TargetConfig::single("d0", disk_spec()),
+            TargetConfig::single("d1", disk_spec()),
+            TargetConfig::raid0("r", vec![disk_spec(); 2], 256 * KIB),
+        ];
+        let models = TargetCostModel::for_targets(&configs, &grid, 5);
+        assert_eq!(models.len(), 3);
+        // Same member spec → identical tables.
+        assert_eq!(models[0].member, models[1].member);
+        assert_eq!(models[0].member, models[2].member);
+        assert_eq!(models[2].width, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "homogeneous")]
+    fn heterogeneous_raid_rejected() {
+        let grid = CalibrationGrid::coarse();
+        let config = TargetConfig::raid0(
+            "bad",
+            vec![
+                disk_spec(),
+                DeviceSpec::Disk(DiskParams::nearline_7200(18 * GIB)),
+            ],
+            256 * KIB,
+        );
+        TargetCostModel::from_target(&config, &grid, 1);
+    }
+}

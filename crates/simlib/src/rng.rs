@@ -1,0 +1,351 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The simulator needs reproducible randomness: every experiment is
+//! parameterized by a seed and must replay identically. We implement
+//! xoshiro256++ (Blackman & Vigna) seeded through SplitMix64, which is
+//! the standard, well-tested construction, rather than depending on an
+//! external RNG crate whose stream could change across versions.
+
+/// A deterministic xoshiro256++ generator.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Derives an independent child generator; used to give each
+    /// simulated component its own stream so adding a component does not
+    /// perturb the randomness seen by others.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let base = self.next_u64() ^ salt.wrapping_mul(0x9E3779B97F4A7C15);
+        SimRng::new(base)
+    }
+
+    /// The next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = (self.s[0].wrapping_add(self.s[3]))
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        // 53 high bits → uniform double in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// A uniform integer in `[0, n)`. Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        // Lemire's unbiased bounded generation.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut l = m as u64;
+        if l < n {
+            let t = n.wrapping_neg() % n;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// A uniform `usize` index in `[0, n)`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        self.below(n as u64) as usize
+    }
+
+    /// True with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// An exponentially distributed sample with the given rate
+    /// (mean `1/rate`). Used for Poisson inter-arrival times.
+    #[inline]
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        debug_assert!(rate > 0.0);
+        // 1 - uniform() is in (0, 1], so ln() is finite.
+        -(1.0 - self.uniform()).ln() / rate
+    }
+
+    /// A standard-normal sample (Box–Muller, one value per call).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// A geometrically distributed run length with the given mean
+    /// (support `1, 2, 3, ...`). Used to sample sequential run counts.
+    pub fn geometric_mean(&mut self, mean: f64) -> u64 {
+        if mean <= 1.0 {
+            return 1;
+        }
+        let p = 1.0 / mean; // success probability → mean 1/p
+        let u = 1.0 - self.uniform();
+        let val = (u.ln() / (1.0 - p).ln()).ceil();
+        val.max(1.0) as u64
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Samples an index in `[0, weights.len())` proportionally to the
+    /// (non-negative) weights. Panics if all weights are zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weighted_index with zero total weight");
+        let mut x = self.uniform() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            x -= w;
+            if x < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// A Zipf-distributed index in `[0, n)` with skew `theta`
+    /// (`theta = 0` is uniform). Rejection-inversion is unnecessary at
+    /// our scales; we use the classic cumulative method with a cached
+    /// normalization valid for a single call pattern, so this is O(n)
+    /// only on first use per (n, theta) via [`ZipfSampler`].
+    pub fn zipf(&mut self, sampler: &ZipfSampler) -> usize {
+        sampler.sample(self)
+    }
+}
+
+/// Precomputed Zipf sampler over `[0, n)` (hot-spot index access in the
+/// OLTP workload model).
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler for `n` items with skew `theta >= 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Draws one index.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.uniform();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false (n > 0 is enforced at construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = SimRng::new(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = SimRng::new(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.below(10) as usize;
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = SimRng::new(11);
+        let rate = 4.0;
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| rng.exponential(rate)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_mean_run_length() {
+        let mut rng = SimRng::new(13);
+        let target = 8.0;
+        let n = 50_000;
+        let sum: u64 = (0..n).map(|_| rng.geometric_mean(target)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - target).abs() < 0.3, "mean {mean}");
+        assert_eq!(rng.geometric_mean(1.0), 1);
+        assert_eq!(rng.geometric_mean(0.5), 1);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SimRng::new(17);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = SimRng::new(19);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>()); // astronomically unlikely
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = SimRng::new(23);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0u32; 3];
+        for _ in 0..10_000 {
+            counts[rng.weighted_index(&weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zipf_skew_orders_frequencies() {
+        let mut rng = SimRng::new(29);
+        let sampler = ZipfSampler::new(100, 1.0);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn zipf_zero_theta_is_uniformish() {
+        let mut rng = SimRng::new(31);
+        let sampler = ZipfSampler::new(10, 0.0);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 2000.0).abs() < 300.0, "count {c}");
+        }
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut parent = SimRng::new(5);
+        let mut a = parent.fork(1);
+        let mut b = parent.fork(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+}

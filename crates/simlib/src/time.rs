@@ -1,0 +1,207 @@
+//! Simulated time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in simulated time, measured in seconds from the start of the
+/// simulation.
+///
+/// `SimTime` wraps an `f64` but provides a total order (the simulator
+/// never produces NaN times; constructing one panics in debug builds).
+/// Durations are also represented as `SimTime` — the simulator has no
+/// need to distinguish instants from durations at the type level, and
+/// keeping one type makes the arithmetic in device models direct.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero — the start of the simulation.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// A time later than any event the simulator will schedule.
+    pub const FAR_FUTURE: SimTime = SimTime(f64::MAX / 4.0);
+
+    /// Creates a time from seconds. Panics (debug) on NaN.
+    #[inline]
+    pub fn from_secs(secs: f64) -> Self {
+        debug_assert!(!secs.is_nan(), "SimTime must not be NaN");
+        SimTime(secs)
+    }
+
+    /// Creates a time from milliseconds.
+    #[inline]
+    pub fn from_millis(ms: f64) -> Self {
+        Self::from_secs(ms / 1e3)
+    }
+
+    /// Creates a time from microseconds.
+    #[inline]
+    pub fn from_micros(us: f64) -> Self {
+        Self::from_secs(us / 1e6)
+    }
+
+    /// The value in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// The value in milliseconds.
+    #[inline]
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Returns the larger of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two times.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True if this time is non-negative and finite.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // The simulator never stores NaN; total_cmp keeps this a total
+        // order even if one slips through in release builds.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1.0 {
+            write!(f, "{:.3}s", self.0)
+        } else if self.0 >= 1e-3 {
+            write!(f, "{:.3}ms", self.0 * 1e3)
+        } else {
+            write!(f, "{:.1}us", self.0 * 1e6)
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: f64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: f64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(SimTime::from_millis(1500.0).as_secs(), 1.5);
+        assert_eq!(SimTime::from_micros(250.0).as_secs(), 0.00025);
+        assert_eq!(SimTime::from_secs(2.0).as_millis(), 2000.0);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert!(SimTime::ZERO < SimTime::FAR_FUTURE);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(0.25);
+        assert_eq!((a + b).as_secs(), 1.25);
+        assert_eq!((a - b).as_secs(), 0.75);
+        assert_eq!((a * 3.0).as_secs(), 3.0);
+        assert_eq!((a / 4.0).as_secs(), 0.25);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_secs(), 1.25);
+        c -= b;
+        assert_eq!(c.as_secs(), 1.0);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(format!("{}", SimTime::from_secs(1.5)), "1.500s");
+        assert_eq!(format!("{}", SimTime::from_secs(0.0015)), "1.500ms");
+        assert_eq!(format!("{}", SimTime::from_secs(0.0000015)), "1.5us");
+    }
+
+    #[test]
+    fn validity() {
+        assert!(SimTime::from_secs(0.0).is_valid());
+        assert!(!SimTime::from_secs(-1.0).is_valid());
+        assert!(!SimTime::from_secs(f64::INFINITY).is_valid());
+    }
+}

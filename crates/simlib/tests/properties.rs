@@ -1,0 +1,68 @@
+//! Property tests for the simulation kernel.
+
+use proptest::prelude::*;
+use wasla_simlib::{EventQueue, SimRng, SimTime};
+
+proptest! {
+    /// Events always pop in non-decreasing time order, regardless of
+    /// the schedule order.
+    #[test]
+    fn event_queue_pops_sorted(times in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_secs(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Same-time events preserve insertion order (FIFO tie-break).
+    #[test]
+    fn event_queue_fifo_at_equal_times(n in 1usize..100, t in 0.0f64..1e3) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule_at(SimTime::from_secs(t), i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    /// `below(n)` is always within range and `uniform` within [0, 1).
+    #[test]
+    fn rng_bounds(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.below(n) < n);
+            let u = rng.uniform();
+            prop_assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    /// Exponential samples are non-negative and finite.
+    #[test]
+    fn exponential_non_negative(seed in any::<u64>(), rate in 0.001f64..1e4) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            let x = rng.exponential(rate);
+            prop_assert!(x.is_finite());
+            prop_assert!(x >= 0.0);
+        }
+    }
+
+    /// Shuffle is a permutation.
+    #[test]
+    fn shuffle_permutes(seed in any::<u64>(), n in 0usize..100) {
+        let mut rng = SimRng::new(seed);
+        let mut v: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,94 @@
+//! Multi-start optimization (the paper's Figure 4 `repeat?` loop).
+//!
+//! NLP solvers like MINOS find local optima and are sensitive to the
+//! initial point; the paper's layout algorithm optionally repeats the
+//! solve from different initial layouts — including ones proposed by a
+//! knowledgeable administrator — and keeps the best result.
+
+use crate::pg::PgResult;
+
+/// Runs `solve` from every starting point and returns the best result
+/// (lowest objective value, preferring converged runs on ties).
+///
+/// `solve` is executed serially to keep results deterministic; callers
+/// who want parallelism can shard starting points themselves (the
+/// advisor's fleet-sized problems solve in milliseconds each).
+pub fn multistart<S>(starts: &[Vec<f64>], mut solve: S) -> PgResult
+where
+    S: FnMut(&[f64]) -> PgResult,
+{
+    assert!(!starts.is_empty(), "multistart needs at least one start");
+    let mut best: Option<PgResult> = None;
+    for start in starts {
+        let r = solve(start);
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                r.value < b.value - 1e-15 || (r.value <= b.value && r.converged && !b.converged)
+            }
+        };
+        if better {
+            best = Some(r);
+        }
+    }
+    best.expect("at least one start ran")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pg::{minimize, PgOptions};
+
+    /// A double-well objective where the reachable local optimum
+    /// depends on the starting side.
+    fn double_well(x: &[f64]) -> f64 {
+        let t = x[0];
+        (t * t - 1.0).powi(2) + 0.3 * t
+    }
+
+    #[test]
+    fn finds_better_of_two_basins() {
+        let solve = |x0: &[f64]| {
+            minimize(
+                double_well,
+                |x, g| {
+                    let t = x[0];
+                    g[0] = 4.0 * t * (t * t - 1.0) + 0.3;
+                },
+                |x: &mut [f64]| x[0] = x[0].clamp(-2.0, 2.0),
+                x0,
+                &PgOptions {
+                    step0: 0.05,
+                    ..PgOptions::default()
+                },
+            )
+        };
+        let from_right = solve(&[1.5]);
+        let both = multistart(&[vec![1.5], vec![-1.5]], solve);
+        // The left basin (t ≈ -1.04) is lower because of the +0.3t tilt.
+        assert!(both.value <= from_right.value);
+        assert!(both.x[0] < 0.0, "x {:?}", both.x);
+    }
+
+    #[test]
+    fn single_start_passthrough() {
+        let r = multistart(&[vec![0.5]], |x0| PgResult {
+            x: x0.to_vec(),
+            value: 42.0,
+            iters: 1,
+            converged: true,
+        });
+        assert_eq!(r.value, 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one start")]
+    fn empty_starts_panic() {
+        multistart(&[], |x0| PgResult {
+            x: x0.to_vec(),
+            value: 0.0,
+            iters: 0,
+            converged: true,
+        });
+    }
+}

@@ -1,0 +1,85 @@
+//! Log-sum-exp smoothing of the `max` objective.
+//!
+//! The layout objective `min max_j µ_j` is non-differentiable at ties.
+//! We smooth it with the log-sum-exp upper bound
+//! `lse_τ(µ) = τ · ln Σ_j exp(µ_j / τ)`, which satisfies
+//! `max µ ≤ lse_τ(µ) ≤ max µ + τ ln M` and converges to the max as the
+//! temperature τ → 0. The solver anneals τ downward across rounds.
+
+/// Smoothed maximum of `values` at temperature `temp > 0`.
+///
+/// Numerically stable: shifts by the true max before exponentiating.
+pub fn lse_max(values: &[f64], temp: f64) -> f64 {
+    debug_assert!(temp > 0.0);
+    debug_assert!(!values.is_empty());
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return max;
+    }
+    let sum: f64 = values.iter().map(|&v| ((v - max) / temp).exp()).sum();
+    max + temp * sum.ln()
+}
+
+/// Softmax weights `∂ lse_τ / ∂ µ_j` — the chain-rule factors for
+/// differentiating through the smoothed max. They are non-negative and
+/// sum to 1, concentrating on the argmax as τ → 0.
+pub fn softmax_weights(values: &[f64], temp: f64, out: &mut Vec<f64>) {
+    debug_assert!(temp > 0.0);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    out.clear();
+    out.extend(values.iter().map(|&v| ((v - max) / temp).exp()));
+    let sum: f64 = out.iter().sum();
+    for w in out.iter_mut() {
+        *w /= sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_hold() {
+        let v = [1.0, 3.0, 2.0];
+        for temp in [1.0, 0.1, 0.01] {
+            let s = lse_max(&v, temp);
+            assert!(s >= 3.0, "temp {temp}: {s}");
+            assert!(s <= 3.0 + temp * (v.len() as f64).ln() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn converges_to_max() {
+        let v = [0.4, 0.9, 0.1, 0.9];
+        assert!((lse_max(&v, 1e-4) - 0.9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn stable_for_large_values() {
+        let v = [1e8, 2e8];
+        let s = lse_max(&v, 1.0);
+        assert!((s - 2e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_concentrates() {
+        let v = [1.0, 2.0, 3.0];
+        let mut w = Vec::new();
+        softmax_weights(&v, 0.5, &mut w);
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(w[2] > w[1] && w[1] > w[0]);
+        softmax_weights(&v, 0.01, &mut w);
+        assert!(w[2] > 0.99);
+    }
+
+    #[test]
+    fn softmax_uniform_at_high_temperature() {
+        let v = [1.0, 2.0, 3.0];
+        let mut w = Vec::new();
+        softmax_weights(&v, 1e6, &mut w);
+        for &x in &w {
+            assert!((x - 1.0 / 3.0).abs() < 1e-3);
+        }
+    }
+}

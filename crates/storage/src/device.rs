@@ -1,0 +1,107 @@
+//! Device model abstraction.
+
+use crate::disk::{Disk, DiskParams};
+use crate::request::DeviceIo;
+use crate::ssd::{Ssd, SsdParams};
+use serde::{Deserialize, Serialize};
+use wasla_simlib::{SimRng, SimTime};
+
+/// Broad device class, used for reporting and for picking which cost
+/// model a target gets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// A rotating disk drive.
+    Disk,
+    /// A solid-state drive.
+    Ssd,
+}
+
+/// The behaviour a simulated device must provide.
+///
+/// `service_time` is called when the device *starts* servicing a
+/// request (after queueing); implementations update their internal
+/// positioning/readahead state as a side effect, which is why it takes
+/// `&mut self`. The RNG is the device's own deterministic stream.
+pub trait DeviceModel: Send {
+    /// Time to service `req` given the device's current state.
+    fn service_time(&mut self, req: &DeviceIo, rng: &mut SimRng) -> SimTime;
+
+    /// Number of requests the device can service concurrently
+    /// (1 for disks, the channel count for SSDs).
+    fn parallelism(&self) -> usize;
+
+    /// Current head byte position (0 for devices without heads);
+    /// consumed by position-aware queue schedulers.
+    fn head_position(&self) -> u64;
+
+    /// Usable capacity in bytes.
+    fn capacity(&self) -> u64;
+
+    /// Device class.
+    fn kind(&self) -> DeviceKind;
+}
+
+/// A serializable description of a device, from which a fresh
+/// simulation model can be instantiated.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DeviceSpec {
+    /// A disk drive with the given parameters.
+    Disk(DiskParams),
+    /// An SSD with the given parameters.
+    Ssd(SsdParams),
+}
+
+impl DeviceSpec {
+    /// Instantiates a fresh device model.
+    pub fn build(&self) -> Box<dyn DeviceModel> {
+        match self {
+            DeviceSpec::Disk(p) => Box::new(Disk::new(p.clone())),
+            DeviceSpec::Ssd(p) => Box::new(Ssd::new(p.clone())),
+        }
+    }
+
+    /// The device's capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        match self {
+            DeviceSpec::Disk(p) => p.capacity,
+            DeviceSpec::Ssd(p) => p.capacity,
+        }
+    }
+
+    /// The device class.
+    pub fn kind(&self) -> DeviceKind {
+        match self {
+            DeviceSpec::Disk(_) => DeviceKind::Disk,
+            DeviceSpec::Ssd(_) => DeviceKind::Ssd,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GIB;
+
+    #[test]
+    fn spec_builds_matching_model() {
+        let spec = DeviceSpec::Disk(DiskParams::scsi_15k(18 * GIB));
+        let model = spec.build();
+        assert_eq!(model.kind(), DeviceKind::Disk);
+        assert_eq!(model.capacity(), 18 * GIB);
+        assert_eq!(model.parallelism(), 1);
+
+        let spec = DeviceSpec::Ssd(SsdParams::sata_gen1(32 * GIB));
+        let model = spec.build();
+        assert_eq!(model.kind(), DeviceKind::Ssd);
+        assert_eq!(model.capacity(), 32 * GIB);
+        assert!(model.parallelism() > 1);
+    }
+
+    #[test]
+    fn spec_serde_round_trip() {
+        let spec = DeviceSpec::Ssd(SsdParams::sata_gen1(4 * GIB));
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: DeviceSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

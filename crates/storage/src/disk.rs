@@ -1,0 +1,521 @@
+//! Mechanical disk drive model.
+//!
+//! The model captures the first-order mechanics that matter for layout
+//! decisions:
+//!
+//! * distance-dependent seeks and rotational latency for random
+//!   requests;
+//! * streaming transfer at media rate for head-contiguous sequential
+//!   requests;
+//! * a readahead unit that tracks a small number of concurrent
+//!   sequential streams, each with a *prefetch window*: when the head
+//!   must switch between co-located streams, the drive pays the
+//!   inter-region seek but refills the window, so a few interleaved
+//!   streams degrade gracefully (the switch cost amortizes over the
+//!   window) while many interleaved streams evict each other's
+//!   contexts and collapse to random-like behaviour.
+//!
+//! This is precisely the behaviour behind the paper's Figure 8: the
+//! sequential advantage survives a small amount of contention and
+//! collapses quickly beyond it, and it is why the layout advisor wants
+//! to isolate concurrently-scanned objects (§2).
+
+use crate::device::{DeviceKind, DeviceModel};
+use crate::request::{DeviceIo, IoKind};
+use serde::{Deserialize, Serialize};
+use wasla_simlib::{SimRng, SimTime};
+
+/// Parameters of a simulated disk drive.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DiskParams {
+    /// Usable capacity in bytes.
+    pub capacity: u64,
+    /// Spindle speed in revolutions per minute.
+    pub rpm: f64,
+    /// Track-to-track (minimum) seek time in seconds.
+    pub min_seek_s: f64,
+    /// Full-stroke (maximum) seek time in seconds.
+    pub max_seek_s: f64,
+    /// Media transfer rate in bytes per second.
+    pub transfer_bps: f64,
+    /// Interface/cache transfer rate in bytes per second (readahead
+    /// cache hits move data at this rate, not media rate).
+    pub cache_bps: f64,
+    /// Fixed per-request controller/settle overhead in seconds.
+    pub settle_s: f64,
+    /// Number of concurrent sequential streams the readahead unit can
+    /// track. Interleaving more sequential streams than this evicts
+    /// contexts and collapses sequentiality.
+    pub readahead_streams: usize,
+    /// Maximum forward gap (bytes) between a tracked stream's expected
+    /// next offset and a request for it to still count as sequential.
+    pub readahead_window: u64,
+    /// Maximum prefetch fill per head visit to a stream's region, in
+    /// bytes. Larger values amortize inter-stream switches better.
+    pub max_prefetch: u64,
+    /// Positioning-cost multiplier applied to writes, < 1 when a
+    /// write-back cache coalesces and schedules writes lazily.
+    pub write_positioning_factor: f64,
+}
+
+impl DiskParams {
+    /// An enterprise 15 000 RPM SCSI drive comparable to the paper's
+    /// four 18.4 GB drives.
+    pub fn scsi_15k(capacity: u64) -> Self {
+        DiskParams {
+            capacity,
+            rpm: 15_000.0,
+            min_seek_s: 0.0004,
+            max_seek_s: 0.0072,
+            transfer_bps: 58e6,
+            cache_bps: 200e6,
+            settle_s: 0.00015,
+            readahead_streams: 3,
+            readahead_window: 512 * 1024,
+            max_prefetch: 512 * 1024,
+            write_positioning_factor: 0.65,
+        }
+    }
+
+    /// A mid-range 10 000 RPM SCSI drive (between the enterprise 15K
+    /// and nearline tiers; useful for configurator sweeps).
+    pub fn scsi_10k(capacity: u64) -> Self {
+        DiskParams {
+            capacity,
+            rpm: 10_000.0,
+            min_seek_s: 0.0005,
+            max_seek_s: 0.0095,
+            transfer_bps: 55e6,
+            cache_bps: 180e6,
+            settle_s: 0.00018,
+            readahead_streams: 3,
+            readahead_window: 512 * 1024,
+            max_prefetch: 512 * 1024,
+            write_positioning_factor: 0.65,
+        }
+    }
+
+    /// A cost-effective nearline 7 200 RPM drive (paper §1 motivates
+    /// mixed systems with these).
+    pub fn nearline_7200(capacity: u64) -> Self {
+        DiskParams {
+            capacity,
+            rpm: 7_200.0,
+            min_seek_s: 0.0008,
+            max_seek_s: 0.015,
+            transfer_bps: 52e6,
+            cache_bps: 150e6,
+            settle_s: 0.0002,
+            readahead_streams: 3,
+            readahead_window: 512 * 1024,
+            max_prefetch: 512 * 1024,
+            write_positioning_factor: 0.65,
+        }
+    }
+
+    /// Time for one full revolution.
+    pub fn rotation_s(&self) -> f64 {
+        60.0 / self.rpm
+    }
+
+    /// Expected seek time for a given byte distance: the standard
+    /// square-root seek curve between `min_seek_s` and `max_seek_s`.
+    pub fn seek_s(&self, distance: u64) -> f64 {
+        if distance == 0 {
+            return 0.0;
+        }
+        let frac = (distance as f64 / self.capacity as f64).min(1.0);
+        self.min_seek_s + (self.max_seek_s - self.min_seek_s) * frac.sqrt()
+    }
+}
+
+/// A tracked sequential stream context in the readahead unit.
+#[derive(Clone, Copy, Debug)]
+struct StreamCtx {
+    /// Expected next byte offset for this stream.
+    next: u64,
+    /// Data up to this offset is already in the readahead cache.
+    prefetched_until: u64,
+    /// Current prefetch fill size (ramps up with confirmed
+    /// sequentiality, like real adaptive readahead).
+    fill: u64,
+    /// LRU stamp (monotone per-request counter).
+    last_used: u64,
+}
+
+/// A simulated disk drive.
+#[derive(Clone, Debug)]
+pub struct Disk {
+    params: DiskParams,
+    head: u64,
+    contexts: Vec<StreamCtx>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Disk {
+    /// Creates a disk with its head at offset zero and an empty
+    /// readahead table.
+    pub fn new(params: DiskParams) -> Self {
+        assert!(params.capacity > 0);
+        assert!(params.max_seek_s >= params.min_seek_s);
+        assert!(params.transfer_bps > 0.0);
+        Disk {
+            params,
+            head: 0,
+            contexts: Vec::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The disk's parameters.
+    pub fn params(&self) -> &DiskParams {
+        &self.params
+    }
+
+    /// Fraction of requests recognized as continuing a tracked
+    /// sequential stream.
+    pub fn readahead_hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Finds a context this request continues: it starts at, or within
+    /// the readahead window after, the context's expected next offset.
+    fn match_context(&self, req: &DeviceIo) -> Option<usize> {
+        self.contexts.iter().position(|c| {
+            req.offset >= c.next.saturating_sub(req.len)
+                && req.offset <= c.next + self.params.readahead_window
+        })
+    }
+
+    fn install_context(&mut self, ctx: StreamCtx) {
+        if self.contexts.len() < self.params.readahead_streams {
+            self.contexts.push(ctx);
+            return;
+        }
+        // Evict the least recently used context.
+        if let Some(lru) = self.contexts.iter_mut().min_by_key(|c| c.last_used) {
+            *lru = ctx;
+        }
+    }
+
+    fn positioning(&self, req: &DeviceIo, rng: &mut SimRng) -> f64 {
+        let seek = self.params.seek_s(self.head.abs_diff(req.offset));
+        let rotation = rng.uniform() * self.params.rotation_s();
+        let raw = seek + rotation;
+        match req.kind {
+            IoKind::Read => raw,
+            IoKind::Write => raw * self.params.write_positioning_factor,
+        }
+    }
+}
+
+impl DeviceModel for Disk {
+    fn service_time(&mut self, req: &DeviceIo, rng: &mut SimRng) -> SimTime {
+        self.tick += 1;
+        let p = self.params.clone();
+        let media = req.len as f64 / p.transfer_bps;
+        let time = match self.match_context(req) {
+            Some(i) => {
+                self.hits += 1;
+                let tick = self.tick;
+                // Copy out to appease the borrow checker; write back below.
+                let mut ctx = self.contexts[i];
+                ctx.last_used = tick;
+                let t = if req.kind.is_read() && req.end() <= ctx.prefetched_until {
+                    // Served from the readahead cache at interface speed.
+                    ctx.next = req.end();
+                    p.settle_s + req.len as f64 / p.cache_bps
+                } else if self.head == req.offset {
+                    // Pure head continuation: streaming at media rate.
+                    ctx.next = req.end();
+                    ctx.prefetched_until = ctx.prefetched_until.max(req.end());
+                    self.head = req.end();
+                    p.settle_s + media
+                } else {
+                    // Sequential stream, but the head serviced another
+                    // region in between: pay the inter-region switch and
+                    // refill the (ramping) prefetch window so the next
+                    // few requests of this stream hit the cache.
+                    let pos = self.positioning(req, rng);
+                    let mut t = p.settle_s + pos + media;
+                    if req.kind.is_read() {
+                        let hi = p.max_prefetch.max(req.len);
+                        ctx.fill = (ctx.fill * 2).clamp((4 * req.len).min(hi), hi);
+                        let fill = ctx.fill;
+                        t += fill as f64 / p.transfer_bps;
+                        ctx.prefetched_until = req.end() + fill;
+                        self.head = req.end() + fill;
+                    } else {
+                        ctx.prefetched_until = req.end();
+                        self.head = req.end();
+                    }
+                    ctx.next = req.end();
+                    t
+                };
+                self.contexts[i] = ctx;
+                t
+            }
+            None => {
+                // Random access: full mechanical positioning; track the
+                // stream in case it turns sequential.
+                self.misses += 1;
+                let pos = self.positioning(req, rng);
+                let tick = self.tick;
+                self.install_context(StreamCtx {
+                    next: req.end(),
+                    prefetched_until: req.end(),
+                    fill: 2 * req.len,
+                    last_used: tick,
+                });
+                self.head = req.end();
+                p.settle_s + pos + media
+            }
+        };
+        self.head = self.head.min(p.capacity);
+        SimTime::from_secs(time)
+    }
+
+    fn parallelism(&self) -> usize {
+        1
+    }
+
+    fn head_position(&self) -> u64 {
+        self.head
+    }
+
+    fn capacity(&self) -> u64 {
+        self.params.capacity
+    }
+
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::Disk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GIB;
+
+    fn disk() -> Disk {
+        Disk::new(DiskParams::scsi_15k(18 * GIB))
+    }
+
+    fn read(offset: u64, len: u64, stream: u32) -> DeviceIo {
+        DeviceIo {
+            kind: IoKind::Read,
+            offset,
+            len,
+            stream,
+        }
+    }
+
+    /// Total time to service `n` per-stream interleaved sequential
+    /// reads for each of `k` streams.
+    fn interleaved_scan_time(streams: usize, steps: u64, len: u64, seed: u64) -> f64 {
+        let mut d = disk();
+        let mut rng = SimRng::new(seed);
+        let bases: Vec<u64> = (0..streams as u64).map(|i| i * 2 * GIB).collect();
+        let mut total = 0.0;
+        for step in 0..steps {
+            for (s, &b) in bases.iter().enumerate() {
+                total += d
+                    .service_time(&read(b + step * len, len, s as u32), &mut rng)
+                    .as_secs();
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn sequential_much_faster_than_random() {
+        let mut d = disk();
+        let mut rng = SimRng::new(1);
+        let mut t_seq = 0.0;
+        d.service_time(&read(0, 8192, 0), &mut rng);
+        for i in 1..100u64 {
+            t_seq += d.service_time(&read(i * 8192, 8192, 0), &mut rng).as_secs();
+        }
+        let mut d2 = disk();
+        let mut t_rand = 0.0;
+        for i in 0..100u64 {
+            let off = (i * 7_919_999_983) % (17 * GIB);
+            t_rand += d2.service_time(&read(off, 8192, 0), &mut rng).as_secs();
+        }
+        let ratio = t_rand / t_seq;
+        assert!(ratio > 5.0, "sequential speedup ratio only {ratio}");
+    }
+
+    #[test]
+    fn two_interleaved_streams_slower_than_isolated() {
+        // The paper's core interference effect: two sequential scans on
+        // one disk cost well over the sum of the isolated scans.
+        let both = interleaved_scan_time(2, 200, 131072, 3);
+        let alone = 2.0 * interleaved_scan_time(1, 200, 131072, 4);
+        assert!(
+            both > 1.3 * alone,
+            "interleaved {both:.3}s vs isolated {alone:.3}s"
+        );
+    }
+
+    #[test]
+    fn interleaving_degrades_gracefully_then_collapses() {
+        // Per-request cost should rise with stream count and approach
+        // random cost once the context table (4 slots) is overrun.
+        let per_req = |k: usize| interleaved_scan_time(k, 100, 8192, 5) / (k as f64 * 100.0);
+        let c1 = per_req(1);
+        let c3 = per_req(3);
+        let c8 = per_req(8);
+        assert!(c3 > c1, "3 streams {c3} vs 1 stream {c1}");
+        assert!(c8 > 2.0 * c3, "8 streams {c8} vs 3 streams {c3}");
+        // 8 streams ≈ random behaviour.
+        let mut d = disk();
+        let mut rng = SimRng::new(6);
+        let mut t_rand = 0.0;
+        for i in 0..400u64 {
+            let off = (i * 7_919_999_983) % (17 * GIB);
+            t_rand += d.service_time(&read(off, 8192, 0), &mut rng).as_secs();
+        }
+        let rand_cost = t_rand / 400.0;
+        assert!(c8 > 0.5 * rand_cost, "c8 {c8} vs random {rand_cost}");
+    }
+
+    #[test]
+    fn few_interleaved_streams_stay_tracked() {
+        let mut d = disk();
+        let mut rng = SimRng::new(2);
+        let bases = [0u64, 4 * GIB, 8 * GIB];
+        for step in 0..50u64 {
+            for (s, &b) in bases.iter().enumerate() {
+                d.service_time(&read(b + step * 8192, 8192, s as u32), &mut rng);
+            }
+        }
+        assert!(
+            d.readahead_hit_rate() > 0.9,
+            "hit rate {}",
+            d.readahead_hit_rate()
+        );
+    }
+
+    #[test]
+    fn many_interleaved_streams_lose_tracking() {
+        let mut d = disk();
+        let mut rng = SimRng::new(3);
+        let bases: Vec<u64> = (0..8).map(|i| i * 2 * GIB).collect();
+        for step in 0..50u64 {
+            for (s, &b) in bases.iter().enumerate() {
+                d.service_time(&read(b + step * 8192, 8192, s as u32), &mut rng);
+            }
+        }
+        assert!(
+            d.readahead_hit_rate() < 0.1,
+            "hit rate {}",
+            d.readahead_hit_rate()
+        );
+    }
+
+    #[test]
+    fn seek_curve_monotone_and_bounded() {
+        let p = DiskParams::scsi_15k(18 * GIB);
+        assert_eq!(p.seek_s(0), 0.0);
+        let near = p.seek_s(1024 * 1024);
+        let mid = p.seek_s(9 * GIB);
+        let far = p.seek_s(18 * GIB);
+        assert!(near < mid && mid < far);
+        assert!(near >= p.min_seek_s);
+        assert!(far <= p.max_seek_s + 1e-12);
+    }
+
+    #[test]
+    fn rotation_time() {
+        let p = DiskParams::scsi_15k(GIB);
+        assert!((p.rotation_s() - 0.004).abs() < 1e-12);
+        let p7 = DiskParams::nearline_7200(GIB);
+        assert!((p7.rotation_s() - 60.0 / 7200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn writes_cheaper_positioning_than_reads() {
+        let p = DiskParams::scsi_15k(18 * GIB);
+        let mut total_r = 0.0;
+        let mut total_w = 0.0;
+        for seed in 0..200 {
+            let mut dr = Disk::new(p.clone());
+            let mut dw = Disk::new(p.clone());
+            let mut rng_r = SimRng::new(seed);
+            let mut rng_w = SimRng::new(seed);
+            let r = DeviceIo {
+                kind: IoKind::Read,
+                offset: 9 * GIB,
+                len: 8192,
+                stream: 0,
+            };
+            let w = DeviceIo {
+                kind: IoKind::Write,
+                offset: 9 * GIB,
+                len: 8192,
+                stream: 0,
+            };
+            total_r += dr.service_time(&r, &mut rng_r).as_secs();
+            total_w += dw.service_time(&w, &mut rng_w).as_secs();
+        }
+        assert!(total_w < total_r, "writes {total_w} reads {total_r}");
+    }
+
+    #[test]
+    fn nearline_slower_than_enterprise_for_random() {
+        let mut fast = Disk::new(DiskParams::scsi_15k(18 * GIB));
+        let mut slow = Disk::new(DiskParams::nearline_7200(18 * GIB));
+        let mut t_fast = 0.0;
+        let mut t_slow = 0.0;
+        let mut rng_a = SimRng::new(9);
+        let mut rng_b = SimRng::new(9);
+        for i in 0..200u64 {
+            let off = (i * 7_919_999_983) % (17 * GIB);
+            t_fast += fast.service_time(&read(off, 8192, 0), &mut rng_a).as_secs();
+            t_slow += slow.service_time(&read(off, 8192, 0), &mut rng_b).as_secs();
+        }
+        assert!(t_slow > 1.5 * t_fast, "slow {t_slow} fast {t_fast}");
+    }
+
+    #[test]
+    fn preset_tiers_order_by_random_performance() {
+        // 15K < 10K < 7200 RPM random service times (same workload).
+        let mut totals = Vec::new();
+        for params in [
+            DiskParams::scsi_15k(18 * GIB),
+            DiskParams::scsi_10k(18 * GIB),
+            DiskParams::nearline_7200(18 * GIB),
+        ] {
+            let mut d = Disk::new(params);
+            let mut rng = SimRng::new(17);
+            let mut t = 0.0;
+            for i in 0..300u64 {
+                let off = (i * 7_919_999_983) % (17 * GIB);
+                t += d.service_time(&read(off, 8192, 0), &mut rng).as_secs();
+            }
+            totals.push(t);
+        }
+        assert!(totals[0] < totals[1], "15K {:.3} vs 10K {:.3}", totals[0], totals[1]);
+        assert!(totals[1] < totals[2], "10K {:.3} vs 7200 {:.3}", totals[1], totals[2]);
+    }
+
+    #[test]
+    fn single_stream_approaches_media_rate() {
+        // A long single-stream scan should cost ≈ bytes / media rate.
+        let len = 131072u64;
+        let steps = 400u64;
+        let t = interleaved_scan_time(1, steps, len, 8);
+        let ideal = (steps * len) as f64 / 58e6;
+        assert!(t < 2.0 * ideal, "scan {t:.3}s vs ideal {ideal:.3}s");
+    }
+}

@@ -1,0 +1,105 @@
+//! Block I/O request types.
+
+use serde::{Deserialize, Serialize};
+
+/// Read or write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoKind {
+    /// A read request.
+    Read,
+    /// A write request.
+    Write,
+}
+
+impl IoKind {
+    /// True for reads.
+    #[inline]
+    pub fn is_read(self) -> bool {
+        matches!(self, IoKind::Read)
+    }
+}
+
+/// A block I/O request addressed to a storage target.
+///
+/// `offset` is the byte offset within the *target's* linear address
+/// space; RAID-0 targets translate it to member-device addresses.
+/// `stream` identifies the logical stream (in WASLA, the database
+/// object) issuing the request — device models use it only for
+/// statistics; sequentiality is detected from addresses, as a real
+/// disk's readahead would.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TargetIo {
+    /// Read or write.
+    pub kind: IoKind,
+    /// Byte offset within the target address space.
+    pub offset: u64,
+    /// Request length in bytes (must be > 0).
+    pub len: u64,
+    /// Logical stream (database object) identifier.
+    pub stream: u32,
+}
+
+impl TargetIo {
+    /// Convenience constructor for a read.
+    pub fn read(offset: u64, len: u64, stream: u32) -> Self {
+        TargetIo {
+            kind: IoKind::Read,
+            offset,
+            len,
+            stream,
+        }
+    }
+
+    /// Convenience constructor for a write.
+    pub fn write(offset: u64, len: u64, stream: u32) -> Self {
+        TargetIo {
+            kind: IoKind::Write,
+            offset,
+            len,
+            stream,
+        }
+    }
+
+    /// Exclusive end offset.
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+}
+
+/// A request as seen by a single device after target-level translation.
+#[derive(Clone, Copy, Debug)]
+pub struct DeviceIo {
+    /// Read or write.
+    pub kind: IoKind,
+    /// Byte offset on the device.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Logical stream identifier (propagated from the target request).
+    pub stream: u32,
+}
+
+impl DeviceIo {
+    /// Exclusive end offset.
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_end() {
+        let r = TargetIo::read(4096, 8192, 7);
+        assert_eq!(r.kind, IoKind::Read);
+        assert!(r.kind.is_read());
+        assert_eq!(r.end(), 12288);
+        let w = TargetIo::write(0, 512, 1);
+        assert_eq!(w.kind, IoKind::Write);
+        assert!(!w.kind.is_read());
+    }
+}

@@ -1,0 +1,122 @@
+//! Device queue schedulers.
+//!
+//! A scheduler picks which pending request a device services next given
+//! the current head position. Deeper queues give position-aware
+//! schedulers more choice, which is why random-request cost *falls*
+//! slowly as contention rises in the paper's Figure 8 — SSTF and
+//! elevator reproduce that effect; FCFS is kept as a baseline.
+
+use crate::request::DeviceIo;
+use serde::{Deserialize, Serialize};
+
+/// Which scheduling discipline a device uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// First come, first served.
+    Fcfs,
+    /// Shortest seek time first (greedy nearest offset).
+    #[default]
+    Sstf,
+    /// One-directional elevator (C-LOOK): service the nearest request at
+    /// or beyond the head, wrapping to the lowest offset when none.
+    Elevator,
+}
+
+impl SchedulerKind {
+    /// Picks the index of the next request to service from `pending`
+    /// (non-empty) given the current head byte position.
+    pub fn pick(self, pending: &[DeviceIo], head: u64) -> usize {
+        self.pick_from(pending.iter().map(|r| r.offset), head)
+    }
+
+    /// Like [`SchedulerKind::pick`], but over bare request offsets —
+    /// used by the storage system, whose queues carry extra bookkeeping
+    /// per entry.
+    pub fn pick_from<I: IntoIterator<Item = u64>>(self, offsets: I, head: u64) -> usize {
+        match self {
+            SchedulerKind::Fcfs => 0,
+            SchedulerKind::Sstf => {
+                let mut best = 0usize;
+                let mut best_dist = u64::MAX;
+                for (i, off) in offsets.into_iter().enumerate() {
+                    let dist = off.abs_diff(head);
+                    if dist < best_dist {
+                        best_dist = dist;
+                        best = i;
+                    }
+                }
+                best
+            }
+            SchedulerKind::Elevator => {
+                let mut forward: Option<(usize, u64)> = None;
+                let mut lowest: Option<(usize, u64)> = None;
+                for (i, off) in offsets.into_iter().enumerate() {
+                    if off >= head {
+                        let dist = off - head;
+                        if forward.map_or(true, |(_, d)| dist < d) {
+                            forward = Some((i, dist));
+                        }
+                    }
+                    if lowest.map_or(true, |(_, o)| off < o) {
+                        lowest = Some((i, off));
+                    }
+                }
+                // Nearest request at or beyond the head; wrap to the
+                // lowest offset when none is forward.
+                forward.or(lowest).map(|(i, _)| i).unwrap_or(0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::IoKind;
+
+    fn io(offset: u64) -> DeviceIo {
+        DeviceIo {
+            kind: IoKind::Read,
+            offset,
+            len: 4096,
+            stream: 0,
+        }
+    }
+
+    #[test]
+    fn fcfs_picks_first() {
+        let pending = [io(100), io(5), io(50)];
+        assert_eq!(SchedulerKind::Fcfs.pick(&pending, 50), 0);
+    }
+
+    #[test]
+    fn sstf_picks_nearest() {
+        let pending = [io(1000), io(400), io(600)];
+        assert_eq!(SchedulerKind::Sstf.pick(&pending, 550), 2);
+        assert_eq!(SchedulerKind::Sstf.pick(&pending, 0), 1);
+        assert_eq!(SchedulerKind::Sstf.pick(&pending, 10_000), 0);
+    }
+
+    #[test]
+    fn elevator_moves_forward_then_wraps() {
+        let pending = [io(100), io(900), io(500)];
+        // Head at 400 → nearest forward is 500.
+        assert_eq!(SchedulerKind::Elevator.pick(&pending, 400), 2);
+        // Head at 950 → nothing forward, wrap to lowest (100).
+        assert_eq!(SchedulerKind::Elevator.pick(&pending, 950), 0);
+        // Head exactly on a request services it.
+        assert_eq!(SchedulerKind::Elevator.pick(&pending, 900), 1);
+    }
+
+    #[test]
+    fn single_request_always_picked() {
+        let pending = [io(42)];
+        for kind in [
+            SchedulerKind::Fcfs,
+            SchedulerKind::Sstf,
+            SchedulerKind::Elevator,
+        ] {
+            assert_eq!(kind.pick(&pending, 7), 0);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Solid-state drive model.
+//!
+//! SSDs have no mechanical positioning: random and sequential requests
+//! cost nearly the same, reads are cheap, writes cost more (program
+//! latency and occasional erase amplification), and internal channel
+//! parallelism lets several requests proceed concurrently. This is the
+//! heterogeneity the paper's §6.4 SSD experiments exploit: the layout
+//! advisor should steer random-heavy objects to the SSD and large
+//! sequential scans to the disks.
+
+use crate::device::{DeviceKind, DeviceModel};
+use crate::request::{DeviceIo, IoKind};
+use serde::{Deserialize, Serialize};
+use wasla_simlib::{SimRng, SimTime};
+
+/// Parameters of a simulated SSD.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SsdParams {
+    /// Usable capacity in bytes.
+    pub capacity: u64,
+    /// Fixed read access latency in seconds (flash array read + FTL).
+    pub read_latency_s: f64,
+    /// Fixed write access latency in seconds (program + FTL).
+    pub write_latency_s: f64,
+    /// Read streaming bandwidth in bytes per second.
+    pub read_bps: f64,
+    /// Write streaming bandwidth in bytes per second.
+    pub write_bps: f64,
+    /// Number of independent channels (requests serviced concurrently).
+    pub channels: usize,
+    /// Extra write cost factor modelling garbage-collection
+    /// amplification under sustained writes (1.0 = none).
+    pub write_amplification: f64,
+}
+
+impl SsdParams {
+    /// A second-generation SATA SSD: higher bandwidth, faster writes,
+    /// more channels — for "what if we bought a better SSD"
+    /// configurator sweeps.
+    pub fn sata_gen2(capacity: u64) -> Self {
+        SsdParams {
+            capacity,
+            read_latency_s: 0.00008,
+            write_latency_s: 0.00015,
+            read_bps: 250e6,
+            write_bps: 180e6,
+            channels: 8,
+            write_amplification: 1.15,
+        }
+    }
+
+    /// A 2008-era SATA SSD comparable to the paper's 32 GB drive:
+    /// excellent small random reads, moderate bandwidth, writes
+    /// noticeably slower than reads.
+    pub fn sata_gen1(capacity: u64) -> Self {
+        SsdParams {
+            capacity,
+            read_latency_s: 0.00012,
+            write_latency_s: 0.00035,
+            read_bps: 110e6,
+            write_bps: 70e6,
+            channels: 4,
+            write_amplification: 1.3,
+        }
+    }
+}
+
+/// A simulated SSD.
+#[derive(Clone, Debug)]
+pub struct Ssd {
+    params: SsdParams,
+}
+
+impl Ssd {
+    /// Creates an SSD.
+    pub fn new(params: SsdParams) -> Self {
+        assert!(params.capacity > 0);
+        assert!(params.channels >= 1);
+        Ssd { params }
+    }
+
+    /// The SSD's parameters.
+    pub fn params(&self) -> &SsdParams {
+        &self.params
+    }
+}
+
+impl DeviceModel for Ssd {
+    fn service_time(&mut self, req: &DeviceIo, _rng: &mut SimRng) -> SimTime {
+        let t = match req.kind {
+            IoKind::Read => self.params.read_latency_s + req.len as f64 / self.params.read_bps,
+            IoKind::Write => {
+                (self.params.write_latency_s + req.len as f64 / self.params.write_bps)
+                    * self.params.write_amplification
+            }
+        };
+        SimTime::from_secs(t)
+    }
+
+    fn parallelism(&self) -> usize {
+        self.params.channels
+    }
+
+    fn head_position(&self) -> u64 {
+        0 // No mechanical head; schedulers treat all requests equally.
+    }
+
+    fn capacity(&self) -> u64 {
+        self.params.capacity
+    }
+
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::Ssd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GIB;
+
+    fn rd(offset: u64) -> DeviceIo {
+        DeviceIo {
+            kind: IoKind::Read,
+            offset,
+            len: 8192,
+            stream: 0,
+        }
+    }
+
+    #[test]
+    fn random_equals_sequential() {
+        let mut ssd = Ssd::new(SsdParams::sata_gen1(32 * GIB));
+        let mut rng = SimRng::new(1);
+        let seq = ssd.service_time(&rd(0), &mut rng);
+        let rand = ssd.service_time(&rd(17 * GIB), &mut rng);
+        assert_eq!(seq, rand);
+    }
+
+    #[test]
+    fn writes_slower_than_reads() {
+        let mut ssd = Ssd::new(SsdParams::sata_gen1(32 * GIB));
+        let mut rng = SimRng::new(1);
+        let r = ssd.service_time(&rd(0), &mut rng);
+        let w = ssd.service_time(
+            &DeviceIo {
+                kind: IoKind::Write,
+                offset: 0,
+                len: 8192,
+                stream: 0,
+            },
+            &mut rng,
+        );
+        assert!(w > r);
+    }
+
+    #[test]
+    fn much_faster_than_disk_for_small_random_reads() {
+        use crate::disk::{Disk, DiskParams};
+        let mut ssd = Ssd::new(SsdParams::sata_gen1(32 * GIB));
+        let mut disk = Disk::new(DiskParams::scsi_15k(18 * GIB));
+        let mut rng = SimRng::new(5);
+        let mut t_ssd = 0.0;
+        let mut t_disk = 0.0;
+        for i in 0..100u64 {
+            let off = (i * 999_999_937) % (16 * GIB);
+            t_ssd += ssd.service_time(&rd(off), &mut rng).as_secs();
+            t_disk += disk.service_time(&rd(off), &mut rng).as_secs();
+        }
+        assert!(t_disk > 10.0 * t_ssd, "disk {t_disk} ssd {t_ssd}");
+    }
+
+    #[test]
+    fn gen2_faster_than_gen1() {
+        let mut g1 = Ssd::new(SsdParams::sata_gen1(32 * GIB));
+        let mut g2 = Ssd::new(SsdParams::sata_gen2(32 * GIB));
+        let mut rng = SimRng::new(1);
+        let w = DeviceIo {
+            kind: IoKind::Write,
+            offset: 0,
+            len: 65536,
+            stream: 0,
+        };
+        assert!(g2.service_time(&rd(0), &mut rng) < g1.service_time(&rd(0), &mut rng));
+        assert!(g2.service_time(&w, &mut rng) < g1.service_time(&w, &mut rng));
+        assert!(g2.parallelism() > g1.parallelism());
+    }
+
+    #[test]
+    fn channel_parallelism_exposed() {
+        let ssd = Ssd::new(SsdParams::sata_gen1(GIB));
+        assert_eq!(ssd.parallelism(), 4);
+        assert_eq!(ssd.kind(), DeviceKind::Ssd);
+    }
+}

@@ -1,0 +1,194 @@
+//! Storage targets: the independent containers the advisor lays
+//! database objects onto (paper §3).
+//!
+//! A target is either a single device or a RAID-0 group of devices with
+//! a fixed stripe unit. Targets present a linear byte address space;
+//! RAID-0 targets translate target offsets to member-device offsets and
+//! split requests that cross stripe boundaries.
+
+use crate::device::DeviceSpec;
+use crate::request::{DeviceIo, TargetIo};
+use crate::sched::SchedulerKind;
+use serde::{Deserialize, Serialize};
+
+/// Index of a target within a [`crate::StorageSystem`].
+pub type TargetId = usize;
+
+/// Serializable configuration of one storage target.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TargetConfig {
+    /// Human-readable name ("disk0", "raid3x", "ssd", ...).
+    pub name: String,
+    /// Member devices. One member = a plain device target; several =
+    /// a RAID-0 group.
+    pub members: Vec<DeviceSpec>,
+    /// RAID-0 stripe unit in bytes (ignored for single-member targets).
+    pub stripe_unit: u64,
+    /// Queue scheduling discipline for member devices.
+    pub scheduler: SchedulerKind,
+}
+
+impl TargetConfig {
+    /// A single-device target.
+    pub fn single(name: impl Into<String>, device: DeviceSpec) -> Self {
+        TargetConfig {
+            name: name.into(),
+            members: vec![device],
+            stripe_unit: 256 * 1024,
+            scheduler: SchedulerKind::Sstf,
+        }
+    }
+
+    /// A RAID-0 group over identical devices.
+    pub fn raid0(name: impl Into<String>, devices: Vec<DeviceSpec>, stripe_unit: u64) -> Self {
+        assert!(!devices.is_empty());
+        assert!(stripe_unit > 0);
+        TargetConfig {
+            name: name.into(),
+            members: devices,
+            stripe_unit,
+            scheduler: SchedulerKind::Sstf,
+        }
+    }
+
+    /// Total capacity of the target in bytes. For RAID-0 this is
+    /// limited by the smallest member (as in real arrays).
+    pub fn capacity(&self) -> u64 {
+        let min = self
+            .members
+            .iter()
+            .map(|d| d.capacity())
+            .min()
+            .unwrap_or(0);
+        min * self.members.len() as u64
+    }
+
+    /// Number of member devices.
+    pub fn width(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Translates a target-level request into per-member-device
+    /// requests, splitting at stripe boundaries.
+    pub fn translate(&self, io: &TargetIo) -> Vec<(usize, DeviceIo)> {
+        let k = self.members.len() as u64;
+        if k == 1 {
+            return vec![(
+                0,
+                DeviceIo {
+                    kind: io.kind,
+                    offset: io.offset,
+                    len: io.len,
+                    stream: io.stream,
+                },
+            )];
+        }
+        let unit = self.stripe_unit;
+        let mut parts = Vec::new();
+        let mut off = io.offset;
+        let mut remaining = io.len;
+        while remaining > 0 {
+            let stripe = off / unit;
+            let member = (stripe % k) as usize;
+            let within = off % unit;
+            let chunk = (unit - within).min(remaining);
+            let dev_off = (stripe / k) * unit + within;
+            parts.push((
+                member,
+                DeviceIo {
+                    kind: io.kind,
+                    offset: dev_off,
+                    len: chunk,
+                    stream: io.stream,
+                },
+            ));
+            off += chunk;
+            remaining -= chunk;
+        }
+        parts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskParams;
+    use crate::request::IoKind;
+    use crate::{GIB, KIB};
+
+    fn disk_spec() -> DeviceSpec {
+        DeviceSpec::Disk(DiskParams::scsi_15k(18 * GIB))
+    }
+
+    #[test]
+    fn single_target_passthrough() {
+        let t = TargetConfig::single("d0", disk_spec());
+        assert_eq!(t.capacity(), 18 * GIB);
+        assert_eq!(t.width(), 1);
+        let parts = t.translate(&TargetIo::read(12345, 8192, 3));
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].0, 0);
+        assert_eq!(parts[0].1.offset, 12345);
+        assert_eq!(parts[0].1.len, 8192);
+        assert_eq!(parts[0].1.stream, 3);
+    }
+
+    #[test]
+    fn raid0_capacity_limited_by_smallest() {
+        let t = TargetConfig::raid0(
+            "r",
+            vec![
+                DeviceSpec::Disk(DiskParams::scsi_15k(18 * GIB)),
+                DeviceSpec::Disk(DiskParams::scsi_15k(10 * GIB)),
+            ],
+            256 * KIB,
+        );
+        assert_eq!(t.capacity(), 20 * GIB);
+    }
+
+    #[test]
+    fn raid0_round_robin_translation() {
+        let unit = 64 * KIB;
+        let t = TargetConfig::raid0("r3", vec![disk_spec(); 3], unit);
+        // A request fully inside stripe 4 (offsets [4*unit, 5*unit)).
+        let io = TargetIo::read(4 * unit + 100, 1000, 0);
+        let parts = t.translate(&io);
+        assert_eq!(parts.len(), 1);
+        // Stripe 4 → member 4 % 3 = 1, device stripe 4/3 = 1.
+        assert_eq!(parts[0].0, 1);
+        assert_eq!(parts[0].1.offset, unit + 100);
+    }
+
+    #[test]
+    fn raid0_splits_at_stripe_boundaries() {
+        let unit = 64 * KIB;
+        let t = TargetConfig::raid0("r2", vec![disk_spec(); 2], unit);
+        // Spans stripes 0,1,2 → members 0,1,0.
+        let io = TargetIo::write(unit / 2, 2 * unit, 9);
+        let parts = t.translate(&io);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].0, 0);
+        assert_eq!(parts[0].1.len, unit / 2);
+        assert_eq!(parts[1].0, 1);
+        assert_eq!(parts[1].1.len, unit);
+        assert_eq!(parts[2].0, 0);
+        assert_eq!(parts[2].1.len, unit / 2);
+        assert!(parts.iter().all(|(_, p)| p.kind == IoKind::Write));
+        // Total bytes preserved.
+        let total: u64 = parts.iter().map(|(_, p)| p.len).sum();
+        assert_eq!(total, io.len);
+    }
+
+    #[test]
+    fn raid0_contiguous_device_offsets_for_sequential_stream() {
+        // Sequential target reads should produce sequential per-device
+        // reads: stripe s and stripe s+k map to adjacent device units.
+        let unit = 64 * KIB;
+        let t = TargetConfig::raid0("r2", vec![disk_spec(); 2], unit);
+        let a = t.translate(&TargetIo::read(0, unit, 0));
+        let b = t.translate(&TargetIo::read(2 * unit, unit, 0));
+        assert_eq!(a[0].0, 0);
+        assert_eq!(b[0].0, 0);
+        assert_eq!(b[0].1.offset, a[0].1.offset + unit);
+    }
+}

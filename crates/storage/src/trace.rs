@@ -1,0 +1,118 @@
+//! Block I/O trace records.
+//!
+//! The paper's pipeline obtains workload descriptions by tracing the
+//! operational database's I/O and fitting Rome parameters with the
+//! Rubicon tool (§5.1). Our simulator emits the same kind of trace:
+//! one record per object-level request with a timestamp, the object
+//! (stream), the object-relative offset, length, and direction. The
+//! `wasla-trace` crate implements the fitting.
+
+use crate::request::IoKind;
+use serde::{Deserialize, Serialize};
+use wasla_simlib::SimTime;
+
+/// One traced block request.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BlockTraceRecord {
+    /// Submission time.
+    pub time: SimTime,
+    /// Stream (database object) identifier.
+    pub stream: u32,
+    /// Read or write.
+    pub kind: IoKind,
+    /// Offset *within the object* in bytes.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// An in-memory I/O trace.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Trace {
+    records: Vec<BlockTraceRecord>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace {
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends a record. Records must be appended in non-decreasing
+    /// time order (the simulator guarantees this).
+    pub fn push(&mut self, rec: BlockTraceRecord) {
+        debug_assert!(
+            self.records.last().map_or(true, |l| l.time <= rec.time),
+            "trace records out of order"
+        );
+        self.records.push(rec);
+    }
+
+    /// All records in time order.
+    pub fn records(&self) -> &[BlockTraceRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no records were captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Time span from first to last record (zero if < 2 records).
+    pub fn span(&self) -> SimTime {
+        match (self.records.first(), self.records.last()) {
+            (Some(f), Some(l)) => l.time - f.time,
+            _ => SimTime::ZERO,
+        }
+    }
+
+    /// Records for one stream, preserving time order.
+    pub fn stream(&self, stream: u32) -> impl Iterator<Item = &BlockTraceRecord> {
+        self.records.iter().filter(move |r| r.stream == stream)
+    }
+
+    /// Distinct stream ids, ascending.
+    pub fn stream_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.records.iter().map(|r| r.stream).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: f64, stream: u32, offset: u64) -> BlockTraceRecord {
+        BlockTraceRecord {
+            time: SimTime::from_secs(t),
+            stream,
+            kind: IoKind::Read,
+            offset,
+            len: 8192,
+        }
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut tr = Trace::new();
+        assert!(tr.is_empty());
+        tr.push(rec(0.0, 1, 0));
+        tr.push(rec(1.0, 2, 100));
+        tr.push(rec(2.0, 1, 8192));
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.span(), SimTime::from_secs(2.0));
+        assert_eq!(tr.stream_ids(), vec![1, 2]);
+        let s1: Vec<_> = tr.stream(1).collect();
+        assert_eq!(s1.len(), 2);
+        assert_eq!(s1[1].offset, 8192);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests: synthetic traces with known parameters round-trip
+//! through the fitter.
+
+use proptest::prelude::*;
+use wasla_simlib::SimTime;
+use wasla_storage::{BlockTraceRecord, IoKind, Trace};
+use wasla_trace::{fit_workloads, FitConfig};
+
+proptest! {
+    /// Rates and sizes are recovered exactly for a single uniform
+    /// stream (the fitter's span is last-first, so rate = (n-1)/span
+    /// requests per interval step).
+    #[test]
+    fn uniform_stream_rate_and_size_recovered(
+        n in 10u64..500,
+        interval_ms in 1u64..1000,
+        len_kib in 1u64..512,
+        is_write in any::<bool>(),
+    ) {
+        let mut trace = Trace::new();
+        let kind = if is_write { IoKind::Write } else { IoKind::Read };
+        for k in 0..n {
+            trace.push(BlockTraceRecord {
+                time: SimTime::from_secs(k as f64 * interval_ms as f64 / 1e3),
+                stream: 0,
+                kind,
+                offset: k * 10_000_000,
+                len: len_kib * 1024,
+            });
+        }
+        let set = fit_workloads(&trace, &["a".into()], &[1 << 40], &FitConfig::default());
+        let spec = &set.specs[0];
+        let span = (n - 1) as f64 * interval_ms as f64 / 1e3;
+        let expected_rate = n as f64 / span;
+        let (rate, size) = if is_write {
+            (spec.write_rate, spec.write_size)
+        } else {
+            (spec.read_rate, spec.read_size)
+        };
+        prop_assert!((rate - expected_rate).abs() / expected_rate < 1e-9);
+        prop_assert_eq!(size, (len_kib * 1024) as f64);
+        set.validate().expect("fitted set valid");
+    }
+
+    /// Run counts are recovered for exact-run synthetic streams.
+    #[test]
+    fn run_count_recovered(
+        runs in 2u64..50,
+        run_len in 1u64..64,
+        len_kib in 1u64..128,
+    ) {
+        let mut trace = Trace::new();
+        let len = len_kib * 1024;
+        let mut t = 0.0;
+        for r in 0..runs {
+            // Separate runs by far more than the fitter's gap tolerance.
+            let base = r * ((run_len * len + 1) << 31);
+            for k in 0..run_len {
+                trace.push(BlockTraceRecord {
+                    time: SimTime::from_secs(t),
+                    stream: 0,
+                    kind: IoKind::Read,
+                    offset: base + k * len,
+                    len,
+                });
+                t += 0.01;
+            }
+        }
+        let set = fit_workloads(&trace, &["a".into()], &[1 << 42], &FitConfig::default());
+        prop_assert!(
+            (set.specs[0].run_count - run_len as f64).abs() < 1e-9,
+            "fitted {} expected {}",
+            set.specs[0].run_count,
+            run_len
+        );
+    }
+
+    /// Overlaps are symmetric for fully co-active streams and bounded
+    /// in [0,1] always.
+    #[test]
+    fn overlaps_bounded_and_fully_coactive_streams_overlap(
+        n in 10u64..200,
+        streams in 2u32..5,
+    ) {
+        let mut trace = Trace::new();
+        for k in 0..n {
+            for s in 0..streams {
+                trace.push(BlockTraceRecord {
+                    time: SimTime::from_secs(k as f64),
+                    stream: s,
+                    kind: IoKind::Read,
+                    offset: k * 8192,
+                    len: 8192,
+                });
+            }
+        }
+        let names: Vec<String> = (0..streams).map(|s| format!("s{s}")).collect();
+        let sizes = vec![1u64 << 30; streams as usize];
+        let set = fit_workloads(&trace, &names, &sizes, &FitConfig::default());
+        for i in 0..streams as usize {
+            for j in 0..streams as usize {
+                let o = set.specs[i].overlaps[j];
+                prop_assert!((0.0..=1.0).contains(&o));
+                if i != j {
+                    prop_assert!(o > 0.99, "O[{i}][{j}] = {o}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! `wasla-advisor` — the standalone layout advisor the paper proposes
+//! (§1: "could be implemented as a standalone database storage layout
+//! advisor").
+//!
+//! ```text
+//! wasla-advisor calibrate --device scsi15k --capacity-gb 18.4 --out disk.model.json
+//! wasla-advisor fit --trace trace.json --objects objects.json [--out workloads.json]
+//! wasla-advisor advise --workloads w.json --targets t.json [--models m.json,...]
+//!                      [--regular] [--pin OBJ=TARGET]... [--forbid OBJ=TARGET]...
+//!                      [--out layout.json]
+//! wasla-advisor demo  [--scale 0.05]
+//! ```
+//!
+//! * `calibrate` builds a tabulated cost model for a device type and
+//!   writes it as JSON (models calibrated against real hardware can be
+//!   substituted — the advisor only sees the table).
+//! * `advise` consumes a `WorkloadSet` JSON (per-object names, sizes,
+//!   and Rome-style descriptions — produce one with `wasla-trace` or
+//!   the analytic estimator) plus a target list, and prints the
+//!   recommended layout.
+//! * `demo` runs the built-in TPC-H-like scenario end-to-end.
+
+use std::sync::Arc;
+use wasla::core::{recommend, AdminConstraint, AdvisorOptions, LayoutProblem};
+use wasla::core::report::{render_layout, render_stages};
+use wasla::model::{calibrate_device, CalibrationGrid, TableModel, TargetCostModel};
+use wasla::pipeline::{self, AdviseConfig, RunSettings, Scenario, LVM_STRIPE};
+use wasla::storage::{DeviceSpec, DiskParams, SsdParams, TargetConfig};
+use wasla::workload::{SqlWorkload, WorkloadSet};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  wasla-advisor calibrate --device <scsi15k|scsi10k|nearline7200|ssd|ssd2> \
+         --capacity-gb <G> [--out FILE]\n  wasla-advisor fit --trace FILE \
+         --objects FILE [--window-s S] [--out FILE]\n  wasla-advisor advise \
+         --workloads FILE --targets FILE [--models FILE,...] [--regular] \
+         [--pin OBJ=T]... [--forbid OBJ=T]... [--out FILE]\n  \
+         wasla-advisor demo [--scale S]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("calibrate") => calibrate(&args[1..]),
+        Some("fit") => fit(&args[1..]),
+        Some("advise") => advise(&args[1..]),
+        Some("demo") => demo(&args[1..]),
+        _ => usage(),
+    }
+}
+
+/// An object inventory entry for the `fit` subcommand.
+#[derive(serde::Deserialize)]
+struct ObjectEntry {
+    name: String,
+    size: u64,
+}
+
+fn fit(args: &[String]) {
+    let trace_path = flag_value(args, "--trace").unwrap_or_else(|| usage());
+    let objects_path = flag_value(args, "--objects").unwrap_or_else(|| usage());
+    let trace: wasla::storage::Trace = serde_json::from_str(
+        &std::fs::read_to_string(trace_path).expect("read trace file"),
+    )
+    .expect("parse Trace JSON");
+    let objects: Vec<ObjectEntry> = serde_json::from_str(
+        &std::fs::read_to_string(objects_path).expect("read objects file"),
+    )
+    .expect("parse objects JSON ([{\"name\":..., \"size\":...}])");
+    let names: Vec<String> = objects.iter().map(|o| o.name.clone()).collect();
+    let sizes: Vec<u64> = objects.iter().map(|o| o.size).collect();
+    let mut fit_config = wasla::trace::FitConfig::default();
+    if let Some(w) = flag_value(args, "--window-s").and_then(|v| v.parse().ok()) {
+        fit_config.window_s = w;
+    }
+    let set = wasla::trace::fit_workloads(&trace, &names, &sizes, &fit_config);
+    set.validate().expect("fitted set is consistent");
+    let json = serde_json::to_string_pretty(&set).expect("workload set serializes");
+    match flag_value(args, "--out") {
+        Some(path) => {
+            std::fs::write(path, &json).expect("write workloads file");
+            eprintln!(
+                "fitted {} objects from {} trace records → {path}",
+                set.len(),
+                trace.len()
+            );
+        }
+        None => println!("{json}"),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn flag_values<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .map(String::as_str)
+        .collect()
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn calibrate(args: &[String]) {
+    let device = flag_value(args, "--device").unwrap_or_else(|| usage());
+    let capacity_gb: f64 = flag_value(args, "--capacity-gb")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage());
+    let capacity = (capacity_gb * 1e9) as u64;
+    let spec = match device {
+        "scsi15k" => DeviceSpec::Disk(DiskParams::scsi_15k(capacity)),
+        "scsi10k" => DeviceSpec::Disk(DiskParams::scsi_10k(capacity)),
+        "nearline7200" => DeviceSpec::Disk(DiskParams::nearline_7200(capacity)),
+        "ssd" => DeviceSpec::Ssd(SsdParams::sata_gen1(capacity)),
+        "ssd2" => DeviceSpec::Ssd(SsdParams::sata_gen2(capacity)),
+        other => {
+            eprintln!("unknown device type {other}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("calibrating {device} ({capacity_gb} GB)...");
+    let model = calibrate_device(&spec, &CalibrationGrid::default(), 7);
+    let json = model.to_json();
+    match flag_value(args, "--out") {
+        Some(path) => {
+            std::fs::write(path, &json).expect("write model file");
+            eprintln!("model written to {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
+fn parse_constraint(s: &str) -> (String, usize) {
+    let (obj, t) = s.split_once('=').unwrap_or_else(|| {
+        eprintln!("constraint must look like OBJECT=TARGET_INDEX: {s}");
+        std::process::exit(2);
+    });
+    let target: usize = t.parse().unwrap_or_else(|_| {
+        eprintln!("target index must be an integer: {s}");
+        std::process::exit(2);
+    });
+    (obj.to_string(), target)
+}
+
+fn advise(args: &[String]) {
+    let workloads_path = flag_value(args, "--workloads").unwrap_or_else(|| usage());
+    let targets_path = flag_value(args, "--targets").unwrap_or_else(|| usage());
+    let workloads: WorkloadSet = serde_json::from_str(
+        &std::fs::read_to_string(workloads_path).expect("read workloads file"),
+    )
+    .expect("parse WorkloadSet JSON");
+    let targets: Vec<TargetConfig> = serde_json::from_str(
+        &std::fs::read_to_string(targets_path).expect("read targets file"),
+    )
+    .expect("parse Vec<TargetConfig> JSON");
+
+    // Cost models: either provided per target, or calibrated here.
+    let models: Vec<Arc<dyn wasla::model::CostModel>> = match flag_value(args, "--models") {
+        Some(list) => {
+            let paths: Vec<&str> = list.split(',').collect();
+            assert_eq!(
+                paths.len(),
+                targets.len(),
+                "--models needs one file per target"
+            );
+            paths
+                .iter()
+                .zip(&targets)
+                .map(|(path, t)| {
+                    let table = TableModel::from_json(
+                        &std::fs::read_to_string(path).expect("read model file"),
+                    )
+                    .expect("parse model JSON");
+                    Arc::new(TargetCostModel {
+                        member: table,
+                        width: t.width(),
+                        stripe_unit: t.stripe_unit,
+                        parallelism: t.members[0].build().parallelism(),
+                        name: t.name.clone(),
+                    }) as Arc<dyn wasla::model::CostModel>
+                })
+                .collect()
+        }
+        None => {
+            eprintln!("calibrating cost models for {} targets...", targets.len());
+            TargetCostModel::for_targets(&targets, &CalibrationGrid::default(), 7)
+                .into_iter()
+                .map(|m| Arc::new(m) as Arc<dyn wasla::model::CostModel>)
+                .collect()
+        }
+    };
+
+    let expect_id = |name: &str| -> usize {
+        workloads
+            .names
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| {
+                eprintln!("no object named {name} in the workload set");
+                std::process::exit(2);
+            })
+    };
+    let mut constraints = Vec::new();
+    for c in flag_values(args, "--pin") {
+        let (obj, target) = parse_constraint(c);
+        constraints.push(AdminConstraint::PinTo {
+            object: expect_id(&obj),
+            target,
+        });
+    }
+    for c in flag_values(args, "--forbid") {
+        let (obj, target) = parse_constraint(c);
+        constraints.push(AdminConstraint::Forbid {
+            object: expect_id(&obj),
+            target,
+        });
+    }
+
+    let problem = LayoutProblem {
+        kinds: vec![wasla::workload::ObjectKind::Table; workloads.len()],
+        capacities: targets.iter().map(|t| t.capacity()).collect(),
+        target_names: targets.iter().map(|t| t.name.clone()).collect(),
+        models,
+        workloads,
+        stripe_size: LVM_STRIPE as f64,
+        constraints,
+    };
+    let options = AdvisorOptions {
+        regularize: has_flag(args, "--regular"),
+        ..AdvisorOptions::default()
+    };
+    match recommend(&problem, &options) {
+        Ok(rec) => {
+            println!("{}", render_stages(&problem, &rec.stages));
+            println!("{}", render_layout(&problem, rec.final_layout(), problem.n()));
+            println!(
+                "advisor time: {:.2}s (solver {:.2}s, regularization {:.2}s){}",
+                rec.timings.total_s(),
+                rec.timings.solver_s,
+                rec.timings.regularize_s,
+                if rec.fell_back_to_see {
+                    " — SEE is predicted optimal for this workload"
+                } else {
+                    ""
+                }
+            );
+            if let Some(path) = flag_value(args, "--out") {
+                let json = serde_json::to_string_pretty(rec.final_layout())
+                    .expect("layout serializes");
+                std::fs::write(path, json).expect("write layout file");
+                eprintln!("layout written to {path}");
+            }
+        }
+        Err(e) => {
+            eprintln!("advise failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn demo(args: &[String]) {
+    let scale: f64 = flag_value(args, "--scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05);
+    let scenario = Scenario::homogeneous_disks(4, scale);
+    let workloads = [SqlWorkload::olap1_63(7)];
+    eprintln!("running the built-in TPC-H-like demo at scale {scale}...");
+    let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::full());
+    let rec = outcome.recommendation.expect("demo scenario is feasible");
+    println!("{}", render_stages(&outcome.problem, &rec.stages));
+    println!("{}", render_layout(&outcome.problem, rec.final_layout(), 8));
+    let optimized = pipeline::run_with_layout(
+        &scenario,
+        &workloads,
+        rec.final_layout(),
+        &RunSettings::default(),
+    );
+    println!(
+        "SEE {:.0}s → optimized {:.0}s ({:.2}x)",
+        outcome.baseline_run.elapsed.as_secs(),
+        optimized.elapsed.as_secs(),
+        optimized.speedup_vs(&outcome.baseline_run)
+    );
+}

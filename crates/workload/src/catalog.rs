@@ -1,0 +1,269 @@
+//! Database object catalogs.
+//!
+//! The paper's Figure 9 inventories two databases: a scale-factor-5
+//! TPC-H database (9.4 GB: 8 tables, 11 indexes, 1 temp space) and a
+//! scale-factor-90 TPC-C database (9.1 GB: 9 tables, 10 indexes, 1
+//! log). The catalogs below reproduce those inventories with realistic
+//! relative sizes. A `scale` parameter shrinks everything uniformly so
+//! tests can run on tiny instances.
+
+use crate::object::{DbObject, ObjectId, ObjectKind};
+use serde::{Deserialize, Serialize};
+
+const MIB: u64 = 1024 * 1024;
+
+/// A set of database objects from one (or several consolidated)
+/// databases.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Catalog {
+    objects: Vec<DbObject>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog {
+            objects: Vec::new(),
+        }
+    }
+
+    /// Builds a catalog from objects. Names must be unique.
+    pub fn from_objects(objects: Vec<DbObject>) -> Self {
+        let mut names: Vec<&str> = objects.iter().map(|o| o.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), objects.len(), "duplicate object names");
+        Catalog { objects }
+    }
+
+    /// Adds an object, returning its id.
+    pub fn add(&mut self, object: DbObject) -> ObjectId {
+        assert!(
+            self.id_of(&object.name).is_none(),
+            "duplicate object name {}",
+            object.name
+        );
+        self.objects.push(object);
+        self.objects.len() - 1
+    }
+
+    /// All objects in id order.
+    pub fn objects(&self) -> &[DbObject] {
+        &self.objects
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// The object with the given id.
+    pub fn object(&self, id: ObjectId) -> &DbObject {
+        &self.objects[id]
+    }
+
+    /// Finds an object id by name.
+    pub fn id_of(&self, name: &str) -> Option<ObjectId> {
+        self.objects.iter().position(|o| o.name == name)
+    }
+
+    /// Like [`Catalog::id_of`] but panics with a useful message.
+    pub fn expect_id(&self, name: &str) -> ObjectId {
+        self.id_of(name)
+            .unwrap_or_else(|| panic!("no object named {name} in catalog"))
+    }
+
+    /// Total size of all objects in bytes.
+    pub fn total_size(&self) -> u64 {
+        self.objects.iter().map(|o| o.size).sum()
+    }
+
+    /// Object sizes in id order.
+    pub fn sizes(&self) -> Vec<u64> {
+        self.objects.iter().map(|o| o.size).collect()
+    }
+
+    /// Object names in id order.
+    pub fn names(&self) -> Vec<String> {
+        self.objects.iter().map(|o| o.name.clone()).collect()
+    }
+
+    /// Merges another catalog into this one, prefixing its object names
+    /// (used for the §6.3 consolidation scenario). Returns the id
+    /// offset at which the other catalog's objects begin.
+    pub fn consolidate(&mut self, prefix: &str, other: &Catalog) -> usize {
+        let offset = self.objects.len();
+        for obj in &other.objects {
+            self.objects.push(DbObject {
+                name: format!("{prefix}{}", obj.name),
+                kind: obj.kind,
+                size: obj.size,
+            });
+        }
+        offset
+    }
+
+    /// The paper's TPC-H-like catalog (Figure 9 row 1): 8 tables, 11
+    /// indexes and a temporary tablespace totalling ≈ 9.4 GB at
+    /// `scale = 1.0`.
+    pub fn tpch_like(scale: f64) -> Self {
+        let sz = |mib: u64| ((mib * MIB) as f64 * scale).max(1.0) as u64;
+        use ObjectKind::*;
+        Catalog::from_objects(vec![
+            DbObject::new("LINEITEM", Table, sz(4300)),
+            DbObject::new("ORDERS", Table, sz(980)),
+            DbObject::new("PARTSUPP", Table, sz(680)),
+            DbObject::new("PART", Table, sz(180)),
+            DbObject::new("CUSTOMER", Table, sz(140)),
+            DbObject::new("SUPPLIER", Table, sz(10)),
+            DbObject::new("NATION", Table, sz(1)),
+            DbObject::new("REGION", Table, sz(1)),
+            DbObject::new("I_L_ORDERKEY", Index, sz(760)),
+            DbObject::new("I_L_SUPPK_PARTK", Index, sz(820)),
+            DbObject::new("ORDERS_PKEY", Index, sz(360)),
+            DbObject::new("PARTSUPP_PKEY", Index, sz(310)),
+            DbObject::new("PART_PKEY", Index, sz(40)),
+            DbObject::new("CUSTOMER_PKEY", Index, sz(30)),
+            DbObject::new("SUPPLIER_PKEY", Index, sz(3)),
+            DbObject::new("I_C_NATIONKEY", Index, sz(25)),
+            DbObject::new("I_O_CUSTKEY", Index, sz(330)),
+            DbObject::new("I_S_NATIONKEY", Index, sz(2)),
+            DbObject::new("I_PS_SUPPKEY", Index, sz(290)),
+            DbObject::new("TEMP_SPACE", TempSpace, sz(360)),
+        ])
+    }
+
+    /// The paper's TPC-C-like catalog (Figure 9 row 2): 9 tables, 10
+    /// indexes and a transaction log totalling ≈ 9.1 GB at
+    /// `scale = 1.0`.
+    pub fn tpcc_like(scale: f64) -> Self {
+        let sz = |mib: u64| ((mib * MIB) as f64 * scale).max(1.0) as u64;
+        use ObjectKind::*;
+        Catalog::from_objects(vec![
+            DbObject::new("STOCK", Table, sz(2900)),
+            DbObject::new("ORDER_LINE", Table, sz(1950)),
+            DbObject::new("CUSTOMER", Table, sz(1550)),
+            DbObject::new("HISTORY", Table, sz(210)),
+            DbObject::new("ORDERS", Table, sz(150)),
+            DbObject::new("NEW_ORDER", Table, sz(40)),
+            DbObject::new("ITEM", Table, sz(90)),
+            DbObject::new("DISTRICT", Table, sz(2)),
+            DbObject::new("WAREHOUSE", Table, sz(1)),
+            DbObject::new("PK_STOCK", Index, sz(610)),
+            DbObject::new("PK_CUSTOMER", Index, sz(260)),
+            DbObject::new("I_CUSTOMER", Index, sz(310)),
+            DbObject::new("PK_ORDER_LINE", Index, sz(700)),
+            DbObject::new("PK_ORDERS", Index, sz(90)),
+            DbObject::new("I_ORDERS", Index, sz(110)),
+            DbObject::new("PK_NEW_ORDER", Index, sz(25)),
+            DbObject::new("PK_ITEM", Index, sz(6)),
+            DbObject::new("PK_DISTRICT", Index, sz(1)),
+            DbObject::new("PK_WAREHOUSE", Index, sz(1)),
+            DbObject::new("XACTION_LOG", Log, sz(310)),
+        ])
+    }
+
+    /// The §6.3 consolidation catalog: TPC-H and TPC-C objects on one
+    /// server (40 objects). TPC-C names get a `C_` prefix to stay
+    /// unique (both databases have CUSTOMER and ORDERS).
+    pub fn consolidation(scale: f64) -> Self {
+        let mut cat = Catalog::tpch_like(scale);
+        cat.consolidate("C_", &Catalog::tpcc_like(scale));
+        cat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpch_matches_figure_9() {
+        let cat = Catalog::tpch_like(1.0);
+        assert_eq!(cat.len(), 20);
+        let tables = cat
+            .objects()
+            .iter()
+            .filter(|o| o.kind == ObjectKind::Table)
+            .count();
+        let indexes = cat
+            .objects()
+            .iter()
+            .filter(|o| o.kind == ObjectKind::Index)
+            .count();
+        let temps = cat
+            .objects()
+            .iter()
+            .filter(|o| o.kind == ObjectKind::TempSpace)
+            .count();
+        assert_eq!((tables, indexes, temps), (8, 11, 1));
+        // Total ≈ 9.4 GB (paper: 9.4 GB).
+        let gb = cat.total_size() as f64 / (1024.0 * 1024.0 * 1024.0);
+        assert!((9.2..9.6).contains(&gb), "total {gb} GB");
+    }
+
+    #[test]
+    fn tpcc_matches_figure_9() {
+        let cat = Catalog::tpcc_like(1.0);
+        assert_eq!(cat.len(), 20);
+        let tables = cat
+            .objects()
+            .iter()
+            .filter(|o| o.kind == ObjectKind::Table)
+            .count();
+        let indexes = cat
+            .objects()
+            .iter()
+            .filter(|o| o.kind == ObjectKind::Index)
+            .count();
+        let logs = cat
+            .objects()
+            .iter()
+            .filter(|o| o.kind == ObjectKind::Log)
+            .count();
+        assert_eq!((tables, indexes, logs), (9, 10, 1));
+        let gb = cat.total_size() as f64 / (1024.0 * 1024.0 * 1024.0);
+        assert!((8.9..9.3).contains(&gb), "total {gb} GB");
+    }
+
+    #[test]
+    fn consolidation_has_40_unique_objects() {
+        let cat = Catalog::consolidation(1.0);
+        assert_eq!(cat.len(), 40);
+        assert!(cat.id_of("LINEITEM").is_some());
+        assert!(cat.id_of("C_STOCK").is_some());
+        assert!(cat.id_of("C_CUSTOMER").is_some());
+        assert!(cat.id_of("CUSTOMER").is_some());
+    }
+
+    #[test]
+    fn scale_shrinks_sizes() {
+        let full = Catalog::tpch_like(1.0);
+        let tiny = Catalog::tpch_like(0.01);
+        assert_eq!(full.len(), tiny.len());
+        assert!(tiny.total_size() < full.total_size() / 50);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let cat = Catalog::tpch_like(0.1);
+        let id = cat.expect_id("LINEITEM");
+        assert_eq!(cat.object(id).name, "LINEITEM");
+        assert!(cat.id_of("NOPE").is_none());
+        // LINEITEM is the largest object.
+        assert!(cat.object(id).size > cat.object(cat.expect_id("ORDERS")).size);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate object name")]
+    fn duplicate_names_rejected() {
+        let mut cat = Catalog::new();
+        cat.add(DbObject::new("X", ObjectKind::Table, 1));
+        cat.add(DbObject::new("X", ObjectKind::Table, 1));
+    }
+}

@@ -1,0 +1,36 @@
+//! Workload modelling for WASLA.
+//!
+//! This crate holds everything the layout advisor needs to know about
+//! *what* the database does, independent of *where* objects are placed:
+//!
+//! * [`WorkloadSpec`] — the paper's Rome-style per-object workload
+//!   description `Wᵢ` (Figure 5): read/write request sizes and rates,
+//!   sequential run count, and the temporal-overlap vector `Oᵢ[·]`.
+//! * [`DbObject`] / [`Catalog`] — database objects (tables, indexes,
+//!   logs, temp space) with sizes; prebuilt TPC-H-like and TPC-C-like
+//!   catalogs matching the paper's Figure 9 inventory.
+//! * [`QueryTemplate`] — per-query object-access profiles (which
+//!   objects each query scans or probes, in which concurrent phases);
+//!   prebuilt profiles for the 22 TPC-H-like queries and the TPC-C-like
+//!   New-Order transaction.
+//! * [`SqlWorkload`] — the paper's four workloads (Figure 10):
+//!   OLAP1-21, OLAP1-63, OLAP8-63, and OLTP, plus consolidation and
+//!   replicated (2x/3x/4x) variants used in §6.3 and §6.5.
+//! * [`estimator`] — an analytic storage-workload estimator in the
+//!   spirit of the paper's citation \[19\]: derives `Wᵢ` directly from a
+//!   catalog and SQL workload without tracing.
+
+pub mod catalog;
+pub mod estimator;
+pub mod object;
+pub mod query;
+pub mod replicate;
+pub mod spec;
+pub mod sql;
+
+pub use catalog::Catalog;
+pub use object::{DbObject, ObjectId, ObjectKind};
+pub use query::{AccessKind, AccessStep, QueryTemplate};
+pub use replicate::replicate_problem;
+pub use spec::{WorkloadSpec, WorkloadSet};
+pub use sql::{OlapConfig, OltpConfig, SqlWorkload};

@@ -1,0 +1,58 @@
+//! Database objects.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of an object within its [`crate::Catalog`].
+pub type ObjectId = usize;
+
+/// What kind of database object this is. The advisor itself is
+/// indifferent (paper §3: "the exact nature of the database objects is
+/// not important"), but the heuristic baselines of §6.4
+/// (isolate-tables, isolate-tables-and-indexes) need the distinction,
+/// and the buffer-pool model treats indexes as hotter than tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObjectKind {
+    /// A base table.
+    Table,
+    /// A secondary or primary-key index.
+    Index,
+    /// A write-ahead/transaction log.
+    Log,
+    /// Tablespace for temporary (sort/join spill) data.
+    TempSpace,
+}
+
+/// One database object to be laid out.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DbObject {
+    /// Human-readable name ("LINEITEM", "I_L_ORDERKEY", ...).
+    pub name: String,
+    /// Object kind.
+    pub kind: ObjectKind,
+    /// Size in bytes (the paper's `sᵢ`).
+    pub size: u64,
+}
+
+impl DbObject {
+    /// Creates an object.
+    pub fn new(name: impl Into<String>, kind: ObjectKind, size: u64) -> Self {
+        DbObject {
+            name: name.into(),
+            kind,
+            size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let o = DbObject::new("LINEITEM", ObjectKind::Table, 4096);
+        assert_eq!(o.name, "LINEITEM");
+        assert_eq!(o.kind, ObjectKind::Table);
+        assert_eq!(o.size, 4096);
+    }
+}

@@ -1,0 +1,682 @@
+//! Per-query object-access profiles.
+//!
+//! The execution simulator does not run SQL; it replays each query's
+//! *storage footprint*: which objects it scans or probes, how much, and
+//! in which concurrent phases. Steps within a phase proceed in
+//! parallel (that concurrency is what creates the temporal overlap
+//! `Oᵢ[j]` between objects, paper §5.1); phases run back-to-back.
+//!
+//! The profiles for the 22 TPC-H-like queries below are crafted so the
+//! aggregate object load ordering matches the paper's Figures 1/12:
+//! LINEITEM ≫ ORDERS > I_L_ORDERKEY > TEMP_SPACE > ORDERS_PKEY >
+//! PARTSUPP > I_L_SUPPK_PARTK > PART > CUSTOMER, with LINEITEM/ORDERS
+//! sequential and frequently co-accessed, and TEMP_SPACE used in
+//! post-scan phases (so it rarely overlaps ORDERS — the property the
+//! advisor exploits in Figure 1).
+
+use serde::{Deserialize, Serialize};
+
+/// Request size for sequential table scans (bytes): the DBMS reads
+/// 8 KiB pages; OS readahead and the I/O scheduler merge them into
+/// large sequential requests.
+pub const SCAN_REQ: u64 = 128 * 1024;
+/// Request size for sequential index range scans (bytes).
+pub const IDX_SCAN_REQ: u64 = 32 * 1024;
+/// Request size for random (point) accesses (bytes).
+pub const RAND_REQ: u64 = 8 * 1024;
+/// Request size for temp-space spill I/O (bytes).
+pub const TEMP_REQ: u64 = 64 * 1024;
+/// Request size for log appends (bytes).
+pub const LOG_REQ: u64 = 16 * 1024;
+
+/// How one access step touches its object.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Sequentially read `fraction` of the object in `request`-byte
+    /// requests, starting at a random aligned position (wrapping).
+    SeqRead {
+        /// Fraction of the object read (may exceed 1.0 for re-scans).
+        fraction: f64,
+        /// Request size in bytes.
+        request: u64,
+    },
+    /// `count` random point reads of `request` bytes each.
+    RandRead {
+        /// Expected number of requests at catalog scale 1.0.
+        count: f64,
+        /// Request size in bytes.
+        request: u64,
+    },
+    /// Sequentially write `fraction` of the object.
+    SeqWrite {
+        /// Fraction of the object written.
+        fraction: f64,
+        /// Request size in bytes.
+        request: u64,
+    },
+    /// `count` random point writes.
+    RandWrite {
+        /// Expected number of requests at catalog scale 1.0.
+        count: f64,
+        /// Request size in bytes.
+        request: u64,
+    },
+}
+
+impl AccessKind {
+    /// True if this step writes.
+    pub fn is_write(&self) -> bool {
+        matches!(self, AccessKind::SeqWrite { .. } | AccessKind::RandWrite { .. })
+    }
+
+    /// True if this step is sequential.
+    pub fn is_sequential(&self) -> bool {
+        matches!(self, AccessKind::SeqRead { .. } | AccessKind::SeqWrite { .. })
+    }
+}
+
+/// One object-access step of a query.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AccessStep {
+    /// Object name (resolved against the catalog at run time).
+    pub object: String,
+    /// Access pattern.
+    pub kind: AccessKind,
+}
+
+/// A query's storage footprint: phases of concurrent access steps.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QueryTemplate {
+    /// Query name ("Q1", "NEW_ORDER", ...).
+    pub name: String,
+    /// Phases run sequentially; steps within a phase run concurrently.
+    pub phases: Vec<Vec<AccessStep>>,
+}
+
+impl QueryTemplate {
+    /// All object names this query touches (deduplicated).
+    pub fn objects(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self
+            .phases
+            .iter()
+            .flatten()
+            .map(|s| s.object.as_str())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// Returns a copy with every object name prefixed — used when a
+    /// catalog is consolidated and names were prefixed to stay unique.
+    pub fn with_prefix(&self, prefix: &str) -> QueryTemplate {
+        QueryTemplate {
+            name: format!("{prefix}{}", self.name),
+            phases: self
+                .phases
+                .iter()
+                .map(|phase| {
+                    phase
+                        .iter()
+                        .map(|s| AccessStep {
+                            object: format!("{prefix}{}", s.object),
+                            kind: s.kind,
+                        })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+}
+
+fn seq(object: &str, fraction: f64) -> AccessStep {
+    AccessStep {
+        object: object.into(),
+        kind: AccessKind::SeqRead {
+            fraction,
+            request: SCAN_REQ,
+        },
+    }
+}
+
+fn idx(object: &str, fraction: f64) -> AccessStep {
+    AccessStep {
+        object: object.into(),
+        kind: AccessKind::SeqRead {
+            fraction,
+            request: IDX_SCAN_REQ,
+        },
+    }
+}
+
+fn probe(object: &str, count: f64) -> AccessStep {
+    AccessStep {
+        object: object.into(),
+        kind: AccessKind::RandRead {
+            count,
+            request: RAND_REQ,
+        },
+    }
+}
+
+fn tmp_write(fraction: f64) -> AccessStep {
+    AccessStep {
+        object: "TEMP_SPACE".into(),
+        kind: AccessKind::SeqWrite {
+            fraction,
+            request: TEMP_REQ,
+        },
+    }
+}
+
+fn tmp_read(fraction: f64) -> AccessStep {
+    AccessStep {
+        object: "TEMP_SPACE".into(),
+        kind: AccessKind::SeqRead {
+            fraction,
+            request: TEMP_REQ,
+        },
+    }
+}
+
+fn q(name: &str, phases: Vec<Vec<AccessStep>>) -> QueryTemplate {
+    QueryTemplate {
+        name: name.into(),
+        phases,
+    }
+}
+
+/// Storage profiles of the 22 TPC-H-like benchmark queries, indexed
+/// `Q1..Q22` (element 0 is Q1). Fractions are of the object's size;
+/// probe counts are expected requests at catalog scale 1.0.
+pub fn tpch_queries() -> Vec<QueryTemplate> {
+    vec![
+        // Q1: pricing summary — full LINEITEM scan, small aggregation spill.
+        q(
+            "Q1",
+            vec![vec![seq("LINEITEM", 1.0)], vec![tmp_write(0.1), tmp_read(0.1)]],
+        ),
+        // Q2: minimum cost supplier — PARTSUPP/PART driven.
+        q(
+            "Q2",
+            vec![vec![
+                seq("PARTSUPP", 0.6),
+                seq("PART", 0.6),
+                seq("SUPPLIER", 1.0),
+                probe("PARTSUPP_PKEY", 4_000.0),
+            ]],
+        ),
+        // Q3: shipping priority — LINEITEM ⋈ ORDERS ⋈ CUSTOMER, sort spill.
+        q(
+            "Q3",
+            vec![
+                vec![seq("LINEITEM", 1.0), seq("ORDERS", 1.0), seq("CUSTOMER", 0.6)],
+                vec![tmp_write(0.6)],
+                vec![tmp_read(0.6)],
+            ],
+        ),
+        // Q4: order priority — ORDERS scan with LINEITEM semijoin via index.
+        q(
+            "Q4",
+            vec![
+                vec![
+                    seq("ORDERS", 1.0),
+                    idx("I_L_ORDERKEY", 0.8),
+                    probe("ORDERS_PKEY", 6_000.0),
+                ],
+                vec![tmp_write(0.3), tmp_read(0.3)],
+            ],
+        ),
+        // Q5: local supplier volume — 5-way join.
+        q(
+            "Q5",
+            vec![vec![
+                seq("LINEITEM", 1.0),
+                seq("ORDERS", 1.0),
+                seq("CUSTOMER", 1.0),
+                seq("SUPPLIER", 1.0),
+            ]],
+        ),
+        // Q6: forecasting revenue change — pure LINEITEM scan.
+        q("Q6", vec![vec![seq("LINEITEM", 1.0)]]),
+        // Q7: volume shipping.
+        q(
+            "Q7",
+            vec![
+                vec![
+                    seq("LINEITEM", 1.0),
+                    seq("ORDERS", 1.0),
+                    seq("CUSTOMER", 0.5),
+                    seq("SUPPLIER", 1.0),
+                ],
+                vec![tmp_write(0.2), tmp_read(0.2)],
+            ],
+        ),
+        // Q8: national market share.
+        q(
+            "Q8",
+            vec![vec![
+                seq("LINEITEM", 1.0),
+                seq("ORDERS", 1.0),
+                seq("PART", 0.4),
+                seq("CUSTOMER", 0.4),
+            ]],
+        ),
+        // Q9: product type profit — the heaviest query (excluded from the
+        // paper's runs for excessive runtime; we keep the profile for
+        // completeness but the OLAP mixes skip it, as the paper did).
+        q(
+            "Q9",
+            vec![
+                vec![
+                    seq("LINEITEM", 2.0),
+                    seq("ORDERS", 1.0),
+                    seq("PARTSUPP", 1.0),
+                    seq("PART", 1.0),
+                ],
+                vec![tmp_write(1.0)],
+                vec![tmp_read(1.0)],
+            ],
+        ),
+        // Q10: returned items — join + big sort.
+        q(
+            "Q10",
+            vec![
+                vec![seq("LINEITEM", 1.0), seq("ORDERS", 1.0), seq("CUSTOMER", 1.0)],
+                vec![tmp_write(0.5)],
+                vec![tmp_read(0.5)],
+            ],
+        ),
+        // Q11: important stock — PARTSUPP driven.
+        q(
+            "Q11",
+            vec![vec![seq("PARTSUPP", 1.0), seq("SUPPLIER", 1.0)]],
+        ),
+        // Q12: shipping modes — LINEITEM ⋈ ORDERS.
+        q("Q12", vec![vec![seq("LINEITEM", 1.0), seq("ORDERS", 1.0)]]),
+        // Q13: customer distribution — ORDERS ⋈ CUSTOMER with big agg.
+        q(
+            "Q13",
+            vec![
+                vec![seq("ORDERS", 1.0), seq("CUSTOMER", 1.0)],
+                vec![tmp_write(0.4), tmp_read(0.4)],
+            ],
+        ),
+        // Q14: promotion effect — LINEITEM ⋈ PART.
+        q("Q14", vec![vec![seq("LINEITEM", 1.0), seq("PART", 1.0)]]),
+        // Q15: top supplier — LINEITEM scan twice (view + join).
+        q(
+            "Q15",
+            vec![vec![seq("LINEITEM", 1.3), seq("SUPPLIER", 1.0)]],
+        ),
+        // Q16: parts/supplier relationship — PARTSUPP ⋈ PART.
+        q(
+            "Q16",
+            vec![vec![seq("PARTSUPP", 1.0), seq("PART", 1.0)]],
+        ),
+        // Q17: small-quantity-order revenue — index-driven LINEITEM access.
+        q(
+            "Q17",
+            vec![vec![
+                seq("PART", 0.3),
+                idx("I_L_SUPPK_PARTK", 0.5),
+                probe("LINEITEM", 12_000.0),
+            ]],
+        ),
+        // Q18: large volume customer — the paper's §6.6 notes its huge
+        // intermediate results; heavy TEMP usage after the scans.
+        q(
+            "Q18",
+            vec![
+                vec![
+                    seq("LINEITEM", 1.0),
+                    seq("ORDERS", 1.0),
+                    idx("I_L_ORDERKEY", 1.0),
+                ],
+                vec![tmp_write(1.2)],
+                vec![tmp_read(1.2)],
+            ],
+        ),
+        // Q19: discounted revenue — LINEITEM ⋈ PART.
+        q("Q19", vec![vec![seq("LINEITEM", 1.0), seq("PART", 1.0)]]),
+        // Q20: potential part promotion.
+        q(
+            "Q20",
+            vec![vec![
+                seq("PARTSUPP", 0.8),
+                idx("I_L_SUPPK_PARTK", 0.5),
+                seq("SUPPLIER", 1.0),
+                probe("PART_PKEY", 3_000.0),
+            ]],
+        ),
+        // Q21: suppliers who kept orders waiting — LINEITEM self-join.
+        q(
+            "Q21",
+            vec![
+                vec![
+                    seq("LINEITEM", 1.6),
+                    seq("ORDERS", 1.0),
+                    idx("I_L_ORDERKEY", 0.8),
+                    seq("SUPPLIER", 1.0),
+                ],
+                vec![tmp_write(0.3), tmp_read(0.3)],
+            ],
+        ),
+        // Q22: global sales opportunity — CUSTOMER driven with ORDERS
+        // anti-join via its primary key.
+        q(
+            "Q22",
+            vec![vec![
+                seq("CUSTOMER", 1.0),
+                probe("ORDERS_PKEY", 8_000.0),
+                probe("ORDERS", 5_000.0),
+            ]],
+        ),
+    ]
+}
+
+/// Storage profile of a TPC-C-like New-Order transaction: ~10 random
+/// STOCK reads+writes, customer/district lookups, sequential
+/// ORDER_LINE inserts, and a log append. Probe counts are *per
+/// transaction* (not scaled by catalog size).
+pub fn new_order_txn() -> QueryTemplate {
+    fn rr(object: &str, count: f64) -> AccessStep {
+        AccessStep {
+            object: object.into(),
+            kind: AccessKind::RandRead {
+                count,
+                request: RAND_REQ,
+            },
+        }
+    }
+    fn rw(object: &str, count: f64) -> AccessStep {
+        AccessStep {
+            object: object.into(),
+            kind: AccessKind::RandWrite {
+                count,
+                request: RAND_REQ,
+            },
+        }
+    }
+    QueryTemplate {
+        name: "NEW_ORDER".into(),
+        phases: vec![
+            // Reads: item/stock/customer lookups via indexes.
+            vec![
+                rr("ITEM", 10.0),
+                rr("STOCK", 10.0),
+                rr("PK_STOCK", 10.0),
+                rr("CUSTOMER", 1.0),
+                rr("PK_CUSTOMER", 1.0),
+                rr("DISTRICT", 1.0),
+            ],
+            // Writes: stock update, order/order-line inserts, log.
+            vec![
+                rw("STOCK", 10.0),
+                rw("ORDER_LINE", 2.0),
+                rw("PK_ORDER_LINE", 1.0),
+                rw("ORDERS", 1.0),
+                rw("NEW_ORDER", 1.0),
+                AccessStep {
+                    object: "XACTION_LOG".into(),
+                    kind: AccessKind::SeqWrite {
+                        fraction: 5e-5,
+                        request: LOG_REQ,
+                    },
+                },
+            ],
+        ],
+    }
+}
+
+/// Storage profile of a TPC-C-like Payment transaction: customer and
+/// district updates plus a history insert and log append.
+pub fn payment_txn() -> QueryTemplate {
+    QueryTemplate {
+        name: "PAYMENT".into(),
+        phases: vec![
+            vec![
+                rr_step("CUSTOMER", 1.0),
+                rr_step("PK_CUSTOMER", 1.0),
+                rr_step("I_CUSTOMER", 0.6), // 60% select customer by name
+                rr_step("DISTRICT", 1.0),
+                rr_step("WAREHOUSE", 1.0),
+            ],
+            vec![
+                rw_step("CUSTOMER", 1.0),
+                rw_step("DISTRICT", 1.0),
+                rw_step("WAREHOUSE", 1.0),
+                rw_step("HISTORY", 1.0),
+                log_step(3e-5),
+            ],
+        ],
+    }
+}
+
+/// Storage profile of a TPC-C-like Order-Status transaction
+/// (read-only: customer lookup plus the latest order's lines).
+pub fn order_status_txn() -> QueryTemplate {
+    QueryTemplate {
+        name: "ORDER_STATUS".into(),
+        phases: vec![vec![
+            rr_step("CUSTOMER", 1.0),
+            rr_step("PK_CUSTOMER", 1.0),
+            rr_step("I_CUSTOMER", 0.6),
+            rr_step("ORDERS", 1.0),
+            rr_step("I_ORDERS", 1.0),
+            rr_step("ORDER_LINE", 10.0),
+            rr_step("PK_ORDER_LINE", 1.0),
+        ]],
+    }
+}
+
+/// Storage profile of a TPC-C-like Delivery transaction: drain one
+/// new-order per district, updating orders/lines/customer balances.
+pub fn delivery_txn() -> QueryTemplate {
+    QueryTemplate {
+        name: "DELIVERY".into(),
+        phases: vec![
+            vec![
+                rr_step("NEW_ORDER", 10.0),
+                rr_step("PK_NEW_ORDER", 10.0),
+                rr_step("ORDERS", 10.0),
+                rr_step("ORDER_LINE", 100.0),
+            ],
+            vec![
+                rw_step("NEW_ORDER", 10.0),
+                rw_step("ORDERS", 10.0),
+                rw_step("ORDER_LINE", 30.0),
+                rw_step("CUSTOMER", 10.0),
+                log_step(1e-4),
+            ],
+        ],
+    }
+}
+
+/// Storage profile of a TPC-C-like Stock-Level transaction
+/// (read-only: recent order lines joined against low-stock items).
+pub fn stock_level_txn() -> QueryTemplate {
+    QueryTemplate {
+        name: "STOCK_LEVEL".into(),
+        phases: vec![vec![
+            rr_step("DISTRICT", 1.0),
+            rr_step("ORDER_LINE", 200.0),
+            rr_step("PK_ORDER_LINE", 20.0),
+            rr_step("STOCK", 200.0),
+            rr_step("PK_STOCK", 20.0),
+        ]],
+    }
+}
+
+fn rr_step(object: &str, count: f64) -> AccessStep {
+    AccessStep {
+        object: object.into(),
+        kind: AccessKind::RandRead {
+            count,
+            request: RAND_REQ,
+        },
+    }
+}
+
+fn rw_step(object: &str, count: f64) -> AccessStep {
+    AccessStep {
+        object: object.into(),
+        kind: AccessKind::RandWrite {
+            count,
+            request: RAND_REQ,
+        },
+    }
+}
+
+fn log_step(fraction: f64) -> AccessStep {
+    AccessStep {
+        object: "XACTION_LOG".into(),
+        kind: AccessKind::SeqWrite {
+            fraction,
+            request: LOG_REQ,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+
+    #[test]
+    fn twenty_two_queries() {
+        let qs = tpch_queries();
+        assert_eq!(qs.len(), 22);
+        for (i, tpl) in qs.iter().enumerate() {
+            assert_eq!(tpl.name, format!("Q{}", i + 1));
+            assert!(!tpl.phases.is_empty(), "{} has no phases", tpl.name);
+        }
+    }
+
+    #[test]
+    fn all_query_objects_exist_in_catalog() {
+        let cat = Catalog::tpch_like(0.01);
+        for tpl in tpch_queries() {
+            for name in tpl.objects() {
+                assert!(cat.id_of(name).is_some(), "{}: unknown object {name}", tpl.name);
+            }
+        }
+    }
+
+    #[test]
+    fn new_order_objects_exist_in_tpcc_catalog() {
+        let cat = Catalog::tpcc_like(0.01);
+        for name in new_order_txn().objects() {
+            assert!(cat.id_of(name).is_some(), "unknown object {name}");
+        }
+    }
+
+    #[test]
+    fn all_tpcc_transaction_objects_exist() {
+        let cat = Catalog::tpcc_like(0.01);
+        for tpl in [
+            payment_txn(),
+            order_status_txn(),
+            delivery_txn(),
+            stock_level_txn(),
+        ] {
+            for name in tpl.objects() {
+                assert!(cat.id_of(name).is_some(), "{}: unknown {name}", tpl.name);
+            }
+        }
+    }
+
+    #[test]
+    fn read_only_transactions_never_write() {
+        for tpl in [order_status_txn(), stock_level_txn()] {
+            for step in tpl.phases.iter().flatten() {
+                assert!(!step.kind.is_write(), "{} writes", tpl.name);
+            }
+        }
+    }
+
+    #[test]
+    fn update_transactions_append_to_the_log() {
+        for tpl in [new_order_txn(), payment_txn(), delivery_txn()] {
+            assert!(
+                tpl.objects().contains(&"XACTION_LOG"),
+                "{} skips the log",
+                tpl.name
+            );
+        }
+    }
+
+    #[test]
+    fn lineitem_dominates_scan_bytes() {
+        // Sum scan fractions × sizes across the mix: LINEITEM must carry
+        // the largest sequential load (paper Figures 1/12/13 ordering).
+        let cat = Catalog::tpch_like(1.0);
+        let mut bytes = vec![0.0f64; cat.len()];
+        for tpl in tpch_queries() {
+            if tpl.name == "Q9" {
+                continue; // excluded from the paper's mixes
+            }
+            for step in tpl.phases.iter().flatten() {
+                if let AccessKind::SeqRead { fraction, .. } = step.kind {
+                    let id = cat.expect_id(&step.object);
+                    bytes[id] += fraction * cat.object(id).size as f64;
+                }
+            }
+        }
+        let li = bytes[cat.expect_id("LINEITEM")];
+        let or = bytes[cat.expect_id("ORDERS")];
+        assert!(li > 3.0 * or, "LINEITEM {li:.2e} vs ORDERS {or:.2e}");
+        assert!(or > bytes[cat.expect_id("PARTSUPP")]);
+    }
+
+    #[test]
+    fn temp_space_never_in_first_phase_with_orders() {
+        // The Figure 1 layout co-locates TEMP_SPACE and ORDERS because
+        // they are rarely accessed simultaneously; the profiles must
+        // respect that (temp I/O happens after the scans).
+        for tpl in tpch_queries() {
+            for phase in &tpl.phases {
+                let has_orders = phase.iter().any(|s| s.object == "ORDERS");
+                let has_temp = phase.iter().any(|s| s.object == "TEMP_SPACE");
+                assert!(
+                    !(has_orders && has_temp),
+                    "{}: ORDERS and TEMP_SPACE in the same phase",
+                    tpl.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefixing_renames_everything() {
+        let tpl = new_order_txn().with_prefix("C_");
+        assert_eq!(tpl.name, "C_NEW_ORDER");
+        for name in tpl.objects() {
+            assert!(name.starts_with("C_"));
+        }
+    }
+
+    #[test]
+    fn access_kind_predicates() {
+        assert!(AccessKind::SeqWrite {
+            fraction: 0.1,
+            request: 1
+        }
+        .is_write());
+        assert!(AccessKind::SeqWrite {
+            fraction: 0.1,
+            request: 1
+        }
+        .is_sequential());
+        assert!(!AccessKind::RandRead {
+            count: 1.0,
+            request: 1
+        }
+        .is_write());
+        assert!(!AccessKind::RandRead {
+            count: 1.0,
+            request: 1
+        }
+        .is_sequential());
+    }
+}

@@ -1,0 +1,104 @@
+//! Workload replication for optimizer-scaling experiments.
+//!
+//! The paper's Figure 19 scales the advisor's input by taking the 40
+//! workload descriptions from the consolidation scenario and
+//! replicating them to get 80-, 120- and 160-object problems
+//! (2x/3x/4x-consolidation). Replicas are independent databases, so
+//! cross-replica overlaps are zero while within-replica overlap
+//! structure is preserved.
+
+use crate::spec::{WorkloadSet, WorkloadSpec};
+
+/// Replicates a workload set `k` times (k ≥ 1). Object `i` of replica
+/// `r` keeps its spec; its overlap vector is the original vector within
+/// the replica and zero across replicas. Names get a `#r` suffix for
+/// replicas beyond the first.
+pub fn replicate_problem(set: &WorkloadSet, k: usize) -> WorkloadSet {
+    assert!(k >= 1, "replication factor must be >= 1");
+    let n = set.len();
+    let mut names = Vec::with_capacity(n * k);
+    let mut sizes = Vec::with_capacity(n * k);
+    let mut specs = Vec::with_capacity(n * k);
+    for r in 0..k {
+        for i in 0..n {
+            names.push(if r == 0 {
+                set.names[i].clone()
+            } else {
+                format!("{}#{r}", set.names[i])
+            });
+            sizes.push(set.sizes[i]);
+            let mut overlaps = vec![0.0; n * k];
+            overlaps[r * n..(r + 1) * n].copy_from_slice(&set.specs[i].overlaps);
+            specs.push(WorkloadSpec {
+                overlaps,
+                ..set.specs[i].clone()
+            });
+        }
+    }
+    WorkloadSet {
+        names,
+        sizes,
+        specs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> WorkloadSet {
+        WorkloadSet {
+            names: vec!["A".into(), "B".into()],
+            sizes: vec![100, 200],
+            specs: vec![
+                WorkloadSpec {
+                    read_size: 8192.0,
+                    write_size: 8192.0,
+                    read_rate: 10.0,
+                    write_rate: 0.0,
+                    run_count: 8.0,
+                    overlaps: vec![0.0, 0.7],
+                },
+                WorkloadSpec {
+                    read_size: 8192.0,
+                    write_size: 8192.0,
+                    read_rate: 5.0,
+                    write_rate: 1.0,
+                    run_count: 1.0,
+                    overlaps: vec![0.7, 0.0],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn identity_replication() {
+        let set = base();
+        let rep = replicate_problem(&set, 1);
+        assert_eq!(rep, set);
+    }
+
+    #[test]
+    fn triples_objects_and_keeps_block_structure() {
+        let set = base();
+        let rep = replicate_problem(&set, 3);
+        assert_eq!(rep.len(), 6);
+        rep.validate().unwrap();
+        assert_eq!(rep.names[2], "A#1");
+        assert_eq!(rep.names[5], "B#2");
+        // Within-replica overlap preserved.
+        assert_eq!(rep.specs[2].overlaps[3], 0.7);
+        // Cross-replica overlap zero.
+        assert_eq!(rep.specs[0].overlaps[3], 0.0);
+        assert_eq!(rep.specs[4].overlaps[1], 0.0);
+        // Rates and sizes preserved.
+        assert_eq!(rep.specs[4].total_rate(), set.specs[0].total_rate());
+        assert_eq!(rep.sizes[5], 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor")]
+    fn zero_replication_rejected() {
+        replicate_problem(&base(), 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Rome-style workload descriptions (paper §5.1, Figure 5).
+
+use serde::{Deserialize, Serialize};
+
+/// The I/O workload description `Wᵢ` of one database object.
+///
+/// Parameters (paper Figure 5):
+///
+/// * `read_size` / `write_size` — average request sizes in bytes
+///   (`Bᵢᴿ`, `Bᵢᵂ`);
+/// * `read_rate` / `write_rate` — average request rates in requests
+///   per second (`λᵢᴿ`, `λᵢᵂ`);
+/// * `run_count` — average number of requests in a sequential run
+///   (`Qᵢ`); 1 means fully random, large values mean long scans;
+/// * `overlaps` — `Oᵢ[j] ∈ \[0,1\]`, the temporal correlation of this
+///   workload's requests with workload `j`'s (0 = never concurrent,
+///   1 = always concurrent). `overlaps[i]` (self) is ignored.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Average read request size in bytes (`Bᵢᴿ`).
+    pub read_size: f64,
+    /// Average write request size in bytes (`Bᵢᵂ`).
+    pub write_size: f64,
+    /// Average read request rate in req/s (`λᵢᴿ`).
+    pub read_rate: f64,
+    /// Average write request rate in req/s (`λᵢᵂ`).
+    pub write_rate: f64,
+    /// Average sequential run length in requests (`Qᵢ ≥ 1`).
+    pub run_count: f64,
+    /// Temporal overlap with every other workload (`Oᵢ[j]`).
+    pub overlaps: Vec<f64>,
+}
+
+impl WorkloadSpec {
+    /// An idle workload (used for objects with no traced activity).
+    pub fn idle(n_objects: usize) -> Self {
+        WorkloadSpec {
+            read_size: 8192.0,
+            write_size: 8192.0,
+            read_rate: 0.0,
+            write_rate: 0.0,
+            run_count: 1.0,
+            overlaps: vec![0.0; n_objects],
+        }
+    }
+
+    /// Total request rate `λᵢᴿ + λᵢᵂ` (req/s) — the "request rate" the
+    /// paper's initial-layout heuristic (§4.2) orders objects by.
+    pub fn total_rate(&self) -> f64 {
+        self.read_rate + self.write_rate
+    }
+
+    /// Request-rate-weighted average request size `Bᵢ` (paper Figure 7
+    /// uses this in the run-count transformation).
+    pub fn mean_size(&self) -> f64 {
+        let total = self.total_rate();
+        if total <= 0.0 {
+            // No traffic: any size works; use the read size.
+            return self.read_size;
+        }
+        (self.read_rate * self.read_size + self.write_rate * self.write_size) / total
+    }
+
+    /// Aggregate bandwidth demand in bytes/s.
+    pub fn bandwidth(&self) -> f64 {
+        self.read_rate * self.read_size + self.write_rate * self.write_size
+    }
+
+    /// Checks internal consistency (non-negative rates/sizes, run count
+    /// ≥ 1, overlaps in \[0,1\]).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.read_size < 0.0 || self.write_size < 0.0 {
+            return Err("negative request size".into());
+        }
+        if self.read_rate < 0.0 || self.write_rate < 0.0 {
+            return Err("negative request rate".into());
+        }
+        if self.run_count < 1.0 {
+            return Err(format!("run count {} < 1", self.run_count));
+        }
+        for (j, &o) in self.overlaps.iter().enumerate() {
+            if !(0.0..=1.0).contains(&o) {
+                return Err(format!("overlap[{j}] = {o} outside [0,1]"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The workload descriptions of all `N` objects, plus the object sizes
+/// — the complete advisor input describing the database side.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSet {
+    /// Object names, parallel to `specs`.
+    pub names: Vec<String>,
+    /// Object sizes in bytes (`sᵢ`), parallel to `specs`.
+    pub sizes: Vec<u64>,
+    /// Per-object workload descriptions.
+    pub specs: Vec<WorkloadSpec>,
+}
+
+impl WorkloadSet {
+    /// Number of objects `N`.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True if there are no objects.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Validates shapes and each spec: `names`, `sizes`, `specs` and
+    /// every overlap vector must all have length `N`.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.specs.len();
+        if self.names.len() != n || self.sizes.len() != n {
+            return Err("names/sizes/specs length mismatch".into());
+        }
+        for (i, spec) in self.specs.iter().enumerate() {
+            if spec.overlaps.len() != n {
+                return Err(format!(
+                    "object {i}: overlap vector has length {} (expected {n})",
+                    spec.overlaps.len()
+                ));
+            }
+            spec.validate().map_err(|e| format!("object {i}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Total size of all objects in bytes.
+    pub fn total_size(&self) -> u64 {
+        self.sizes.iter().sum()
+    }
+
+    /// Indices sorted by decreasing total request rate (the order the
+    /// paper's initial-layout heuristic processes objects in).
+    pub fn by_decreasing_rate(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.specs[b]
+                .total_rate()
+                .partial_cmp(&self.specs[a].total_rate())
+                .expect("rates are finite")
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            read_size: 8192.0,
+            write_size: 4096.0,
+            read_rate: 30.0,
+            write_rate: 10.0,
+            run_count: 4.0,
+            overlaps: vec![0.0, 0.5],
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let s = spec();
+        assert_eq!(s.total_rate(), 40.0);
+        // (30*8192 + 10*4096) / 40 = 7168
+        assert_eq!(s.mean_size(), 7168.0);
+        assert_eq!(s.bandwidth(), 30.0 * 8192.0 + 10.0 * 4096.0);
+    }
+
+    #[test]
+    fn idle_spec_is_valid_and_quiet() {
+        let s = WorkloadSpec::idle(3);
+        assert!(s.validate().is_ok());
+        assert_eq!(s.total_rate(), 0.0);
+        assert_eq!(s.mean_size(), 8192.0);
+        assert_eq!(s.overlaps.len(), 3);
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let mut s = spec();
+        s.run_count = 0.5;
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.overlaps[1] = 1.5;
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.read_rate = -1.0;
+        assert!(s.validate().is_err());
+        assert!(spec().validate().is_ok());
+    }
+
+    #[test]
+    fn set_validation_checks_shapes() {
+        let set = WorkloadSet {
+            names: vec!["a".into(), "b".into()],
+            sizes: vec![100, 200],
+            specs: vec![
+                WorkloadSpec {
+                    overlaps: vec![0.0, 1.0],
+                    ..spec()
+                },
+                WorkloadSpec {
+                    overlaps: vec![1.0, 0.0],
+                    ..spec()
+                },
+            ],
+        };
+        assert!(set.validate().is_ok());
+        assert_eq!(set.total_size(), 300);
+
+        let mut bad = set.clone();
+        bad.specs[0].overlaps.pop();
+        assert!(bad.validate().is_err());
+        let mut bad = set;
+        bad.sizes.pop();
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn rate_ordering() {
+        let mut specs = Vec::new();
+        for rate in [5.0, 50.0, 20.0] {
+            let mut s = spec();
+            s.read_rate = rate;
+            s.write_rate = 0.0;
+            s.overlaps = vec![0.0; 3];
+            specs.push(s);
+        }
+        let set = WorkloadSet {
+            names: vec!["a".into(), "b".into(), "c".into()],
+            sizes: vec![1, 1, 1],
+            specs,
+        };
+        assert_eq!(set.by_decreasing_rate(), vec![1, 2, 0]);
+    }
+}

@@ -1,0 +1,324 @@
+//! SQL workload definitions (paper Figure 10).
+//!
+//! * **OLAP1-21** — 21 of the 22 TPC-H-like queries (Q9 excluded for
+//!   excessive runtime, as in the paper) in a random order, executed
+//!   sequentially.
+//! * **OLAP1-63** — each of the 21 queries three times, randomly
+//!   permuted, concurrency 1.
+//! * **OLAP8-63** — same 63-query mix at concurrency 8 (when a query
+//!   finishes the next starts, keeping 8 active).
+//! * **OLTP** — nine simulated terminals running New-Order
+//!   transactions with no think or keying time.
+
+use crate::query::{
+    delivery_txn, new_order_txn, order_status_txn, payment_txn, stock_level_txn, tpch_queries,
+    QueryTemplate,
+};
+use serde::{Deserialize, Serialize};
+use wasla_simlib::SimRng;
+
+/// Configuration of an OLAP (query-sequence) workload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OlapConfig {
+    /// Template indices composing the mix, in execution order.
+    pub sequence: Vec<usize>,
+    /// Number of queries active at once (closed loop).
+    pub concurrency: usize,
+}
+
+/// Configuration of an OLTP (terminal-driven) workload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OltpConfig {
+    /// Number of simulated terminals (each runs transactions
+    /// back-to-back, no think time).
+    pub terminals: usize,
+    /// Weighted transaction mix: (template index, weight). Terminals
+    /// sample a template per transaction proportionally to weight.
+    pub mix: Vec<(usize, f64)>,
+}
+
+/// The kind-specific part of a workload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SqlWorkloadKind {
+    /// A finite query sequence with a concurrency level.
+    Olap(OlapConfig),
+    /// An open-ended transaction workload.
+    Oltp(OltpConfig),
+}
+
+/// A complete SQL workload: named templates plus an execution plan.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SqlWorkload {
+    /// Workload name ("OLAP1-63", ...).
+    pub name: String,
+    /// The query/transaction templates this workload draws from.
+    pub templates: Vec<QueryTemplate>,
+    /// Execution plan.
+    pub kind: SqlWorkloadKind,
+}
+
+/// Builds the randomly permuted mix of the 21 included TPC-H-like
+/// queries, repeated `repeats` times (paper: the 63-query mixes use
+/// each query three times, permuted).
+fn permuted_mix(repeats: usize, seed: u64) -> Vec<usize> {
+    let mut seq: Vec<usize> = (0..22)
+        .filter(|&i| i != 8) // exclude Q9 (index 8), as the paper does
+        .flat_map(|i| std::iter::repeat(i).take(repeats))
+        .collect();
+    let mut rng = SimRng::new(seed);
+    rng.shuffle(&mut seq);
+    seq
+}
+
+impl SqlWorkload {
+    /// The OLAP1-21 workload: 21 queries, concurrency 1.
+    pub fn olap1_21(seed: u64) -> Self {
+        SqlWorkload {
+            name: "OLAP1-21".into(),
+            templates: tpch_queries(),
+            kind: SqlWorkloadKind::Olap(OlapConfig {
+                sequence: permuted_mix(1, seed),
+                concurrency: 1,
+            }),
+        }
+    }
+
+    /// The OLAP1-63 workload: 63 queries (each of 21 thrice),
+    /// concurrency 1.
+    pub fn olap1_63(seed: u64) -> Self {
+        SqlWorkload {
+            name: "OLAP1-63".into(),
+            templates: tpch_queries(),
+            kind: SqlWorkloadKind::Olap(OlapConfig {
+                sequence: permuted_mix(3, seed),
+                concurrency: 1,
+            }),
+        }
+    }
+
+    /// The OLAP8-63 workload: the 63-query mix at concurrency 8.
+    pub fn olap8_63(seed: u64) -> Self {
+        SqlWorkload {
+            name: "OLAP8-63".into(),
+            templates: tpch_queries(),
+            kind: SqlWorkloadKind::Olap(OlapConfig {
+                sequence: permuted_mix(3, seed),
+                concurrency: 8,
+            }),
+        }
+    }
+
+    /// The OLTP workload: nine terminals running New-Order
+    /// transactions back-to-back (the transaction the paper's tpmC
+    /// metric counts).
+    pub fn oltp() -> Self {
+        SqlWorkload {
+            name: "OLTP".into(),
+            templates: vec![new_order_txn()],
+            kind: SqlWorkloadKind::Oltp(OltpConfig {
+                terminals: 9,
+                mix: vec![(0, 1.0)],
+            }),
+        }
+    }
+
+    /// The full TPC-C-like transaction mix (New-Order 45%, Payment
+    /// 43%, Order-Status 4%, Delivery 4%, Stock-Level 4%) on nine
+    /// terminals — beyond the paper's New-Order-only measurement, for
+    /// richer OLTP scenarios.
+    pub fn oltp_full_mix() -> Self {
+        SqlWorkload {
+            name: "OLTP-MIX".into(),
+            templates: vec![
+                new_order_txn(),
+                payment_txn(),
+                order_status_txn(),
+                delivery_txn(),
+                stock_level_txn(),
+            ],
+            kind: SqlWorkloadKind::Oltp(OltpConfig {
+                terminals: 9,
+                mix: vec![(0, 0.45), (1, 0.43), (2, 0.04), (3, 0.04), (4, 0.04)],
+            }),
+        }
+    }
+
+    /// Returns a copy with every access step's request size mapped
+    /// through `f` — e.g. to model a DBMS issuing raw 8 KiB page I/O
+    /// instead of OS-merged large requests.
+    pub fn with_request_sizes(&self, f: impl Fn(u64) -> u64) -> SqlWorkload {
+        use crate::query::{AccessKind, AccessStep};
+        SqlWorkload {
+            name: self.name.clone(),
+            templates: self
+                .templates
+                .iter()
+                .map(|t| QueryTemplate {
+                    name: t.name.clone(),
+                    phases: t
+                        .phases
+                        .iter()
+                        .map(|phase| {
+                            phase
+                                .iter()
+                                .map(|step| AccessStep {
+                                    object: step.object.clone(),
+                                    kind: match step.kind {
+                                        AccessKind::SeqRead { fraction, request } => {
+                                            AccessKind::SeqRead {
+                                                fraction,
+                                                request: f(request),
+                                            }
+                                        }
+                                        AccessKind::SeqWrite { fraction, request } => {
+                                            AccessKind::SeqWrite {
+                                                fraction,
+                                                request: f(request),
+                                            }
+                                        }
+                                        AccessKind::RandRead { count, request } => {
+                                            AccessKind::RandRead {
+                                                count,
+                                                request: f(request),
+                                            }
+                                        }
+                                        AccessKind::RandWrite { count, request } => {
+                                            AccessKind::RandWrite {
+                                                count,
+                                                request: f(request),
+                                            }
+                                        }
+                                    },
+                                })
+                                .collect()
+                        })
+                        .collect(),
+                })
+                .collect(),
+            kind: self.kind.clone(),
+        }
+    }
+
+    /// Returns a copy with all template object names prefixed (for
+    /// consolidated catalogs).
+    pub fn with_prefix(&self, prefix: &str) -> SqlWorkload {
+        SqlWorkload {
+            name: self.name.clone(),
+            templates: self
+                .templates
+                .iter()
+                .map(|t| t.with_prefix(prefix))
+                .collect(),
+            kind: self.kind.clone(),
+        }
+    }
+
+    /// Total number of queries for OLAP workloads; `None` for OLTP.
+    pub fn query_count(&self) -> Option<usize> {
+        match &self.kind {
+            SqlWorkloadKind::Olap(c) => Some(c.sequence.len()),
+            SqlWorkloadKind::Oltp(_) => None,
+        }
+    }
+
+    /// The concurrency level (terminals for OLTP).
+    pub fn concurrency(&self) -> usize {
+        match &self.kind {
+            SqlWorkloadKind::Olap(c) => c.concurrency,
+            SqlWorkloadKind::Oltp(c) => c.terminals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_10_shapes() {
+        let w = SqlWorkload::olap1_21(1);
+        assert_eq!(w.query_count(), Some(21));
+        assert_eq!(w.concurrency(), 1);
+
+        let w = SqlWorkload::olap1_63(1);
+        assert_eq!(w.query_count(), Some(63));
+        assert_eq!(w.concurrency(), 1);
+
+        let w = SqlWorkload::olap8_63(1);
+        assert_eq!(w.query_count(), Some(63));
+        assert_eq!(w.concurrency(), 8);
+
+        let w = SqlWorkload::oltp();
+        assert_eq!(w.query_count(), None);
+        assert_eq!(w.concurrency(), 9);
+    }
+
+    #[test]
+    fn q9_excluded_from_mixes() {
+        let w = SqlWorkload::olap1_63(123);
+        if let SqlWorkloadKind::Olap(c) = &w.kind {
+            assert!(!c.sequence.contains(&8), "Q9 must be excluded");
+            // Each of the other 21 queries appears exactly 3 times.
+            for i in (0..22).filter(|&i| i != 8) {
+                assert_eq!(c.sequence.iter().filter(|&&x| x == i).count(), 3);
+            }
+        } else {
+            panic!("expected OLAP");
+        }
+    }
+
+    #[test]
+    fn mixes_are_seed_deterministic_but_permuted() {
+        let a = SqlWorkload::olap1_63(5);
+        let b = SqlWorkload::olap1_63(5);
+        let c = SqlWorkload::olap1_63(6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn olap8_same_queries_as_olap1() {
+        // The paper stresses OLAP8-63 differs from OLAP1-63 *only* in
+        // concurrency (AutoAdmin therefore can't tell them apart).
+        let a = SqlWorkload::olap1_63(9);
+        let b = SqlWorkload::olap8_63(9);
+        let (SqlWorkloadKind::Olap(ca), SqlWorkloadKind::Olap(cb)) = (&a.kind, &b.kind) else {
+            panic!()
+        };
+        assert_eq!(ca.sequence, cb.sequence);
+        assert_ne!(ca.concurrency, cb.concurrency);
+    }
+
+    #[test]
+    fn full_mix_weights_are_the_tpcc_percentages() {
+        let w = SqlWorkload::oltp_full_mix();
+        assert_eq!(w.templates.len(), 5);
+        let SqlWorkloadKind::Oltp(c) = &w.kind else { panic!() };
+        let total: f64 = c.mix.iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // New-Order is the heaviest component.
+        assert_eq!(c.mix[0], (0, 0.45));
+        assert_eq!(w.templates[0].name, "NEW_ORDER");
+    }
+
+    #[test]
+    fn estimator_handles_the_full_mix() {
+        use crate::catalog::Catalog;
+        use crate::estimator::{estimate, EstimatorConfig};
+        let catalog = Catalog::tpcc_like(1.0);
+        let set = estimate(&catalog, &SqlWorkload::oltp_full_mix(), &EstimatorConfig::default());
+        set.validate().unwrap();
+        // Payment touches WAREHOUSE/HISTORY, which New-Order does not.
+        let hist = catalog.expect_id("HISTORY");
+        assert!(set.specs[hist].write_rate > 0.0);
+        // Stock-Level adds heavy ORDER_LINE reads.
+        let ol = catalog.expect_id("ORDER_LINE");
+        assert!(set.specs[ol].read_rate > 0.0);
+    }
+
+    #[test]
+    fn prefix_propagates_to_templates() {
+        let w = SqlWorkload::oltp().with_prefix("C_");
+        assert!(w.templates[0].objects().iter().all(|o| o.starts_with("C_")));
+    }
+}

@@ -1,0 +1,59 @@
+//! Consolidation: an OLAP database and an OLTP database sharing one
+//! storage system (paper §6.3).
+//!
+//! ```text
+//! cargo run --release --example consolidation
+//! ```
+//!
+//! Two database instances — a TPC-H-like warehouse running the
+//! OLAP1-21 query mix and a TPC-C-like OLTP system with nine
+//! terminals — share four disks. The advisor lays out all 40 objects
+//! at once; the interesting tension is keeping the OLTP random traffic
+//! away from the OLAP sequential scans.
+
+use wasla::core::report::render_layout;
+use wasla::pipeline::{self, AdviseConfig, RunSettings, Scenario};
+use wasla::workload::SqlWorkload;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.04);
+
+    let scenario = Scenario::consolidation(scale);
+    // TPC-C object names carry the consolidation prefix "C_".
+    let workloads = [
+        SqlWorkload::olap1_21(7),
+        SqlWorkload::oltp().with_prefix("C_"),
+    ];
+
+    println!(
+        "consolidating {} objects from two databases on {} disks...",
+        scenario.catalog.len(),
+        scenario.targets.len()
+    );
+    let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::full());
+    let rec = outcome.recommendation.expect("advise succeeds");
+
+    println!("\nrecommended layout (12 hottest objects, paper Fig. 16 style):");
+    println!("{}", render_layout(&outcome.problem, rec.final_layout(), 12));
+
+    let optimized = pipeline::run_with_layout(
+        &scenario,
+        &workloads,
+        rec.final_layout(),
+        &RunSettings::default(),
+    );
+    println!("                 OLAP elapsed      OLTP throughput");
+    println!(
+        "SEE baseline : {:10.0} s    {:10.0} txns/min",
+        outcome.baseline_run.elapsed.as_secs(),
+        outcome.baseline_run.tpm
+    );
+    println!(
+        "optimized    : {:10.0} s    {:10.0} txns/min",
+        optimized.elapsed.as_secs(),
+        optimized.tpm
+    );
+}

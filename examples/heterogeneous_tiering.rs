@@ -1,0 +1,67 @@
+//! Heterogeneous storage: mixing disks, RAID-0 groups, and an SSD.
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_tiering
+//! ```
+//!
+//! The paper's §6.4 shows that rules of thumb fall apart once targets
+//! differ: SEE degrades with disparity, and isolating tables or
+//! indexes can even hurt. This example reproduces that situation on a
+//! "3-1" RAID configuration and on a disks+SSD mix, comparing the
+//! administrator heuristics against the workload-aware advisor.
+
+use wasla::core::baselines;
+use wasla::core::report::render_layout;
+use wasla::pipeline::{self, AdviseConfig, RunSettings, Scenario, SSD_BYTES};
+use wasla::workload::SqlWorkload;
+
+fn evaluate(name: &str, scenario: &Scenario, with_all_on_ssd: bool) {
+    let workloads = [SqlWorkload::olap8_63(7)];
+    let outcome = pipeline::advise(scenario, &workloads, &AdviseConfig::full());
+    let rec = outcome.recommendation.expect("advise succeeds");
+    let see_s = outcome.baseline_run.elapsed.as_secs();
+    println!("=== {name} ===");
+    println!("SEE baseline          : {see_s:8.0} s");
+
+    // Administrator heuristic: isolate tables on the first target.
+    let iso = baselines::isolate_tables(&outcome.problem, 0);
+    if iso.is_valid(&outcome.problem.workloads.sizes, &outcome.problem.capacities) {
+        let r = pipeline::run_with_layout(scenario, &workloads, &iso, &RunSettings::default());
+        println!("isolate-tables        : {:8.0} s", r.elapsed.as_secs());
+    }
+    if with_all_on_ssd {
+        let all = baselines::all_on_target(&outcome.problem, scenario.targets.len() - 1);
+        if all.is_valid(&outcome.problem.workloads.sizes, &outcome.problem.capacities) {
+            let r =
+                pipeline::run_with_layout(scenario, &workloads, &all, &RunSettings::default());
+            println!("all-on-SSD            : {:8.0} s", r.elapsed.as_secs());
+        }
+    }
+    let opt = pipeline::run_with_layout(
+        scenario,
+        &workloads,
+        rec.final_layout(),
+        &RunSettings::default(),
+    );
+    println!(
+        "workload-aware advisor: {:8.0} s  ({:.2}x vs SEE)",
+        opt.elapsed.as_secs(),
+        see_s / opt.elapsed.as_secs()
+    );
+    println!("{}", render_layout(&outcome.problem, rec.final_layout(), 8));
+}
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    // A 3-disk RAID-0 group plus one standalone disk (paper's "3-1").
+    evaluate("3-disk RAID-0 + 1 disk", &Scenario::config_3_1(scale), false);
+    // Four disks plus a 32 GB-equivalent SSD.
+    evaluate(
+        "4 disks + SSD",
+        &Scenario::disks_plus_ssd(scale, SSD_BYTES),
+        true,
+    );
+}

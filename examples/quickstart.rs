@@ -1,0 +1,61 @@
+//! Quickstart: advise a layout for a TPC-H-like database on four
+//! simulated disks, then validate it by re-running the workload.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! This walks the paper's full methodology: run the workload under the
+//! stripe-everything-everywhere baseline while tracing block I/O, fit
+//! Rome-style workload descriptions per object, calibrate cost models
+//! for the storage targets, solve the min-max-utilization layout NLP,
+//! regularize, and measure the improvement.
+
+use wasla::core::report::{render_layout, render_stages};
+use wasla::pipeline::{self, AdviseConfig, RunSettings, Scenario};
+use wasla::workload::SqlWorkload;
+
+fn main() {
+    // 5% of the paper's data sizes keeps this example fast; pass a
+    // scale on the command line to change it.
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+
+    // A TPC-H-like database (20 objects, Figure 9 inventory) on four
+    // identical disks, running the OLAP1-63 query mix (Figure 10).
+    let scenario = Scenario::homogeneous_disks(4, scale);
+    let workloads = [SqlWorkload::olap1_63(7)];
+
+    println!("tracing the workload under SEE, fitting, calibrating, advising...");
+    let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::full());
+    let rec = outcome
+        .recommendation
+        .expect("the advisor should find a layout");
+
+    println!("\npredicted utilizations at each advisor stage (paper Fig. 13):");
+    println!("{}", render_stages(&outcome.problem, &rec.stages));
+
+    println!("recommended layout (8 hottest objects, paper Fig. 1 style):");
+    println!("{}", render_layout(&outcome.problem, rec.final_layout(), 8));
+
+    println!("validating by re-running the workload under the new layout...");
+    let optimized = pipeline::run_with_layout(
+        &scenario,
+        &workloads,
+        rec.final_layout(),
+        &RunSettings::default(),
+    );
+    let see_s = outcome.baseline_run.elapsed.as_secs();
+    let opt_s = optimized.elapsed.as_secs();
+    println!("SEE baseline : {see_s:8.0} simulated seconds");
+    println!("optimized    : {opt_s:8.0} simulated seconds");
+    println!("speedup      : {:8.2}x", see_s / opt_s);
+    println!(
+        "advisor time : {:.2}s (solver {:.2}s, regularization {:.2}s)",
+        rec.timings.total_s(),
+        rec.timings.solver_s,
+        rec.timings.regularize_s
+    );
+}

@@ -1,0 +1,129 @@
+//! Shape assertions: the advisor must never be (predictably) worse
+//! than the trivial baselines, and the paper's qualitative layout
+//! structure must emerge.
+
+use wasla::core::{baselines, UtilizationEstimator};
+use wasla::pipeline::{self, AdviseConfig, RunSettings, Scenario};
+use wasla::workload::SqlWorkload;
+
+/// The advisor's final predicted objective never exceeds SEE's — the
+/// fallback guarantees this by construction, and this test guards the
+/// guarantee across scenario families.
+#[test]
+fn predicted_objective_never_worse_than_see() {
+    let scenarios: Vec<(Scenario, SqlWorkload)> = vec![
+        (
+            Scenario::homogeneous_disks(4, 0.015),
+            SqlWorkload::olap1_21(3),
+        ),
+        (Scenario::config_3_1(0.015), SqlWorkload::olap1_21(4)),
+        (Scenario::config_2_1_1(0.015), SqlWorkload::olap8_63(5)),
+    ];
+    for (scenario, workload) in scenarios {
+        let workloads = [workload];
+        let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::fast());
+        let rec = outcome.recommendation.expect("advise succeeds");
+        let est = UtilizationEstimator::new(&outcome.problem);
+        let see = baselines::see(&outcome.problem);
+        let see_max = est.max_utilization(&see);
+        let final_max = est.max_utilization(rec.final_layout());
+        assert!(
+            final_max <= see_max * (1.0 + 1e-9),
+            "final {final_max} vs SEE {see_max}"
+        );
+    }
+}
+
+/// Heterogeneous 3-1: the advisor must steer more load to the 3-disk
+/// RAID target than SEE's proportional share would (the paper's
+/// central heterogeneity claim).
+#[test]
+fn heterogeneous_targets_get_proportional_load() {
+    let scenario = Scenario::config_3_1(0.02);
+    let workloads = [SqlWorkload::olap8_63(7)];
+    let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::fast());
+    let rec = outcome.recommendation.expect("advise succeeds");
+    let optimized = pipeline::run_with_layout(
+        &scenario,
+        &workloads,
+        rec.final_layout(),
+        &RunSettings::default(),
+    );
+    // Under SEE the big target is underutilized relative to the single
+    // disk; optimization must narrow that gap.
+    let see_gap =
+        outcome.baseline_run.target_utilization[1] - outcome.baseline_run.target_utilization[0];
+    let opt_gap = optimized.target_utilization[1] - optimized.target_utilization[0];
+    assert!(
+        opt_gap < see_gap,
+        "utilization gap did not shrink: SEE {see_gap:.3} optimized {opt_gap:.3}"
+    );
+    // And wall-clock must improve.
+    assert!(
+        optimized.speedup_vs(&outcome.baseline_run) > 1.05,
+        "speedup {:.3}",
+        optimized.speedup_vs(&outcome.baseline_run)
+    );
+}
+
+/// OLAP1-63 on homogeneous disks: the paper's Figure 1 structure —
+/// the advisor separates the two hottest co-accessed sequential
+/// objects (LINEITEM and ORDERS).
+#[test]
+fn figure1_structure_emerges() {
+    let scenario = Scenario::homogeneous_disks(4, 0.05);
+    let workloads = [SqlWorkload::olap1_63(11)];
+    let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::full());
+    let rec = outcome.recommendation.expect("advise succeeds");
+    let layout = rec.final_layout();
+    let p = &outcome.problem;
+    let li = p.workloads.names.iter().position(|n| n == "LINEITEM").unwrap();
+    let or = p.workloads.names.iter().position(|n| n == "ORDERS").unwrap();
+    let shared: f64 = (0..p.m())
+        .map(|j| layout.get(li, j).min(layout.get(or, j)))
+        .sum();
+    assert!(
+        shared < 0.25,
+        "LINEITEM and ORDERS share {shared:.2} of their layout"
+    );
+    // And the layout must beat SEE in actual execution.
+    let optimized =
+        pipeline::run_with_layout(&scenario, &workloads, layout, &RunSettings::default());
+    assert!(
+        optimized.speedup_vs(&outcome.baseline_run) > 1.05,
+        "speedup {:.3}",
+        optimized.speedup_vs(&outcome.baseline_run)
+    );
+}
+
+/// Administrator heuristics are hit-or-miss (the paper's §6.4 point):
+/// isolate-tables-and-indexes on 2-1-1 must measurably hurt vs SEE
+/// while the advisor improves on SEE.
+#[test]
+fn isolation_heuristic_backfires_on_2_1_1() {
+    let scenario = Scenario::config_2_1_1(0.05);
+    let workloads = [SqlWorkload::olap8_63(11)];
+    let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::full());
+    let heuristic = baselines::isolate_tables_and_indexes(&outcome.problem, 0, 1, 2);
+    assert!(heuristic.is_valid(&outcome.problem.workloads.sizes, &outcome.problem.capacities));
+    let heuristic_run =
+        pipeline::run_with_layout(&scenario, &workloads, &heuristic, &RunSettings::default());
+    let rec = outcome.recommendation.expect("advise succeeds");
+    let optimized = pipeline::run_with_layout(
+        &scenario,
+        &workloads,
+        rec.final_layout(),
+        &RunSettings::default(),
+    );
+    let see = outcome.baseline_run.elapsed.as_secs();
+    assert!(
+        heuristic_run.elapsed.as_secs() > see,
+        "heuristic {:.0}s should be worse than SEE {see:.0}s",
+        heuristic_run.elapsed.as_secs()
+    );
+    assert!(
+        optimized.elapsed.as_secs() < see,
+        "optimized {:.0}s should beat SEE {see:.0}s",
+        optimized.elapsed.as_secs()
+    );
+}

@@ -1,0 +1,209 @@
+//! Smoke tests: every paper experiment runs end-to-end at a tiny scale
+//! and produces well-formed results. (Shape assertions live in
+//! `baseline_dominance.rs` and EXPERIMENTS.md records the full-scale
+//! numbers; here we only guarantee the harness itself works.)
+
+use wasla_bench::common::ExpConfig;
+use wasla_bench::{ablations, autoadmin, future_work, layouts, models, runs, scaling, validation};
+
+fn config() -> ExpConfig {
+    ExpConfig::smoke()
+}
+
+#[test]
+fn fig1_smoke() {
+    let r = layouts::fig1(&config());
+    assert_eq!(r.id, "fig1");
+    assert!(r.row("SEE").is_some());
+    assert!(r.row("optimized").and_then(|x| x.metric("speedup")).is_some());
+    assert!(r.text.contains("LINEITEM"));
+}
+
+#[test]
+fn fig8_smoke() {
+    let r = models::fig8(&config());
+    // One row per run-count curve, each with every chi point.
+    assert_eq!(r.rows.len(), 5);
+    for row in &r.rows {
+        assert_eq!(row.metrics.len(), 7);
+        for (_, v) in &row.metrics {
+            assert!(*v > 0.0);
+        }
+    }
+    // Sequential (run 256) must be cheaper than random (run 1) at
+    // zero contention.
+    let seq = r.row("run256").unwrap().metric("chi0").unwrap();
+    let rand = r.row("run1").unwrap().metric("chi0").unwrap();
+    assert!(rand > 2.0 * seq, "rand {rand} seq {seq}");
+}
+
+#[test]
+fn fig11_smoke() {
+    let r = runs::fig11(&config());
+    for label in [
+        "OLAP1-63 SEE",
+        "OLAP1-63 optimized",
+        "OLAP8-63 SEE",
+        "OLAP8-63 optimized",
+    ] {
+        assert!(
+            r.row(label).and_then(|x| x.metric("elapsed_s")).unwrap() > 0.0,
+            "{label} missing"
+        );
+    }
+}
+
+#[test]
+fn fig12_and_fig16_layouts_regular() {
+    let r12 = layouts::fig12(&config());
+    assert_eq!(r12.row("layout").unwrap().metric("regular"), Some(1.0));
+    let r16 = layouts::fig16(&config());
+    assert_eq!(r16.row("layout").unwrap().metric("objects"), Some(40.0));
+    assert_eq!(r16.row("layout").unwrap().metric("regular"), Some(1.0));
+}
+
+#[test]
+fn fig13_smoke() {
+    let r = models::fig13(&config());
+    // 2 workloads × 4 stages.
+    assert_eq!(r.rows.len(), 8);
+    for row in &r.rows {
+        assert!(row.metric("max").unwrap() > 0.0);
+    }
+}
+
+#[test]
+fn fig14_smoke() {
+    let r = layouts::fig14(&config());
+    assert_eq!(r.rows.len(), 2);
+    for row in &r.rows {
+        // Solver layouts are balanced: imbalance well under the max.
+        let max = row.metric("max_util").unwrap();
+        let imb = row.metric("imbalance").unwrap();
+        assert!(imb < max, "imbalance {imb} vs max {max}");
+    }
+}
+
+#[test]
+fn fig15_smoke() {
+    let r = runs::fig15(&config());
+    assert!(r.row("SEE").unwrap().metric("oltp_tpm").unwrap() > 0.0);
+    assert!(r.row("optimized").unwrap().metric("olap_speedup").unwrap() > 0.5);
+}
+
+#[test]
+fn fig17_smoke() {
+    let r = runs::fig17(&config());
+    for label in ["3-1 SEE", "2-1-1 SEE", "1-1-1-1 SEE"] {
+        assert!(r.row(label).is_some(), "{label} missing");
+    }
+    // Both administrator baselines were runnable at this scale.
+    assert!(r.row("3-1 isolate-tables").is_some());
+    assert!(r.row("2-1-1 isolate-tables-and-indexes").is_some());
+}
+
+#[test]
+fn fig18_smoke() {
+    let r = runs::fig18(&config());
+    // All four SSD capacities have SEE and optimized rows; the 32 GB
+    // case also fits everything on the SSD.
+    assert!(r.row("ssd32GB all-on-ssd").is_some());
+    for cap in ["32", "10", "6", "4"] {
+        assert!(r.row(&format!("ssd{cap}GB SEE")).is_some());
+        assert!(r.row(&format!("ssd{cap}GB optimized")).is_some());
+    }
+}
+
+#[test]
+fn fig19_smoke() {
+    let r = scaling::fig19(&config());
+    assert_eq!(r.rows.len(), 8);
+    // Times must be populated and totals consistent.
+    for row in &r.rows {
+        let total = row.metric("total_s").unwrap();
+        let solver = row.metric("solver_s").unwrap();
+        assert!(total >= solver);
+    }
+    // The largest replicated problem exists.
+    assert!(r.row("4xconsolidation N=160 M=10").is_some());
+}
+
+#[test]
+fn fig20_smoke() {
+    let r = autoadmin::fig20(&config());
+    assert!(r.row("OLAP1-63 autoadmin").is_some());
+    assert!(r
+        .row("OLAP8-63 autoadmin (same layout as OLAP1-63)")
+        .is_some());
+    let tools = r.row("tool runtime").unwrap();
+    assert!(tools.metric("autoadmin_s").unwrap() >= 0.0);
+    assert!(tools.metric("nlp_advisor_s").unwrap() > 0.0);
+}
+
+#[test]
+fn validation_smoke() {
+    let r = validation::validate_eq1(&config());
+    assert_eq!(r.rows.len(), 9);
+    for row in &r.rows {
+        assert!(row.metric("abs_err").unwrap() < 0.2);
+    }
+    let r = validation::estimator_input(&config());
+    assert!(r.row("trace-fitted input").is_some());
+    assert!(r.row("estimator input").is_some());
+}
+
+#[test]
+fn fig15_pagesize_smoke() {
+    let r = validation::fig15_pagesize(&config());
+    let opt = r.row("optimized").unwrap();
+    assert!(opt.metric("olap_speedup").unwrap() > 0.5);
+    assert!(opt.metric("lineitem_stock_shared").is_some());
+}
+
+#[test]
+fn future_work_smoke() {
+    let r = future_work::dynamic_growth(&config());
+    assert_eq!(r.rows.len(), 3);
+    for row in &r.rows {
+        assert!(row.metric("util_after").unwrap() <= row.metric("util_before").unwrap() + 1e-9);
+    }
+    let r = future_work::config_sweep(&config());
+    assert_eq!(r.rows.len(), 5); // partitions of 4 disks
+    // Rows are sorted best-first by prediction.
+    let preds: Vec<f64> = r
+        .rows
+        .iter()
+        .map(|row| row.metric("predicted_max_util").unwrap())
+        .collect();
+    assert!(preds.windows(2).all(|w| w[0] <= w[1] + 1e-9));
+}
+
+#[test]
+fn ablations_smoke() {
+    let r = ablations::ablation_solver(&config());
+    assert_eq!(r.rows.len(), 2);
+    let r = ablations::ablation_costmodel(&config());
+    for row in &r.rows {
+        assert!(row.metric("measured_max_util").unwrap() > 0.0);
+        assert!(row.metric("tabulated_pred").unwrap() > 0.0);
+        assert!(row.metric("analytic_pred").unwrap() > 0.0);
+    }
+    let r = ablations::ablation_contention(&config());
+    assert!(!r.rows.is_empty());
+    for row in &r.rows {
+        assert!(row.metric("chi_avg_rates").unwrap() >= 0.0);
+        assert!(row.metric("duty_cycle").unwrap() > 0.0);
+    }
+    let r = ablations::ablation_regularization(&config());
+    assert_eq!(
+        r.row("regularized").unwrap().metric("regular"),
+        Some(1.0)
+    );
+    assert_eq!(
+        r.row("solver (non-regular)")
+            .unwrap()
+            .metric("elapsed_s")
+            .map(|v| v > 0.0),
+        Some(true)
+    );
+}

@@ -1,0 +1,132 @@
+//! Failure-injection tests: the advisor must fail loudly and typed,
+//! never silently produce a broken layout.
+
+use std::sync::Arc;
+use wasla::core::{
+    initial_layout, recommend, regularize, AdminConstraint, AdvisorError, AdvisorOptions, Layout,
+    LayoutProblem, RegularizeError,
+};
+use wasla::model::CostModel;
+use wasla::storage::IoKind;
+use wasla::workload::{ObjectKind, WorkloadSet, WorkloadSpec};
+
+struct Flat;
+impl CostModel for Flat {
+    fn request_cost(&self, _: IoKind, _: f64, _: f64, _: f64) -> f64 {
+        0.01
+    }
+}
+
+fn problem(sizes: Vec<u64>, capacities: Vec<u64>) -> LayoutProblem {
+    let n = sizes.len();
+    let m = capacities.len();
+    LayoutProblem {
+        workloads: WorkloadSet {
+            names: (0..n).map(|i| format!("o{i}")).collect(),
+            sizes,
+            specs: (0..n)
+                .map(|_| WorkloadSpec {
+                    read_rate: 10.0,
+                    ..WorkloadSpec::idle(n)
+                })
+                .collect(),
+        },
+        kinds: vec![ObjectKind::Table; n],
+        capacities,
+        target_names: (0..m).map(|j| format!("t{j}")).collect(),
+        models: (0..m).map(|_| Arc::new(Flat) as _).collect(),
+        stripe_size: 1024.0 * 1024.0,
+        constraints: vec![],
+    }
+}
+
+#[test]
+fn data_exceeding_total_capacity_is_an_invalid_problem() {
+    let p = problem(vec![600, 600], vec![500, 500]);
+    let err = recommend(&p, &AdvisorOptions::default()).unwrap_err();
+    assert!(matches!(err, AdvisorError::InvalidProblem(_)));
+    let msg = err.to_string();
+    assert!(msg.contains("exceed"), "unhelpful message: {msg}");
+}
+
+#[test]
+fn unsplittable_object_fails_the_initial_layout() {
+    // Total capacity suffices but no single target can hold the big
+    // object whole — the §4.2 rate-greedy heuristic cannot place it.
+    let p = problem(vec![800], vec![500, 500]);
+    let err = recommend(&p, &AdvisorOptions::default()).unwrap_err();
+    assert!(matches!(err, AdvisorError::Initial(_)), "got {err:?}");
+}
+
+#[test]
+fn contradictory_constraints_surface_as_regularizer_dead_end() {
+    // Pinning is honored; forbidding every target for an object makes
+    // regularization impossible.
+    let mut p = problem(vec![100, 100], vec![1000, 1000]);
+    p.constraints = vec![
+        AdminConstraint::Forbid {
+            object: 1,
+            target: 0,
+        },
+        AdminConstraint::Forbid {
+            object: 1,
+            target: 1,
+        },
+    ];
+    let solver_layout = Layout::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]);
+    let err = regularize(&p, &solver_layout).unwrap_err();
+    assert_eq!(err, RegularizeError::DeadEnd { object: 1 });
+}
+
+#[test]
+fn out_of_range_constraint_rejected_at_validation() {
+    let mut p = problem(vec![100], vec![1000]);
+    p.constraints = vec![AdminConstraint::PinTo {
+        object: 0,
+        target: 7, // no such target
+    }];
+    let err = recommend(&p, &AdvisorOptions::default()).unwrap_err();
+    assert!(matches!(err, AdvisorError::InvalidProblem(_)));
+}
+
+#[test]
+fn malformed_workloads_rejected_at_validation() {
+    let mut p = problem(vec![100, 100], vec![1000, 1000]);
+    p.workloads.specs[0].run_count = 0.0; // invalid: must be ≥ 1
+    let err = recommend(&p, &AdvisorOptions::default()).unwrap_err();
+    assert!(matches!(err, AdvisorError::InvalidProblem(_)));
+
+    let mut p = problem(vec![100, 100], vec![1000, 1000]);
+    p.workloads.specs[1].overlaps = vec![0.0]; // wrong length
+    assert!(recommend(&p, &AdvisorOptions::default()).is_err());
+}
+
+#[test]
+fn errors_are_displayable_and_comparable() {
+    let p = problem(vec![800], vec![500, 500]);
+    let err = initial_layout(&p).unwrap_err();
+    assert!(err.to_string().contains("object 0"));
+    let e1 = AdvisorError::Initial(err.clone());
+    let e2 = AdvisorError::Initial(err);
+    assert_eq!(e1, e2);
+}
+
+#[test]
+fn tight_but_feasible_capacity_still_succeeds() {
+    // 90% full system: the advisor must still deliver a valid regular
+    // layout rather than erroring near the boundary.
+    let p = problem(vec![450, 450], vec![500, 500]);
+    let rec = recommend(
+        &p,
+        &AdvisorOptions {
+            regularize: true,
+            ..AdvisorOptions::default()
+        },
+    )
+    .expect("feasible problem must succeed");
+    let layout = rec.final_layout();
+    assert!(layout.is_regular());
+    assert!(layout.is_valid(&p.workloads.sizes, &p.capacities));
+    // With each target only able to hold one object, they must split.
+    assert_ne!(layout.targets_of(0), layout.targets_of(1));
+}

@@ -1,0 +1,112 @@
+//! End-to-end pipeline integration tests: trace → fit → calibrate →
+//! advise → validate, across the paper's scenario families.
+
+use wasla::pipeline::{self, AdviseConfig, RunSettings, Scenario, SSD_BYTES};
+use wasla::workload::SqlWorkload;
+
+#[test]
+fn homogeneous_pipeline_end_to_end() {
+    let scenario = Scenario::homogeneous_disks(4, 0.015);
+    let workloads = [SqlWorkload::olap1_21(3)];
+    let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::fast());
+
+    // The SEE trace run completed the whole mix.
+    assert_eq!(outcome.baseline_run.queries_completed, 21);
+    assert!(outcome.baseline_run.storage_requests > 1_000);
+
+    // Fitting produced a complete, consistent workload set.
+    assert_eq!(outcome.fitted.len(), 20);
+    outcome.fitted.validate().expect("fitted set valid");
+    let hot = outcome
+        .fitted
+        .by_decreasing_rate()
+        .first()
+        .copied()
+        .expect("non-empty");
+    assert_eq!(outcome.fitted.names[hot], "LINEITEM");
+
+    // The recommendation is a valid regular layout.
+    let rec = outcome.recommendation.expect("advise succeeds");
+    let layout = rec.final_layout();
+    assert!(layout.is_regular());
+    assert!(layout.is_valid(&outcome.fitted.sizes, &outcome.problem.capacities));
+
+    // All four advisor stages are reported, in pipeline order.
+    let stages: Vec<&str> = rec.stages.iter().map(|s| s.stage.as_str()).collect();
+    assert_eq!(stages, ["see", "initial", "solver", "regular"]);
+
+    // Validation run executes under the recommended layout without
+    // losing queries, and does not regress much vs SEE.
+    let optimized =
+        pipeline::run_with_layout(&scenario, &workloads, layout, &RunSettings::default());
+    assert_eq!(optimized.queries_completed, 21);
+    assert!(
+        optimized.speedup_vs(&outcome.baseline_run) > 0.9,
+        "speedup {:.3}",
+        optimized.speedup_vs(&outcome.baseline_run)
+    );
+}
+
+#[test]
+fn heterogeneous_pipeline_handles_raid_targets() {
+    let scenario = Scenario::config_3_1(0.015);
+    assert_eq!(scenario.targets[0].width(), 3);
+    let workloads = [SqlWorkload::olap1_21(5)];
+    let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::fast());
+    let rec = outcome.recommendation.expect("advise succeeds");
+    // Capacities differ 3:1; the layout must respect both.
+    let caps = scenario.capacities();
+    assert_eq!(caps[0], 3 * caps[1]);
+    assert!(rec.final_layout().is_valid(&outcome.fitted.sizes, &caps));
+}
+
+#[test]
+fn ssd_pipeline_uses_the_ssd() {
+    let scenario = Scenario::disks_plus_ssd(0.015, SSD_BYTES);
+    let workloads = [SqlWorkload::olap8_63(5)];
+    let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::fast());
+    let rec = outcome.recommendation.expect("advise succeeds");
+    let layout = rec.final_layout();
+    // Some object should land on the SSD (target 4): it is far faster
+    // than the disks and large enough for everything at this scale.
+    let on_ssd: f64 = (0..outcome.problem.n()).map(|i| layout.get(i, 4)).sum();
+    assert!(on_ssd > 0.5, "SSD unused: {on_ssd}");
+    // And the run under that layout should beat the disk-heavy SEE.
+    let optimized =
+        pipeline::run_with_layout(&scenario, &workloads, layout, &RunSettings::default());
+    assert!(
+        optimized.speedup_vs(&outcome.baseline_run) > 1.2,
+        "speedup {:.3}",
+        optimized.speedup_vs(&outcome.baseline_run)
+    );
+}
+
+#[test]
+fn consolidation_pipeline_covers_forty_objects() {
+    let scenario = Scenario::consolidation(0.01);
+    let workloads = [
+        SqlWorkload::olap1_21(3),
+        SqlWorkload::oltp().with_prefix("C_"),
+    ];
+    let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::fast());
+    assert_eq!(outcome.fitted.len(), 40);
+    assert!(outcome.baseline_run.oltp_txns > 10);
+    assert!(outcome.baseline_run.tpm > 0.0);
+    let rec = outcome.recommendation.expect("advise succeeds");
+    assert!(rec.final_layout().is_regular());
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let run = || {
+        let scenario = Scenario::homogeneous_disks(4, 0.01);
+        let workloads = [SqlWorkload::olap1_21(9)];
+        let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::fast());
+        let rec = outcome.recommendation.expect("advise succeeds");
+        (outcome.baseline_run.elapsed, rec.final_layout().clone())
+    };
+    let (t1, l1) = run();
+    let (t2, l2) = run();
+    assert_eq!(t1, t2);
+    assert_eq!(l1, l2);
+}
