@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Offline CI gate for the WASLA workspace.
+#
+# The build is hermetic by policy: every dependency is an in-tree path
+# crate, so everything here must succeed with no network and no crate
+# registry. Run from anywhere inside the repository.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+step() { echo; echo "== $* =="; }
+
+step "dependency allowlist (path-only, no registry or git deps)"
+# Any `version = "..."` or `git = "..."` dependency spec would reach
+# outside the tree; `[workspace.dependencies]` may declare only
+# `path = ...` entries and crates may only consume them.
+if grep -RnE '\{[^}]*(version|git)[[:space:]]*=' Cargo.toml crates/*/Cargo.toml; then
+    echo "error: non-path dependency found (see matches above)" >&2
+    exit 1
+fi
+if grep -RnE '^[a-zA-Z0-9_-]+[[:space:]]*=[[:space:]]*"' Cargo.toml crates/*/Cargo.toml \
+    | grep -vE '(name|version|edition|license|repository|rust-version|description|path|resolver)[[:space:]]*='; then
+    echo "error: bare-version dependency found (see matches above)" >&2
+    exit 1
+fi
+
+step "formatting"
+cargo fmt --all --check
+
+step "release build (offline)"
+cargo build --release --offline --workspace
+
+step "tests (offline)"
+cargo test -q --offline --workspace
+
+step "benches compile (offline)"
+cargo bench --offline --no-run
+
+echo
+echo "all checks passed"

@@ -4,17 +4,17 @@
 //! gives statistically robust per-phase measurements on a fixed
 //! problem.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 use wasla::core::{
-    initial_layout, recommend, regularize, solve_nlp, AdvisorOptions, LayoutProblem,
-    SolverOptions, UtilizationEstimator,
+    initial_layout, recommend, regularize, solve_nlp, AdvisorOptions, LayoutProblem, SolverOptions,
+    UtilizationEstimator,
 };
 use wasla::model::{calibrate_device, CalibrationGrid, CostModel, TableModel};
 use wasla::simlib::SimRng;
 use wasla::storage::{DeviceSpec, DiskParams, GIB};
 use wasla::workload::{WorkloadSet, WorkloadSpec};
+use wasla_bench::harness::Harness;
 
 /// A synthetic layout problem with `n` objects on `m` disk targets,
 /// deterministic but irregular (mixed rates, run counts, overlaps).
@@ -39,9 +39,7 @@ fn synthetic_problem(n: usize, m: usize, model: Arc<TableModel>) -> LayoutProble
     LayoutProblem {
         workloads: WorkloadSet {
             names: (0..n).map(|i| format!("obj{i}")).collect(),
-            sizes: (0..n)
-                .map(|_| rng.uniform_range(1e7, 4e8) as u64)
-                .collect(),
+            sizes: (0..n).map(|_| rng.uniform_range(1e7, 4e8) as u64).collect(),
             specs,
         },
         kinds: (0..n)
@@ -71,7 +69,7 @@ fn disk_model() -> Arc<TableModel> {
     ))
 }
 
-fn bench_utilization_estimation(c: &mut Criterion) {
+fn bench_utilization_estimation(c: &mut Harness) {
     let model = disk_model();
     let problem = synthetic_problem(40, 4, model);
     let est = UtilizationEstimator::new(&problem);
@@ -81,7 +79,7 @@ fn bench_utilization_estimation(c: &mut Criterion) {
     });
 }
 
-fn bench_solver_phase(c: &mut Criterion) {
+fn bench_solver_phase(c: &mut Harness) {
     let model = disk_model();
     let problem = synthetic_problem(20, 4, model);
     let initial = initial_layout(&problem).expect("initial");
@@ -91,7 +89,7 @@ fn bench_solver_phase(c: &mut Criterion) {
     });
 }
 
-fn bench_regularization_phase(c: &mut Criterion) {
+fn bench_regularization_phase(c: &mut Harness) {
     let model = disk_model();
     let problem = synthetic_problem(20, 4, model);
     let initial = initial_layout(&problem).expect("initial");
@@ -101,7 +99,7 @@ fn bench_regularization_phase(c: &mut Criterion) {
     });
 }
 
-fn bench_full_recommendation(c: &mut Criterion) {
+fn bench_full_recommendation(c: &mut Harness) {
     let model = disk_model();
     let problem = synthetic_problem(20, 4, model);
     let opts = AdvisorOptions {
@@ -113,11 +111,10 @@ fn bench_full_recommendation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
+wasla_bench::bench_main!(
+    "advisor",
     bench_utilization_estimation,
     bench_solver_phase,
     bench_regularization_phase,
     bench_full_recommendation
 );
-criterion_main!(benches);

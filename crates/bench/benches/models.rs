@@ -1,11 +1,11 @@
 //! Micro-benchmarks for cost-model calibration and lookup.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use wasla::model::{calibrate_device, CalibrationGrid, CostModel};
 use wasla::storage::{DeviceSpec, DiskParams, IoKind, GIB};
+use wasla_bench::harness::Harness;
 
-fn bench_calibration(c: &mut Criterion) {
+fn bench_calibration(c: &mut Harness) {
     let spec = DeviceSpec::Disk(DiskParams::scsi_15k(18 * GIB));
     let grid = CalibrationGrid::coarse();
     c.bench_function("calibrate_disk_coarse_grid", |b| {
@@ -13,7 +13,7 @@ fn bench_calibration(c: &mut Criterion) {
     });
 }
 
-fn bench_lookup(c: &mut Criterion) {
+fn bench_lookup(c: &mut Harness) {
     let spec = DeviceSpec::Disk(DiskParams::scsi_15k(18 * GIB));
     let model = calibrate_device(&spec, &CalibrationGrid::default(), 7);
     c.bench_function("table_model_interpolated_lookup", |b| {
@@ -28,7 +28,7 @@ fn bench_lookup(c: &mut Criterion) {
     });
 }
 
-fn bench_model_serialization(c: &mut Criterion) {
+fn bench_model_serialization(c: &mut Harness) {
     let spec = DeviceSpec::Disk(DiskParams::scsi_15k(18 * GIB));
     let model = calibrate_device(&spec, &CalibrationGrid::default(), 7);
     c.bench_function("table_model_json_roundtrip", |b| {
@@ -39,10 +39,9 @@ fn bench_model_serialization(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
+wasla_bench::bench_main!(
+    "models",
     bench_calibration,
     bench_lookup,
     bench_model_serialization
 );
-criterion_main!(benches);

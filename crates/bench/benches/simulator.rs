@@ -1,14 +1,14 @@
 //! Micro-benchmarks for the storage simulator substrate.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use wasla::simlib::{SimRng, SimTime};
 use wasla::storage::{
-    device::DeviceModel, disk::Disk, DeviceSpec, DiskParams, StorageSystem, TargetConfig,
-    TargetIo, GIB,
+    device::DeviceModel, disk::Disk, DeviceSpec, DiskParams, StorageSystem, TargetConfig, TargetIo,
+    GIB,
 };
+use wasla_bench::harness::{Harness, Throughput};
 
-fn bench_disk_service_time(c: &mut Criterion) {
+fn bench_disk_service_time(c: &mut Harness) {
     let mut group = c.benchmark_group("disk_service_time");
     group.bench_function("sequential", |b| {
         let mut disk = Disk::new(DiskParams::scsi_15k(18 * GIB));
@@ -43,7 +43,7 @@ fn bench_disk_service_time(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_storage_system_throughput(c: &mut Criterion) {
+fn bench_storage_system_throughput(c: &mut Harness) {
     let mut group = c.benchmark_group("storage_system");
     let batch = 10_000u64;
     group.throughput(Throughput::Elements(batch));
@@ -74,7 +74,7 @@ fn bench_storage_system_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_raid_translation(c: &mut Criterion) {
+fn bench_raid_translation(c: &mut Harness) {
     let target = TargetConfig::raid0(
         "r4",
         vec![DeviceSpec::Disk(DiskParams::scsi_15k(18 * GIB)); 4],
@@ -86,10 +86,9 @@ fn bench_raid_translation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
+wasla_bench::bench_main!(
+    "simulator",
     bench_disk_service_time,
     bench_storage_system_throughput,
     bench_raid_translation
 );
-criterion_main!(benches);

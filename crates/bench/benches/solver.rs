@@ -1,11 +1,11 @@
 //! Micro-benchmarks for the NLP toolkit.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 use wasla::simlib::SimRng;
 use wasla::solver::{anneal, lse_max, minimize, project_simplex, AnnealOptions, PgOptions};
+use wasla_bench::harness::{BatchSize, Harness};
 
-fn bench_simplex_projection(c: &mut Criterion) {
+fn bench_simplex_projection(c: &mut Harness) {
     let mut group = c.benchmark_group("simplex_projection");
     for m in [4usize, 10, 40] {
         let mut rng = SimRng::new(7);
@@ -24,24 +24,19 @@ fn bench_simplex_projection(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_lse(c: &mut Criterion) {
+fn bench_lse(c: &mut Harness) {
     let values: Vec<f64> = (0..40).map(|i| (i as f64 * 0.7).sin().abs()).collect();
     c.bench_function("lse_max_40", |b| {
         b.iter(|| black_box(lse_max(black_box(&values), 0.05)))
     });
 }
 
-fn bench_projected_gradient(c: &mut Criterion) {
+fn bench_projected_gradient(c: &mut Harness) {
     // A simplex-constrained quadratic comparable to one solver stage of
     // a small layout problem.
     let n = 20;
     let target: Vec<f64> = (0..n).map(|i| ((i * 7) % n) as f64 / n as f64).collect();
-    let f = move |x: &[f64]| -> f64 {
-        x.iter()
-            .zip(&target)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum()
-    };
+    let f = move |x: &[f64]| -> f64 { x.iter().zip(&target).map(|(a, b)| (a - b) * (a - b)).sum() };
     let target2: Vec<f64> = (0..n).map(|i| ((i * 7) % n) as f64 / n as f64).collect();
     let grad = move |x: &[f64], g: &mut [f64]| {
         for i in 0..x.len() {
@@ -62,8 +57,13 @@ fn bench_projected_gradient(c: &mut Criterion) {
     });
 }
 
-fn bench_anneal(c: &mut Criterion) {
-    let f = |x: &[f64]| x.iter().enumerate().map(|(i, v)| v * (i as f64)).sum::<f64>();
+fn bench_anneal(c: &mut Harness) {
+    let f = |x: &[f64]| {
+        x.iter()
+            .enumerate()
+            .map(|(i, v)| v * (i as f64))
+            .sum::<f64>()
+    };
     let x0 = vec![0.25; 4];
     let opts = AnnealOptions {
         steps: 1_000,
@@ -81,11 +81,10 @@ fn bench_anneal(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
+wasla_bench::bench_main!(
+    "solver",
     bench_simplex_projection,
     bench_lse,
     bench_projected_gradient,
     bench_anneal
 );
-criterion_main!(benches);

@@ -86,7 +86,10 @@ pub fn ablation_starts(config: &ExpConfig) -> ExperimentResult {
             vec![
                 ("final_max_util", final_max),
                 ("advise_s", dt),
-                ("fell_back_to_see", f64::from(u8::from(rec.fell_back_to_see))),
+                (
+                    "fell_back_to_see",
+                    f64::from(u8::from(rec.fell_back_to_see)),
+                ),
             ],
         ));
     }
@@ -127,7 +130,8 @@ pub fn ablation_costmodel(config: &ExpConfig) -> ExperimentResult {
     let mut rows = Vec::new();
     let see = wasla::core::Layout::see(outcome.problem.n(), 4);
     for (label, layout) in [("SEE", &see), ("optimized", rec.final_layout())] {
-        let run = pipeline::run_with_layout(&scenario, &workloads, layout, &run_settings(config.seed));
+        let run =
+            pipeline::run_with_layout(&scenario, &workloads, layout, &run_settings(config.seed));
         let measured = run.max_utilization();
         let tab = UtilizationEstimator::new(&outcome.problem).max_utilization(layout);
         let ana = UtilizationEstimator::new(&analytic).max_utilization(layout);
@@ -179,7 +183,11 @@ pub fn ablation_contention(config: &ExpConfig) -> ExperimentResult {
         &wasla::trace::FitConfig::default(),
     );
     let duty = fit_duty_cycles(trace, scenario.catalog.len(), 5.0);
-    let problem = pipeline::build_problem(&scenario, fitted, &crate::common::advise_config(config).grid);
+    let problem = pipeline::build_problem(
+        &scenario,
+        fitted,
+        &crate::common::advise_config(config).grid,
+    );
     let est = UtilizationEstimator::new(&problem);
     let see = Layout::see(problem.n(), problem.m());
 
@@ -235,7 +243,8 @@ pub fn ablation_regularization(config: &ExpConfig) -> ExperimentResult {
         ("solver (non-regular)", &rec.solver_layout),
         ("regularized", rec.final_layout()),
     ] {
-        let run = pipeline::run_with_layout(&scenario, &workloads, layout, &run_settings(config.seed));
+        let run =
+            pipeline::run_with_layout(&scenario, &workloads, layout, &run_settings(config.seed));
         rows.push(Row::new(
             label,
             vec![

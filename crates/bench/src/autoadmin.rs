@@ -30,7 +30,10 @@ pub fn fig20(config: &ExpConfig) -> ExperimentResult {
     let rec1 = outcome1.recommendation.expect("advise succeeds");
 
     let t0 = Instant::now();
-    let aa_layout = autoadmin_layout(&outcome1.problem, &AutoAdminOptions::new(outcome1.problem.n()));
+    let aa_layout = autoadmin_layout(
+        &outcome1.problem,
+        &AutoAdminOptions::new(outcome1.problem.n()),
+    );
     let aa_time = t0.elapsed().as_secs_f64();
 
     text.push_str("--- AutoAdmin layout (from OLAP1-63 inputs) ---\n");

@@ -116,12 +116,8 @@ fn main() {
         for result in &results {
             let path = format!("{dir}/{}.json", result.id);
             let mut f = std::fs::File::create(&path).expect("create result file");
-            f.write_all(
-                serde_json::to_string_pretty(result)
-                    .expect("serialize result")
-                    .as_bytes(),
-            )
-            .expect("write result file");
+            f.write_all(wasla::simlib::json::to_string_pretty(result).as_bytes())
+                .expect("write result file");
         }
         println!("results written to {dir}/");
     }

@@ -1,11 +1,11 @@
 //! Shared experiment plumbing.
 
-use serde::{Deserialize, Serialize};
 use wasla::pipeline::{self, AdviseConfig, AdviseOutcome, RunSettings, Scenario};
+use wasla::simlib::impl_json_struct;
 use wasla::workload::SqlWorkload;
 
 /// Global experiment configuration.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ExpConfig {
     /// Scale factor relative to the paper's data sizes (1.0 = the full
     /// TPC-H SF5 / TPC-C SF90 databases and 18.4 GB disks).
@@ -13,6 +13,8 @@ pub struct ExpConfig {
     /// Base RNG seed for workload mixes and the simulator.
     pub seed: u64,
 }
+
+impl_json_struct!(ExpConfig { scale, seed });
 
 impl Default for ExpConfig {
     fn default() -> Self {
@@ -34,13 +36,15 @@ impl ExpConfig {
 }
 
 /// One labelled row of a result table.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Row {
     /// Row label ("OLAP1-63 SEE", "3-1 optimized", ...).
     pub label: String,
     /// Named metric values.
     pub metrics: Vec<(String, f64)>,
 }
+
+impl_json_struct!(Row { label, metrics });
 
 impl Row {
     /// Builds a row.
@@ -65,7 +69,7 @@ impl Row {
 
 /// A completed experiment: rows plus free-form rendered text (layout
 /// tables etc.).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ExperimentResult {
     /// Experiment id ("fig11", ...).
     pub id: String,
@@ -76,6 +80,13 @@ pub struct ExperimentResult {
     /// Rendered text artifacts (layout tables, notes).
     pub text: String,
 }
+
+impl_json_struct!(ExperimentResult {
+    id,
+    title,
+    rows,
+    text
+});
 
 impl ExperimentResult {
     /// Renders the result as a text report.

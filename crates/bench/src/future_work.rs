@@ -72,10 +72,7 @@ pub fn config_sweep(config: &ExpConfig) -> ExperimentResult {
     let outcome = advise(config, &scenario, &workloads);
     let kinds: Vec<ObjectKind> = scenario.catalog.objects().iter().map(|o| o.kind).collect();
     let pool = ResourcePool {
-        disks: vec![
-            DeviceSpec::Disk(DiskParams::scsi_15k((DISK_BYTES * config.scale) as u64));
-            4
-        ],
+        disks: vec![DeviceSpec::Disk(DiskParams::scsi_15k((DISK_BYTES * config.scale) as u64)); 4],
         standalone: vec![],
         stripe_unit: 256 * 1024,
     };
@@ -126,4 +123,3 @@ pub fn config_sweep(config: &ExpConfig) -> ExperimentResult {
         text,
     }
 }
-

@@ -34,8 +34,18 @@ pub fn fig1(config: &ExpConfig) -> ExperimentResult {
     text.push_str(&render_layout(&outcome.problem, rec.final_layout(), 8));
     // The §2 structural observations, checked programmatically.
     let p = &outcome.problem;
-    let li = p.workloads.names.iter().position(|n| n == "LINEITEM").expect("LINEITEM");
-    let or = p.workloads.names.iter().position(|n| n == "ORDERS").expect("ORDERS");
+    let li = p
+        .workloads
+        .names
+        .iter()
+        .position(|n| n == "LINEITEM")
+        .expect("LINEITEM");
+    let or = p
+        .workloads
+        .names
+        .iter()
+        .position(|n| n == "ORDERS")
+        .expect("ORDERS");
     let layout = rec.final_layout();
     let shared: f64 = (0..p.m())
         .map(|j| layout.get(li, j).min(layout.get(or, j)))
@@ -72,8 +82,14 @@ pub fn fig12(config: &ExpConfig) -> ExperimentResult {
         rows: vec![Row::new(
             "layout",
             vec![
-                ("regular", f64::from(u8::from(rec.final_layout().is_regular()))),
-                ("fell_back_to_see", f64::from(u8::from(rec.fell_back_to_see))),
+                (
+                    "regular",
+                    f64::from(u8::from(rec.final_layout().is_regular())),
+                ),
+                (
+                    "fell_back_to_see",
+                    f64::from(u8::from(rec.fell_back_to_see)),
+                ),
             ],
         )],
         text,
@@ -141,8 +157,14 @@ pub fn fig16(config: &ExpConfig) -> ExperimentResult {
             "layout",
             vec![
                 ("objects", outcome.problem.n() as f64),
-                ("regular", f64::from(u8::from(rec.final_layout().is_regular()))),
-                ("fell_back_to_see", f64::from(u8::from(rec.fell_back_to_see))),
+                (
+                    "regular",
+                    f64::from(u8::from(rec.final_layout().is_regular())),
+                ),
+                (
+                    "fell_back_to_see",
+                    f64::from(u8::from(rec.fell_back_to_see)),
+                ),
             ],
         )],
         text,

@@ -29,6 +29,7 @@ pub mod ablations;
 pub mod autoadmin;
 pub mod common;
 pub mod future_work;
+pub mod harness;
 pub mod layouts;
 pub mod models;
 pub mod runs;

@@ -27,10 +27,7 @@ pub fn fig11(config: &ExpConfig) -> ExperimentResult {
         );
         let see_s = outcome.baseline_run.elapsed.as_secs();
         let opt_s = optimized.elapsed.as_secs();
-        rows.push(Row::new(
-            format!("{name} SEE"),
-            vec![("elapsed_s", see_s)],
-        ));
+        rows.push(Row::new(format!("{name} SEE"), vec![("elapsed_s", see_s)]));
         rows.push(Row::new(
             format!("{name} optimized"),
             vec![("elapsed_s", opt_s), ("speedup", see_s / opt_s)],
@@ -83,7 +80,10 @@ pub fn fig15(config: &ExpConfig) -> ExperimentResult {
                 ("olap_elapsed_s", opt_s),
                 ("oltp_tpm", optimized.tpm),
                 ("olap_speedup", see_s / opt_s),
-                ("tpm_ratio", optimized.tpm / outcome.baseline_run.tpm.max(1e-9)),
+                (
+                    "tpm_ratio",
+                    optimized.tpm / outcome.baseline_run.tpm.max(1e-9),
+                ),
             ],
         ),
     ];
@@ -110,16 +110,16 @@ pub fn fig17(config: &ExpConfig) -> ExperimentResult {
         let outcome = advise(config, &scenario, &workloads);
         let rec = outcome.recommendation.expect("advise succeeds");
         let see_s = outcome.baseline_run.elapsed.as_secs();
-        rows.push(Row::new(
-            format!("{label} SEE"),
-            vec![("elapsed_s", see_s)],
-        ));
+        rows.push(Row::new(format!("{label} SEE"), vec![("elapsed_s", see_s)]));
         // Administrator heuristics per §6.4: isolate tables on the big
         // target for 3-1; tables/indexes/temp three ways for 2-1-1.
         match label {
             "3-1" => {
                 let l = baselines::isolate_tables(&outcome.problem, 0);
-                if l.is_valid(&outcome.problem.workloads.sizes, &outcome.problem.capacities) {
+                if l.is_valid(
+                    &outcome.problem.workloads.sizes,
+                    &outcome.problem.capacities,
+                ) {
                     let r = pipeline::run_with_layout(
                         &scenario,
                         &workloads,
@@ -134,7 +134,10 @@ pub fn fig17(config: &ExpConfig) -> ExperimentResult {
             }
             "2-1-1" => {
                 let l = baselines::isolate_tables_and_indexes(&outcome.problem, 0, 1, 2);
-                if l.is_valid(&outcome.problem.workloads.sizes, &outcome.problem.capacities) {
+                if l.is_valid(
+                    &outcome.problem.workloads.sizes,
+                    &outcome.problem.capacities,
+                ) {
                     let r = pipeline::run_with_layout(
                         &scenario,
                         &workloads,
@@ -192,7 +195,10 @@ pub fn fig18(config: &ExpConfig) -> ExperimentResult {
             vec![("elapsed_s", see_s)],
         ));
         let all_ssd = baselines::all_on_target(&outcome.problem, 4);
-        if all_ssd.is_valid(&outcome.problem.workloads.sizes, &outcome.problem.capacities) {
+        if all_ssd.is_valid(
+            &outcome.problem.workloads.sizes,
+            &outcome.problem.capacities,
+        ) {
             let r = pipeline::run_with_layout(
                 &scenario,
                 &workloads,

@@ -29,7 +29,11 @@ fn disk_problem(
         .map(|j| TargetConfig::single(format!("disk{j}"), disk.clone()))
         .collect();
     let grid = advise_config(config).grid;
-    let model = Arc::new(TargetCostModel::from_target(&targets[0], &grid, config.seed));
+    let model = Arc::new(TargetCostModel::from_target(
+        &targets[0],
+        &grid,
+        config.seed,
+    ));
     LayoutProblem {
         kinds,
         capacities: targets.iter().map(|t| t.capacity()).collect(),

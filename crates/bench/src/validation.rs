@@ -37,12 +37,9 @@ pub fn validate_eq1(config: &ExpConfig) -> ExperimentResult {
                 run_count: run,
                 overlaps: vec![],
             };
-            let predicted =
-                (rate * model.request_cost(IoKind::Read, size, run, 0.0)).min(1.0);
-            let mut storage = StorageSystem::new(
-                vec![TargetConfig::single("d0", spec.clone())],
-                config.seed,
-            );
+            let predicted = (rate * model.request_cost(IoKind::Read, size, run, 0.0)).min(1.0);
+            let mut storage =
+                StorageSystem::new(vec![TargetConfig::single("d0", spec.clone())], config.seed);
             let streams = [OpenStream {
                 spec: wspec,
                 target: 0,
@@ -89,7 +86,9 @@ pub fn fig15_pagesize(config: &ExpConfig) -> ExperimentResult {
     let scenario = Scenario::consolidation(config.scale);
     let workloads = [
         SqlWorkload::olap1_21(config.seed).with_request_sizes(|r| r.min(8192)),
-        SqlWorkload::oltp().with_prefix("C_").with_request_sizes(|r| r.min(8192)),
+        SqlWorkload::oltp()
+            .with_prefix("C_")
+            .with_request_sizes(|r| r.min(8192)),
     ];
     let outcome = advise(config, &scenario, &workloads);
     let rec = outcome.recommendation.expect("advise succeeds");
@@ -103,8 +102,18 @@ pub fn fig15_pagesize(config: &ExpConfig) -> ExperimentResult {
     let opt_s = optimized.elapsed.as_secs();
     // LINEITEM / C_STOCK separation metric.
     let p = &outcome.problem;
-    let li = p.workloads.names.iter().position(|n| n == "LINEITEM").expect("LINEITEM");
-    let st = p.workloads.names.iter().position(|n| n == "C_STOCK").expect("C_STOCK");
+    let li = p
+        .workloads
+        .names
+        .iter()
+        .position(|n| n == "LINEITEM")
+        .expect("LINEITEM");
+    let st = p
+        .workloads
+        .names
+        .iter()
+        .position(|n| n == "C_STOCK")
+        .expect("C_STOCK");
     let layout = rec.final_layout();
     let shared: f64 = (0..p.m())
         .map(|j| layout.get(li, j).min(layout.get(st, j)))
@@ -123,9 +132,15 @@ pub fn fig15_pagesize(config: &ExpConfig) -> ExperimentResult {
                 ("olap_elapsed_s", opt_s),
                 ("oltp_tpm", optimized.tpm),
                 ("olap_speedup", see_s / opt_s),
-                ("tpm_ratio", optimized.tpm / outcome.baseline_run.tpm.max(1e-9)),
+                (
+                    "tpm_ratio",
+                    optimized.tpm / outcome.baseline_run.tpm.max(1e-9),
+                ),
                 ("lineitem_stock_shared", shared),
-                ("fell_back_to_see", f64::from(u8::from(rec.fell_back_to_see))),
+                (
+                    "fell_back_to_see",
+                    f64::from(u8::from(rec.fell_back_to_see)),
+                ),
             ],
         ),
     ];

@@ -1,0 +1,77 @@
+//! Golden tests pinning the in-tree JSON codec to the exact bytes the
+//! seed repository produced with serde_json.
+//!
+//! Every checked-in experiment result under `results/` was written by
+//! `serde_json::to_string_pretty`. Re-encoding the parsed value with
+//! the in-tree writer must reproduce the file byte for byte — this is
+//! what lets result trajectories stay diffable across the dependency
+//! swap.
+
+use std::path::PathBuf;
+use wasla::simlib::json::{self, Json};
+use wasla_bench::ExperimentResult;
+
+fn results_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"))
+}
+
+/// The checked-in experiment results (`BENCH_*.json` files are
+/// wall-clock bench reports, regenerated locally, and not golden).
+fn golden_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(results_dir())
+        .expect("results/ exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            let name = p.file_name().unwrap_or_default().to_string_lossy();
+            name.ends_with(".json") && !name.starts_with("BENCH_")
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn seed_results_reencode_byte_identical_as_json_values() {
+    let files = golden_files();
+    assert!(!files.is_empty(), "no seed result files found");
+    for path in &files {
+        let text = std::fs::read_to_string(path).expect("read result");
+        let value =
+            Json::parse(&text).unwrap_or_else(|e| panic!("{}: parse failed: {e}", path.display()));
+        assert_eq!(
+            value.to_string_pretty(),
+            text,
+            "{}: pretty re-encoding differs from the serde_json bytes",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn seed_results_round_trip_through_experiment_result() {
+    for path in &golden_files() {
+        let text = std::fs::read_to_string(path).expect("read result");
+        let result: ExperimentResult = json::from_str(&text)
+            .unwrap_or_else(|e| panic!("{}: decode failed: {e}", path.display()));
+        assert_eq!(
+            json::to_string_pretty(&result),
+            text,
+            "{}: ExperimentResult re-encoding differs from the seed bytes",
+            path.display()
+        );
+        assert!(!result.id.is_empty());
+    }
+}
+
+#[test]
+fn compact_encoding_matches_serde_json_conventions() {
+    // A spot check of serde_json's compact conventions the writer must
+    // keep: no spaces, struct field order, tuples as arrays, u64
+    // integers unsuffixed, floats with minimal round-trip digits.
+    let row = wasla_bench::Row::new("SEE", vec![("elapsed", 12.5), ("tpm", 3.0)]);
+    assert_eq!(
+        json::to_string(&row),
+        r#"{"label":"SEE","metrics":[["elapsed",12.5],["tpm",3.0]]}"#
+    );
+}

@@ -13,8 +13,9 @@ use crate::initial::{initial_layout, InitialLayoutError};
 use crate::optimizer::{solve_multistart, NlpOutcome, SolverOptions};
 use crate::problem::{Layout, LayoutProblem};
 use crate::regularize::{regularize, RegularizeError};
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
+use wasla_simlib::impl_json_struct;
+use wasla_simlib::json::{self, FromJson, Json, JsonError, ToJson};
 use wasla_simlib::SimRng;
 
 /// Advisor configuration.
@@ -117,7 +118,7 @@ fn random_start(problem: &LayoutProblem, rng: &mut SimRng) -> Option<Layout> {
 }
 
 /// Advisor failure modes.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum AdvisorError {
     /// The problem description is inconsistent.
     InvalidProblem(String),
@@ -125,6 +126,35 @@ pub enum AdvisorError {
     Initial(InitialLayoutError),
     /// Regularization dead-ended (§4.3's manual-intervention case).
     Regularize(RegularizeError),
+}
+
+impl ToJson for AdvisorError {
+    fn to_json(&self) -> Json {
+        match self {
+            AdvisorError::InvalidProblem(msg) => json::variant("InvalidProblem", msg.to_json()),
+            AdvisorError::Initial(e) => json::variant("Initial", e.to_json()),
+            AdvisorError::Regularize(e) => json::variant("Regularize", e.to_json()),
+        }
+    }
+}
+
+impl FromJson for AdvisorError {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match json::untag(v)? {
+            ("InvalidProblem", payload) => {
+                String::from_json(payload).map(AdvisorError::InvalidProblem)
+            }
+            ("Initial", payload) => {
+                InitialLayoutError::from_json(payload).map(AdvisorError::Initial)
+            }
+            ("Regularize", payload) => {
+                RegularizeError::from_json(payload).map(AdvisorError::Regularize)
+            }
+            (other, _) => Err(JsonError::new(format!(
+                "unknown AdvisorError variant: {other:?}"
+            ))),
+        }
+    }
 }
 
 impl std::fmt::Display for AdvisorError {
@@ -141,7 +171,7 @@ impl std::error::Error for AdvisorError {}
 
 /// Predicted utilizations at one stage of the pipeline (one group of
 /// bars in the paper's Figure 13).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct StageReport {
     /// Stage name: "see", "initial", "solver", or "regular".
     pub stage: String,
@@ -151,8 +181,14 @@ pub struct StageReport {
     pub max_utilization: f64,
 }
 
+impl_json_struct!(StageReport {
+    stage,
+    utilizations,
+    max_utilization
+});
+
 /// Wall-clock costs of the advisor phases (paper Figure 19's columns).
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct Timings {
     /// Initial-layout construction (paper: "much less than a second").
     pub initial_s: f64,
@@ -161,6 +197,12 @@ pub struct Timings {
     /// Regularization post-processing time.
     pub regularize_s: f64,
 }
+
+impl_json_struct!(Timings {
+    initial_s,
+    solver_s,
+    regularize_s
+});
 
 impl Timings {
     /// Total advisor time.
@@ -209,9 +251,7 @@ pub fn recommend(
     problem: &LayoutProblem,
     options: &AdvisorOptions,
 ) -> Result<Recommendation, AdvisorError> {
-    problem
-        .validate()
-        .map_err(AdvisorError::InvalidProblem)?;
+    problem.validate().map_err(AdvisorError::InvalidProblem)?;
     let est = UtilizationEstimator::new(problem);
     let mut stages = Vec::new();
     let mut record = |name: &str, layout: &Layout| {

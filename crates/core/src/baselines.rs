@@ -114,9 +114,7 @@ mod tests {
             workloads: WorkloadSet {
                 names: (0..n).map(|i| format!("o{i}")).collect(),
                 sizes: vec![100; n],
-                specs: (0..n)
-                    .map(|_| WorkloadSpec::idle(n))
-                    .collect(),
+                specs: (0..n).map(|_| WorkloadSpec::idle(n)).collect(),
             },
             kinds,
             capacities: vec![10_000; 3],

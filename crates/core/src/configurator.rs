@@ -68,7 +68,10 @@ pub fn targets_for_partition(pool: &ResourcePool, partition: &[usize]) -> Vec<Ta
         let members: Vec<DeviceSpec> = pool.disks[next..next + width].to_vec();
         next += width;
         if width == 1 {
-            targets.push(TargetConfig::single(format!("disk{g}"), members.into_iter().next().expect("one member")));
+            targets.push(TargetConfig::single(
+                format!("disk{g}"),
+                members.into_iter().next().expect("one member"),
+            ));
         } else {
             targets.push(TargetConfig::raid0(
                 format!("raid{width}x-{g}"),
@@ -224,11 +227,8 @@ mod tests {
             7,
         );
         assert_eq!(outcomes.len(), 2); // [2] and [1,1]
-        // Best-first ordering.
-        assert!(
-            outcomes[0].predicted_max_utilization
-                <= outcomes[1].predicted_max_utilization
-        );
+                                       // Best-first ordering.
+        assert!(outcomes[0].predicted_max_utilization <= outcomes[1].predicted_max_utilization);
         // Separating the interfering scans should win.
         assert_eq!(outcomes[0].label, "1-1");
     }

@@ -14,7 +14,7 @@
 use crate::advisor::{recommend, AdvisorError, AdvisorOptions};
 use crate::estimator::UtilizationEstimator;
 use crate::problem::{Layout, LayoutProblem};
-use serde::{Deserialize, Serialize};
+use wasla_simlib::impl_json_struct;
 
 /// Outcome of one re-advising round.
 #[derive(Clone, Debug)]
@@ -34,12 +34,14 @@ pub struct ReadviseOutcome {
 }
 
 /// Options for [`readvise`].
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DynamicOptions {
     /// Minimum relative utilization improvement that justifies moving
     /// data (e.g. 0.1 = migrate only for a ≥10% better objective).
     pub migrate_threshold: f64,
 }
+
+impl_json_struct!(DynamicOptions { migrate_threshold });
 
 impl Default for DynamicOptions {
     fn default() -> Self {
@@ -213,8 +215,6 @@ mod tests {
         )
         .unwrap();
         assert!(out.migrate, "capacity violation must force migration");
-        assert!(out
-            .layout
-            .is_valid(&p.workloads.sizes, &p.capacities));
+        assert!(out.layout.is_valid(&p.workloads.sizes, &p.capacities));
     }
 }

@@ -119,9 +119,7 @@ impl<'a> UtilizationEstimator<'a> {
 
     /// The objective `max_j µⱼ` (paper Definition 1).
     pub fn max_utilization(&self, layout: &Layout) -> f64 {
-        self.utilizations(layout)
-            .into_iter()
-            .fold(0.0, f64::max)
+        self.utilizations(layout).into_iter().fold(0.0, f64::max)
     }
 
     /// The full `µᵢⱼ` matrix.
@@ -261,9 +259,7 @@ mod tests {
         let mu = est.mu_matrix(&l);
         let total_0: f64 = mu[0].iter().sum();
         assert!((est.object_load(&l, 0) - total_0).abs() < 1e-12);
-        let by_target: Vec<f64> = (0..2)
-            .map(|j| mu[0][j] + mu[1][j])
-            .collect();
+        let by_target: Vec<f64> = (0..2).map(|j| mu[0][j] + mu[1][j]).collect();
         let direct = est.utilizations(&l);
         for (a, b) in by_target.iter().zip(&direct) {
             assert!((a - b).abs() < 1e-12);

@@ -116,10 +116,8 @@ pub fn make_projection(problem: &LayoutProblem) -> impl Fn(&mut [f64]) + '_ {
             let banned = &forbidden[i];
             if banned.iter().any(|&b| b) {
                 // Project the allowed coordinates only.
-                let mut allowed: Vec<f64> = (0..m)
-                    .filter(|&j| !banned[j])
-                    .map(|j| row[j])
-                    .collect();
+                let mut allowed: Vec<f64> =
+                    (0..m).filter(|&j| !banned[j]).map(|j| row[j]).collect();
                 project_simplex(&mut allowed);
                 let mut it = allowed.into_iter();
                 for (j, v) in row.iter_mut().enumerate() {

@@ -1,8 +1,9 @@
 //! The layout problem formulation (paper §3).
 
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use wasla_model::CostModel;
+use wasla_simlib::impl_json_struct;
+use wasla_simlib::json::{self, FromJson, Json, JsonError, ToJson};
 use wasla_workload::{ObjectKind, WorkloadSet};
 
 /// Tolerance for the integrity constraint (row sums) and regularity
@@ -12,11 +13,13 @@ pub const EPS: f64 = 1e-6;
 /// A layout `L`: an N × M matrix where `L[i][j]` is the fraction of
 /// object `i` assigned to target `j` (paper Definition 1's decision
 /// variables).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Layout {
     rows: Vec<Vec<f64>>,
     m: usize,
 }
+
+impl_json_struct!(Layout { rows, m });
 
 impl Layout {
     /// An all-zero (invalid) layout to be filled in.
@@ -128,9 +131,7 @@ impl Layout {
     pub fn is_regular(&self) -> bool {
         self.rows.iter().all(|r| {
             let nz: Vec<f64> = r.iter().copied().filter(|&v| v > EPS).collect();
-            nz.windows(2)
-                .all(|w| (w[0] - w[1]).abs() < 1e-3)
-                && !nz.is_empty()
+            nz.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-3) && !nz.is_empty()
         })
     }
 
@@ -156,7 +157,7 @@ impl Layout {
 /// Administrative placement constraints (paper §4.1: "if administrative
 /// constraints require certain objects to be laid out onto particular
 /// targets, we can easily add such constraints").
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum AdminConstraint {
     /// Object `object` must be placed entirely on target `target`.
     PinTo {
@@ -174,9 +175,48 @@ pub enum AdminConstraint {
     },
 }
 
+// Externally tagged struct variants, matching the serde derive:
+// `{"PinTo": {"object": 0, "target": 1}}`.
+impl ToJson for AdminConstraint {
+    fn to_json(&self) -> Json {
+        let (tag, object, target) = match *self {
+            AdminConstraint::PinTo { object, target } => ("PinTo", object, target),
+            AdminConstraint::Forbid { object, target } => ("Forbid", object, target),
+        };
+        json::variant(
+            tag,
+            Json::Obj(vec![
+                ("object".to_string(), object.to_json()),
+                ("target".to_string(), target.to_json()),
+            ]),
+        )
+    }
+}
+
+impl FromJson for AdminConstraint {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = json::untag(v)?;
+        let get = |name: &str| {
+            payload
+                .field(name)
+                .ok_or_else(|| JsonError::missing_field(name))
+        };
+        let object = usize::from_json(get("object")?)?;
+        let target = usize::from_json(get("target")?)?;
+        match tag {
+            "PinTo" => Ok(AdminConstraint::PinTo { object, target }),
+            "Forbid" => Ok(AdminConstraint::Forbid { object, target }),
+            other => Err(JsonError::new(format!(
+                "unknown AdminConstraint variant: {other:?}"
+            ))),
+        }
+    }
+}
+
 /// The complete advisor input: `N` objects with workload descriptions,
 /// `M` targets with capacities and performance models, and optional
 /// administrative constraints (paper Figure 3's parameter table).
+#[derive(Clone)]
 pub struct LayoutProblem {
     /// Per-object workload descriptions, names and sizes.
     pub workloads: WorkloadSet,
@@ -259,9 +299,7 @@ impl LayoutProblem {
     /// True if the layout obeys every admin constraint.
     pub fn satisfies_constraints(&self, layout: &Layout) -> bool {
         self.constraints.iter().all(|c| match *c {
-            AdminConstraint::PinTo { object, target } => {
-                layout.get(object, target) > 1.0 - 1e-3
-            }
+            AdminConstraint::PinTo { object, target } => layout.get(object, target) > 1.0 - 1e-3,
             AdminConstraint::Forbid { object, target } => layout.get(object, target) < EPS,
         })
     }

@@ -24,10 +24,10 @@
 
 use crate::estimator::UtilizationEstimator;
 use crate::problem::{AdminConstraint, Layout, LayoutProblem, EPS};
-use serde::{Deserialize, Serialize};
+use wasla_simlib::json::{self, FromJson, Json, JsonError, ToJson};
 
 /// Regularization failure (paper §4.3's "manual intervention" case).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum RegularizeError {
     /// All 2M candidates for this object violate capacity or admin
     /// constraints.
@@ -35,6 +35,35 @@ pub enum RegularizeError {
         /// The object that could not be regularized.
         object: usize,
     },
+}
+
+impl ToJson for RegularizeError {
+    fn to_json(&self) -> Json {
+        match *self {
+            RegularizeError::DeadEnd { object } => json::variant(
+                "DeadEnd",
+                Json::Obj(vec![("object".to_string(), object.to_json())]),
+            ),
+        }
+    }
+}
+
+impl FromJson for RegularizeError {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match json::untag(v)? {
+            ("DeadEnd", payload) => {
+                let object = payload
+                    .field("object")
+                    .ok_or_else(|| JsonError::missing_field("object"))?;
+                Ok(RegularizeError::DeadEnd {
+                    object: usize::from_json(object)?,
+                })
+            }
+            (other, _) => Err(JsonError::new(format!(
+                "unknown RegularizeError variant: {other:?}"
+            ))),
+        }
+    }
 }
 
 impl std::fmt::Display for RegularizeError {
@@ -136,8 +165,7 @@ fn place_best(
         row[t] = 1.0;
         vec![row]
     } else {
-        let mut cands =
-            consistent_candidates(solver.row(i), &forbidden, &remaining, sizes[i], m);
+        let mut cands = consistent_candidates(solver.row(i), &forbidden, &remaining, sizes[i], m);
         cands.extend(balancing_candidates(
             est, current, i, &forbidden, &remaining, sizes[i], m,
         ));
@@ -347,10 +375,7 @@ mod tests {
             object: 0,
             target: 2,
         }];
-        let solver = Layout::from_rows(vec![
-            vec![0.0, 0.0, 1.0],
-            vec![0.4, 0.4, 0.2],
-        ]);
+        let solver = Layout::from_rows(vec![vec![0.0, 0.0, 1.0], vec![0.4, 0.4, 0.2]]);
         let reg = regularize(&p, &solver).unwrap();
         assert!(reg.get(0, 2) > 0.999);
         assert!(reg.is_regular());

@@ -1,12 +1,12 @@
 //! Property tests for the advisor's invariants.
 
-use proptest::prelude::*;
 use std::sync::Arc;
 use wasla_core::{
     initial_layout, layout_model, regularize, solve_nlp, Layout, LayoutProblem, SolverOptions,
     UtilizationEstimator,
 };
 use wasla_model::CostModel;
+use wasla_simlib::proptest::prelude::*;
 use wasla_storage::IoKind;
 use wasla_workload::{ObjectKind, WorkloadSet, WorkloadSpec};
 
@@ -23,43 +23,44 @@ impl CostModel for TestModel {
 }
 
 /// Strategy for a random layout problem with loose capacity.
-fn problem_strategy() -> impl Strategy<Value = LayoutProblem> {
-    (2usize..8, 2usize..5).prop_flat_map(|(n, m)| {
-        (
-            proptest::collection::vec(0.0f64..200.0, n),     // rates
-            proptest::collection::vec(1.0f64..128.0, n),     // run counts
-            proptest::collection::vec(0.0f64..1.0, n * n),   // overlaps
-            proptest::collection::vec(1u64..200_000, n),     // sizes
-            Just((n, m)),
-        )
-    })
-    .prop_map(|(rates, runs, overlaps, sizes, (n, m))| {
-        let specs = (0..n)
-            .map(|i| WorkloadSpec {
-                read_size: 65536.0,
-                write_size: 8192.0,
-                read_rate: rates[i],
-                write_rate: rates[i] * 0.1,
-                run_count: runs[i],
-                overlaps: (0..n)
-                    .map(|j| if i == j { 0.0 } else { overlaps[i * n + j] })
-                    .collect(),
-            })
-            .collect();
-        LayoutProblem {
-            workloads: WorkloadSet {
-                names: (0..n).map(|i| format!("o{i}")).collect(),
-                sizes: sizes.clone(),
-                specs,
-            },
-            kinds: vec![ObjectKind::Table; n],
-            capacities: vec![sizes.iter().sum::<u64>() * 2; m],
-            target_names: (0..m).map(|j| format!("t{j}")).collect(),
-            models: (0..m).map(|_| Arc::new(TestModel) as _).collect(),
-            stripe_size: 1024.0 * 1024.0,
-            constraints: vec![],
-        }
-    })
+fn problem_strategy() -> Strategy<LayoutProblem> {
+    (2usize..8, 2usize..5)
+        .prop_flat_map(|(n, m)| {
+            (
+                proptest::collection::vec(0.0f64..200.0, n),   // rates
+                proptest::collection::vec(1.0f64..128.0, n),   // run counts
+                proptest::collection::vec(0.0f64..1.0, n * n), // overlaps
+                proptest::collection::vec(1u64..200_000, n),   // sizes
+                Just((n, m)),
+            )
+        })
+        .prop_map(|(rates, runs, overlaps, sizes, (n, m))| {
+            let specs = (0..n)
+                .map(|i| WorkloadSpec {
+                    read_size: 65536.0,
+                    write_size: 8192.0,
+                    read_rate: rates[i],
+                    write_rate: rates[i] * 0.1,
+                    run_count: runs[i],
+                    overlaps: (0..n)
+                        .map(|j| if i == j { 0.0 } else { overlaps[i * n + j] })
+                        .collect(),
+                })
+                .collect();
+            LayoutProblem {
+                workloads: WorkloadSet {
+                    names: (0..n).map(|i| format!("o{i}")).collect(),
+                    sizes: sizes.clone(),
+                    specs,
+                },
+                kinds: vec![ObjectKind::Table; n],
+                capacities: vec![sizes.iter().sum::<u64>() * 2; m],
+                target_names: (0..m).map(|j| format!("t{j}")).collect(),
+                models: (0..m).map(|_| Arc::new(TestModel) as _).collect(),
+                stripe_size: 1024.0 * 1024.0,
+                constraints: vec![],
+            }
+        })
 }
 
 proptest! {

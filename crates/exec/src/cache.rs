@@ -22,11 +22,11 @@
 //! The model is deliberately simple: the advisor never sees it; it only
 //! shapes the physical request streams the same way a real cache would.
 
-use serde::{Deserialize, Serialize};
+use wasla_simlib::impl_json_struct;
 use wasla_workload::{Catalog, ObjectKind};
 
 /// Per-object cache behaviour produced by the pool model.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ObjectCachePolicy {
     /// Probability a random logical read is served from memory.
     pub random_hit: f64,
@@ -36,11 +36,20 @@ pub struct ObjectCachePolicy {
 }
 
 /// The buffer-pool model: per-object hit probabilities.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct BufferPool {
     policies: Vec<ObjectCachePolicy>,
     pool_bytes: u64,
 }
+
+impl_json_struct!(ObjectCachePolicy {
+    random_hit,
+    scan_hit
+});
+impl_json_struct!(BufferPool {
+    policies,
+    pool_bytes
+});
 
 /// Residency probability for objects that fit entirely in their grant.
 const RESIDENT_HIT: f64 = 0.92;

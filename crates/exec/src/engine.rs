@@ -15,8 +15,8 @@ use crate::placement::Placement;
 use crate::report::{ObjectIoStats, RunReport};
 use wasla_simlib::{SimRng, SimTime};
 use wasla_storage::{BlockTraceRecord, IoKind, StorageSystem, TargetIo, Trace};
-use wasla_workload::{AccessKind, Catalog, SqlWorkload};
 use wasla_workload::sql::SqlWorkloadKind;
+use wasla_workload::{AccessKind, Catalog, SqlWorkload};
 
 /// Engine tunables.
 #[derive(Clone, Debug)]
@@ -282,15 +282,15 @@ impl<'a> Engine<'a> {
         if self.has_olap {
             // Consolidated and OLAP-only runs end when every OLAP
             // workload has finished its sequence.
-            self.workloads.iter().zip(&self.progress).all(|(w, p)| {
-                match (&w.kind, p) {
-                    (
-                        SqlWorkloadKind::Olap(c),
-                        WorkloadProgress::Olap { completed, .. },
-                    ) => *completed >= c.sequence.len(),
+            self.workloads
+                .iter()
+                .zip(&self.progress)
+                .all(|(w, p)| match (&w.kind, p) {
+                    (SqlWorkloadKind::Olap(c), WorkloadProgress::Olap { completed, .. }) => {
+                        *completed >= c.sequence.len()
+                    }
                     _ => true,
-                }
-            })
+                })
         } else if let Some(cap) = self.config.txn_cap {
             self.progress.iter().all(|p| match p {
                 WorkloadProgress::Oltp { txns, .. } => *txns >= cap,
@@ -386,10 +386,8 @@ impl<'a> Engine<'a> {
             let n_steps = phases[phase].len();
             let mut live = 0usize;
             for s in 0..n_steps {
-                let step_spec =
-                    self.workloads[widx].templates[template].phases[phase][s].clone();
-                let is_oltp =
-                    matches!(self.workloads[widx].kind, SqlWorkloadKind::Oltp(_));
+                let step_spec = self.workloads[widx].templates[template].phases[phase][s].clone();
+                let is_oltp = matches!(self.workloads[widx].kind, SqlWorkloadKind::Oltp(_));
                 if let Some(sidx) = self.spawn_step(qidx, &step_spec, is_oltp, now, pool) {
                     if self.steps[sidx].as_ref().expect("just spawned").alive() {
                         live += 1;
@@ -534,7 +532,11 @@ impl<'a> Engine<'a> {
                 trace.push(BlockTraceRecord {
                     time: now,
                     stream: object as u32,
-                    kind: if is_write { IoKind::Write } else { IoKind::Read },
+                    kind: if is_write {
+                        IoKind::Write
+                    } else {
+                        IoKind::Read
+                    },
                     offset,
                     len,
                 });
@@ -553,7 +555,11 @@ impl<'a> Engine<'a> {
             let parts = self.translate_buf.len() as u32;
             let step = self.steps[sidx].as_mut().expect("live step");
             step.outstanding += parts;
-            let kind = if is_write { IoKind::Write } else { IoKind::Read };
+            let kind = if is_write {
+                IoKind::Write
+            } else {
+                IoKind::Read
+            };
             // Move the buffer out to appease the borrow checker, then
             // restore it (no allocation in steady state).
             let buf = std::mem::take(&mut self.translate_buf);
@@ -630,14 +636,8 @@ impl<'a> Engine<'a> {
                 if now.as_secs() >= self.config.oltp_warmup {
                     *txns_after_warmup += 1;
                 }
-                let under_cap = self
-                    .config
-                    .txn_cap
-                    .map_or(true, |cap| *txns < cap);
-                let under_time = self
-                    .config
-                    .max_time
-                    .map_or(true, |cap| now.as_secs() < cap);
+                let under_cap = self.config.txn_cap.map_or(true, |cap| *txns < cap);
+                let under_time = self.config.max_time.map_or(true, |cap| now.as_secs() < cap);
                 if under_cap && under_time {
                     let template = self.sample_txn_template(widx);
                     self.start_query(widx, template, now, pool);
@@ -808,7 +808,12 @@ mod tests {
         assert_eq!(c8.queries_completed, 63);
         // Concurrency overlaps I/O across targets: wall-clock drops even
         // though per-disk efficiency suffers.
-        assert!(c8.elapsed < c1.elapsed, "c8 {:?} c1 {:?}", c8.elapsed, c1.elapsed);
+        assert!(
+            c8.elapsed < c1.elapsed,
+            "c8 {:?} c1 {:?}",
+            c8.elapsed,
+            c1.elapsed
+        );
     }
 
     #[test]

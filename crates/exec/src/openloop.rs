@@ -246,10 +246,7 @@ mod tests {
         };
         let random = measure(1.0);
         let sequential = measure(256.0);
-        assert!(
-            sequential < 0.7 * random,
-            "seq {sequential} rand {random}"
-        );
+        assert!(sequential < 0.7 * random, "seq {sequential} rand {random}");
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //!   contiguous per-target chunks sized by the fractions, the way a
 //!   volume manager concatenates extents.
 
-use serde::{Deserialize, Serialize};
+use wasla_simlib::impl_json_struct;
+use wasla_simlib::json::{self, FromJson, Json, JsonError, ToJson};
 use wasla_storage::TargetId;
 
 /// Default LVM stripe size (bytes), matching the layout model's
@@ -25,7 +26,7 @@ pub const DEFAULT_STRIPE: u64 = 1024 * 1024;
 const REGULAR_EPS: f64 = 1e-6;
 
 /// Errors raised while building a placement.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum PlacementError {
     /// A row does not sum to 1 (integrity constraint violated).
     BadRow {
@@ -45,6 +46,67 @@ pub enum PlacementError {
     },
     /// Row length doesn't match the number of targets.
     ShapeMismatch,
+}
+
+impl ToJson for PlacementError {
+    fn to_json(&self) -> Json {
+        match *self {
+            PlacementError::BadRow { object, sum } => json::variant(
+                "BadRow",
+                Json::Obj(vec![
+                    ("object".to_string(), object.to_json()),
+                    ("sum".to_string(), sum.to_json()),
+                ]),
+            ),
+            PlacementError::OverCapacity {
+                target,
+                assigned,
+                capacity,
+            } => json::variant(
+                "OverCapacity",
+                Json::Obj(vec![
+                    ("target".to_string(), target.to_json()),
+                    ("assigned".to_string(), assigned.to_json()),
+                    ("capacity".to_string(), capacity.to_json()),
+                ]),
+            ),
+            PlacementError::ShapeMismatch => Json::Str("ShapeMismatch".to_string()),
+        }
+    }
+}
+
+impl FromJson for PlacementError {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Json::Str(s) = v {
+            return if s == "ShapeMismatch" {
+                Ok(PlacementError::ShapeMismatch)
+            } else {
+                Err(JsonError::new(format!(
+                    "unknown PlacementError variant: {s:?}"
+                )))
+            };
+        }
+        let (tag, payload) = json::untag(v)?;
+        let get = |name: &str| {
+            payload
+                .field(name)
+                .ok_or_else(|| JsonError::missing_field(name))
+        };
+        match tag {
+            "BadRow" => Ok(PlacementError::BadRow {
+                object: usize::from_json(get("object")?)?,
+                sum: f64::from_json(get("sum")?)?,
+            }),
+            "OverCapacity" => Ok(PlacementError::OverCapacity {
+                target: usize::from_json(get("target")?)?,
+                assigned: u64::from_json(get("assigned")?)?,
+                capacity: u64::from_json(get("capacity")?)?,
+            }),
+            other => Err(JsonError::new(format!(
+                "unknown PlacementError variant: {other:?}"
+            ))),
+        }
+    }
 }
 
 impl std::fmt::Display for PlacementError {
@@ -69,7 +131,7 @@ impl std::fmt::Display for PlacementError {
 impl std::error::Error for PlacementError {}
 
 /// How one object is mapped.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub enum ObjectMapping {
     /// Round-robin striping across `targets`; logical stripe `s` lives
     /// on `targets[s % k]` at byte `base[s % k] + (s / k) * stripe`.
@@ -87,13 +149,60 @@ pub enum ObjectMapping {
     },
 }
 
+impl ToJson for ObjectMapping {
+    fn to_json(&self) -> Json {
+        match self {
+            ObjectMapping::Striped { targets, stripe } => json::variant(
+                "Striped",
+                Json::Obj(vec![
+                    ("targets".to_string(), targets.to_json()),
+                    ("stripe".to_string(), stripe.to_json()),
+                ]),
+            ),
+            ObjectMapping::Chunked { chunks } => json::variant(
+                "Chunked",
+                Json::Obj(vec![("chunks".to_string(), chunks.to_json())]),
+            ),
+        }
+    }
+}
+
+impl FromJson for ObjectMapping {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = json::untag(v)?;
+        let get = |name: &str| {
+            payload
+                .field(name)
+                .ok_or_else(|| JsonError::missing_field(name))
+        };
+        match tag {
+            "Striped" => Ok(ObjectMapping::Striped {
+                targets: FromJson::from_json(get("targets")?)?,
+                stripe: u64::from_json(get("stripe")?)?,
+            }),
+            "Chunked" => Ok(ObjectMapping::Chunked {
+                chunks: FromJson::from_json(get("chunks")?)?,
+            }),
+            other => Err(JsonError::new(format!(
+                "unknown ObjectMapping variant: {other:?}"
+            ))),
+        }
+    }
+}
+
 /// A realized placement of all objects onto targets.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Placement {
     mappings: Vec<ObjectMapping>,
     sizes: Vec<u64>,
     per_target: Vec<u64>,
 }
+
+impl_json_struct!(Placement {
+    mappings,
+    sizes,
+    per_target
+});
 
 impl Placement {
     /// Builds a placement from a layout matrix.
@@ -124,7 +233,9 @@ impl Placement {
             let nonzero: Vec<usize> = (0..m).filter(|&j| row[j] > REGULAR_EPS).collect();
             debug_assert!(!nonzero.is_empty());
             let first = row[nonzero[0]];
-            let regular = nonzero.iter().all(|&j| (row[j] - first).abs() < REGULAR_EPS);
+            let regular = nonzero
+                .iter()
+                .all(|&j| (row[j] - first).abs() < REGULAR_EPS);
             if regular {
                 // Striped: each target holds ceil(size / k) rounded up
                 // to a whole number of stripes.
@@ -186,7 +297,13 @@ impl Placement {
 
     /// Translates an object-relative byte range into per-target
     /// `(target, offset, len)` pieces, appended to `out`.
-    pub fn translate(&self, object: usize, offset: u64, len: u64, out: &mut Vec<(TargetId, u64, u64)>) {
+    pub fn translate(
+        &self,
+        object: usize,
+        offset: u64,
+        len: u64,
+        out: &mut Vec<(TargetId, u64, u64)>,
+    ) {
         debug_assert!(offset + len <= self.sizes[object].max(offset + len));
         match &self.mappings[object] {
             ObjectMapping::Striped { targets, stripe } => {
@@ -241,8 +358,8 @@ mod tests {
     #[test]
     fn striped_mapping_round_robins() {
         let rows = vec![vec![0.5, 0.5]];
-        let p = Placement::build(&rows, &[4 * DEFAULT_STRIPE], &[GIB, GIB], DEFAULT_STRIPE)
-            .unwrap();
+        let p =
+            Placement::build(&rows, &[4 * DEFAULT_STRIPE], &[GIB, GIB], DEFAULT_STRIPE).unwrap();
         let mut out = Vec::new();
         // Stripe 0 → target 0, stripe 1 → target 1, stripe 2 → target 0 …
         p.translate(0, 0, DEFAULT_STRIPE, &mut out);
@@ -258,8 +375,8 @@ mod tests {
     #[test]
     fn striped_request_spanning_stripes_splits() {
         let rows = vec![vec![0.5, 0.5]];
-        let p = Placement::build(&rows, &[4 * DEFAULT_STRIPE], &[GIB, GIB], DEFAULT_STRIPE)
-            .unwrap();
+        let p =
+            Placement::build(&rows, &[4 * DEFAULT_STRIPE], &[GIB, GIB], DEFAULT_STRIPE).unwrap();
         let mut out = Vec::new();
         p.translate(0, DEFAULT_STRIPE / 2, DEFAULT_STRIPE, &mut out);
         assert_eq!(out.len(), 2);
@@ -292,8 +409,7 @@ mod tests {
     fn sequential_allocation_does_not_overlap() {
         // Two objects on the same target get disjoint extents.
         let rows = vec![vec![1.0, 0.0], vec![1.0, 0.0]];
-        let p = Placement::build(&rows, &[GIB, GIB], &[4 * GIB, 4 * GIB], DEFAULT_STRIPE)
-            .unwrap();
+        let p = Placement::build(&rows, &[GIB, GIB], &[4 * GIB, 4 * GIB], DEFAULT_STRIPE).unwrap();
         let mut a = Vec::new();
         let mut b = Vec::new();
         p.translate(0, 0, GIB, &mut a);
@@ -308,7 +424,10 @@ mod tests {
     fn capacity_enforced() {
         let rows = vec![vec![1.0]];
         let err = Placement::build(&rows, &[2 * GIB], &[GIB], DEFAULT_STRIPE).unwrap_err();
-        assert!(matches!(err, PlacementError::OverCapacity { target: 0, .. }));
+        assert!(matches!(
+            err,
+            PlacementError::OverCapacity { target: 0, .. }
+        ));
     }
 
     #[test]
@@ -340,13 +459,8 @@ mod tests {
     #[test]
     fn bytes_per_target_accounts_allocation() {
         let rows = vec![vec![1.0, 0.0], vec![0.5, 0.5]];
-        let p = Placement::build(
-            &rows,
-            &[GIB, 2 * GIB],
-            &[4 * GIB, 4 * GIB],
-            DEFAULT_STRIPE,
-        )
-        .unwrap();
+        let p =
+            Placement::build(&rows, &[GIB, 2 * GIB], &[4 * GIB, 4 * GIB], DEFAULT_STRIPE).unwrap();
         let bt = p.bytes_per_target();
         assert!(bt[0] >= GIB + GIB); // object0 + half of object1
         assert!(bt[1] >= GIB);

@@ -1,14 +1,14 @@
 //! Property tests for placement address translation.
 
-use proptest::prelude::*;
 use wasla_exec::Placement;
+use wasla_simlib::proptest::prelude::*;
 
 const GIB: u64 = 1 << 30;
 const STRIPE: u64 = 256 * 1024;
 
 /// Strategy: a layout row over `m` targets that sums to 1 — either a
 /// regular even spread over a random subset, or arbitrary fractions.
-fn row_strategy(m: usize) -> impl Strategy<Value = Vec<f64>> {
+fn row_strategy(m: usize) -> Strategy<Vec<f64>> {
     let regular = proptest::collection::vec(any::<bool>(), m).prop_filter_map(
         "at least one target",
         move |mask| {
@@ -23,16 +23,14 @@ fn row_strategy(m: usize) -> impl Strategy<Value = Vec<f64>> {
             )
         },
     );
-    let fractional = proptest::collection::vec(0.0f64..1.0, m).prop_filter_map(
-        "positive total",
-        move |raw| {
+    let fractional =
+        proptest::collection::vec(0.0f64..1.0, m).prop_filter_map("positive total", move |raw| {
             let total: f64 = raw.iter().sum();
             if total < 1e-6 {
                 return None;
             }
             Some(raw.iter().map(|v| v / total).collect::<Vec<f64>>())
-        },
-    );
+        });
     prop_oneof![regular, fractional]
 }
 

@@ -1,0 +1,75 @@
+//! Golden test pinning the `RunReport` JSON format to the exact bytes
+//! the seed repository produced with serde derives: field order is
+//! declaration order, `SimTime` is a bare number of seconds,
+//! `OnlineStats` writes its empty min/max as `null`, tuples are
+//! arrays, and a `None` trace is `null`.
+
+use wasla_exec::report::{ObjectIoStats, RunReport};
+use wasla_simlib::json;
+use wasla_simlib::{OnlineStats, SimTime};
+use wasla_storage::TargetStats;
+
+fn tiny_report() -> RunReport {
+    let mut latency = OnlineStats::new();
+    latency.record(2.0);
+    latency.record(4.0);
+    RunReport {
+        elapsed: SimTime::from_secs(12.5),
+        target_stats: vec![TargetStats {
+            name: "t0".to_string(),
+            requests: 3,
+            bytes: 24576,
+            response: OnlineStats::new(),
+            max_member_utilization: 0.75,
+            mean_member_utilization: 0.5,
+        }],
+        target_utilization: vec![0.75],
+        objects: vec![ObjectIoStats {
+            logical_reads: 10,
+            logical_writes: 2,
+            physical_reads: 4,
+            physical_writes: 2,
+            bytes_read: 32768,
+            bytes_written: 16384,
+        }],
+        queries_completed: 7,
+        oltp_txns: 0,
+        tpm: 0.0,
+        storage_requests: 6,
+        query_latency: latency,
+        txn_latency: OnlineStats::new(),
+        txn_by_template: vec![("NewOrder".to_string(), 0)],
+        trace: None,
+    }
+}
+
+#[test]
+fn run_report_compact_bytes_are_pinned() {
+    let expected = concat!(
+        r#"{"elapsed":12.5,"#,
+        r#""target_stats":[{"name":"t0","requests":3,"bytes":24576,"#,
+        r#""response":{"count":0,"mean":0.0,"m2":0.0,"min":null,"max":null,"sum":0.0},"#,
+        r#""max_member_utilization":0.75,"mean_member_utilization":0.5}],"#,
+        r#""target_utilization":[0.75],"#,
+        r#""objects":[{"logical_reads":10,"logical_writes":2,"physical_reads":4,"#,
+        r#""physical_writes":2,"bytes_read":32768,"bytes_written":16384}],"#,
+        r#""queries_completed":7,"oltp_txns":0,"tpm":0.0,"storage_requests":6,"#,
+        r#""query_latency":{"count":2,"mean":3.0,"m2":2.0,"min":2.0,"max":4.0,"sum":6.0},"#,
+        r#""txn_latency":{"count":0,"mean":0.0,"m2":0.0,"min":null,"max":null,"sum":0.0},"#,
+        r#""txn_by_template":[["NewOrder",0]],"#,
+        r#""trace":null}"#,
+    );
+    assert_eq!(json::to_string(&tiny_report()), expected);
+}
+
+#[test]
+fn run_report_round_trips_through_both_writers() {
+    let report = tiny_report();
+    let compact: RunReport = json::from_str(&json::to_string(&report)).unwrap();
+    assert_eq!(json::to_string(&compact), json::to_string(&report));
+    let pretty: RunReport = json::from_str(&json::to_string_pretty(&report)).unwrap();
+    assert_eq!(json::to_string(&pretty), json::to_string(&report));
+    // Decoded null min/max restore the empty-accumulator infinities.
+    assert_eq!(compact.txn_latency.min(), None);
+    assert_eq!(compact.query_latency.max(), Some(4.0));
+}

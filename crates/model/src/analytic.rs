@@ -8,14 +8,16 @@
 //! collapse, queue-depth scheduling benefit) from closed-form terms.
 
 use crate::table::CostModel;
-use serde::{Deserialize, Serialize};
+use wasla_simlib::impl_json_struct;
 use wasla_storage::{DiskParams, IoKind};
 
 /// Closed-form disk cost model derived from [`DiskParams`].
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct AnalyticDiskModel {
     params: DiskParams,
 }
+
+impl_json_struct!(AnalyticDiskModel { params });
 
 impl AnalyticDiskModel {
     /// Creates the model for a disk.

@@ -87,9 +87,16 @@ fn calibrate_kind(spec: &DeviceSpec, grid: &CalibrationGrid, kind: IoKind, seed:
     for (si, &size) in grid.sizes.iter().enumerate() {
         for (ri, &run) in grid.runs.iter().enumerate() {
             for (ci, &chi) in grid.contentions.iter().enumerate() {
-                let point_seed =
-                    seed ^ ((si as u64) << 40) ^ ((ri as u64) << 20) ^ (ci as u64 + 1);
-                values.push(measure_point(spec, size as u64, run, chi, kind, grid, point_seed));
+                let point_seed = seed ^ ((si as u64) << 40) ^ ((ri as u64) << 20) ^ (ci as u64 + 1);
+                values.push(measure_point(
+                    spec,
+                    size as u64,
+                    run,
+                    chi,
+                    kind,
+                    grid,
+                    point_seed,
+                ));
             }
         }
     }
@@ -193,10 +200,7 @@ mod tests {
         let m = disk_model();
         let seq = m.request_cost(IoKind::Read, 8192.0, 64.0, 0.0);
         let rand = m.request_cost(IoKind::Read, 8192.0, 1.0, 0.0);
-        assert!(
-            rand > 5.0 * seq,
-            "rand {rand:.6} should dwarf seq {seq:.6}"
-        );
+        assert!(rand > 5.0 * seq, "rand {rand:.6} should dwarf seq {seq:.6}");
     }
 
     #[test]

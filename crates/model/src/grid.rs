@@ -1,9 +1,9 @@
 //! Non-uniform grids and trilinear interpolation.
 
-use serde::{Deserialize, Serialize};
+use wasla_simlib::impl_json_struct;
 
 /// A sorted, strictly increasing axis of calibration points.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Axis {
     points: Vec<f64>,
 }
@@ -53,9 +53,11 @@ impl Axis {
     }
 }
 
+impl_json_struct!(Axis { points });
+
 /// A dense 3-D table over (size, run count, contention) with trilinear
 /// interpolation.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Grid3 {
     /// Request-size axis (bytes).
     pub sizes: Axis,
@@ -66,6 +68,13 @@ pub struct Grid3 {
     /// Row-major values: `[size][run][contention]`.
     values: Vec<f64>,
 }
+
+impl_json_struct!(Grid3 {
+    sizes,
+    runs,
+    contentions,
+    values
+});
 
 impl Grid3 {
     /// Creates a grid from axes and a filled value table.
@@ -156,7 +165,12 @@ mod tests {
     #[test]
     fn interpolates_linear_function_exactly() {
         let g = linear_grid();
-        for (s, r, c) in [(1.0, 1.0, 0.0), (1.5, 2.0, 2.0), (2.0, 3.0, 4.0), (1.25, 1.5, 1.0)] {
+        for (s, r, c) in [
+            (1.0, 1.0, 0.0),
+            (1.5, 2.0, 2.0),
+            (2.0, 3.0, 4.0),
+            (1.25, 1.5, 1.0),
+        ] {
             let expect = s + 10.0 * r + 100.0 * c;
             let got = g.interpolate(s, r, c);
             assert!((got - expect).abs() < 1e-9, "({s},{r},{c}) got {got}");

@@ -1,7 +1,8 @@
 //! Tabulated cost models with interpolation.
 
 use crate::grid::Grid3;
-use serde::{Deserialize, Serialize};
+use wasla_simlib::impl_json_struct;
+use wasla_simlib::json::{self, JsonError};
 use wasla_storage::IoKind;
 
 /// A per-request cost model for one device or target type.
@@ -18,7 +19,7 @@ pub trait CostModel: Send + Sync {
 /// A black-box tabulated model: one 3-D grid per request direction,
 /// built from calibration measurements and interpolated at query time
 /// (paper §5.2.2, Figure 8 shows one slice of such a model).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TableModel {
     /// Device name the model was calibrated for (diagnostic).
     pub device: String,
@@ -27,6 +28,12 @@ pub struct TableModel {
     /// Write-request costs.
     pub writes: Grid3,
 }
+
+impl_json_struct!(TableModel {
+    device,
+    reads,
+    writes
+});
 
 impl CostModel for TableModel {
     fn request_cost(&self, kind: IoKind, size: f64, run_count: f64, contention: f64) -> f64 {
@@ -42,12 +49,12 @@ impl TableModel {
     /// Serializes the model to JSON (models are expensive to calibrate
     /// on real hardware; persisting them is standard practice).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("model serializes")
+        json::to_string(self)
     }
 
     /// Deserializes a model from JSON.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn from_json(json: &str) -> Result<Self, JsonError> {
+        json::from_str(json)
     }
 }
 

@@ -19,11 +19,11 @@
 
 use crate::calibrate::{calibrate_device, CalibrationGrid};
 use crate::table::{CostModel, TableModel};
-use serde::{Deserialize, Serialize};
+use wasla_simlib::impl_json_struct;
 use wasla_storage::{IoKind, TargetConfig};
 
 /// A cost model for one storage target.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TargetCostModel {
     /// Calibrated model of the member device type.
     pub member: TableModel,
@@ -36,6 +36,14 @@ pub struct TargetCostModel {
     /// Target name (diagnostic).
     pub name: String,
 }
+
+impl_json_struct!(TargetCostModel {
+    member,
+    width,
+    stripe_unit,
+    parallelism,
+    name
+});
 
 impl TargetCostModel {
     /// Builds the model for a target by calibrating its member device
@@ -103,7 +111,10 @@ impl CostModel for TargetCostModel {
             let k = (size / stripe).ceil().min(w);
             let piece = size / k;
             let member_run = (run_count * k / w).max(1.0);
-            self.member.request_cost(kind, piece, member_run, contention) * k / (w * par)
+            self.member
+                .request_cost(kind, piece, member_run, contention)
+                * k
+                / (w * par)
         }
     }
 }

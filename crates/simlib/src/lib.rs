@@ -17,6 +17,8 @@
 //! by insertion order rather than by heap internals.
 
 pub mod events;
+pub mod json;
+pub mod proptest;
 pub mod rng;
 pub mod stats;
 pub mod time;

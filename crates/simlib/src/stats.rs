@@ -1,10 +1,11 @@
 //! Online statistics accumulators.
 
+use crate::impl_json_struct;
+use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Streaming mean/variance/min/max (Welford's algorithm).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
@@ -107,10 +108,46 @@ impl OnlineStats {
     }
 }
 
+// Manual impl rather than `impl_json_struct!`: an empty accumulator
+// holds `min = +inf` / `max = -inf`, which JSON can only write as
+// `null`, so decoding restores the infinities instead of NaN.
+impl ToJson for OnlineStats {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".to_string(), self.count.to_json()),
+            ("mean".to_string(), self.mean.to_json()),
+            ("m2".to_string(), self.m2.to_json()),
+            ("min".to_string(), self.min.to_json()),
+            ("max".to_string(), self.max.to_json()),
+            ("sum".to_string(), self.sum.to_json()),
+        ])
+    }
+}
+
+impl FromJson for OnlineStats {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let get = |name: &str| v.field(name).ok_or_else(|| JsonError::missing_field(name));
+        let bound = |name: &str, empty: f64| -> Result<f64, JsonError> {
+            match get(name)? {
+                Json::Null => Ok(empty),
+                other => f64::from_json(other),
+            }
+        };
+        Ok(OnlineStats {
+            count: u64::from_json(get("count")?)?,
+            mean: f64::from_json(get("mean")?)?,
+            m2: f64::from_json(get("m2")?)?,
+            min: bound("min", f64::INFINITY)?,
+            max: bound("max", f64::NEG_INFINITY)?,
+            sum: f64::from_json(get("sum")?)?,
+        })
+    }
+}
+
 /// Time-weighted average of a piecewise-constant signal, e.g. queue
 /// depth or busy/idle state. Utilization is the time-weighted mean of a
 /// 0/1 busy indicator.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TimeWeighted {
     last_time: SimTime,
     last_value: f64,
@@ -172,8 +209,16 @@ impl TimeWeighted {
     }
 }
 
+impl_json_struct!(TimeWeighted {
+    last_time,
+    last_value,
+    weighted_sum,
+    start,
+    started
+});
+
 /// A latency histogram with logarithmic buckets, from 1 µs to ~1000 s.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Histogram {
     /// Bucket k counts values in [base * 2^k, base * 2^(k+1)).
     counts: Vec<u64>,
@@ -253,6 +298,14 @@ impl Histogram {
         self.total += other.total;
     }
 }
+
+impl_json_struct!(Histogram {
+    counts,
+    base,
+    underflow,
+    overflow,
+    total
+});
 
 #[cfg(test)]
 mod tests {

@@ -11,8 +11,22 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// Durations are also represented as `SimTime` — the simulator has no
 /// need to distinguish instants from durations at the type level, and
 /// keeping one type makes the arithmetic in device models direct.
-#[derive(Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct SimTime(f64);
+
+// Serialized as a bare number of seconds, matching the transparent
+// newtype encoding the serde derive produced.
+impl crate::json::ToJson for SimTime {
+    fn to_json(&self) -> crate::json::Json {
+        crate::json::ToJson::to_json(&self.0)
+    }
+}
+
+impl crate::json::FromJson for SimTime {
+    fn from_json(v: &crate::json::Json) -> Result<Self, crate::json::JsonError> {
+        <f64 as crate::json::FromJson>::from_json(v).map(SimTime)
+    }
+}
 
 impl SimTime {
     /// Time zero — the start of the simulation.

@@ -1,6 +1,6 @@
 //! Property tests for the simulation kernel.
 
-use proptest::prelude::*;
+use wasla_simlib::proptest::prelude::*;
 use wasla_simlib::{EventQueue, SimRng, SimTime};
 
 proptest! {

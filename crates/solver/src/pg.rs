@@ -209,7 +209,13 @@ mod tests {
             tol: 0.0,
             ..PgOptions::default()
         };
-        let r = minimize(f, grad, |x: &mut [f64]| x[0] = x[0].max(-1e12), &[0.0], &opts);
+        let r = minimize(
+            f,
+            grad,
+            |x: &mut [f64]| x[0] = x[0].max(-1e12),
+            &[0.0],
+            &opts,
+        );
         assert!(r.iters <= 3);
     }
 

@@ -103,11 +103,7 @@ mod tests {
             let mut proj = x0.clone();
             project_simplex(&mut proj);
             assert_on_simplex(&proj);
-            let d_proj: f64 = proj
-                .iter()
-                .zip(&x0)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
+            let d_proj: f64 = proj.iter().zip(&x0).map(|(a, b)| (a - b) * (a - b)).sum();
             // Sample simplex points on a grid.
             let steps = 20;
             for i in 0..=steps {

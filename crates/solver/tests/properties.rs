@@ -1,6 +1,6 @@
 //! Property tests for the NLP toolkit.
 
-use proptest::prelude::*;
+use wasla_simlib::proptest::prelude::*;
 use wasla_solver::{lse_max, project_scaled_simplex, project_simplex, softmax_weights};
 
 proptest! {

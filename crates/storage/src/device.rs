@@ -3,18 +3,21 @@
 use crate::disk::{Disk, DiskParams};
 use crate::request::DeviceIo;
 use crate::ssd::{Ssd, SsdParams};
-use serde::{Deserialize, Serialize};
+use wasla_simlib::impl_json_unit_enum;
+use wasla_simlib::json::{self, FromJson, Json, JsonError, ToJson};
 use wasla_simlib::{SimRng, SimTime};
 
 /// Broad device class, used for reporting and for picking which cost
 /// model a target gets.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DeviceKind {
     /// A rotating disk drive.
     Disk,
     /// A solid-state drive.
     Ssd,
 }
+
+impl_json_unit_enum!(DeviceKind { Disk, Ssd });
 
 /// The behaviour a simulated device must provide.
 ///
@@ -43,12 +46,34 @@ pub trait DeviceModel: Send {
 
 /// A serializable description of a device, from which a fresh
 /// simulation model can be instantiated.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum DeviceSpec {
     /// A disk drive with the given parameters.
     Disk(DiskParams),
     /// An SSD with the given parameters.
     Ssd(SsdParams),
+}
+
+// Externally tagged, matching the serde derive: `{"Disk": {...}}`.
+impl ToJson for DeviceSpec {
+    fn to_json(&self) -> Json {
+        match self {
+            DeviceSpec::Disk(p) => json::variant("Disk", p.to_json()),
+            DeviceSpec::Ssd(p) => json::variant("Ssd", p.to_json()),
+        }
+    }
+}
+
+impl FromJson for DeviceSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match json::untag(v)? {
+            ("Disk", payload) => DiskParams::from_json(payload).map(DeviceSpec::Disk),
+            ("Ssd", payload) => SsdParams::from_json(payload).map(DeviceSpec::Ssd),
+            (other, _) => Err(JsonError::new(format!(
+                "unknown DeviceSpec variant: {other:?}"
+            ))),
+        }
+    }
 }
 
 impl DeviceSpec {
@@ -100,8 +125,9 @@ mod tests {
     #[test]
     fn spec_serde_round_trip() {
         let spec = DeviceSpec::Ssd(SsdParams::sata_gen1(4 * GIB));
-        let json = serde_json::to_string(&spec).unwrap();
-        let back: DeviceSpec = serde_json::from_str(&json).unwrap();
+        let json = json::to_string(&spec);
+        let back: DeviceSpec = json::from_str(&json).unwrap();
         assert_eq!(spec, back);
+        assert!(json.starts_with("{\"Ssd\":{"), "{json}");
     }
 }

@@ -22,11 +22,11 @@
 
 use crate::device::{DeviceKind, DeviceModel};
 use crate::request::{DeviceIo, IoKind};
-use serde::{Deserialize, Serialize};
+use wasla_simlib::impl_json_struct;
 use wasla_simlib::{SimRng, SimTime};
 
 /// Parameters of a simulated disk drive.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DiskParams {
     /// Usable capacity in bytes.
     pub capacity: u64,
@@ -57,6 +57,20 @@ pub struct DiskParams {
     /// write-back cache coalesces and schedules writes lazily.
     pub write_positioning_factor: f64,
 }
+
+impl_json_struct!(DiskParams {
+    capacity,
+    rpm,
+    min_seek_s,
+    max_seek_s,
+    transfer_bps,
+    cache_bps,
+    settle_s,
+    readahead_streams,
+    readahead_window,
+    max_prefetch,
+    write_positioning_factor,
+});
 
 impl DiskParams {
     /// An enterprise 15 000 RPM SCSI drive comparable to the paper's
@@ -505,8 +519,18 @@ mod tests {
             }
             totals.push(t);
         }
-        assert!(totals[0] < totals[1], "15K {:.3} vs 10K {:.3}", totals[0], totals[1]);
-        assert!(totals[1] < totals[2], "10K {:.3} vs 7200 {:.3}", totals[1], totals[2]);
+        assert!(
+            totals[0] < totals[1],
+            "15K {:.3} vs 10K {:.3}",
+            totals[0],
+            totals[1]
+        );
+        assert!(
+            totals[1] < totals[2],
+            "10K {:.3} vs 7200 {:.3}",
+            totals[1],
+            totals[2]
+        );
     }
 
     #[test]

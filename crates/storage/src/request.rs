@@ -1,15 +1,17 @@
 //! Block I/O request types.
 
-use serde::{Deserialize, Serialize};
+use wasla_simlib::{impl_json_struct, impl_json_unit_enum};
 
 /// Read or write.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum IoKind {
     /// A read request.
     Read,
     /// A write request.
     Write,
 }
+
+impl_json_unit_enum!(IoKind { Read, Write });
 
 impl IoKind {
     /// True for reads.
@@ -27,7 +29,7 @@ impl IoKind {
 /// object) issuing the request — device models use it only for
 /// statistics; sequentiality is detected from addresses, as a real
 /// disk's readahead would.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TargetIo {
     /// Read or write.
     pub kind: IoKind,
@@ -38,6 +40,13 @@ pub struct TargetIo {
     /// Logical stream (database object) identifier.
     pub stream: u32,
 }
+
+impl_json_struct!(TargetIo {
+    kind,
+    offset,
+    len,
+    stream
+});
 
 impl TargetIo {
     /// Convenience constructor for a read.

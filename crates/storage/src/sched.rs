@@ -7,10 +7,10 @@
 //! elevator reproduce that effect; FCFS is kept as a baseline.
 
 use crate::request::DeviceIo;
-use serde::{Deserialize, Serialize};
+use wasla_simlib::impl_json_unit_enum;
 
 /// Which scheduling discipline a device uses.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum SchedulerKind {
     /// First come, first served.
     Fcfs,
@@ -21,6 +21,12 @@ pub enum SchedulerKind {
     /// or beyond the head, wrapping to the lowest offset when none.
     Elevator,
 }
+
+impl_json_unit_enum!(SchedulerKind {
+    Fcfs,
+    Sstf,
+    Elevator
+});
 
 impl SchedulerKind {
     /// Picks the index of the next request to service from `pending`

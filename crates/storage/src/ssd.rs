@@ -10,11 +10,11 @@
 
 use crate::device::{DeviceKind, DeviceModel};
 use crate::request::{DeviceIo, IoKind};
-use serde::{Deserialize, Serialize};
+use wasla_simlib::impl_json_struct;
 use wasla_simlib::{SimRng, SimTime};
 
 /// Parameters of a simulated SSD.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SsdParams {
     /// Usable capacity in bytes.
     pub capacity: u64,
@@ -32,6 +32,16 @@ pub struct SsdParams {
     /// amplification under sustained writes (1.0 = none).
     pub write_amplification: f64,
 }
+
+impl_json_struct!(SsdParams {
+    capacity,
+    read_latency_s,
+    write_latency_s,
+    read_bps,
+    write_bps,
+    channels,
+    write_amplification,
+});
 
 impl SsdParams {
     /// A second-generation SATA SSD: higher bandwidth, faster writes,

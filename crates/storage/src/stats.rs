@@ -1,10 +1,10 @@
 //! Per-device and per-target runtime statistics.
 
-use serde::{Deserialize, Serialize};
+use wasla_simlib::impl_json_struct;
 use wasla_simlib::{OnlineStats, SimTime, TimeWeighted};
 
 /// Statistics accumulated by one simulated device.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct DeviceStats {
     /// Completed read requests.
     pub reads: u64,
@@ -41,8 +41,19 @@ impl DeviceStats {
     }
 }
 
+impl_json_struct!(DeviceStats {
+    reads,
+    writes,
+    bytes_read,
+    bytes_written,
+    service,
+    response,
+    busy,
+    depth,
+});
+
 /// Aggregated statistics for a target (over its member devices).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TargetStats {
     /// Target name.
     pub name: String,
@@ -57,6 +68,15 @@ pub struct TargetStats {
     /// Mean utilization across member devices.
     pub mean_member_utilization: f64,
 }
+
+impl_json_struct!(TargetStats {
+    name,
+    requests,
+    bytes,
+    response,
+    max_member_utilization,
+    mean_member_utilization,
+});
 
 #[cfg(test)]
 mod tests {

@@ -307,12 +307,8 @@ impl StorageSystem {
                     dev.stats.bytes_written += done.io.len;
                 }
             }
-            dev.stats
-                .service
-                .record((now - done.started).as_secs());
-            dev.stats
-                .response
-                .record((now - done.enqueued).as_secs());
+            dev.stats.service.record((now - done.started).as_secs());
+            dev.stats.response.record((now - done.enqueued).as_secs());
             dev.record_occupancy(now);
         }
         self.try_start(done.device, now);
@@ -327,9 +323,7 @@ impl StorageSystem {
             let target = &mut self.targets[parent.target];
             target.requests += 1;
             target.bytes += parent.bytes;
-            target
-                .response
-                .record((now - parent.submitted).as_secs());
+            target.response.record((now - parent.submitted).as_secs());
             self.completions.push(Completion {
                 tag: parent.tag,
                 target: parent.target,

@@ -9,13 +9,13 @@
 use crate::device::DeviceSpec;
 use crate::request::{DeviceIo, TargetIo};
 use crate::sched::SchedulerKind;
-use serde::{Deserialize, Serialize};
+use wasla_simlib::impl_json_struct;
 
 /// Index of a target within a [`crate::StorageSystem`].
 pub type TargetId = usize;
 
 /// Serializable configuration of one storage target.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TargetConfig {
     /// Human-readable name ("disk0", "raid3x", "ssd", ...).
     pub name: String,
@@ -27,6 +27,13 @@ pub struct TargetConfig {
     /// Queue scheduling discipline for member devices.
     pub scheduler: SchedulerKind,
 }
+
+impl_json_struct!(TargetConfig {
+    name,
+    members,
+    stripe_unit,
+    scheduler
+});
 
 impl TargetConfig {
     /// A single-device target.
@@ -54,12 +61,7 @@ impl TargetConfig {
     /// Total capacity of the target in bytes. For RAID-0 this is
     /// limited by the smallest member (as in real arrays).
     pub fn capacity(&self) -> u64 {
-        let min = self
-            .members
-            .iter()
-            .map(|d| d.capacity())
-            .min()
-            .unwrap_or(0);
+        let min = self.members.iter().map(|d| d.capacity()).min().unwrap_or(0);
         min * self.members.len() as u64
     }
 

@@ -8,11 +8,11 @@
 //! `wasla-trace` crate implements the fitting.
 
 use crate::request::IoKind;
-use serde::{Deserialize, Serialize};
+use wasla_simlib::impl_json_struct;
 use wasla_simlib::SimTime;
 
 /// One traced block request.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BlockTraceRecord {
     /// Submission time.
     pub time: SimTime,
@@ -27,10 +27,19 @@ pub struct BlockTraceRecord {
 }
 
 /// An in-memory I/O trace.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Trace {
     records: Vec<BlockTraceRecord>,
 }
+
+impl_json_struct!(BlockTraceRecord {
+    time,
+    stream,
+    kind,
+    offset,
+    len
+});
+impl_json_struct!(Trace { records });
 
 impl Trace {
     /// An empty trace.

@@ -1,6 +1,6 @@
 //! Property tests for the storage substrate.
 
-use proptest::prelude::*;
+use wasla_simlib::proptest::prelude::*;
 use wasla_storage::{DeviceSpec, DiskParams, SchedulerKind, TargetConfig, TargetIo, GIB};
 
 fn disk() -> DeviceSpec {

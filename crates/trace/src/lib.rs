@@ -93,9 +93,7 @@ pub fn fit_workloads(
             a.windows.push(w);
         }
     }
-    let specs = (0..n)
-        .map(|i| build_spec(&accums, i, span))
-        .collect();
+    let specs = (0..n).map(|i| build_spec(&accums, i, span)).collect();
     WorkloadSet {
         names: names.to_vec(),
         sizes: sizes.to_vec(),
@@ -183,7 +181,11 @@ pub fn fit_duty_cycles(trace: &Trace, n_objects: usize, window_s: f64) -> Vec<f6
     }
     active
         .into_iter()
-        .map(|a| (a as f64 / total_windows).clamp(0.0, 1.0).max(if a > 0 { 1e-6 } else { 0.0 }))
+        .map(|a| {
+            (a as f64 / total_windows)
+                .clamp(0.0, 1.0)
+                .max(if a > 0 { 1e-6 } else { 0.0 })
+        })
         .collect()
 }
 
@@ -274,7 +276,11 @@ mod tests {
         }
         let (names, sizes) = two_obj_names();
         let set = fit_workloads(&trace, &names, &sizes, &FitConfig::default());
-        assert!(set.specs[0].run_count < 1.5, "run {}", set.specs[0].run_count);
+        assert!(
+            set.specs[0].run_count < 1.5,
+            "run {}",
+            set.specs[0].run_count
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property tests: synthetic traces with known parameters round-trip
 //! through the fitter.
 
-use proptest::prelude::*;
+use wasla_simlib::proptest::prelude::*;
 use wasla_simlib::SimTime;
 use wasla_storage::{BlockTraceRecord, IoKind, Trace};
 use wasla_trace::{fit_workloads, FitConfig};

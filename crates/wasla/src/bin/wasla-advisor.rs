@@ -21,8 +21,8 @@
 //! * `demo` runs the built-in TPC-H-like scenario end-to-end.
 
 use std::sync::Arc;
-use wasla::core::{recommend, AdminConstraint, AdvisorOptions, LayoutProblem};
 use wasla::core::report::{render_layout, render_stages};
+use wasla::core::{recommend, AdminConstraint, AdvisorOptions, LayoutProblem};
 use wasla::model::{calibrate_device, CalibrationGrid, TableModel, TargetCostModel};
 use wasla::pipeline::{self, AdviseConfig, RunSettings, Scenario, LVM_STRIPE};
 use wasla::storage::{DeviceSpec, DiskParams, SsdParams, TargetConfig};
@@ -52,20 +52,21 @@ fn main() {
 }
 
 /// An object inventory entry for the `fit` subcommand.
-#[derive(serde::Deserialize)]
 struct ObjectEntry {
     name: String,
     size: u64,
 }
 
+wasla::simlib::impl_json_struct!(ObjectEntry { name, size });
+
 fn fit(args: &[String]) {
     let trace_path = flag_value(args, "--trace").unwrap_or_else(|| usage());
     let objects_path = flag_value(args, "--objects").unwrap_or_else(|| usage());
-    let trace: wasla::storage::Trace = serde_json::from_str(
+    let trace: wasla::storage::Trace = wasla::simlib::json::from_str(
         &std::fs::read_to_string(trace_path).expect("read trace file"),
     )
     .expect("parse Trace JSON");
-    let objects: Vec<ObjectEntry> = serde_json::from_str(
+    let objects: Vec<ObjectEntry> = wasla::simlib::json::from_str(
         &std::fs::read_to_string(objects_path).expect("read objects file"),
     )
     .expect("parse objects JSON ([{\"name\":..., \"size\":...}])");
@@ -77,7 +78,7 @@ fn fit(args: &[String]) {
     }
     let set = wasla::trace::fit_workloads(&trace, &names, &sizes, &fit_config);
     set.validate().expect("fitted set is consistent");
-    let json = serde_json::to_string_pretty(&set).expect("workload set serializes");
+    let json = wasla::simlib::json::to_string_pretty(&set);
     match flag_value(args, "--out") {
         Some(path) => {
             std::fs::write(path, &json).expect("write workloads file");
@@ -155,11 +156,11 @@ fn parse_constraint(s: &str) -> (String, usize) {
 fn advise(args: &[String]) {
     let workloads_path = flag_value(args, "--workloads").unwrap_or_else(|| usage());
     let targets_path = flag_value(args, "--targets").unwrap_or_else(|| usage());
-    let workloads: WorkloadSet = serde_json::from_str(
+    let workloads: WorkloadSet = wasla::simlib::json::from_str(
         &std::fs::read_to_string(workloads_path).expect("read workloads file"),
     )
     .expect("parse WorkloadSet JSON");
-    let targets: Vec<TargetConfig> = serde_json::from_str(
+    let targets: Vec<TargetConfig> = wasla::simlib::json::from_str(
         &std::fs::read_to_string(targets_path).expect("read targets file"),
     )
     .expect("parse Vec<TargetConfig> JSON");
@@ -242,7 +243,10 @@ fn advise(args: &[String]) {
     match recommend(&problem, &options) {
         Ok(rec) => {
             println!("{}", render_stages(&problem, &rec.stages));
-            println!("{}", render_layout(&problem, rec.final_layout(), problem.n()));
+            println!(
+                "{}",
+                render_layout(&problem, rec.final_layout(), problem.n())
+            );
             println!(
                 "advisor time: {:.2}s (solver {:.2}s, regularization {:.2}s){}",
                 rec.timings.total_s(),
@@ -255,8 +259,7 @@ fn advise(args: &[String]) {
                 }
             );
             if let Some(path) = flag_value(args, "--out") {
-                let json = serde_json::to_string_pretty(rec.final_layout())
-                    .expect("layout serializes");
+                let json = wasla::simlib::json::to_string_pretty(rec.final_layout());
                 std::fs::write(path, json).expect("write layout file");
                 eprintln!("layout written to {path}");
             }

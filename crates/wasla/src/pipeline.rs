@@ -214,7 +214,14 @@ pub fn run_layout(
         capture_trace: settings.capture_trace,
         ..RunConfig::default()
     };
-    Engine::new(&scenario.catalog, workloads, &placement, &mut storage, config).run()
+    Engine::new(
+        &scenario.catalog,
+        workloads,
+        &placement,
+        &mut storage,
+        config,
+    )
+    .run()
 }
 
 /// Runs `workloads` under a [`Layout`].
@@ -293,12 +300,7 @@ pub fn build_problem(
     // implementable. One stripe per object bounds the rounding.
     let slack = scenario.catalog.len() as u64 * LVM_STRIPE;
     LayoutProblem {
-        kinds: scenario
-            .catalog
-            .objects()
-            .iter()
-            .map(|o| o.kind)
-            .collect(),
+        kinds: scenario.catalog.objects().iter().map(|o| o.kind).collect(),
         workloads: fitted,
         capacities: scenario
             .capacities()
@@ -386,12 +388,7 @@ mod tests {
         let scenario = Scenario::homogeneous_disks(4, 0.05);
         let workloads = [SqlWorkload::olap1_21(3)];
         let outcome = advise(&scenario, &workloads, &AdviseConfig::fast());
-        for (advisor_cap, raw_cap) in outcome
-            .problem
-            .capacities
-            .iter()
-            .zip(scenario.capacities())
-        {
+        for (advisor_cap, raw_cap) in outcome.problem.capacities.iter().zip(scenario.capacities()) {
             assert!(*advisor_cap < raw_cap, "no slack reserved");
             assert!(*advisor_cap >= raw_cap / 2);
         }

@@ -8,16 +8,17 @@
 //! tests can run on tiny instances.
 
 use crate::object::{DbObject, ObjectId, ObjectKind};
-use serde::{Deserialize, Serialize};
 
 const MIB: u64 = 1024 * 1024;
 
 /// A set of database objects from one (or several consolidated)
 /// databases.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Catalog {
     objects: Vec<DbObject>,
 }
+
+wasla_simlib::impl_json_struct!(Catalog { objects });
 
 impl Catalog {
     /// An empty catalog.

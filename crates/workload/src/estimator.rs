@@ -58,7 +58,11 @@ struct ObjectAccum {
 
 /// Estimates the Rome workload descriptions for every catalog object
 /// under the given SQL workload.
-pub fn estimate(catalog: &Catalog, workload: &SqlWorkload, config: &EstimatorConfig) -> WorkloadSet {
+pub fn estimate(
+    catalog: &Catalog,
+    workload: &SqlWorkload,
+    config: &EstimatorConfig,
+) -> WorkloadSet {
     match &workload.kind {
         SqlWorkloadKind::Olap(olap) => {
             estimate_olap(catalog, workload, &olap.sequence, olap.concurrency, config)
@@ -100,7 +104,12 @@ fn step_cost(
         }
         AccessKind::RandWrite { count, request } => {
             let reqs = (count * config.scale).max(1.0);
-            (reqs, reqs * request as f64, reqs * config.rand_service, true)
+            (
+                reqs,
+                reqs * request as f64,
+                reqs * config.rand_service,
+                true,
+            )
         }
     }
 }
@@ -213,10 +222,7 @@ fn build_set(
         .collect();
     let mut specs = Vec::with_capacity(n);
     for (i, a) in accum.iter().enumerate() {
-        let is_index = matches!(
-            catalog.object(i).kind,
-            crate::object::ObjectKind::Index
-        );
+        let is_index = matches!(catalog.object(i).kind, crate::object::ObjectKind::Index);
         let cache_pass = if is_index {
             1.0 - config.index_hit_rate
         } else {
@@ -316,7 +322,11 @@ mod tests {
             }
         }
         // LINEITEM's workload is strongly sequential.
-        assert!(set.specs[li].run_count > 20.0, "run {}", set.specs[li].run_count);
+        assert!(
+            set.specs[li].run_count > 20.0,
+            "run {}",
+            set.specs[li].run_count
+        );
     }
 
     #[test]

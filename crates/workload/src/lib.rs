@@ -32,5 +32,5 @@ pub use catalog::Catalog;
 pub use object::{DbObject, ObjectId, ObjectKind};
 pub use query::{AccessKind, AccessStep, QueryTemplate};
 pub use replicate::replicate_problem;
-pub use spec::{WorkloadSpec, WorkloadSet};
-pub use sql::{OlapConfig, OltpConfig, SqlWorkload};
+pub use spec::{WorkloadSet, WorkloadSpec};
+pub use sql::{OlapConfig, OltpConfig, SqlWorkload, SqlWorkloadKind};

@@ -1,6 +1,6 @@
 //! Database objects.
 
-use serde::{Deserialize, Serialize};
+use wasla_simlib::{impl_json_struct, impl_json_unit_enum};
 
 /// Index of an object within its [`crate::Catalog`].
 pub type ObjectId = usize;
@@ -10,7 +10,7 @@ pub type ObjectId = usize;
 /// not important"), but the heuristic baselines of §6.4
 /// (isolate-tables, isolate-tables-and-indexes) need the distinction,
 /// and the buffer-pool model treats indexes as hotter than tables.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ObjectKind {
     /// A base table.
     Table,
@@ -22,8 +22,15 @@ pub enum ObjectKind {
     TempSpace,
 }
 
+impl_json_unit_enum!(ObjectKind {
+    Table,
+    Index,
+    Log,
+    TempSpace
+});
+
 /// One database object to be laid out.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DbObject {
     /// Human-readable name ("LINEITEM", "I_L_ORDERKEY", ...).
     pub name: String,
@@ -32,6 +39,8 @@ pub struct DbObject {
     /// Size in bytes (the paper's `sᵢ`).
     pub size: u64,
 }
+
+impl_json_struct!(DbObject { name, kind, size });
 
 impl DbObject {
     /// Creates an object.

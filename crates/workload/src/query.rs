@@ -14,7 +14,8 @@
 //! post-scan phases (so it rarely overlaps ORDERS — the property the
 //! advisor exploits in Figure 1).
 
-use serde::{Deserialize, Serialize};
+use wasla_simlib::impl_json_struct;
+use wasla_simlib::json::{self, FromJson, Json, JsonError, ToJson};
 
 /// Request size for sequential table scans (bytes): the DBMS reads
 /// 8 KiB pages; OS readahead and the I/O scheduler merge them into
@@ -30,7 +31,7 @@ pub const TEMP_REQ: u64 = 64 * 1024;
 pub const LOG_REQ: u64 = 16 * 1024;
 
 /// How one access step touches its object.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum AccessKind {
     /// Sequentially read `fraction` of the object in `request`-byte
     /// requests, starting at a random aligned position (wrapping).
@@ -63,20 +64,98 @@ pub enum AccessKind {
     },
 }
 
+// Externally tagged with named fields, matching the serde derive:
+// `{"SeqRead": {"fraction": 0.6, "request": 65536}}`.
+impl ToJson for AccessKind {
+    fn to_json(&self) -> Json {
+        let (tag, fields) = match *self {
+            AccessKind::SeqRead { fraction, request } => (
+                "SeqRead",
+                vec![
+                    ("fraction", fraction.to_json()),
+                    ("request", request.to_json()),
+                ],
+            ),
+            AccessKind::RandRead { count, request } => (
+                "RandRead",
+                vec![("count", count.to_json()), ("request", request.to_json())],
+            ),
+            AccessKind::SeqWrite { fraction, request } => (
+                "SeqWrite",
+                vec![
+                    ("fraction", fraction.to_json()),
+                    ("request", request.to_json()),
+                ],
+            ),
+            AccessKind::RandWrite { count, request } => (
+                "RandWrite",
+                vec![("count", count.to_json()), ("request", request.to_json())],
+            ),
+        };
+        json::variant(
+            tag,
+            Json::Obj(
+                fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            ),
+        )
+    }
+}
+
+impl FromJson for AccessKind {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = json::untag(v)?;
+        let get = |name: &str| {
+            payload
+                .field(name)
+                .ok_or_else(|| JsonError::missing_field(name))
+        };
+        match tag {
+            "SeqRead" => Ok(AccessKind::SeqRead {
+                fraction: f64::from_json(get("fraction")?)?,
+                request: u64::from_json(get("request")?)?,
+            }),
+            "RandRead" => Ok(AccessKind::RandRead {
+                count: f64::from_json(get("count")?)?,
+                request: u64::from_json(get("request")?)?,
+            }),
+            "SeqWrite" => Ok(AccessKind::SeqWrite {
+                fraction: f64::from_json(get("fraction")?)?,
+                request: u64::from_json(get("request")?)?,
+            }),
+            "RandWrite" => Ok(AccessKind::RandWrite {
+                count: f64::from_json(get("count")?)?,
+                request: u64::from_json(get("request")?)?,
+            }),
+            other => Err(JsonError::new(format!(
+                "unknown AccessKind variant: {other:?}"
+            ))),
+        }
+    }
+}
+
 impl AccessKind {
     /// True if this step writes.
     pub fn is_write(&self) -> bool {
-        matches!(self, AccessKind::SeqWrite { .. } | AccessKind::RandWrite { .. })
+        matches!(
+            self,
+            AccessKind::SeqWrite { .. } | AccessKind::RandWrite { .. }
+        )
     }
 
     /// True if this step is sequential.
     pub fn is_sequential(&self) -> bool {
-        matches!(self, AccessKind::SeqRead { .. } | AccessKind::SeqWrite { .. })
+        matches!(
+            self,
+            AccessKind::SeqRead { .. } | AccessKind::SeqWrite { .. }
+        )
     }
 }
 
 /// One object-access step of a query.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AccessStep {
     /// Object name (resolved against the catalog at run time).
     pub object: String,
@@ -84,14 +163,18 @@ pub struct AccessStep {
     pub kind: AccessKind,
 }
 
+impl_json_struct!(AccessStep { object, kind });
+
 /// A query's storage footprint: phases of concurrent access steps.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct QueryTemplate {
     /// Query name ("Q1", "NEW_ORDER", ...).
     pub name: String,
     /// Phases run sequentially; steps within a phase run concurrently.
     pub phases: Vec<Vec<AccessStep>>,
 }
+
+impl_json_struct!(QueryTemplate { name, phases });
 
 impl QueryTemplate {
     /// All object names this query touches (deduplicated).
@@ -194,7 +277,10 @@ pub fn tpch_queries() -> Vec<QueryTemplate> {
         // Q1: pricing summary — full LINEITEM scan, small aggregation spill.
         q(
             "Q1",
-            vec![vec![seq("LINEITEM", 1.0)], vec![tmp_write(0.1), tmp_read(0.1)]],
+            vec![
+                vec![seq("LINEITEM", 1.0)],
+                vec![tmp_write(0.1), tmp_read(0.1)],
+            ],
         ),
         // Q2: minimum cost supplier — PARTSUPP/PART driven.
         q(
@@ -210,7 +296,11 @@ pub fn tpch_queries() -> Vec<QueryTemplate> {
         q(
             "Q3",
             vec![
-                vec![seq("LINEITEM", 1.0), seq("ORDERS", 1.0), seq("CUSTOMER", 0.6)],
+                vec![
+                    seq("LINEITEM", 1.0),
+                    seq("ORDERS", 1.0),
+                    seq("CUSTOMER", 0.6),
+                ],
                 vec![tmp_write(0.6)],
                 vec![tmp_read(0.6)],
             ],
@@ -282,7 +372,11 @@ pub fn tpch_queries() -> Vec<QueryTemplate> {
         q(
             "Q10",
             vec![
-                vec![seq("LINEITEM", 1.0), seq("ORDERS", 1.0), seq("CUSTOMER", 1.0)],
+                vec![
+                    seq("LINEITEM", 1.0),
+                    seq("ORDERS", 1.0),
+                    seq("CUSTOMER", 1.0),
+                ],
                 vec![tmp_write(0.5)],
                 vec![tmp_read(0.5)],
             ],
@@ -310,10 +404,7 @@ pub fn tpch_queries() -> Vec<QueryTemplate> {
             vec![vec![seq("LINEITEM", 1.3), seq("SUPPLIER", 1.0)]],
         ),
         // Q16: parts/supplier relationship — PARTSUPP ⋈ PART.
-        q(
-            "Q16",
-            vec![vec![seq("PARTSUPP", 1.0), seq("PART", 1.0)]],
-        ),
+        q("Q16", vec![vec![seq("PARTSUPP", 1.0), seq("PART", 1.0)]]),
         // Q17: small-quantity-order revenue — index-driven LINEITEM access.
         q(
             "Q17",
@@ -558,7 +649,11 @@ mod tests {
         let cat = Catalog::tpch_like(0.01);
         for tpl in tpch_queries() {
             for name in tpl.objects() {
-                assert!(cat.id_of(name).is_some(), "{}: unknown object {name}", tpl.name);
+                assert!(
+                    cat.id_of(name).is_some(),
+                    "{}: unknown object {name}",
+                    tpl.name
+                );
             }
         }
     }

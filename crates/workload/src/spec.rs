@@ -1,6 +1,6 @@
 //! Rome-style workload descriptions (paper §5.1, Figure 5).
 
-use serde::{Deserialize, Serialize};
+use wasla_simlib::impl_json_struct;
 
 /// The I/O workload description `Wᵢ` of one database object.
 ///
@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// * `overlaps` — `Oᵢ[j] ∈ \[0,1\]`, the temporal correlation of this
 ///   workload's requests with workload `j`'s (0 = never concurrent,
 ///   1 = always concurrent). `overlaps[i]` (self) is ignored.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct WorkloadSpec {
     /// Average read request size in bytes (`Bᵢᴿ`).
     pub read_size: f64,
@@ -30,6 +30,15 @@ pub struct WorkloadSpec {
     /// Temporal overlap with every other workload (`Oᵢ[j]`).
     pub overlaps: Vec<f64>,
 }
+
+impl_json_struct!(WorkloadSpec {
+    read_size,
+    write_size,
+    read_rate,
+    write_rate,
+    run_count,
+    overlaps,
+});
 
 impl WorkloadSpec {
     /// An idle workload (used for objects with no traced activity).
@@ -89,7 +98,7 @@ impl WorkloadSpec {
 
 /// The workload descriptions of all `N` objects, plus the object sizes
 /// — the complete advisor input describing the database side.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct WorkloadSet {
     /// Object names, parallel to `specs`.
     pub names: Vec<String>,
@@ -98,6 +107,12 @@ pub struct WorkloadSet {
     /// Per-object workload descriptions.
     pub specs: Vec<WorkloadSpec>,
 }
+
+impl_json_struct!(WorkloadSet {
+    names,
+    sizes,
+    specs
+});
 
 impl WorkloadSet {
     /// Number of objects `N`.

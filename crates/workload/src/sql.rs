@@ -14,11 +14,12 @@ use crate::query::{
     delivery_txn, new_order_txn, order_status_txn, payment_txn, stock_level_txn, tpch_queries,
     QueryTemplate,
 };
-use serde::{Deserialize, Serialize};
+use wasla_simlib::impl_json_struct;
+use wasla_simlib::json::{self, FromJson, Json, JsonError, ToJson};
 use wasla_simlib::SimRng;
 
 /// Configuration of an OLAP (query-sequence) workload.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct OlapConfig {
     /// Template indices composing the mix, in execution order.
     pub sequence: Vec<usize>,
@@ -26,8 +27,13 @@ pub struct OlapConfig {
     pub concurrency: usize,
 }
 
+impl_json_struct!(OlapConfig {
+    sequence,
+    concurrency
+});
+
 /// Configuration of an OLTP (terminal-driven) workload.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct OltpConfig {
     /// Number of simulated terminals (each runs transactions
     /// back-to-back, no think time).
@@ -37,8 +43,10 @@ pub struct OltpConfig {
     pub mix: Vec<(usize, f64)>,
 }
 
+impl_json_struct!(OltpConfig { terminals, mix });
+
 /// The kind-specific part of a workload.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum SqlWorkloadKind {
     /// A finite query sequence with a concurrency level.
     Olap(OlapConfig),
@@ -46,8 +54,29 @@ pub enum SqlWorkloadKind {
     Oltp(OltpConfig),
 }
 
+impl ToJson for SqlWorkloadKind {
+    fn to_json(&self) -> Json {
+        match self {
+            SqlWorkloadKind::Olap(c) => json::variant("Olap", c.to_json()),
+            SqlWorkloadKind::Oltp(c) => json::variant("Oltp", c.to_json()),
+        }
+    }
+}
+
+impl FromJson for SqlWorkloadKind {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match json::untag(v)? {
+            ("Olap", payload) => OlapConfig::from_json(payload).map(SqlWorkloadKind::Olap),
+            ("Oltp", payload) => OltpConfig::from_json(payload).map(SqlWorkloadKind::Oltp),
+            (other, _) => Err(JsonError::new(format!(
+                "unknown SqlWorkloadKind variant: {other:?}"
+            ))),
+        }
+    }
+}
+
 /// A complete SQL workload: named templates plus an execution plan.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SqlWorkload {
     /// Workload name ("OLAP1-63", ...).
     pub name: String,
@@ -56,6 +85,12 @@ pub struct SqlWorkload {
     /// Execution plan.
     pub kind: SqlWorkloadKind,
 }
+
+impl_json_struct!(SqlWorkload {
+    name,
+    templates,
+    kind
+});
 
 /// Builds the randomly permuted mix of the 21 included TPC-H-like
 /// queries, repeated `repeats` times (paper: the 63-query mixes use
@@ -293,7 +328,9 @@ mod tests {
     fn full_mix_weights_are_the_tpcc_percentages() {
         let w = SqlWorkload::oltp_full_mix();
         assert_eq!(w.templates.len(), 5);
-        let SqlWorkloadKind::Oltp(c) = &w.kind else { panic!() };
+        let SqlWorkloadKind::Oltp(c) = &w.kind else {
+            panic!()
+        };
         let total: f64 = c.mix.iter().map(|(_, w)| w).sum();
         assert!((total - 1.0).abs() < 1e-9);
         // New-Order is the heaviest component.
@@ -306,7 +343,11 @@ mod tests {
         use crate::catalog::Catalog;
         use crate::estimator::{estimate, EstimatorConfig};
         let catalog = Catalog::tpcc_like(1.0);
-        let set = estimate(&catalog, &SqlWorkload::oltp_full_mix(), &EstimatorConfig::default());
+        let set = estimate(
+            &catalog,
+            &SqlWorkload::oltp_full_mix(),
+            &EstimatorConfig::default(),
+        );
         set.validate().unwrap();
         // Payment touches WAREHOUSE/HISTORY, which New-Order does not.
         let hist = catalog.expect_id("HISTORY");

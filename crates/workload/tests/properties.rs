@@ -1,0 +1,143 @@
+//! Property tests for workload descriptions, centered on the in-tree
+//! JSON codec: every serializable workload type must survive a
+//! serialize → parse round trip unchanged, through both the compact
+//! and the pretty writer.
+
+use wasla_simlib::json;
+use wasla_simlib::proptest::prelude::*;
+use wasla_workload::{
+    AccessKind, Catalog, DbObject, ObjectKind, OlapConfig, OltpConfig, SqlWorkloadKind,
+    WorkloadSpec,
+};
+
+fn kind_strategy() -> Strategy<ObjectKind> {
+    one_of(vec![
+        Just(ObjectKind::Table).into_strategy(),
+        Just(ObjectKind::Index).into_strategy(),
+        Just(ObjectKind::Log).into_strategy(),
+        Just(ObjectKind::TempSpace).into_strategy(),
+    ])
+}
+
+fn access_strategy() -> Strategy<AccessKind> {
+    let frac = 0.0f64..1.0;
+    let count = 1.0f64..1e6;
+    let request = 512u64..1_048_576;
+    one_of(vec![
+        (frac.clone(), request.clone())
+            .into_strategy()
+            .prop_map(|(fraction, request)| AccessKind::SeqRead { fraction, request }),
+        (count.clone(), request.clone())
+            .into_strategy()
+            .prop_map(|(count, request)| AccessKind::RandRead { count, request }),
+        (frac, request.clone())
+            .into_strategy()
+            .prop_map(|(fraction, request)| AccessKind::SeqWrite { fraction, request }),
+        (count, request)
+            .into_strategy()
+            .prop_map(|(count, request)| AccessKind::RandWrite { count, request }),
+    ])
+}
+
+fn spec_strategy() -> Strategy<WorkloadSpec> {
+    (
+        512.0f64..1e6,
+        512.0f64..1e6,
+        0.0f64..1e4,
+        0.0f64..1e4,
+        1.0f64..1e3,
+        proptest::collection::vec(0.0f64..1.0, 1..8),
+    )
+        .into_strategy()
+        .prop_map(
+            |(read_size, write_size, read_rate, write_rate, run_count, overlaps)| WorkloadSpec {
+                read_size,
+                write_size,
+                read_rate,
+                write_rate,
+                run_count,
+                overlaps,
+            },
+        )
+}
+
+proptest! {
+    /// `DbObject` round-trips through compact and pretty JSON.
+    #[test]
+    fn db_object_json_round_trip(
+        kind in kind_strategy(),
+        size in 1u64..1_000_000_000_000,
+        name_tag in 0u32..1000,
+    ) {
+        let obj = DbObject::new(format!("obj-{name_tag}"), kind, size);
+        let compact: DbObject = json::from_str(&json::to_string(&obj)).unwrap();
+        prop_assert_eq!(&compact, &obj);
+        let pretty: DbObject = json::from_str(&json::to_string_pretty(&obj)).unwrap();
+        prop_assert_eq!(&pretty, &obj);
+    }
+
+    /// `AccessKind`'s externally-tagged encoding round-trips for all
+    /// four variants.
+    #[test]
+    fn access_kind_json_round_trip(kind in access_strategy()) {
+        let text = json::to_string(&kind);
+        let back: AccessKind = json::from_str(&text).unwrap();
+        prop_assert_eq!(back, kind);
+    }
+
+    /// `WorkloadSpec` round-trips, and its floats survive exactly (the
+    /// writer must emit enough digits for bit-exact re-parsing).
+    #[test]
+    fn workload_spec_json_round_trip(spec in spec_strategy()) {
+        let back: WorkloadSpec = json::from_str(&json::to_string(&spec)).unwrap();
+        prop_assert_eq!(back, spec);
+    }
+
+    /// A whole catalog of objects round-trips with order preserved.
+    #[test]
+    fn catalog_json_round_trip(
+        kinds in proptest::collection::vec(kind_strategy(), 1..20),
+        sizes in proptest::collection::vec(1u64..1_000_000_000, 1..20),
+    ) {
+        let n = kinds.len().min(sizes.len());
+        let catalog = Catalog::from_objects(
+            (0..n)
+                .map(|i| DbObject::new(format!("o{i}"), kinds[i], sizes[i]))
+                .collect(),
+        );
+        let back: Catalog = json::from_str(&json::to_string(&catalog)).unwrap();
+        prop_assert_eq!(back, catalog);
+    }
+
+    /// `SqlWorkloadKind` keeps its variant and payload through JSON.
+    #[test]
+    fn sql_workload_kind_json_round_trip(
+        olap in any::<bool>(),
+        a in 1usize..64,
+        b in 1usize..64,
+        weight in 0.0f64..1.0,
+    ) {
+        let kind = if olap {
+            SqlWorkloadKind::Olap(OlapConfig {
+                sequence: (0..a).collect(),
+                concurrency: b,
+            })
+        } else {
+            SqlWorkloadKind::Oltp(OltpConfig {
+                terminals: a,
+                mix: vec![(b, weight)],
+            })
+        };
+        let back: SqlWorkloadKind = json::from_str(&json::to_string(&kind)).unwrap();
+        prop_assert_eq!(back, kind);
+    }
+
+    /// The JSON text itself is canonical: encoding is a pure function
+    /// of the value, so decode → encode reproduces the exact bytes.
+    #[test]
+    fn workload_spec_json_is_canonical(spec in spec_strategy()) {
+        let text = json::to_string(&spec);
+        let back: WorkloadSpec = json::from_str(&text).unwrap();
+        prop_assert_eq!(json::to_string(&back), text);
+    }
+}

@@ -37,7 +37,10 @@ fn main() {
     let rec = outcome.recommendation.expect("advise succeeds");
 
     println!("\nrecommended layout (12 hottest objects, paper Fig. 16 style):");
-    println!("{}", render_layout(&outcome.problem, rec.final_layout(), 12));
+    println!(
+        "{}",
+        render_layout(&outcome.problem, rec.final_layout(), 12)
+    );
 
     let optimized = pipeline::run_with_layout(
         &scenario,

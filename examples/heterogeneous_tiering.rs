@@ -25,15 +25,20 @@ fn evaluate(name: &str, scenario: &Scenario, with_all_on_ssd: bool) {
 
     // Administrator heuristic: isolate tables on the first target.
     let iso = baselines::isolate_tables(&outcome.problem, 0);
-    if iso.is_valid(&outcome.problem.workloads.sizes, &outcome.problem.capacities) {
+    if iso.is_valid(
+        &outcome.problem.workloads.sizes,
+        &outcome.problem.capacities,
+    ) {
         let r = pipeline::run_with_layout(scenario, &workloads, &iso, &RunSettings::default());
         println!("isolate-tables        : {:8.0} s", r.elapsed.as_secs());
     }
     if with_all_on_ssd {
         let all = baselines::all_on_target(&outcome.problem, scenario.targets.len() - 1);
-        if all.is_valid(&outcome.problem.workloads.sizes, &outcome.problem.capacities) {
-            let r =
-                pipeline::run_with_layout(scenario, &workloads, &all, &RunSettings::default());
+        if all.is_valid(
+            &outcome.problem.workloads.sizes,
+            &outcome.problem.capacities,
+        ) {
+            let r = pipeline::run_with_layout(scenario, &workloads, &all, &RunSettings::default());
             println!("all-on-SSD            : {:8.0} s", r.elapsed.as_secs());
         }
     }
@@ -57,7 +62,11 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.05);
     // A 3-disk RAID-0 group plus one standalone disk (paper's "3-1").
-    evaluate("3-disk RAID-0 + 1 disk", &Scenario::config_3_1(scale), false);
+    evaluate(
+        "3-disk RAID-0 + 1 disk",
+        &Scenario::config_3_1(scale),
+        false,
+    );
     // Four disks plus a 32 GB-equivalent SSD.
     evaluate(
         "4 disks + SSD",

@@ -77,8 +77,18 @@ fn figure1_structure_emerges() {
     let rec = outcome.recommendation.expect("advise succeeds");
     let layout = rec.final_layout();
     let p = &outcome.problem;
-    let li = p.workloads.names.iter().position(|n| n == "LINEITEM").unwrap();
-    let or = p.workloads.names.iter().position(|n| n == "ORDERS").unwrap();
+    let li = p
+        .workloads
+        .names
+        .iter()
+        .position(|n| n == "LINEITEM")
+        .unwrap();
+    let or = p
+        .workloads
+        .names
+        .iter()
+        .position(|n| n == "ORDERS")
+        .unwrap();
     let shared: f64 = (0..p.m())
         .map(|j| layout.get(li, j).min(layout.get(or, j)))
         .sum();
@@ -105,7 +115,10 @@ fn isolation_heuristic_backfires_on_2_1_1() {
     let workloads = [SqlWorkload::olap8_63(11)];
     let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::full());
     let heuristic = baselines::isolate_tables_and_indexes(&outcome.problem, 0, 1, 2);
-    assert!(heuristic.is_valid(&outcome.problem.workloads.sizes, &outcome.problem.capacities));
+    assert!(heuristic.is_valid(
+        &outcome.problem.workloads.sizes,
+        &outcome.problem.capacities
+    ));
     let heuristic_run =
         pipeline::run_with_layout(&scenario, &workloads, &heuristic, &RunSettings::default());
     let rec = outcome.recommendation.expect("advise succeeds");

@@ -15,7 +15,10 @@ fn fig1_smoke() {
     let r = layouts::fig1(&config());
     assert_eq!(r.id, "fig1");
     assert!(r.row("SEE").is_some());
-    assert!(r.row("optimized").and_then(|x| x.metric("speedup")).is_some());
+    assert!(r
+        .row("optimized")
+        .and_then(|x| x.metric("speedup"))
+        .is_some());
     assert!(r.text.contains("LINEITEM"));
 }
 
@@ -169,7 +172,7 @@ fn future_work_smoke() {
     }
     let r = future_work::config_sweep(&config());
     assert_eq!(r.rows.len(), 5); // partitions of 4 disks
-    // Rows are sorted best-first by prediction.
+                                 // Rows are sorted best-first by prediction.
     let preds: Vec<f64> = r
         .rows
         .iter()
@@ -195,10 +198,7 @@ fn ablations_smoke() {
         assert!(row.metric("duty_cycle").unwrap() > 0.0);
     }
     let r = ablations::ablation_regularization(&config());
-    assert_eq!(
-        r.row("regularized").unwrap().metric("regular"),
-        Some(1.0)
-    );
+    assert_eq!(r.row("regularized").unwrap().metric("regular"), Some(1.0));
     assert_eq!(
         r.row("solver (non-regular)")
             .unwrap()
