@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Bench trajectory gate: rerun every micro-bench suite and diff the
+# fresh `results/BENCH_<suite>.json` reports against the committed
+# baselines in `results/baselines/`.
+#
+#   ci/bench_diff.sh              # report only
+#   ci/bench_diff.sh --fail-over 25   # exit 1 on any >25% regression
+#
+# Knobs pass through to the harness: WASLA_BENCH_SAMPLES,
+# WASLA_BENCH_TARGET_MS (lower both for a quick smoke run) and
+# WASLA_THREADS. Refresh the baselines after an intentional perf
+# change with:
+#
+#   cp results/BENCH_*.json results/baselines/
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== rerun micro-bench suites (offline) =="
+cargo bench --offline
+
+echo
+echo "== diff against results/baselines/ =="
+cargo run --release --offline --bin repro -- bench-diff "$@"

@@ -30,8 +30,26 @@ cargo fmt --all --check
 step "release build (offline)"
 cargo build --release --offline --workspace
 
+step "raw thread use confined to simlib::par"
+# The concurrency policy (DESIGN.md) routes all parallelism through
+# `wasla_simlib::par` so determinism is auditable in one place. Any
+# other `std::thread` use (scoped pools, ad-hoc spawns) is a policy
+# violation; `thread::sleep`-style uses would be too — simulators model
+# time, they don't wait on it.
+if grep -RnE 'std::thread|[^_a-zA-Z]thread::(spawn|scope|sleep|Builder)' crates/*/src \
+    | grep -v 'crates/simlib/src/par.rs'; then
+    echo "error: raw std::thread use outside crates/simlib/src/par.rs (see matches above)" >&2
+    echo "route parallel work through wasla_simlib::par instead" >&2
+    exit 1
+fi
+
 step "tests (offline)"
 cargo test -q --offline --workspace
+
+step "tests again on a 2-thread pool (offline)"
+# Exercises the parallel code paths even on single-core CI machines;
+# by the determinism contract every result must be unchanged.
+WASLA_THREADS=2 cargo test -q --offline --workspace
 
 step "benches compile (offline)"
 cargo bench --offline --no-run

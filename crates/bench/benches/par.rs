@@ -1,0 +1,123 @@
+//! Micro-benchmarks for the deterministic parallelism layer: the same
+//! multistart solve and device calibration at 1/2/4/8 threads, so the
+//! recorded trajectory (`results/BENCH_par.json`) shows the speedup
+//! the pool buys on the current machine.
+//!
+//! Thread counts are pinned by setting `WASLA_THREADS` around each
+//! case; the bench main is single-threaded, so the writes cannot race
+//! a concurrent reader. Results at every width are bit-identical by
+//! the concurrency policy — only the wall-clock should move.
+
+use std::hint::black_box;
+use wasla::core::{solve_multistart, Layout, LayoutProblem, SolverOptions};
+use wasla::model::{calibrate_device, CalibrationGrid, CostModel};
+use wasla::simlib::par;
+use wasla::storage::{DeviceSpec, DiskParams, IoKind, GIB};
+use wasla::workload::{ObjectKind, WorkloadSet, WorkloadSpec};
+use wasla_bench::harness::Harness;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn with_threads(t: usize, f: impl FnOnce()) {
+    std::env::set_var("WASLA_THREADS", t.to_string());
+    f();
+    std::env::remove_var("WASLA_THREADS");
+}
+
+/// Contention-sensitive analytic model (same shape as the advisor unit
+/// tests): cheap to evaluate, so the bench times the solver itself.
+struct ContentionModel;
+impl CostModel for ContentionModel {
+    fn request_cost(&self, _: IoKind, _: f64, run: f64, chi: f64) -> f64 {
+        0.004 / run.max(1.0) + 0.003 * chi + 0.004
+    }
+}
+
+fn synthetic_problem(n: usize, m: usize) -> LayoutProblem {
+    let spec = |i: usize| WorkloadSpec {
+        read_size: 65536.0,
+        write_size: 8192.0,
+        read_rate: 20.0 + 5.0 * (i as f64),
+        write_rate: 2.0,
+        run_count: if i % 2 == 0 { 32.0 } else { 4.0 },
+        overlaps: (0..n).map(|k| if k == i { 0.0 } else { 0.6 }).collect(),
+    };
+    LayoutProblem {
+        workloads: WorkloadSet {
+            names: (0..n).map(|i| format!("o{i}")).collect(),
+            sizes: vec![1 << 28; n],
+            specs: (0..n).map(spec).collect(),
+        },
+        kinds: vec![ObjectKind::Table; n],
+        capacities: vec![2 << 30; m],
+        target_names: (0..m).map(|j| format!("t{j}")).collect(),
+        models: (0..m)
+            .map(|_| std::sync::Arc::new(ContentionModel) as _)
+            .collect(),
+        stripe_size: 1024.0 * 1024.0,
+        constraints: vec![],
+    }
+}
+
+/// Eight single-assignment starts, rotated so each explores a
+/// different basin.
+fn starts(n: usize, m: usize) -> Vec<Layout> {
+    (0..8)
+        .map(|s| {
+            let mut layout = Layout::zero(n, m);
+            for i in 0..n {
+                layout.set(i, (i + s) % m, 1.0);
+            }
+            layout
+        })
+        .collect()
+}
+
+fn bench_multistart(c: &mut Harness) {
+    let problem = synthetic_problem(8, 4);
+    let starts = starts(8, 4);
+    let opts = SolverOptions::default();
+    let mut group = c.benchmark_group("multistart_8_starts");
+    for t in THREAD_COUNTS {
+        with_threads(t, || {
+            group.bench_function(format!("threads{t}"), |b| {
+                b.iter(|| black_box(solve_multistart(&problem, &starts, &opts)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_calibration(c: &mut Harness) {
+    let spec = DeviceSpec::Disk(DiskParams::scsi_15k(4 * GIB));
+    let grid = CalibrationGrid::coarse();
+    let mut group = c.benchmark_group("calibrate_coarse_disk");
+    for t in THREAD_COUNTS {
+        with_threads(t, || {
+            group.bench_function(format!("threads{t}"), |b| {
+                b.iter(|| black_box(calibrate_device(&spec, &grid, 7)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_par_map_overhead(c: &mut Harness) {
+    // The pool's fixed cost on trivial tasks: what routing a layer
+    // through par costs when there is nothing to win.
+    let items: Vec<u64> = (0..64).collect();
+    let mut group = c.benchmark_group("par_map_64_trivial_tasks");
+    for t in THREAD_COUNTS {
+        group.bench_function(format!("threads{t}"), |b| {
+            b.iter(|| black_box(par::par_map_with(t, &items, |&x| x.wrapping_mul(x))))
+        });
+    }
+    group.finish();
+}
+
+wasla_bench::bench_main!(
+    "par",
+    bench_multistart,
+    bench_calibration,
+    bench_par_map_overhead
+);

@@ -5,15 +5,26 @@
 //! repro all                # every figure/table
 //! repro ablations          # the DESIGN.md §5 ablations
 //! repro fig11 fig17        # a subset
+//! repro bench-diff         # diff results/BENCH_*.json vs baselines
 //! ```
 //!
 //! Experiments: fig1 fig8 fig11 fig12 fig13 fig14 fig15 fig16 fig17
 //! fig18 fig19 fig20, ablation-solver ablation-starts
 //! ablation-costmodel ablation-regularization.
+//!
+//! Independent experiments run concurrently on the `wasla_simlib::par`
+//! pool (width from `WASLA_THREADS`); each experiment's wall-clock is
+//! measured inside its own task, so the reported per-experiment times
+//! stay honest under parallelism. Output is printed in request order
+//! once everything finishes.
 
 use std::io::Write as _;
+use std::path::Path;
+use wasla::simlib::par;
 use wasla_bench::common::{ExpConfig, ExperimentResult};
-use wasla_bench::{ablations, autoadmin, future_work, layouts, models, runs, scaling, validation};
+use wasla_bench::{
+    ablations, autoadmin, diff, future_work, layouts, models, runs, scaling, validation,
+};
 
 const FIGS: &[&str] = &[
     "fig1", "fig8", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
@@ -56,11 +67,61 @@ fn run_one(id: &str, config: &ExpConfig) -> ExperimentResult {
         "dynamic-growth" => future_work::dynamic_growth(config),
         "config-sweep" => future_work::config_sweep(config),
         "fig15-pagesize" => validation::fig15_pagesize(config),
-        other => {
-            eprintln!("unknown experiment {other}; known: {FIGS:?} {ABLATIONS:?}");
-            std::process::exit(2);
+        other => unreachable!("experiment ids are validated in main: {other}"),
+    }
+}
+
+fn is_known(id: &str) -> bool {
+    FIGS.contains(&id) || ABLATIONS.contains(&id)
+}
+
+/// `repro bench-diff [--baseline DIR] [--current DIR] [--fail-over PCT]`
+fn bench_diff(mut args: impl Iterator<Item = String>) -> ! {
+    let results = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    let mut baseline = format!("{results}/baselines");
+    let mut current = results.to_string();
+    let mut fail_over: Option<f64> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = args.next().expect("--baseline takes a directory"),
+            "--current" => current = args.next().expect("--current takes a directory"),
+            "--fail-over" => {
+                fail_over = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--fail-over takes a percentage"),
+                );
+            }
+            other => {
+                eprintln!("bench-diff: unknown argument {other}");
+                std::process::exit(2);
+            }
         }
     }
+    let diffs = match diff::diff_dirs(Path::new(&baseline), Path::new(&current)) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench-diff: {e}");
+            std::process::exit(2);
+        }
+    };
+    if diffs.is_empty() {
+        println!("bench-diff: no BENCH_*.json reports in {current}");
+        println!("run `cargo bench` first to generate them");
+        std::process::exit(0);
+    }
+    print!("{}", diff::render(&diffs));
+    let worst = diff::worst_regression(&diffs);
+    if worst.is_finite() {
+        println!("worst regression vs baseline: {:+.1}%", worst * 100.0);
+    }
+    if let Some(limit) = fail_over {
+        if worst.is_finite() && worst * 100.0 > limit {
+            eprintln!("bench-diff: regression exceeds --fail-over {limit}%");
+            std::process::exit(1);
+        }
+    }
+    std::process::exit(0);
 }
 
 fn main() {
@@ -70,6 +131,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "bench-diff" => bench_diff(args),
             "--scale" => {
                 config.scale = args
                     .next()
@@ -92,28 +154,38 @@ fn main() {
     }
     if ids.is_empty() {
         eprintln!("usage: repro [--scale S] [--seed N] [--out DIR] <experiment>|all|ablations ...");
+        eprintln!("       repro bench-diff [--baseline DIR] [--current DIR] [--fail-over PCT]");
         eprintln!("experiments: {FIGS:?} {ABLATIONS:?}");
         std::process::exit(2);
     }
+    for id in &ids {
+        if !is_known(id) {
+            eprintln!("unknown experiment {id}; known: {FIGS:?} {ABLATIONS:?}");
+            std::process::exit(2);
+        }
+    }
 
     println!(
-        "# WASLA experiment suite (scale {}, seed {})\n",
-        config.scale, config.seed
+        "# WASLA experiment suite (scale {}, seed {}, {} threads)\n",
+        config.scale,
+        config.seed,
+        par::threads()
     );
-    let mut results = Vec::new();
-    for id in &ids {
+    // Experiments are independent: run them through the pool, timing
+    // each inside its task (honest per-experiment wall-clock even when
+    // several run at once), and print in request order afterwards.
+    let results: Vec<(ExperimentResult, f64)> = par::par_map(&ids, |id| {
         let t0 = std::time::Instant::now();
         let result = run_one(id, &config);
+        (result, t0.elapsed().as_secs_f64())
+    });
+    for ((result, wall_s), id) in results.iter().zip(&ids) {
         println!("{}", result.render());
-        println!(
-            "[{id} completed in {:.1}s wall]\n",
-            t0.elapsed().as_secs_f64()
-        );
-        results.push(result);
+        println!("[{id} completed in {wall_s:.1}s wall]\n");
     }
     if let Some(dir) = out_dir {
         std::fs::create_dir_all(&dir).expect("create out dir");
-        for result in &results {
+        for (result, _) in &results {
             let path = format!("{dir}/{}.json", result.id);
             let mut f = std::fs::File::create(&path).expect("create result file");
             f.write_all(wasla::simlib::json::to_string_pretty(result).as_bytes())

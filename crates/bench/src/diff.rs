@@ -1,0 +1,240 @@
+//! Bench-trajectory tracking: diff `results/BENCH_<suite>.json`
+//! reports against checked-in per-PR baselines.
+//!
+//! The wall-clock harness ([`crate::harness`]) writes one JSON report
+//! per suite. To make perf regressions diffable across PRs, a baseline
+//! snapshot of those reports lives under `results/baselines/`; this
+//! module loads both sides, matches benches by id, and renders
+//! per-bench deltas. `repro bench-diff` is the CLI entry point and
+//! `ci/bench_diff.sh` wires it into the offline gate.
+//!
+//! Wall-clock numbers are machine-dependent, so the diff is a
+//! trajectory signal, not a pass/fail gate by default; `--fail-over`
+//! turns large regressions into a non-zero exit for machines stable
+//! enough to gate on.
+
+use std::path::{Path, PathBuf};
+use wasla::simlib::json::{FromJson, Json};
+
+/// One bench present in both the baseline and the current report.
+#[derive(Clone, Debug)]
+pub struct BenchDelta {
+    /// Bench id ("group/case").
+    pub id: String,
+    /// Baseline median per-iteration nanoseconds.
+    pub baseline_ns: f64,
+    /// Current median per-iteration nanoseconds.
+    pub current_ns: f64,
+}
+
+impl BenchDelta {
+    /// Relative change: +0.25 means 25% slower than the baseline.
+    pub fn relative(&self) -> f64 {
+        if self.baseline_ns <= 0.0 {
+            return 0.0;
+        }
+        self.current_ns / self.baseline_ns - 1.0
+    }
+}
+
+/// The comparison of one suite's report against its baseline.
+#[derive(Clone, Debug, Default)]
+pub struct SuiteDiff {
+    /// Suite name (the `BENCH_<suite>.json` stem).
+    pub suite: String,
+    /// Benches present on both sides, in current-report order.
+    pub deltas: Vec<BenchDelta>,
+    /// Bench ids only in the baseline (removed or renamed).
+    pub only_baseline: Vec<String>,
+    /// Bench ids only in the current report (new benches).
+    pub only_current: Vec<String>,
+}
+
+/// A parsed `BENCH_<suite>.json` report: suite name plus
+/// `(bench id, median ns)` rows in file order.
+fn load_report(path: &Path) -> Result<(String, Vec<(String, f64)>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let value = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let suite = value
+        .field("suite")
+        .and_then(|v| String::from_json(v).ok())
+        .ok_or_else(|| format!("{}: missing suite field", path.display()))?;
+    let mut rows = Vec::new();
+    let benches = value
+        .field("benches")
+        .ok_or_else(|| format!("{}: missing benches field", path.display()))?;
+    for bench in benches
+        .items()
+        .map_err(|e| format!("{}: {e}", path.display()))?
+    {
+        let id = bench
+            .field("id")
+            .and_then(|v| String::from_json(v).ok())
+            .ok_or_else(|| format!("{}: bench without id", path.display()))?;
+        let median = bench
+            .field("median_ns")
+            .and_then(|v| f64::from_json(v).ok())
+            .ok_or_else(|| format!("{}: bench {id} without median_ns", path.display()))?;
+        rows.push((id, median));
+    }
+    Ok((suite, rows))
+}
+
+/// The `BENCH_*.json` files directly inside `dir`, sorted by name.
+fn report_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.is_file()
+                && p.file_name()
+                    .map(|n| {
+                        let n = n.to_string_lossy();
+                        n.starts_with("BENCH_") && n.ends_with(".json")
+                    })
+                    .unwrap_or(false)
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+/// Diffs every suite report in `current_dir` against `baseline_dir`.
+///
+/// Suites with no baseline yet are reported with every bench under
+/// `only_current`; suites whose baseline lost its current report are
+/// skipped (stale baselines are visible in `git status`, not here).
+pub fn diff_dirs(baseline_dir: &Path, current_dir: &Path) -> Result<Vec<SuiteDiff>, String> {
+    let mut diffs = Vec::new();
+    for path in report_files(current_dir) {
+        let (suite, current) = load_report(&path)?;
+        let baseline_path = baseline_dir.join(format!("BENCH_{suite}.json"));
+        let baseline = if baseline_path.is_file() {
+            load_report(&baseline_path)?.1
+        } else {
+            Vec::new()
+        };
+        let mut diff = SuiteDiff {
+            suite,
+            ..SuiteDiff::default()
+        };
+        for (id, current_ns) in &current {
+            match baseline.iter().find(|(bid, _)| bid == id) {
+                Some((_, baseline_ns)) => diff.deltas.push(BenchDelta {
+                    id: id.clone(),
+                    baseline_ns: *baseline_ns,
+                    current_ns: *current_ns,
+                }),
+                None => diff.only_current.push(id.clone()),
+            }
+        }
+        for (id, _) in &baseline {
+            if !current.iter().any(|(cid, _)| cid == id) {
+                diff.only_baseline.push(id.clone());
+            }
+        }
+        diffs.push(diff);
+    }
+    Ok(diffs)
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Renders the diffs as the table `repro bench-diff` prints.
+pub fn render(diffs: &[SuiteDiff]) -> String {
+    let mut out = String::new();
+    for diff in diffs {
+        out.push_str(&format!("== BENCH_{} ==\n", diff.suite));
+        for d in &diff.deltas {
+            out.push_str(&format!(
+                "{:48} {:>14} -> {:>14}  {:>+8.1}%\n",
+                d.id,
+                format_ns(d.baseline_ns),
+                format_ns(d.current_ns),
+                d.relative() * 100.0,
+            ));
+        }
+        for id in &diff.only_current {
+            out.push_str(&format!("{id:48} (new, no baseline)\n"));
+        }
+        for id in &diff.only_baseline {
+            out.push_str(&format!("{id:48} (baseline only — removed?)\n"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The worst (most positive) relative regression across all suites.
+pub fn worst_regression(diffs: &[SuiteDiff]) -> f64 {
+    diffs
+        .iter()
+        .flat_map(|d| d.deltas.iter())
+        .map(|d| d.relative())
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_report(dir: &Path, suite: &str, rows: &[(&str, f64)]) {
+        let benches: Vec<String> = rows
+            .iter()
+            .map(|(id, ns)| format!(r#"{{"id":"{id}","median_ns":{ns}.0}}"#))
+            .collect();
+        let text = format!(r#"{{"suite":"{suite}","benches":[{}]}}"#, benches.join(","));
+        std::fs::write(dir.join(format!("BENCH_{suite}.json")), text).unwrap();
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("wasla-diff-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn matches_benches_and_flags_new_and_removed() {
+        let base = temp_dir("base");
+        let cur = temp_dir("cur");
+        write_report(&base, "x", &[("a", 100.0), ("gone", 5.0)]);
+        write_report(&cur, "x", &[("a", 150.0), ("fresh", 7.0)]);
+        let diffs = diff_dirs(&base, &cur).unwrap();
+        assert_eq!(diffs.len(), 1);
+        let d = &diffs[0];
+        assert_eq!(d.suite, "x");
+        assert_eq!(d.deltas.len(), 1);
+        assert!((d.deltas[0].relative() - 0.5).abs() < 1e-12);
+        assert_eq!(d.only_current, vec!["fresh"]);
+        assert_eq!(d.only_baseline, vec!["gone"]);
+        assert!((worst_regression(&diffs) - 0.5).abs() < 1e-12);
+        let table = render(&diffs);
+        assert!(table.contains("+50.0%"), "{table}");
+        assert!(table.contains("no baseline"));
+        let _ = std::fs::remove_dir_all(&base);
+        let _ = std::fs::remove_dir_all(&cur);
+    }
+
+    #[test]
+    fn missing_baseline_dir_reports_all_as_new() {
+        let cur = temp_dir("nobase");
+        write_report(&cur, "y", &[("a", 1.0)]);
+        let diffs = diff_dirs(Path::new("/nonexistent-wasla-baselines"), &cur).unwrap();
+        assert_eq!(diffs[0].only_current, vec!["a"]);
+        assert!(diffs[0].deltas.is_empty());
+        let _ = std::fs::remove_dir_all(&cur);
+    }
+}

@@ -14,6 +14,7 @@ use crate::advisor::{recommend, AdvisorOptions, Recommendation};
 use crate::problem::{AdminConstraint, LayoutProblem};
 use std::sync::Arc;
 use wasla_model::{CalibrationGrid, TargetCostModel};
+use wasla_simlib::par;
 use wasla_storage::{DeviceSpec, TargetConfig};
 use wasla_workload::{ObjectKind, WorkloadSet};
 
@@ -93,6 +94,12 @@ pub fn targets_for_partition(pool: &ResourcePool, partition: &[usize]) -> Vec<Ta
 /// reapplied to every configuration (they must reference targets by
 /// index in the *configured* target list, so only object-independent
 /// constraints make sense here; pass none for a pure sweep).
+///
+/// Candidate configurations are independent (each calibrates and
+/// advises its own targets from the same base seed), so the sweep runs
+/// them concurrently on the [`par`] pool; the final ranking sorts the
+/// partition-ordered outcomes with a stable sort, keeping the result
+/// deterministic at any thread count.
 #[allow(clippy::too_many_arguments)]
 pub fn configure(
     workloads: &WorkloadSet,
@@ -104,9 +111,9 @@ pub fn configure(
     constraints: Vec<AdminConstraint>,
     seed: u64,
 ) -> Vec<ConfigOutcome> {
-    let mut outcomes = Vec::new();
-    for partition in partitions(pool.disks.len()) {
-        let targets = targets_for_partition(pool, &partition);
+    let candidates = partitions(pool.disks.len());
+    let mut outcomes: Vec<ConfigOutcome> = par::par_map(&candidates, |partition| {
+        let targets = targets_for_partition(pool, partition);
         let label = partition
             .iter()
             .map(|w| w.to_string())
@@ -126,22 +133,24 @@ pub fn configure(
             constraints: constraints.clone(),
         };
         if problem.validate().is_err() {
-            continue; // configuration can't hold the data
+            return None; // configuration can't hold the data
         }
-        if let Ok(recommendation) = recommend(&problem, advisor_options) {
-            let predicted_max_utilization = recommendation
-                .stages
-                .last()
-                .map(|s| s.max_utilization)
-                .unwrap_or(f64::INFINITY);
-            outcomes.push(ConfigOutcome {
-                label,
-                targets,
-                recommendation,
-                predicted_max_utilization,
-            });
-        }
-    }
+        let recommendation = recommend(&problem, advisor_options).ok()?;
+        let predicted_max_utilization = recommendation
+            .stages
+            .last()
+            .map(|s| s.max_utilization)
+            .unwrap_or(f64::INFINITY);
+        Some(ConfigOutcome {
+            label,
+            targets,
+            recommendation,
+            predicted_max_utilization,
+        })
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     outcomes.sort_by(|a, b| {
         a.predicted_max_utilization
             .partial_cmp(&b.predicted_max_utilization)

@@ -14,7 +14,7 @@
 use crate::advisor::{recommend, AdvisorError, AdvisorOptions};
 use crate::estimator::UtilizationEstimator;
 use crate::problem::{Layout, LayoutProblem};
-use wasla_simlib::impl_json_struct;
+use wasla_simlib::{impl_json_struct, par};
 
 /// Outcome of one re-advising round.
 #[derive(Clone, Debug)]
@@ -101,6 +101,26 @@ pub fn readvise(
         migration_bytes: if migrate { bytes } else { 0 },
         current_max_utilization: current_max,
         new_max_utilization: new_max,
+    })
+}
+
+/// Re-advises several candidate what-if problems against the same
+/// deployed layout, concurrently on the [`par`] pool.
+///
+/// This is the planning counterpart of [`readvise`]: given projected
+/// growth or drift scenarios (each a [`LayoutProblem`] at the
+/// projected sizes/workloads), evaluate what the advisor would do for
+/// every one of them. The scenarios are independent, so they map
+/// across the pool; results come back in scenario order and are
+/// identical to calling [`readvise`] in a loop at any thread count.
+pub fn readvise_batch(
+    problems: &[LayoutProblem],
+    deployed: &Layout,
+    advisor_options: &AdvisorOptions,
+    options: &DynamicOptions,
+) -> Vec<Result<ReadviseOutcome, AdvisorError>> {
+    par::par_map(problems, |problem| {
+        readvise(problem, deployed, advisor_options, options)
     })
 }
 
@@ -193,6 +213,28 @@ mod tests {
         assert!(out.migrate);
         assert!(out.new_max_utilization < out.current_max_utilization);
         assert!(out.migration_bytes > 0);
+    }
+
+    #[test]
+    fn batch_matches_serial_readvise() {
+        let deployed = Layout::from_rows(vec![vec![1.0, 0.0], vec![1.0, 0.0]]);
+        let opts = AdvisorOptions {
+            regularize: true,
+            ..AdvisorOptions::default()
+        };
+        let dyn_opts = DynamicOptions::default();
+        let problems = vec![
+            problem(vec![1 << 20, 1 << 20], vec![80.0, 80.0]),
+            problem(vec![700 << 20, 700 << 20], vec![10.0, 10.0]),
+            problem(vec![1 << 20, 1 << 20], vec![50.0, 50.0]),
+        ];
+        let batch = readvise_batch(&problems, &deployed, &opts, &dyn_opts);
+        let serial: Vec<_> = problems
+            .iter()
+            .map(|p| readvise(p, &deployed, &opts, &dyn_opts))
+            .collect();
+        assert_eq!(batch.len(), serial.len());
+        assert_eq!(format!("{batch:?}"), format!("{serial:?}"));
     }
 
     #[test]

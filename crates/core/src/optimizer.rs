@@ -22,6 +22,7 @@
 
 use crate::estimator::UtilizationEstimator;
 use crate::problem::{AdminConstraint, Layout, LayoutProblem};
+use wasla_simlib::par;
 use wasla_solver::{
     anneal, lse_max, minimize_constrained, project_simplex, softmax_weights, AnnealOptions,
     AugLagOptions, Constraint, PgOptions,
@@ -145,15 +146,19 @@ pub fn solve_nlp(problem: &LayoutProblem, initial: &Layout, opts: &SolverOptions
 /// Solves from several initial layouts and keeps the best (the
 /// Figure 4 `repeat?` loop; extra starts are how domain experts inject
 /// candidate layouts, §4.1).
+///
+/// The starts are independent, so they run concurrently on the
+/// [`par`] pool; the winner is picked in start-index order (earliest
+/// of equally-good outcomes), so the result is identical to the serial
+/// loop at any `WASLA_THREADS` setting.
 pub fn solve_multistart(
     problem: &LayoutProblem,
     starts: &[Layout],
     opts: &SolverOptions,
 ) -> NlpOutcome {
     assert!(!starts.is_empty());
-    starts
-        .iter()
-        .map(|s| solve_nlp(problem, s, opts))
+    par::par_map(starts, |s| solve_nlp(problem, s, opts))
+        .into_iter()
         .min_by(|a, b| {
             a.max_utilization
                 .partial_cmp(&b.max_utilization)

@@ -8,6 +8,9 @@
 //! * [`SimRng`] — a seedable, reproducible pseudo-random generator
 //!   (xoshiro256++) with the sampling helpers the simulator needs
 //!   (exponential inter-arrivals, bounded integers, shuffles, Zipf).
+//! * [`par`] — a deterministic scoped-thread pool with an ordered
+//!   [`par::par_map`]; the advisor's embarrassingly-parallel layers
+//!   (multi-start solving, calibration, sweeps) all route through it.
 //! * [`stats`] — online statistics accumulators (mean/variance,
 //!   time-weighted averages for utilization, latency histograms).
 //!
@@ -18,6 +21,7 @@
 
 pub mod events;
 pub mod json;
+pub mod par;
 pub mod proptest;
 pub mod rng;
 pub mod stats;

@@ -1,9 +1,75 @@
 //! Property tests for the simulation kernel.
 
+use wasla_simlib::par;
 use wasla_simlib::proptest::prelude::*;
 use wasla_simlib::{EventQueue, SimRng, SimTime};
 
 proptest! {
+    /// `par_map` is the identity refactor: same results, same order as
+    /// the serial map, at every pool width (including widths larger
+    /// than the input and the empty input).
+    #[test]
+    fn par_map_equals_serial_map(
+        items in proptest::collection::vec(any::<u64>(), 0..120),
+        threads in 1usize..12,
+    ) {
+        let serial: Vec<u64> = items
+            .iter()
+            .map(|&x| x.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (x >> 7))
+            .collect();
+        let parallel = par::par_map_with(threads, &items, |&x| {
+            x.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (x >> 7)
+        });
+        prop_assert_eq!(parallel, serial);
+    }
+
+    /// Tasks that derive their RNG from `task_seed` produce identical
+    /// streams no matter how the pool schedules them.
+    #[test]
+    fn par_map_task_seeds_are_schedule_independent(
+        base in any::<u64>(),
+        n in 0usize..60,
+        threads in 1usize..9,
+    ) {
+        let indices: Vec<u64> = (0..n as u64).collect();
+        let draw = |&i: &u64| SimRng::new(par::task_seed(base, i)).next_u64();
+        let serial: Vec<u64> = indices.iter().map(draw).collect();
+        let parallel = par::par_map_with(threads, &indices, draw);
+        prop_assert_eq!(parallel, serial);
+    }
+
+    /// A panicking task panics the caller at every pool width, and the
+    /// smallest-index payload is the one propagated.
+    #[test]
+    fn par_map_propagates_panics(
+        n in 1usize..50,
+        bad in 0usize..50,
+        threads in 1usize..9,
+    ) {
+        prop_assume!(bad < n);
+        let items: Vec<usize> = (0..n).collect();
+        let caught = std::panic::catch_unwind(|| {
+            par::par_map_with(threads, &items, |&i| {
+                if i >= bad {
+                    panic!("task {i} failed");
+                }
+                i
+            })
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+        prop_assert!(msg.starts_with("task "), "payload {:?}", msg);
+        // Workers race past `bad`, but no propagated index can precede
+        // it, and under one thread it is exactly the serial panic.
+        let idx: usize = msg["task ".len()..msg.len() - " failed".len()]
+            .parse()
+            .unwrap();
+        prop_assert!(idx >= bad);
+        if threads == 1 {
+            prop_assert_eq!(idx, bad);
+        }
+    }
+
     /// Events always pop in non-decreasing time order, regardless of
     /// the schedule order.
     #[test]

@@ -30,7 +30,7 @@ pub mod smoothing;
 
 pub use anneal::{anneal, AnnealOptions};
 pub use auglag::{minimize_constrained, AugLagOptions, Constraint};
-pub use multistart::multistart;
+pub use multistart::{multistart, MultistartError};
 pub use pg::{fd_gradient, minimize, PgOptions, PgResult};
 pub use simplex::{project_scaled_simplex, project_simplex};
 pub use smoothing::{lse_max, softmax_weights};

@@ -6,21 +6,42 @@
 //! knowledgeable administrator — and keeps the best result.
 
 use crate::pg::PgResult;
+use wasla_simlib::par;
+
+/// Failure modes of [`multistart`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MultistartError {
+    /// No starting points were supplied, so no solve ran.
+    NoStarts,
+}
+
+impl std::fmt::Display for MultistartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MultistartError::NoStarts => write!(f, "multistart needs at least one start"),
+        }
+    }
+}
+
+impl std::error::Error for MultistartError {}
 
 /// Runs `solve` from every starting point and returns the best result
-/// (lowest objective value, preferring converged runs on ties).
+/// (lowest objective value, preferring converged runs on ties), or
+/// [`MultistartError::NoStarts`] when `starts` is empty.
 ///
-/// `solve` is executed serially to keep results deterministic; callers
-/// who want parallelism can shard starting points themselves (the
-/// advisor's fleet-sized problems solve in milliseconds each).
-pub fn multistart<S>(starts: &[Vec<f64>], mut solve: S) -> PgResult
+/// The starts are independent, so they are solved concurrently on the
+/// [`par`] pool (`WASLA_THREADS` controls the width); the winner is
+/// then picked by scanning the results in start-index order, which
+/// makes the outcome bit-identical to a serial loop at any thread
+/// count. Callers no longer shard starting points themselves — pass
+/// them all in and let the pool spread them.
+pub fn multistart<S>(starts: &[Vec<f64>], solve: S) -> Result<PgResult, MultistartError>
 where
-    S: FnMut(&[f64]) -> PgResult,
+    S: Fn(&[f64]) -> PgResult + Sync,
 {
-    assert!(!starts.is_empty(), "multistart needs at least one start");
+    let results = par::par_map(starts, |start| solve(start));
     let mut best: Option<PgResult> = None;
-    for start in starts {
-        let r = solve(start);
+    for r in results {
         let better = match &best {
             None => true,
             Some(b) => {
@@ -31,7 +52,7 @@ where
             best = Some(r);
         }
     }
-    best.expect("at least one start ran")
+    best.ok_or(MultistartError::NoStarts)
 }
 
 #[cfg(test)]
@@ -64,7 +85,7 @@ mod tests {
             )
         };
         let from_right = solve(&[1.5]);
-        let both = multistart(&[vec![1.5], vec![-1.5]], solve);
+        let both = multistart(&[vec![1.5], vec![-1.5]], solve).unwrap();
         // The left basin (t ≈ -1.04) is lower because of the +0.3t tilt.
         assert!(both.value <= from_right.value);
         assert!(both.x[0] < 0.0, "x {:?}", both.x);
@@ -77,18 +98,36 @@ mod tests {
             value: 42.0,
             iters: 1,
             converged: true,
-        });
+        })
+        .unwrap();
         assert_eq!(r.value, 42.0);
     }
 
     #[test]
-    #[should_panic(expected = "at least one start")]
-    fn empty_starts_panic() {
-        multistart(&[], |x0| PgResult {
+    fn empty_starts_is_a_typed_error() {
+        let err = multistart(&[], |x0: &[f64]| PgResult {
             x: x0.to_vec(),
             value: 0.0,
             iters: 0,
             converged: true,
-        });
+        })
+        .unwrap_err();
+        assert_eq!(err, MultistartError::NoStarts);
+        assert!(err.to_string().contains("at least one start"));
+    }
+
+    #[test]
+    fn ties_prefer_converged_then_earliest() {
+        // Equal objective values: the earliest converged start must win
+        // regardless of how the pool interleaves the solves.
+        let starts: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+        let r = multistart(&starts, |x0| PgResult {
+            x: x0.to_vec(),
+            value: 1.0,
+            iters: 1,
+            converged: x0[0] >= 2.0,
+        })
+        .unwrap();
+        assert_eq!(r.x, vec![2.0]);
     }
 }

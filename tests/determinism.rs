@@ -1,0 +1,93 @@
+//! Thread-count determinism: the advisor's outputs are bit-identical
+//! at every pool width.
+//!
+//! This is the concurrency policy's contract (DESIGN.md §Concurrency
+//! policy): `WASLA_THREADS` may change wall-clock, never results. The
+//! test renders a calibration table and an advisor report at 1 thread
+//! and at 8 threads and asserts the bytes match.
+//!
+//! The whole check lives in ONE test function: it mutates the
+//! `WASLA_THREADS` environment variable, which is only safe while no
+//! other test in the same binary runs concurrently.
+
+use std::sync::Arc;
+use wasla::core::{recommend, AdvisorOptions, LayoutProblem};
+use wasla::model::{calibrate_device, CalibrationGrid, CostModel};
+use wasla::simlib::json::to_string_pretty;
+use wasla::storage::{DeviceSpec, DiskParams, IoKind, GIB};
+use wasla::workload::{ObjectKind, WorkloadSet, WorkloadSpec};
+
+/// Contention-sensitive analytic model: cheap, deterministic, and
+/// enough structure that the solver's multistart actually branches.
+struct ContentionModel;
+impl CostModel for ContentionModel {
+    fn request_cost(&self, _: IoKind, _: f64, run: f64, chi: f64) -> f64 {
+        0.004 / run.max(1.0) + 0.003 * chi + 0.004
+    }
+}
+
+fn problem(n: usize, m: usize) -> LayoutProblem {
+    let spec = |i: usize| WorkloadSpec {
+        read_size: 65536.0,
+        write_size: 8192.0,
+        read_rate: 20.0 + 5.0 * (i as f64),
+        write_rate: 2.0,
+        run_count: if i % 2 == 0 { 32.0 } else { 4.0 },
+        overlaps: (0..n).map(|k| if k == i { 0.0 } else { 0.6 }).collect(),
+    };
+    LayoutProblem {
+        workloads: WorkloadSet {
+            names: (0..n).map(|i| format!("o{i}")).collect(),
+            sizes: vec![1 << 28; n],
+            specs: (0..n).map(spec).collect(),
+        },
+        kinds: vec![ObjectKind::Table; n],
+        capacities: vec![2 << 30; m],
+        target_names: (0..m).map(|j| format!("t{j}")).collect(),
+        models: (0..m).map(|_| Arc::new(ContentionModel) as _).collect(),
+        stripe_size: 1024.0 * 1024.0,
+        constraints: vec![],
+    }
+}
+
+/// Everything deterministic about a recommendation, as bytes. Phase
+/// timings are wall-clock and excluded on purpose.
+fn advisor_report() -> String {
+    let problem = problem(6, 3);
+    let options = AdvisorOptions {
+        regularize: true,
+        random_starts: 4,
+        ..AdvisorOptions::default()
+    };
+    let rec = recommend(&problem, &options).expect("advisor runs");
+    format!(
+        "solver={:?}\nregular={:?}\nstages={:?}\nconverged={:?} fell_back={:?}\n",
+        rec.solver_layout, rec.regular_layout, rec.stages, rec.converged, rec.fell_back_to_see
+    )
+}
+
+fn calibration_table() -> String {
+    let spec = DeviceSpec::Disk(DiskParams::scsi_15k(4 * GIB));
+    to_string_pretty(&calibrate_device(&spec, &CalibrationGrid::coarse(), 7))
+}
+
+fn at_threads(t: usize) -> (String, String) {
+    std::env::set_var("WASLA_THREADS", t.to_string());
+    let out = (calibration_table(), advisor_report());
+    std::env::remove_var("WASLA_THREADS");
+    out
+}
+
+#[test]
+fn outputs_are_identical_at_any_thread_count() {
+    let (table_1, report_1) = at_threads(1);
+    let (table_8, report_8) = at_threads(8);
+    assert_eq!(
+        table_1, table_8,
+        "calibration table depends on WASLA_THREADS"
+    );
+    assert_eq!(
+        report_1, report_8,
+        "advisor report depends on WASLA_THREADS"
+    );
+}
