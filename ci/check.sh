@@ -43,6 +43,38 @@ if grep -RnE 'std::thread|[^_a-zA-Z]thread::(spawn|scope|sleep|Builder)' crates/
     exit 1
 fi
 
+step "panic-site ratchet (library crates return typed errors)"
+# The error policy (DESIGN.md §Error hierarchy) threads `WaslaError`
+# through every public entry point; library code must not add new
+# `unwrap()`/`panic!`-family sites. `ci/panic_budget.txt` grandfathers
+# the existing ones per file; `#[cfg(test)]` modules (which sit at the
+# end of each file, by convention) and the bench harness crate are
+# exempt. The gate fails when a file exceeds its budget.
+panic_sites() {
+    # Non-test, non-comment panic-family sites in one source file.
+    awk '/^#\[cfg\(test\)\]/{exit} {print}' "$1" \
+        | grep -vE '^[[:space:]]*(//|#)' \
+        | grep -cE '\.unwrap\(\)|panic!\(|\.expect\(|unreachable!\(|todo!\(|unimplemented!\(' \
+        || true
+}
+ratchet_failed=0
+for f in $(find crates/*/src -name '*.rs' | grep -v '^crates/bench/' | sort); do
+    count=$(panic_sites "$f")
+    budget=$(awk -v f="$f" '!/^#/ && $2 == f {print $1}' ci/panic_budget.txt)
+    budget=${budget:-0}
+    if [ "$count" -gt "$budget" ]; then
+        echo "error: $f has $count panic-family sites (budget $budget)" >&2
+        ratchet_failed=1
+    elif [ "$count" -lt "$budget" ]; then
+        echo "note: $f is under budget ($count < $budget) — tighten ci/panic_budget.txt"
+    fi
+done
+if [ "$ratchet_failed" -ne 0 ]; then
+    echo "return WaslaError (or the layer's typed error) instead of panicking," >&2
+    echo "or move the site into a #[cfg(test)] module" >&2
+    exit 1
+fi
+
 step "tests (offline)"
 cargo test -q --offline --workspace
 

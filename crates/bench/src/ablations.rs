@@ -110,7 +110,7 @@ pub fn ablation_costmodel(config: &ExpConfig) -> ExperimentResult {
     let scenario = Scenario::homogeneous_disks(4, config.scale);
     let workloads = [SqlWorkload::olap1_63(config.seed)];
     let outcome = advise(config, &scenario, &workloads);
-    let rec = outcome.recommendation.expect("advise succeeds");
+    let rec = &outcome.recommendation;
 
     // Analytic-model twin of the problem.
     let mut analytic = wasla::core::LayoutProblem {
@@ -131,7 +131,8 @@ pub fn ablation_costmodel(config: &ExpConfig) -> ExperimentResult {
     let see = wasla::core::Layout::see(outcome.problem.n(), 4);
     for (label, layout) in [("SEE", &see), ("optimized", rec.final_layout())] {
         let run =
-            pipeline::run_with_layout(&scenario, &workloads, layout, &run_settings(config.seed));
+            pipeline::run_with_layout(&scenario, &workloads, layout, &run_settings(config.seed))
+                .expect("validation run succeeds");
         let measured = run.max_utilization();
         let tab = UtilizationEstimator::new(&outcome.problem).max_utilization(layout);
         let ana = UtilizationEstimator::new(&analytic).max_utilization(layout);
@@ -174,20 +175,23 @@ pub fn ablation_contention(config: &ExpConfig) -> ExperimentResult {
     let mut settings = run_settings(config.seed);
     settings.capture_trace = true;
     let rows_see = wasla::exec::see_rows(scenario.catalog.len(), scenario.targets.len());
-    let report = pipeline::run_layout(&scenario, &workloads, &rows_see, &settings);
+    let report = pipeline::run_layout(&scenario, &workloads, &rows_see, &settings)
+        .expect("validation run succeeds");
     let trace = report.trace.as_ref().expect("trace requested");
     let fitted = wasla::trace::fit_workloads(
         trace,
         &scenario.catalog.names(),
         &scenario.catalog.sizes(),
         &wasla::trace::FitConfig::default(),
-    );
-    let duty = fit_duty_cycles(trace, scenario.catalog.len(), 5.0);
+    )
+    .expect("fit succeeds");
+    let duty = fit_duty_cycles(trace, scenario.catalog.len(), 5.0).expect("duty cycles fit");
     let problem = pipeline::build_problem(
         &scenario,
         fitted,
         &crate::common::advise_config(config).grid,
-    );
+    )
+    .expect("problem builds");
     let est = UtilizationEstimator::new(&problem);
     let see = Layout::see(problem.n(), problem.m());
 
@@ -236,7 +240,7 @@ pub fn ablation_regularization(config: &ExpConfig) -> ExperimentResult {
     let scenario = Scenario::homogeneous_disks(4, config.scale);
     let workloads = [SqlWorkload::olap1_63(config.seed)];
     let outcome = advise(config, &scenario, &workloads);
-    let rec = outcome.recommendation.expect("advise succeeds");
+    let rec = &outcome.recommendation;
     let est = UtilizationEstimator::new(&outcome.problem);
     let mut rows = Vec::new();
     for (label, layout) in [
@@ -244,7 +248,8 @@ pub fn ablation_regularization(config: &ExpConfig) -> ExperimentResult {
         ("regularized", rec.final_layout()),
     ] {
         let run =
-            pipeline::run_with_layout(&scenario, &workloads, layout, &run_settings(config.seed));
+            pipeline::run_with_layout(&scenario, &workloads, layout, &run_settings(config.seed))
+                .expect("validation run succeeds");
         rows.push(Row::new(
             label,
             vec![

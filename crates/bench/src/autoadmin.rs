@@ -27,7 +27,7 @@ pub fn fig20(config: &ExpConfig) -> ExperimentResult {
     let scenario = Scenario::homogeneous_disks(4, config.scale);
     let olap1 = [SqlWorkload::olap1_63(config.seed)];
     let outcome1 = advise(config, &scenario, &olap1);
-    let rec1 = outcome1.recommendation.expect("advise succeeds");
+    let rec1 = &outcome1.recommendation;
 
     let t0 = Instant::now();
     let aa_layout = autoadmin_layout(
@@ -57,9 +57,11 @@ pub fn fig20(config: &ExpConfig) -> ExperimentResult {
         rec1.final_layout(),
         &run_settings(config.seed),
     )
+    .expect("validation run succeeds")
     .elapsed
     .as_secs();
     let aa1 = pipeline::run_with_layout(&scenario, &olap1, &aa_layout, &run_settings(config.seed))
+        .expect("validation run succeeds")
         .elapsed
         .as_secs();
     rows.push(Row::new("OLAP1-63 SEE", vec![("elapsed_s", see1)]));
@@ -75,7 +77,7 @@ pub fn fig20(config: &ExpConfig) -> ExperimentResult {
     // OLAP8-63: AutoAdmin reuses the same layout; the advisor re-fits.
     let olap8 = [SqlWorkload::olap8_63(config.seed)];
     let outcome8 = advise(config, &scenario, &olap8);
-    let rec8 = outcome8.recommendation.expect("advise succeeds");
+    let rec8 = &outcome8.recommendation;
     let see8 = outcome8.baseline_run.elapsed.as_secs();
     let ours8 = pipeline::run_with_layout(
         &scenario,
@@ -83,9 +85,11 @@ pub fn fig20(config: &ExpConfig) -> ExperimentResult {
         rec8.final_layout(),
         &run_settings(config.seed),
     )
+    .expect("validation run succeeds")
     .elapsed
     .as_secs();
     let aa8 = pipeline::run_with_layout(&scenario, &olap8, &aa_layout, &run_settings(config.seed))
+        .expect("validation run succeeds")
         .elapsed
         .as_secs();
     rows.push(Row::new("OLAP8-63 SEE", vec![("elapsed_s", see8)]));

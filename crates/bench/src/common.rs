@@ -125,6 +125,7 @@ impl ExperimentResult {
 /// advise).
 pub fn advise(config: &ExpConfig, scenario: &Scenario, workloads: &[SqlWorkload]) -> AdviseOutcome {
     pipeline::advise(scenario, workloads, &advise_config(config))
+        .expect("experiment advise pipeline succeeds")
 }
 
 /// The advise configuration used by all experiments: full calibration

@@ -17,7 +17,7 @@ pub fn dynamic_growth(config: &ExpConfig) -> ExperimentResult {
     let scenario = Scenario::homogeneous_disks(4, config.scale);
     let workloads = [SqlWorkload::olap1_63(config.seed)];
     let outcome = advise(config, &scenario, &workloads);
-    let rec = outcome.recommendation.expect("advise succeeds");
+    let rec = &outcome.recommendation;
     let mut problem = outcome.problem;
     let mut deployed = rec.final_layout().clone();
     let advisor_opts = AdvisorOptions {
@@ -101,7 +101,8 @@ pub fn config_sweep(config: &ExpConfig) -> ExperimentResult {
                 &workloads,
                 o.recommendation.final_layout(),
                 &run_settings(config.seed),
-            );
+            )
+            .expect("validation run succeeds");
             report.elapsed.as_secs()
         } else {
             f64::NAN

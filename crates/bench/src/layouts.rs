@@ -14,13 +14,14 @@ pub fn fig1(config: &ExpConfig) -> ExperimentResult {
     let scenario = Scenario::homogeneous_disks(4, config.scale);
     let workloads = [SqlWorkload::olap1_63(config.seed)];
     let outcome = advise(config, &scenario, &workloads);
-    let rec = outcome.recommendation.expect("advise succeeds");
+    let rec = &outcome.recommendation;
     let optimized = pipeline::run_with_layout(
         &scenario,
         &workloads,
         rec.final_layout(),
         &run_settings(config.seed),
-    );
+    )
+    .expect("validation run succeeds");
     let see_s = outcome.baseline_run.elapsed.as_secs();
     let opt_s = optimized.elapsed.as_secs();
     let mut text = String::new();
@@ -74,7 +75,7 @@ pub fn fig12(config: &ExpConfig) -> ExperimentResult {
     let scenario = Scenario::homogeneous_disks(4, config.scale);
     let workloads = [SqlWorkload::olap8_63(config.seed)];
     let outcome = advise(config, &scenario, &workloads);
-    let rec = outcome.recommendation.expect("advise succeeds");
+    let rec = &outcome.recommendation;
     let text = render_layout(&outcome.problem, rec.final_layout(), 8);
     ExperimentResult {
         id: "fig12".into(),
@@ -109,7 +110,7 @@ pub fn fig14(config: &ExpConfig) -> ExperimentResult {
         let scenario = Scenario::homogeneous_disks(4, config.scale);
         let workloads = [workload];
         let outcome = advise(config, &scenario, &workloads);
-        let rec = outcome.recommendation.expect("advise succeeds");
+        let rec = &outcome.recommendation;
         let solver_stage = rec.stage("solver").expect("solver stage");
         // Balance quality of the fractional solution: spread of
         // predicted utilizations.
@@ -148,7 +149,7 @@ pub fn fig16(config: &ExpConfig) -> ExperimentResult {
         SqlWorkload::oltp().with_prefix("C_"),
     ];
     let outcome = advise(config, &scenario, &workloads);
-    let rec = outcome.recommendation.expect("advise succeeds");
+    let rec = &outcome.recommendation;
     let text = render_layout(&outcome.problem, rec.final_layout(), 12);
     ExperimentResult {
         id: "fig16".into(),

@@ -61,7 +61,7 @@ pub fn fig13(config: &ExpConfig) -> ExperimentResult {
         let scenario = Scenario::homogeneous_disks(4, config.scale);
         let workloads = [workload];
         let outcome = advise(config, &scenario, &workloads);
-        let rec = outcome.recommendation.expect("advise succeeds");
+        let rec = &outcome.recommendation;
         for stage in &rec.stages {
             rows.push(Row {
                 label: format!("{name} {}", stage.stage),

@@ -18,13 +18,14 @@ pub fn fig11(config: &ExpConfig) -> ExperimentResult {
         let scenario = Scenario::homogeneous_disks(4, config.scale);
         let workloads = [workload];
         let outcome = advise(config, &scenario, &workloads);
-        let rec = outcome.recommendation.expect("advise succeeds");
+        let rec = &outcome.recommendation;
         let optimized = pipeline::run_with_layout(
             &scenario,
             &workloads,
             rec.final_layout(),
             &run_settings(config.seed),
-        );
+        )
+        .expect("validation run succeeds");
         let see_s = outcome.baseline_run.elapsed.as_secs();
         let opt_s = optimized.elapsed.as_secs();
         rows.push(Row::new(format!("{name} SEE"), vec![("elapsed_s", see_s)]));
@@ -57,13 +58,14 @@ pub fn fig15(config: &ExpConfig) -> ExperimentResult {
         SqlWorkload::oltp().with_prefix("C_"),
     ];
     let outcome = advise(config, &scenario, &workloads);
-    let rec = outcome.recommendation.expect("advise succeeds");
+    let rec = &outcome.recommendation;
     let optimized = pipeline::run_with_layout(
         &scenario,
         &workloads,
         rec.final_layout(),
         &run_settings(config.seed),
-    );
+    )
+    .expect("validation run succeeds");
     let see_s = outcome.baseline_run.elapsed.as_secs();
     let opt_s = optimized.elapsed.as_secs();
     let rows = vec![
@@ -108,7 +110,7 @@ pub fn fig17(config: &ExpConfig) -> ExperimentResult {
     for (label, scenario) in scenarios {
         let workloads = [SqlWorkload::olap8_63(config.seed)];
         let outcome = advise(config, &scenario, &workloads);
-        let rec = outcome.recommendation.expect("advise succeeds");
+        let rec = &outcome.recommendation;
         let see_s = outcome.baseline_run.elapsed.as_secs();
         rows.push(Row::new(format!("{label} SEE"), vec![("elapsed_s", see_s)]));
         // Administrator heuristics per §6.4: isolate tables on the big
@@ -125,7 +127,8 @@ pub fn fig17(config: &ExpConfig) -> ExperimentResult {
                         &workloads,
                         &l,
                         &run_settings(config.seed),
-                    );
+                    )
+                    .expect("validation run succeeds");
                     rows.push(Row::new(
                         "3-1 isolate-tables",
                         vec![("elapsed_s", r.elapsed.as_secs())],
@@ -143,7 +146,8 @@ pub fn fig17(config: &ExpConfig) -> ExperimentResult {
                         &workloads,
                         &l,
                         &run_settings(config.seed),
-                    );
+                    )
+                    .expect("validation run succeeds");
                     rows.push(Row::new(
                         "2-1-1 isolate-tables-and-indexes",
                         vec![("elapsed_s", r.elapsed.as_secs())],
@@ -157,7 +161,8 @@ pub fn fig17(config: &ExpConfig) -> ExperimentResult {
             &workloads,
             rec.final_layout(),
             &run_settings(config.seed),
-        );
+        )
+        .expect("validation run succeeds");
         let opt_s = optimized.elapsed.as_secs();
         rows.push(Row::new(
             format!("{label} optimized"),
@@ -188,7 +193,7 @@ pub fn fig18(config: &ExpConfig) -> ExperimentResult {
         let scenario = Scenario::disks_plus_ssd(config.scale, ssd_gb * 1e9);
         let workloads = [SqlWorkload::olap8_63(config.seed)];
         let outcome = advise(config, &scenario, &workloads);
-        let rec = outcome.recommendation.expect("advise succeeds");
+        let rec = &outcome.recommendation;
         let see_s = outcome.baseline_run.elapsed.as_secs();
         rows.push(Row::new(
             format!("ssd{ssd_gb:.0}GB SEE"),
@@ -204,7 +209,8 @@ pub fn fig18(config: &ExpConfig) -> ExperimentResult {
                 &workloads,
                 &all_ssd,
                 &run_settings(config.seed),
-            );
+            )
+            .expect("validation run succeeds");
             rows.push(Row::new(
                 format!("ssd{ssd_gb:.0}GB all-on-ssd"),
                 vec![("elapsed_s", r.elapsed.as_secs())],
@@ -215,7 +221,8 @@ pub fn fig18(config: &ExpConfig) -> ExperimentResult {
             &workloads,
             rec.final_layout(),
             &run_settings(config.seed),
-        );
+        )
+        .expect("validation run succeeds");
         let opt_s = optimized.elapsed.as_secs();
         rows.push(Row::new(
             format!("ssd{ssd_gb:.0}GB optimized"),
@@ -242,7 +249,8 @@ pub fn fig18(config: &ExpConfig) -> ExperimentResult {
             seed: config.seed,
             ..RunSettings::default()
         },
-    );
+    )
+    .expect("validation run succeeds");
     rows.push(Row::new(
         "disk-only SEE (reference)",
         vec![("elapsed_s", see.elapsed.as_secs())],

@@ -29,11 +29,10 @@ fn disk_problem(
         .map(|j| TargetConfig::single(format!("disk{j}"), disk.clone()))
         .collect();
     let grid = advise_config(config).grid;
-    let model = Arc::new(TargetCostModel::from_target(
-        &targets[0],
-        &grid,
-        config.seed,
-    ));
+    let model = Arc::new(
+        TargetCostModel::from_target(&targets[0], &grid, config.seed)
+            .expect("homogeneous disk target calibrates"),
+    );
     LayoutProblem {
         kinds,
         capacities: targets.iter().map(|t| t.capacity()).collect(),
@@ -59,7 +58,7 @@ pub fn fig19(config: &ExpConfig) -> ExperimentResult {
     let scenario = Scenario::homogeneous_disks(4, config.scale);
     let outcome = advise(config, &scenario, &[SqlWorkload::olap8_63(config.seed)]);
     {
-        let rec = outcome.recommendation.as_ref().expect("advise succeeds");
+        let rec = &outcome.recommendation;
         rows.push(Row::new(
             "OLAP8-63 N=20 M=4",
             vec![

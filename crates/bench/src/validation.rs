@@ -91,13 +91,14 @@ pub fn fig15_pagesize(config: &ExpConfig) -> ExperimentResult {
             .with_request_sizes(|r| r.min(8192)),
     ];
     let outcome = advise(config, &scenario, &workloads);
-    let rec = outcome.recommendation.expect("advise succeeds");
+    let rec = &outcome.recommendation;
     let optimized = pipeline::run_with_layout(
         &scenario,
         &workloads,
         rec.final_layout(),
         &run_settings(config.seed),
-    );
+    )
+    .expect("validation run succeeds");
     let see_s = outcome.baseline_run.elapsed.as_secs();
     let opt_s = optimized.elapsed.as_secs();
     // LINEITEM / C_STOCK separation metric.
@@ -160,13 +161,14 @@ pub fn estimator_input(config: &ExpConfig) -> ExperimentResult {
 
     // Path A: trace and fit (the paper's primary path).
     let outcome = advise(config, &scenario, &workloads);
-    let rec_trace = outcome.recommendation.expect("trace path succeeds");
+    let rec_trace = &outcome.recommendation;
     let run_trace = pipeline::run_with_layout(
         &scenario,
         &workloads,
         rec_trace.final_layout(),
         &run_settings(config.seed),
-    );
+    )
+    .expect("validation run succeeds");
 
     // Path B: analytic estimation from the catalog + SQL workload,
     // without running anything (the paper's [19]).
@@ -175,7 +177,8 @@ pub fn estimator_input(config: &ExpConfig) -> ExperimentResult {
         ..EstimatorConfig::default()
     };
     let estimated = estimate(&scenario.catalog, &workloads[0], &est_cfg);
-    let problem_b = pipeline::build_problem(&scenario, estimated, &advise_config(config).grid);
+    let problem_b = pipeline::build_problem(&scenario, estimated, &advise_config(config).grid)
+        .expect("problem builds");
     let rec_est = wasla::core::recommend(
         &problem_b,
         &wasla::core::AdvisorOptions {
@@ -189,7 +192,8 @@ pub fn estimator_input(config: &ExpConfig) -> ExperimentResult {
         &workloads,
         rec_est.final_layout(),
         &run_settings(config.seed),
-    );
+    )
+    .expect("validation run succeeds");
 
     let see_s = outcome.baseline_run.elapsed.as_secs();
     let rows = vec![

@@ -17,6 +17,7 @@ use std::time::Instant;
 use wasla_simlib::impl_json_struct;
 use wasla_simlib::json::{self, FromJson, Json, JsonError, ToJson};
 use wasla_simlib::SimRng;
+use wasla_solver::MultistartError;
 
 /// Advisor configuration.
 #[derive(Clone, Debug)]
@@ -124,6 +125,8 @@ pub enum AdvisorError {
     InvalidProblem(String),
     /// No valid initial layout exists (capacity too tight).
     Initial(InitialLayoutError),
+    /// The multi-start solve could not run (no starting layouts).
+    Multistart(MultistartError),
     /// Regularization dead-ended (§4.3's manual-intervention case).
     Regularize(RegularizeError),
 }
@@ -133,6 +136,9 @@ impl ToJson for AdvisorError {
         match self {
             AdvisorError::InvalidProblem(msg) => json::variant("InvalidProblem", msg.to_json()),
             AdvisorError::Initial(e) => json::variant("Initial", e.to_json()),
+            AdvisorError::Multistart(MultistartError::NoStarts) => {
+                json::variant("Multistart", "NoStarts".to_json())
+            }
             AdvisorError::Regularize(e) => json::variant("Regularize", e.to_json()),
         }
     }
@@ -147,6 +153,12 @@ impl FromJson for AdvisorError {
             ("Initial", payload) => {
                 InitialLayoutError::from_json(payload).map(AdvisorError::Initial)
             }
+            ("Multistart", payload) => match String::from_json(payload)?.as_str() {
+                "NoStarts" => Ok(AdvisorError::Multistart(MultistartError::NoStarts)),
+                other => Err(JsonError::new(format!(
+                    "unknown MultistartError variant: {other:?}"
+                ))),
+            },
             ("Regularize", payload) => {
                 RegularizeError::from_json(payload).map(AdvisorError::Regularize)
             }
@@ -162,6 +174,7 @@ impl std::fmt::Display for AdvisorError {
         match self {
             AdvisorError::InvalidProblem(msg) => write!(f, "invalid problem: {msg}"),
             AdvisorError::Initial(e) => write!(f, "initial layout: {e}"),
+            AdvisorError::Multistart(e) => write!(f, "solve: {e}"),
             AdvisorError::Regularize(e) => write!(f, "regularization: {e}"),
         }
     }
@@ -246,30 +259,57 @@ impl Recommendation {
     }
 }
 
-/// Runs the full advisor pipeline.
-pub fn recommend(
+/// What the solve stage of the pipeline produced: the solver's layout
+/// plus the stage reports and timings accumulated so far. Feed it to
+/// [`regularize_stage`] to finish the pipeline (or call [`recommend`],
+/// which runs both).
+#[derive(Clone, Debug)]
+pub struct SolveOutcome {
+    /// The multi-start NLP solver's (generally non-regular) layout.
+    pub solver_layout: Layout,
+    /// Solver convergence flag.
+    pub converged: bool,
+    /// Stage reports recorded so far: "see", "initial", "solver".
+    pub stages: Vec<StageReport>,
+    /// Initial-layout construction time.
+    pub initial_s: f64,
+    /// NLP solver time.
+    pub solver_s: f64,
+}
+
+fn record_stage(
+    est: &UtilizationEstimator,
+    stages: &mut Vec<StageReport>,
+    name: &str,
+    layout: &Layout,
+) {
+    let utilizations = est.utilizations(layout);
+    let max_utilization = utilizations.iter().cloned().fold(0.0, f64::max);
+    stages.push(StageReport {
+        stage: name.to_string(),
+        utilizations,
+        max_utilization,
+    });
+}
+
+/// The pipeline's solve stage: validates the problem, builds the
+/// rate-greedy/separation/expert/random starting layouts, and runs the
+/// multi-start NLP solver, recording "see"/"initial"/"solver" stage
+/// reports along the way.
+pub fn solve_stage(
     problem: &LayoutProblem,
     options: &AdvisorOptions,
-) -> Result<Recommendation, AdvisorError> {
+) -> Result<SolveOutcome, AdvisorError> {
     problem.validate().map_err(AdvisorError::InvalidProblem)?;
     let est = UtilizationEstimator::new(problem);
     let mut stages = Vec::new();
-    let mut record = |name: &str, layout: &Layout| {
-        let utilizations = est.utilizations(layout);
-        let max_utilization = utilizations.iter().cloned().fold(0.0, f64::max);
-        stages.push(StageReport {
-            stage: name.to_string(),
-            utilizations,
-            max_utilization,
-        });
-    };
 
-    record("see", &baselines::see(problem));
+    record_stage(&est, &mut stages, "see", &baselines::see(problem));
 
     let t0 = Instant::now();
     let initial = initial_layout(problem).map_err(AdvisorError::Initial)?;
     let initial_s = t0.elapsed().as_secs_f64();
-    record("initial", &initial);
+    record_stage(&est, &mut stages, "initial", &initial);
 
     let t1 = Instant::now();
     let mut starts = vec![initial];
@@ -296,15 +336,41 @@ pub fn recommend(
         layout: solver_layout,
         converged,
         ..
-    } = solve_multistart(problem, &starts, &options.solver);
+    } = solve_multistart(problem, &starts, &options.solver).map_err(AdvisorError::Multistart)?;
     let solver_s = t1.elapsed().as_secs_f64();
-    record("solver", &solver_layout);
+    record_stage(&est, &mut stages, "solver", &solver_layout);
+
+    Ok(SolveOutcome {
+        solver_layout,
+        converged,
+        stages,
+        initial_s,
+        solver_s,
+    })
+}
+
+/// The pipeline's regularize stage: optionally regularizes the solver
+/// layout, applies the SEE sanity fallback, and assembles the final
+/// [`Recommendation`].
+pub fn regularize_stage(
+    problem: &LayoutProblem,
+    options: &AdvisorOptions,
+    solved: SolveOutcome,
+) -> Result<Recommendation, AdvisorError> {
+    let est = UtilizationEstimator::new(problem);
+    let SolveOutcome {
+        solver_layout,
+        converged,
+        mut stages,
+        initial_s,
+        solver_s,
+    } = solved;
 
     let (mut regular_layout, regularize_s) = if options.regularize {
         let t2 = Instant::now();
         let reg = regularize(problem, &solver_layout).map_err(AdvisorError::Regularize)?;
         let dt = t2.elapsed().as_secs_f64();
-        record("regular", &reg);
+        record_stage(&est, &mut stages, "regular", &reg);
         (Some(reg), dt)
     } else {
         (None, 0.0)
@@ -353,6 +419,16 @@ pub fn recommend(
         converged,
         fell_back_to_see,
     })
+}
+
+/// Runs the full advisor pipeline: [`solve_stage`] then
+/// [`regularize_stage`].
+pub fn recommend(
+    problem: &LayoutProblem,
+    options: &AdvisorOptions,
+) -> Result<Recommendation, AdvisorError> {
+    let solved = solve_stage(problem, options)?;
+    regularize_stage(problem, options, solved)
 }
 
 #[cfg(test)]

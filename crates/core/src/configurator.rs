@@ -119,7 +119,7 @@ pub fn configure(
             .map(|w| w.to_string())
             .collect::<Vec<_>>()
             .join("-");
-        let models = TargetCostModel::for_targets(&targets, grid, seed);
+        let models = TargetCostModel::for_targets(&targets, grid, seed).ok()?;
         let problem = LayoutProblem {
             workloads: workloads.clone(),
             kinds: kinds.to_vec(),

@@ -43,11 +43,18 @@ pub mod optimizer;
 pub mod problem;
 pub mod regularize;
 pub mod report;
+pub mod stage;
 
-pub use advisor::{recommend, AdvisorError, AdvisorOptions, Recommendation, StageReport, Timings};
+pub use advisor::{
+    recommend, regularize_stage, solve_stage, AdvisorError, AdvisorOptions, Recommendation,
+    SolveOutcome, StageReport, Timings,
+};
 pub use autoadmin::{autoadmin_layout, AutoAdminOptions};
 pub use estimator::UtilizationEstimator;
 pub use initial::{initial_layout, InitialLayoutError};
-pub use optimizer::{solve_multistart, solve_nlp, NlpOutcome, SolveMethod, SolverOptions};
+pub use optimizer::{
+    solve_multistart, solve_nlp, solve_with, NlpOutcome, SolveMethod, SolverOptions,
+};
 pub use problem::{AdminConstraint, Layout, LayoutProblem};
 pub use regularize::{regularize, RegularizeError};
+pub use stage::{CacheStats, Stage, StageCache, STAGE_NAMES};

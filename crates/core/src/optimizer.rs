@@ -24,8 +24,9 @@ use crate::estimator::UtilizationEstimator;
 use crate::problem::{AdminConstraint, Layout, LayoutProblem};
 use wasla_simlib::par;
 use wasla_solver::{
-    anneal, lse_max, minimize_constrained, project_simplex, softmax_weights, AnnealOptions,
-    AugLagOptions, Constraint, PgOptions,
+    lse_max, project_simplex, softmax_weights, AnnealOptions, AnnealSolver, AugLagOptions,
+    Constraint, MultistartError, ObjectiveFn, ObjectiveGradFn, PgOptions, ProjectedGradientSolver,
+    SolveSpec, Solver,
 };
 
 /// Which search engine drives the solve.
@@ -35,6 +36,26 @@ pub enum SolveMethod {
     ProjectedGradient,
     /// Randomized local search (ablation baseline).
     Anneal,
+}
+
+impl SolveMethod {
+    /// The engine's stable name (matches
+    /// [`wasla_solver::solver_by_name`] and CLI/config strings).
+    pub fn name(self) -> &'static str {
+        match self {
+            SolveMethod::ProjectedGradient => "pg",
+            SolveMethod::Anneal => "anneal",
+        }
+    }
+
+    /// Parses an engine name; `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<SolveMethod> {
+        match name {
+            "pg" | "projected-gradient" => Some(SolveMethod::ProjectedGradient),
+            "anneal" => Some(SolveMethod::Anneal),
+            _ => None,
+        }
+    }
 }
 
 /// Options for [`solve_nlp`].
@@ -135,17 +156,121 @@ pub fn make_projection(problem: &LayoutProblem) -> impl Fn(&mut [f64]) + '_ {
     }
 }
 
-/// Solves the layout NLP from one initial layout.
+/// Penalty weight on squared capacity violation for engines that fold
+/// constraints into the objective (the annealing ablation).
+const CAPACITY_PENALTY_WEIGHT: f64 = 10.0;
+
+impl SolverOptions {
+    /// Materializes the search engine this configuration selects, as a
+    /// [`Solver`] trait object the stage layer can drive.
+    pub fn build_solver(&self) -> Box<dyn Solver> {
+        match self.method {
+            SolveMethod::ProjectedGradient => {
+                let mut auglag = self.auglag.clone();
+                auglag.inner = self.pg.clone();
+                Box::new(ProjectedGradientSolver { auglag })
+            }
+            SolveMethod::Anneal => Box::new(AnnealSolver {
+                opts: self.anneal.clone(),
+                penalty_weight: CAPACITY_PENALTY_WEIGHT,
+            }),
+        }
+    }
+}
+
+/// Solves the layout NLP from one initial layout, routing through the
+/// engine `opts.method` selects.
 pub fn solve_nlp(problem: &LayoutProblem, initial: &Layout, opts: &SolverOptions) -> NlpOutcome {
-    match opts.method {
-        SolveMethod::ProjectedGradient => solve_pg(problem, initial, opts),
-        SolveMethod::Anneal => solve_anneal(problem, initial, opts),
+    solve_with(problem, initial, opts, opts.build_solver().as_ref())
+}
+
+/// Drives one [`Solver`] engine over the layout NLP: builds the
+/// feasible-set projection and capacity constraints, then either runs
+/// the LSE temperature schedule (engines that follow gradients and
+/// want the `max` smoothed) or hands the engine the raw min-max
+/// objective (randomized search).
+pub fn solve_with(
+    problem: &LayoutProblem,
+    initial: &Layout,
+    opts: &SolverOptions,
+    solver: &dyn Solver,
+) -> NlpOutcome {
+    let n = problem.n();
+    let m = problem.m();
+    let est = UtilizationEstimator::new(problem);
+    let project = make_projection(problem);
+    let constraints = capacity_constraints(problem);
+    let mut x = initial.to_flat();
+    project(&mut x);
+
+    if solver.wants_smoothing() {
+        let mut converged = false;
+        for &rel_temp in &opts.temperatures {
+            let layout = Layout::from_flat(&x, n, m);
+            let current_max = est.max_utilization(&layout).max(1e-9);
+            let temp = rel_temp * current_max;
+
+            let f: ObjectiveFn<'_> = Box::new(|x: &[f64]| {
+                let l = Layout::from_flat(x, n, m);
+                lse_max(&est.utilizations(&l), temp)
+            });
+            let fd = opts.fd_step;
+            // Structured finite differences: perturbing Lᵢⱼ only moves
+            // target j's utilization, so each partial is two
+            // single-target evaluations weighted by the softmax.
+            let grad: ObjectiveGradFn<'_> = Box::new(|x: &[f64], g: &mut [f64]| {
+                let mut l = Layout::from_flat(x, n, m);
+                let mus = est.utilizations(&l);
+                let mut w = Vec::new();
+                softmax_weights(&mus, temp, &mut w);
+                for i in 0..n {
+                    for j in 0..m {
+                        let orig = l.get(i, j);
+                        let up_step = fd;
+                        let dn_step = fd.min(orig);
+                        l.set(i, j, orig + up_step);
+                        let up = est.target_utilization(&l, j);
+                        l.set(i, j, orig - dn_step);
+                        let dn = est.target_utilization(&l, j);
+                        l.set(i, j, orig);
+                        g[i * m + j] = w[j] * (up - dn) / (up_step + dn_step);
+                    }
+                }
+            });
+            let spec = SolveSpec {
+                objective: f,
+                gradient: Some(grad),
+                fd_step: opts.fd_step,
+                constraints: &constraints,
+                project: &project,
+                x0: &x,
+            };
+            let result = solver.minimize(&spec);
+            drop(spec);
+            x = result.x;
+            converged = result.converged;
+        }
+        finish(problem, x, converged)
+    } else {
+        let f: ObjectiveFn<'_> =
+            Box::new(|x: &[f64]| est.max_utilization(&Layout::from_flat(x, n, m)));
+        let spec = SolveSpec {
+            objective: f,
+            gradient: None,
+            fd_step: opts.fd_step,
+            constraints: &constraints,
+            project: &project,
+            x0: &x,
+        };
+        let result = solver.minimize(&spec);
+        finish(problem, result.x, result.converged)
     }
 }
 
 /// Solves from several initial layouts and keeps the best (the
 /// Figure 4 `repeat?` loop; extra starts are how domain experts inject
-/// candidate layouts, §4.1).
+/// candidate layouts, §4.1), or [`MultistartError::NoStarts`] when no
+/// starting layout was supplied.
 ///
 /// The starts are independent, so they run concurrently on the
 /// [`par`] pool; the winner is picked in start-index order (earliest
@@ -155,16 +280,19 @@ pub fn solve_multistart(
     problem: &LayoutProblem,
     starts: &[Layout],
     opts: &SolverOptions,
-) -> NlpOutcome {
-    assert!(!starts.is_empty());
-    par::par_map(starts, |s| solve_nlp(problem, s, opts))
-        .into_iter()
-        .min_by(|a, b| {
-            a.max_utilization
-                .partial_cmp(&b.max_utilization)
-                .expect("finite objective")
-        })
-        .expect("at least one start")
+) -> Result<NlpOutcome, MultistartError> {
+    let outcomes = par::par_map(starts, |s| solve_nlp(problem, s, opts));
+    let mut best: Option<NlpOutcome> = None;
+    for outcome in outcomes {
+        let better = match &best {
+            None => true,
+            Some(b) => outcome.max_utilization < b.max_utilization,
+        };
+        if better {
+            best = Some(outcome);
+        }
+    }
+    best.ok_or(MultistartError::NoStarts)
 }
 
 fn capacity_constraints(problem: &LayoutProblem) -> Vec<Constraint<'_>> {
@@ -188,78 +316,6 @@ fn capacity_constraints(problem: &LayoutProblem) -> Vec<Constraint<'_>> {
             }
         })
         .collect()
-}
-
-fn solve_pg(problem: &LayoutProblem, initial: &Layout, opts: &SolverOptions) -> NlpOutcome {
-    let n = problem.n();
-    let m = problem.m();
-    let est = UtilizationEstimator::new(problem);
-    let project = make_projection(problem);
-    let constraints = capacity_constraints(problem);
-    let mut x = initial.to_flat();
-    project(&mut x);
-    let mut converged = false;
-
-    for &rel_temp in &opts.temperatures {
-        let layout = Layout::from_flat(&x, n, m);
-        let current_max = est.max_utilization(&layout).max(1e-9);
-        let temp = rel_temp * current_max;
-
-        let f = |x: &[f64]| {
-            let l = Layout::from_flat(x, n, m);
-            lse_max(&est.utilizations(&l), temp)
-        };
-        let fd = opts.fd_step;
-        let grad = |x: &[f64], g: &mut [f64]| {
-            let mut l = Layout::from_flat(x, n, m);
-            let mus = est.utilizations(&l);
-            let mut w = Vec::new();
-            softmax_weights(&mus, temp, &mut w);
-            for i in 0..n {
-                for j in 0..m {
-                    let orig = l.get(i, j);
-                    let up_step = fd;
-                    let dn_step = fd.min(orig);
-                    l.set(i, j, orig + up_step);
-                    let up = est.target_utilization(&l, j);
-                    l.set(i, j, orig - dn_step);
-                    let dn = est.target_utilization(&l, j);
-                    l.set(i, j, orig);
-                    g[i * m + j] = w[j] * (up - dn) / (up_step + dn_step);
-                }
-            }
-        };
-        let mut stage_opts = opts.auglag.clone();
-        stage_opts.inner = opts.pg.clone();
-        let result = minimize_constrained(f, grad, &constraints, &project, &x, &stage_opts);
-        x = result.x;
-        converged = result.converged;
-    }
-    finish(problem, x, converged)
-}
-
-fn solve_anneal(problem: &LayoutProblem, initial: &Layout, opts: &SolverOptions) -> NlpOutcome {
-    let n = problem.n();
-    let m = problem.m();
-    let est = UtilizationEstimator::new(problem);
-    let project = make_projection(problem);
-    let sizes = &problem.workloads.sizes;
-    let caps = &problem.capacities;
-    // Direct max objective plus a quadratic capacity penalty.
-    let f = |x: &[f64]| {
-        let l = Layout::from_flat(x, n, m);
-        let mut v = est.max_utilization(&l);
-        for j in 0..m {
-            let used: f64 = (0..n).map(|i| sizes[i] as f64 * x[i * m + j]).sum();
-            let over = (used / caps[j] as f64 - 1.0).max(0.0);
-            v += 10.0 * over * over;
-        }
-        v
-    };
-    let mut x0 = initial.to_flat();
-    project(&mut x0);
-    let result = anneal(f, &project, &x0, &opts.anneal);
-    finish(problem, result.x, true)
 }
 
 fn finish(problem: &LayoutProblem, x: Vec<f64>, converged: bool) -> NlpOutcome {
@@ -411,7 +467,7 @@ mod tests {
         let init = initial_layout(&p).unwrap();
         let opts = SolverOptions::default();
         let single = solve_nlp(&p, &init, &opts);
-        let multi = solve_multistart(&p, &[init, Layout::see(2, 2)], &opts);
+        let multi = solve_multistart(&p, &[init, Layout::see(2, 2)], &opts).unwrap();
         assert!(multi.max_utilization <= single.max_utilization + 1e-9);
     }
 }

@@ -1,0 +1,219 @@
+//! The staged-pipeline abstraction.
+//!
+//! The paper's methodology is a fixed sequence of transformations —
+//! trace the workload, fit Rome descriptions, calibrate target models,
+//! solve the NLP, regularize, place — and several of those stages are
+//! *pure functions of identifiable inputs*: a calibration table depends
+//! only on the device spec and the grid; a fitted workload set depends
+//! only on the trace and the object inventory. This module gives the
+//! pipeline layers a common vocabulary for that structure:
+//!
+//! * [`Stage`] — a named, typed transformation with an optional
+//!   content-hash cache key;
+//! * [`StageCache`] — a keyed memo table with hit/miss accounting,
+//!   used by sessions to skip recomputation when the same inputs recur
+//!   across requests.
+//!
+//! The concrete stages live next to the things they wrap (the facade
+//! crate wires trace/fit/calibrate/solve/regularize/place together);
+//! this crate only defines the shared contract so that every layer
+//! agrees on stage names and caching semantics.
+
+/// Canonical stage names, in pipeline order.
+pub const STAGE_NAMES: [&str; 6] = ["trace", "fit", "calibrate", "solve", "regularize", "place"];
+
+/// One pipeline stage: a named transformation from `Input` to
+/// `Output` that can fail with `Error`.
+///
+/// A stage that is a pure function of hashable inputs advertises a
+/// [`cache_key`](Stage::cache_key); sessions use it to memoize the
+/// stage's output in a [`StageCache`]. Stages whose output depends on
+/// ambient state (e.g. the trace stage, which runs a simulation whose
+/// cost *is* the measurement) return `None` and always run.
+pub trait Stage {
+    /// What the stage consumes.
+    type Input;
+    /// What the stage produces.
+    type Output;
+    /// How the stage fails.
+    type Error;
+
+    /// The stage's canonical name (one of [`STAGE_NAMES`]).
+    fn name(&self) -> &'static str;
+
+    /// Runs the transformation.
+    fn run(&self, input: &Self::Input) -> Result<Self::Output, Self::Error>;
+
+    /// A content hash identifying the output for the given input, or
+    /// `None` when the stage is not cacheable.
+    fn cache_key(&self, _input: &Self::Input) -> Option<u64> {
+        None
+    }
+}
+
+/// Hit/miss counters for one [`StageCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// The counter delta accumulated since an earlier snapshot.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
+}
+
+/// A keyed memo table for one stage's outputs.
+///
+/// Keys are 64-bit content hashes (see `wasla_simlib::hash`). The
+/// table is a sorted-insertion vector rather than a hash map: caches
+/// hold a handful of entries (distinct device specs, distinct traces),
+/// lookups are a short scan, and iteration order stays deterministic
+/// for diagnostics.
+#[derive(Clone, Debug)]
+pub struct StageCache<V> {
+    entries: Vec<(u64, V)>,
+    stats: CacheStats,
+}
+
+impl<V> Default for StageCache<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> StageCache<V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        StageCache {
+            entries: Vec::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of cached outputs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up a key without touching the counters (snapshot reads).
+    pub fn peek(&self, key: u64) -> Option<&V> {
+        self.entries.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Looks up a key, recording a hit or miss.
+    pub fn get(&mut self, key: u64) -> Option<&V> {
+        if self.entries.iter().any(|(k, _)| *k == key) {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        self.peek(key)
+    }
+
+    /// Inserts an output unless the key is already present (first
+    /// write wins, so replaying a batch in request order is stable).
+    pub fn insert(&mut self, key: u64, value: V) {
+        if self.peek(key).is_none() {
+            self.entries.push((key, value));
+        }
+    }
+
+    /// Consumes the cache, yielding its `(key, value)` entries in
+    /// insertion order (batch layers use this to merge worker-local
+    /// caches back into a shared session).
+    pub fn into_entries(self) -> Vec<(u64, V)> {
+        self.entries
+    }
+
+    /// Folds another cache's counters into this one's (used together
+    /// with [`CacheStats::since`] when merging worker-local caches).
+    pub fn add_stats(&mut self, delta: CacheStats) {
+        self.stats.hits += delta.hits;
+        self.stats.misses += delta.misses;
+    }
+
+    /// Returns the cached output for `key`, computing and caching it
+    /// on a miss.
+    pub fn get_or_insert_with(&mut self, key: u64, compute: impl FnOnce() -> V) -> &V {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.stats.hits += 1;
+            return &self.entries[pos].1;
+        }
+        self.stats.misses += 1;
+        self.entries.push((key, compute()));
+        &self.entries[self.entries.len() - 1].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let mut c: StageCache<u32> = StageCache::new();
+        assert!(c.is_empty());
+        assert_eq!(c.get(1), None);
+        c.insert(1, 10);
+        assert_eq!(c.get(1), Some(&10));
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 2 });
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn get_or_insert_computes_once() {
+        let mut c: StageCache<u32> = StageCache::new();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v = *c.get_or_insert_with(7, || {
+                calls += 1;
+                42
+            });
+            assert_eq!(v, 42);
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(c.stats(), CacheStats { hits: 2, misses: 1 });
+    }
+
+    #[test]
+    fn insert_is_first_write_wins() {
+        let mut c: StageCache<u32> = StageCache::new();
+        c.insert(1, 10);
+        c.insert(1, 99);
+        assert_eq!(c.peek(1), Some(&10));
+        // peek leaves the counters alone.
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn stage_names_cover_the_pipeline() {
+        assert_eq!(
+            STAGE_NAMES,
+            ["trace", "fit", "calibrate", "solve", "regularize", "place"]
+        );
+    }
+}

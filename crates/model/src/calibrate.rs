@@ -60,6 +60,14 @@ impl Default for CalibrationGrid {
     }
 }
 
+wasla_simlib::impl_json_struct!(CalibrationGrid {
+    sizes,
+    runs,
+    contentions,
+    samples,
+    warmup
+});
+
 impl CalibrationGrid {
     /// A small grid for tests.
     pub fn coarse() -> Self {

@@ -30,4 +30,4 @@ pub mod target;
 pub use analytic::AnalyticDiskModel;
 pub use calibrate::{calibrate_device, CalibrationGrid};
 pub use table::{CostModel, TableModel};
-pub use target::TargetCostModel;
+pub use target::{ModelError, TargetCostModel};

@@ -20,7 +20,71 @@
 use crate::calibrate::{calibrate_device, CalibrationGrid};
 use crate::table::{CostModel, TableModel};
 use wasla_simlib::impl_json_struct;
+use wasla_simlib::json::{self, FromJson, Json, JsonError, ToJson};
 use wasla_storage::{IoKind, TargetConfig};
+
+/// Why a target could not be modeled.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// A target configuration lists no member devices.
+    NoMembers {
+        /// The offending target's name.
+        target: String,
+    },
+    /// A RAID target mixes device types; calibration needs homogeneous
+    /// members (as real RAID groups have).
+    HeterogeneousRaid {
+        /// The offending target's name.
+        target: String,
+    },
+}
+
+impl ToJson for ModelError {
+    fn to_json(&self) -> Json {
+        let (tag, target) = match self {
+            ModelError::NoMembers { target } => ("NoMembers", target),
+            ModelError::HeterogeneousRaid { target } => ("HeterogeneousRaid", target),
+        };
+        json::variant(
+            tag,
+            Json::Obj(vec![("target".to_string(), target.to_json())]),
+        )
+    }
+}
+
+impl FromJson for ModelError {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = json::untag(v)?;
+        let target = String::from_json(
+            payload
+                .field("target")
+                .ok_or_else(|| JsonError::missing_field("target"))?,
+        )?;
+        match tag {
+            "NoMembers" => Ok(ModelError::NoMembers { target }),
+            "HeterogeneousRaid" => Ok(ModelError::HeterogeneousRaid { target }),
+            other => Err(JsonError::new(format!(
+                "unknown ModelError variant: {other:?}"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::NoMembers { target } => {
+                write!(f, "target {target:?} has no member devices")
+            }
+            ModelError::HeterogeneousRaid { target } => write!(
+                f,
+                "target {target:?} mixes device types; RAID members must be homogeneous for calibration"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
 
 /// A cost model for one storage target.
 #[derive(Clone, Debug)]
@@ -46,33 +110,63 @@ impl_json_struct!(TargetCostModel {
 });
 
 impl TargetCostModel {
-    /// Builds the model for a target by calibrating its member device
-    /// type. Members must be homogeneous (as RAID groups are).
-    pub fn from_target(config: &TargetConfig, grid: &CalibrationGrid, seed: u64) -> Self {
-        let first = &config.members[0];
-        assert!(
-            config.members.iter().all(|m| m == first),
-            "RAID members must be homogeneous for calibration"
-        );
-        let member = calibrate_device(first, grid, seed);
+    /// Checks a target configuration is modelable — at least one
+    /// member, all members of one device type — and returns the member
+    /// spec to calibrate. Session layers use this to key calibration
+    /// caches by member spec.
+    pub fn member_spec(config: &TargetConfig) -> Result<&wasla_storage::DeviceSpec, ModelError> {
+        let first = config
+            .members
+            .first()
+            .ok_or_else(|| ModelError::NoMembers {
+                target: config.name.clone(),
+            })?;
+        if config.members.iter().any(|m| m != first) {
+            return Err(ModelError::HeterogeneousRaid {
+                target: config.name.clone(),
+            });
+        }
+        Ok(first)
+    }
+
+    /// Assembles the target model around an already-calibrated member
+    /// table (the session layer calls this with cached tables).
+    pub fn with_member(config: &TargetConfig, member: TableModel) -> Result<Self, ModelError> {
+        let first = Self::member_spec(config)?;
         let parallelism = first.build().parallelism();
-        TargetCostModel {
+        Ok(TargetCostModel {
             member,
             width: config.members.len(),
             stripe_unit: config.stripe_unit,
             parallelism,
             name: config.name.clone(),
-        }
+        })
+    }
+
+    /// Builds the model for a target by calibrating its member device
+    /// type. Members must be homogeneous (as RAID groups are).
+    pub fn from_target(
+        config: &TargetConfig,
+        grid: &CalibrationGrid,
+        seed: u64,
+    ) -> Result<Self, ModelError> {
+        let first = Self::member_spec(config)?;
+        let member = calibrate_device(first, grid, seed);
+        Self::with_member(config, member)
     }
 
     /// Builds models for every target in a configuration list,
     /// calibrating each distinct member spec once.
-    pub fn for_targets(configs: &[TargetConfig], grid: &CalibrationGrid, seed: u64) -> Vec<Self> {
+    pub fn for_targets(
+        configs: &[TargetConfig],
+        grid: &CalibrationGrid,
+        seed: u64,
+    ) -> Result<Vec<Self>, ModelError> {
         let mut cache: Vec<(wasla_storage::DeviceSpec, TableModel)> = Vec::new();
         configs
             .iter()
             .map(|config| {
-                let first = &config.members[0];
+                let first = Self::member_spec(config)?;
                 let member = match cache.iter().find(|(s, _)| s == first) {
                     Some((_, m)) => m.clone(),
                     None => {
@@ -81,14 +175,7 @@ impl TargetCostModel {
                         m
                     }
                 };
-                let parallelism = first.build().parallelism();
-                TargetCostModel {
-                    member,
-                    width: config.members.len(),
-                    stripe_unit: config.stripe_unit,
-                    parallelism,
-                    name: config.name.clone(),
-                }
+                Self::with_member(config, member)
             })
             .collect()
     }
@@ -132,12 +219,14 @@ mod tests {
     fn raid_width_divides_small_request_cost() {
         let grid = CalibrationGrid::coarse();
         let single =
-            TargetCostModel::from_target(&TargetConfig::single("d", disk_spec()), &grid, 3);
+            TargetCostModel::from_target(&TargetConfig::single("d", disk_spec()), &grid, 3)
+                .unwrap();
         let raid3 = TargetCostModel::from_target(
             &TargetConfig::raid0("r3", vec![disk_spec(); 3], 256 * KIB),
             &grid,
             3,
-        );
+        )
+        .unwrap();
         let c1 = single.request_cost(IoKind::Read, 8192.0, 1.0, 0.0);
         let c3 = raid3.request_cost(IoKind::Read, 8192.0, 1.0, 0.0);
         // Random 8 KiB on 3-wide RAID-0: one member busy per request,
@@ -152,7 +241,8 @@ mod tests {
             &TargetConfig::single("ssd", DeviceSpec::Ssd(SsdParams::sata_gen1(32 * GIB))),
             &grid,
             3,
-        );
+        )
+        .unwrap();
         assert_eq!(ssd.parallelism, 4);
         let occupancy = ssd.request_cost(IoKind::Read, 8192.0, 1.0, 0.0);
         let service = ssd.member.request_cost(IoKind::Read, 8192.0, 1.0, 0.0);
@@ -166,12 +256,14 @@ mod tests {
             &TargetConfig::raid0("r4", vec![disk_spec(); 4], 64 * KIB),
             &grid,
             3,
-        );
+        )
+        .unwrap();
         // A 256 KiB sequential request spans 4 stripes: all members work.
         let split = raid4.request_cost(IoKind::Read, 262144.0, 64.0, 0.0);
         // Equivalent single-member cost for the whole request:
         let single =
-            TargetCostModel::from_target(&TargetConfig::single("d", disk_spec()), &grid, 3);
+            TargetCostModel::from_target(&TargetConfig::single("d", disk_spec()), &grid, 3)
+                .unwrap();
         let whole = single.request_cost(IoKind::Read, 262144.0, 64.0, 0.0);
         assert!(split < whole, "split {split} whole {whole}");
     }
@@ -184,7 +276,7 @@ mod tests {
             TargetConfig::single("d1", disk_spec()),
             TargetConfig::raid0("r", vec![disk_spec(); 2], 256 * KIB),
         ];
-        let models = TargetCostModel::for_targets(&configs, &grid, 5);
+        let models = TargetCostModel::for_targets(&configs, &grid, 5).unwrap();
         assert_eq!(models.len(), 3);
         // Same member spec → identical tables.
         assert_eq!(models[0].member, models[1].member);
@@ -193,7 +285,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "homogeneous")]
     fn heterogeneous_raid_rejected() {
         let grid = CalibrationGrid::coarse();
         let config = TargetConfig::raid0(
@@ -204,6 +295,47 @@ mod tests {
             ],
             256 * KIB,
         );
-        TargetCostModel::from_target(&config, &grid, 1);
+        let err = TargetCostModel::from_target(&config, &grid, 1).unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::HeterogeneousRaid {
+                target: "bad".to_string()
+            }
+        );
+        assert!(err.to_string().contains("homogeneous"));
+    }
+
+    #[test]
+    fn empty_target_rejected() {
+        let grid = CalibrationGrid::coarse();
+        let config = TargetConfig {
+            name: "empty".to_string(),
+            members: vec![],
+            stripe_unit: 256 * KIB,
+            scheduler: wasla_storage::SchedulerKind::Sstf,
+        };
+        let err = TargetCostModel::from_target(&config, &grid, 1).unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::NoMembers {
+                target: "empty".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn model_error_json_round_trip() {
+        use wasla_simlib::json::{from_str, to_string};
+        for err in [
+            ModelError::NoMembers {
+                target: "t0".to_string(),
+            },
+            ModelError::HeterogeneousRaid {
+                target: "t1".to_string(),
+            },
+        ] {
+            let back: ModelError = from_str(&to_string(&err)).unwrap();
+            assert_eq!(back, err);
+        }
     }
 }

@@ -88,6 +88,12 @@ impl JsonError {
         JsonError { msg: msg.into() }
     }
 
+    /// The undecorated message (without the `json error:` prefix that
+    /// [`Display`](fmt::Display) adds).
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+
     /// A "missing field" decode error.
     pub fn missing_field(name: &str) -> Self {
         JsonError::new(format!("missing field `{name}`"))

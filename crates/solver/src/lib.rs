@@ -19,7 +19,10 @@
 //!   Disk Array Designer's search (paper §7 suggests it as the obvious
 //!   alternative to an NLP solver), used for ablations;
 //! * [`mod@multistart`] — repeat optimization from several initial layouts
-//!   and keep the best (the paper's Figure 4 `repeat?` loop).
+//!   and keep the best (the paper's Figure 4 `repeat?` loop);
+//! * [`mod@solver`] — the unified [`Solver`] trait folding the engines
+//!   behind one object-safe interface selected by name, so multistart
+//!   and the advisor's stage layer pick engines at runtime.
 
 pub mod anneal;
 pub mod auglag;
@@ -27,6 +30,7 @@ pub mod multistart;
 pub mod pg;
 pub mod simplex;
 pub mod smoothing;
+pub mod solver;
 
 pub use anneal::{anneal, AnnealOptions};
 pub use auglag::{minimize_constrained, AugLagOptions, Constraint};
@@ -34,3 +38,7 @@ pub use multistart::{multistart, MultistartError};
 pub use pg::{fd_gradient, minimize, PgOptions, PgResult};
 pub use simplex::{project_scaled_simplex, project_simplex};
 pub use smoothing::{lse_max, softmax_weights};
+pub use solver::{
+    solver_by_name, AnnealSolver, ObjectiveFn, ObjectiveGradFn, ProjectedGradientSolver, SolveSpec,
+    Solver, SOLVER_NAMES,
+};

@@ -87,6 +87,27 @@ impl Trace {
         self.records.iter().filter(move |r| r.stream == stream)
     }
 
+    /// A stable 64-bit content hash over every record, for use as a
+    /// stage-cache key: two traces hash equal iff they would drive any
+    /// deterministic consumer identically. Hashes the raw fields
+    /// directly (not a JSON rendering) so keying a session cache stays
+    /// cheap next to the fitting work it guards.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = wasla_simlib::hash::Fnv64::new();
+        h.write_u64(self.records.len() as u64);
+        for r in &self.records {
+            h.write_f64(r.time.as_secs());
+            h.write_u64(r.stream as u64);
+            h.write_u64(match r.kind {
+                IoKind::Read => 0,
+                IoKind::Write => 1,
+            });
+            h.write_u64(r.offset);
+            h.write_u64(r.len);
+        }
+        h.finish()
+    }
+
     /// Distinct stream ids, ascending.
     pub fn stream_ids(&self) -> Vec<u32> {
         let mut ids: Vec<u32> = self.records.iter().map(|r| r.stream).collect();

@@ -15,9 +15,100 @@
 //! * **overlap matrix** — time is cut into windows; `Oᵢ[j]` is the
 //!   fraction of windows in which `i` is active where `j` is also
 //!   active.
+//!
+//! Fitting is parallel per object: a serial pass partitions the trace
+//! into per-stream record lists (validating stream ids against the
+//! catalog), then the per-object accumulation and spec construction fan
+//! out over [`wasla_simlib::par`]. Each object consumes its records in
+//! trace order, so the result is bit-identical to the serial pass at
+//! any `WASLA_THREADS` setting.
 
+use wasla_simlib::json::{self, FromJson, Json, JsonError, ToJson};
+use wasla_simlib::par;
 use wasla_storage::{BlockTraceRecord, IoKind, Trace};
 use wasla_workload::{WorkloadSet, WorkloadSpec};
+
+/// Failure modes of trace fitting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FitError {
+    /// The object catalog is inconsistent: `names` and `sizes` disagree
+    /// on the object count.
+    ShapeMismatch {
+        /// Number of object names supplied.
+        names: usize,
+        /// Number of object sizes supplied.
+        sizes: usize,
+    },
+    /// A trace record names a stream outside the object catalog.
+    StreamOutOfRange {
+        /// The offending stream id.
+        stream: u32,
+        /// Number of objects in the catalog.
+        objects: usize,
+    },
+}
+
+impl ToJson for FitError {
+    fn to_json(&self) -> Json {
+        match *self {
+            FitError::ShapeMismatch { names, sizes } => json::variant(
+                "ShapeMismatch",
+                Json::Obj(vec![
+                    ("names".to_string(), names.to_json()),
+                    ("sizes".to_string(), sizes.to_json()),
+                ]),
+            ),
+            FitError::StreamOutOfRange { stream, objects } => json::variant(
+                "StreamOutOfRange",
+                Json::Obj(vec![
+                    ("stream".to_string(), stream.to_json()),
+                    ("objects".to_string(), objects.to_json()),
+                ]),
+            ),
+        }
+    }
+}
+
+impl FromJson for FitError {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let field = |payload: &Json, name: &str| -> Result<Json, JsonError> {
+            payload
+                .field(name)
+                .cloned()
+                .ok_or_else(|| JsonError::missing_field(name))
+        };
+        match json::untag(v)? {
+            ("ShapeMismatch", payload) => Ok(FitError::ShapeMismatch {
+                names: usize::from_json(&field(payload, "names")?)?,
+                sizes: usize::from_json(&field(payload, "sizes")?)?,
+            }),
+            ("StreamOutOfRange", payload) => Ok(FitError::StreamOutOfRange {
+                stream: u32::from_json(&field(payload, "stream")?)?,
+                objects: usize::from_json(&field(payload, "objects")?)?,
+            }),
+            (other, _) => Err(JsonError::new(format!(
+                "unknown FitError variant: {other:?}"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::ShapeMismatch { names, sizes } => write!(
+                f,
+                "object catalog mismatch: {names} names but {sizes} sizes"
+            ),
+            FitError::StreamOutOfRange { stream, objects } => write!(
+                f,
+                "trace stream {stream} out of range for {objects} objects"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
 
 /// Tunables for parameter fitting.
 #[derive(Clone, Debug)]
@@ -73,32 +164,63 @@ impl Accum {
 ///
 /// `names` and `sizes` describe the objects; the trace's stream ids
 /// index into them. Objects with no traced requests get an idle spec.
+///
+/// Per-object accumulation and spec construction run on the
+/// [`par`] pool; each object still sees its records in trace order, so
+/// the fitted set is bit-identical at any thread count.
 pub fn fit_workloads(
     trace: &Trace,
     names: &[String],
     sizes: &[u64],
     config: &FitConfig,
-) -> WorkloadSet {
-    assert_eq!(names.len(), sizes.len());
-    let n = names.len();
-    let mut accums = vec![Accum::new(); n];
-    let span = trace.span().as_secs().max(1e-9);
-    for rec in trace.records() {
-        let i = rec.stream as usize;
-        assert!(i < n, "trace stream {i} out of range");
-        let a = &mut accums[i];
-        observe(a, rec, config);
-        let w = (rec.time.as_secs() / config.window_s) as u32;
-        if a.windows.last() != Some(&w) {
-            a.windows.push(w);
-        }
+) -> Result<WorkloadSet, FitError> {
+    if names.len() != sizes.len() {
+        return Err(FitError::ShapeMismatch {
+            names: names.len(),
+            sizes: sizes.len(),
+        });
     }
-    let specs = (0..n).map(|i| build_spec(&accums, i, span)).collect();
-    WorkloadSet {
+    let n = names.len();
+    let span = trace.span().as_secs().max(1e-9);
+    let records = trace.records();
+
+    // Serial pass: validate stream ids and partition record indices by
+    // object, preserving trace order within each object.
+    let mut per_object: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (k, rec) in records.iter().enumerate() {
+        let i = rec.stream as usize;
+        if i >= n {
+            return Err(FitError::StreamOutOfRange {
+                stream: rec.stream,
+                objects: n,
+            });
+        }
+        per_object[i].push(k);
+    }
+
+    // Parallel accumulation: objects are independent once partitioned.
+    let accums: Vec<Accum> = par::par_map(&per_object, |indices| {
+        let mut a = Accum::new();
+        for &k in indices {
+            let rec = &records[k];
+            observe(&mut a, rec, config);
+            let w = (rec.time.as_secs() / config.window_s) as u32;
+            if a.windows.last() != Some(&w) {
+                a.windows.push(w);
+            }
+        }
+        a
+    });
+
+    // Parallel spec construction: each spec reads all accums immutably
+    // (the overlap row needs every object's window list).
+    let object_ids: Vec<usize> = (0..n).collect();
+    let specs = par::par_map(&object_ids, |&i| build_spec(&accums, i, span));
+    Ok(WorkloadSet {
         names: names.to_vec(),
         sizes: sizes.to_vec(),
         specs,
-    }
+    })
 }
 
 fn observe(a: &mut Accum, rec: &BlockTraceRecord, config: &FitConfig) {
@@ -165,28 +287,37 @@ fn build_spec(accums: &[Accum], i: usize, span: f64) -> WorkloadSpec {
 /// the duty cycle is its first moment, and dividing average rates by
 /// it recovers busy-period rates (used by the busy-rate contention
 /// variant in `wasla-core`).
-pub fn fit_duty_cycles(trace: &Trace, n_objects: usize, window_s: f64) -> Vec<f64> {
+pub fn fit_duty_cycles(
+    trace: &Trace,
+    n_objects: usize,
+    window_s: f64,
+) -> Result<Vec<f64>, FitError> {
     let span = trace.span().as_secs().max(window_s);
     let total_windows = (span / window_s).ceil().max(1.0);
     let mut last_window: Vec<Option<u32>> = vec![None; n_objects];
     let mut active = vec![0u32; n_objects];
     for rec in trace.records() {
         let i = rec.stream as usize;
-        assert!(i < n_objects, "trace stream {i} out of range");
+        if i >= n_objects {
+            return Err(FitError::StreamOutOfRange {
+                stream: rec.stream,
+                objects: n_objects,
+            });
+        }
         let w = (rec.time.as_secs() / window_s) as u32;
         if last_window[i] != Some(w) {
             last_window[i] = Some(w);
             active[i] += 1;
         }
     }
-    active
+    Ok(active
         .into_iter()
         .map(|a| {
             (a as f64 / total_windows)
                 .clamp(0.0, 1.0)
                 .max(if a > 0 { 1e-6 } else { 0.0 })
         })
-        .collect()
+        .collect())
 }
 
 /// Size of the intersection of two sorted, deduplicated slices.
@@ -235,7 +366,7 @@ mod tests {
         }
         // Span is 9 s (first to last record).
         let (names, sizes) = two_obj_names();
-        let set = fit_workloads(&trace, &names, &sizes, &FitConfig::default());
+        let set = fit_workloads(&trace, &names, &sizes, &FitConfig::default()).unwrap();
         let s = &set.specs[0];
         assert!((s.read_rate - 10.0 / 9.0).abs() < 1e-9);
         assert_eq!(s.read_size, 8192.0);
@@ -258,7 +389,7 @@ mod tests {
             off += 65536;
         }
         let (names, sizes) = two_obj_names();
-        let set = fit_workloads(&trace, &names, &sizes, &FitConfig::default());
+        let set = fit_workloads(&trace, &names, &sizes, &FitConfig::default()).unwrap();
         assert!((set.specs[0].run_count - 5.0).abs() < 1e-9);
     }
 
@@ -275,7 +406,7 @@ mod tests {
             ));
         }
         let (names, sizes) = two_obj_names();
-        let set = fit_workloads(&trace, &names, &sizes, &FitConfig::default());
+        let set = fit_workloads(&trace, &names, &sizes, &FitConfig::default()).unwrap();
         assert!(
             set.specs[0].run_count < 1.5,
             "run {}",
@@ -299,7 +430,7 @@ mod tests {
             }
         }
         let (names, sizes) = two_obj_names();
-        let set = fit_workloads(&trace, &names, &sizes, &config);
+        let set = fit_workloads(&trace, &names, &sizes, &config).unwrap();
         // O_0[1] = 5/10; O_1[0] = 5/5.
         assert!((set.specs[0].overlaps[1] - 0.5).abs() < 1e-9);
         assert!((set.specs[1].overlaps[0] - 1.0).abs() < 1e-9);
@@ -313,7 +444,7 @@ mod tests {
         trace.push(rec(1.0, 0, IoKind::Write, 1 << 20, 16384));
         trace.push(rec(2.0, 0, IoKind::Write, 2 << 20, 16384));
         let (names, sizes) = two_obj_names();
-        let set = fit_workloads(&trace, &names, &sizes, &FitConfig::default());
+        let set = fit_workloads(&trace, &names, &sizes, &FitConfig::default()).unwrap();
         let s = &set.specs[0];
         assert_eq!(s.read_size, 4096.0);
         assert_eq!(s.write_size, 16384.0);
@@ -324,7 +455,7 @@ mod tests {
     fn empty_trace_all_idle() {
         let trace = Trace::new();
         let (names, sizes) = two_obj_names();
-        let set = fit_workloads(&trace, &names, &sizes, &FitConfig::default());
+        let set = fit_workloads(&trace, &names, &sizes, &FitConfig::default()).unwrap();
         assert!(set.specs.iter().all(|s| s.total_rate() == 0.0));
         set.validate().unwrap();
     }
@@ -340,10 +471,84 @@ mod tests {
                 trace.push(rec(k as f64 + 0.5, 1, IoKind::Read, k * 8192, 8192));
             }
         }
-        let duty = fit_duty_cycles(&trace, 3, 1.0);
+        let duty = fit_duty_cycles(&trace, 3, 1.0).unwrap();
         assert!(duty[0] > 0.9, "duty0 {}", duty[0]);
         assert!((duty[1] - 0.5).abs() < 0.1, "duty1 {}", duty[1]);
         assert_eq!(duty[2], 0.0);
+    }
+
+    #[test]
+    fn shape_mismatch_is_a_typed_error() {
+        let trace = Trace::new();
+        let err = fit_workloads(
+            &trace,
+            &["a".into(), "b".into()],
+            &[1 << 30],
+            &FitConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, FitError::ShapeMismatch { names: 2, sizes: 1 });
+        assert!(err.to_string().contains("2 names but 1 sizes"));
+    }
+
+    #[test]
+    fn out_of_range_stream_is_a_typed_error() {
+        let mut trace = Trace::new();
+        trace.push(rec(0.0, 7, IoKind::Read, 0, 8192));
+        let (names, sizes) = two_obj_names();
+        let err = fit_workloads(&trace, &names, &sizes, &FitConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            FitError::StreamOutOfRange {
+                stream: 7,
+                objects: 2
+            }
+        );
+        let err2 = fit_duty_cycles(&trace, 2, 1.0).unwrap_err();
+        assert_eq!(err, err2);
+    }
+
+    #[test]
+    fn fit_error_json_round_trip() {
+        use wasla_simlib::json::{from_str, to_string};
+        for err in [
+            FitError::ShapeMismatch { names: 3, sizes: 5 },
+            FitError::StreamOutOfRange {
+                stream: 9,
+                objects: 4,
+            },
+        ] {
+            let back: FitError = from_str(&to_string(&err)).unwrap();
+            assert_eq!(back, err);
+        }
+    }
+
+    #[test]
+    fn parallel_fit_matches_serial() {
+        // Many interleaved streams: the partitioned parallel fit must
+        // reproduce the serial result exactly (same WASLA_THREADS-free
+        // path, explicit widths via the pool's own determinism tests).
+        let mut trace = Trace::new();
+        for k in 0..400u64 {
+            trace.push(rec(
+                k as f64 * 0.05,
+                (k % 2) as u32,
+                if k % 3 == 0 {
+                    IoKind::Write
+                } else {
+                    IoKind::Read
+                },
+                (k * 123_457) % (1 << 28),
+                4096 + (k % 4) * 4096,
+            ));
+        }
+        let (names, sizes) = two_obj_names();
+        let fitted = fit_workloads(&trace, &names, &sizes, &FitConfig::default()).unwrap();
+        use wasla_simlib::json::to_string;
+        let a = to_string(&fitted);
+        let b = to_string(&fit_workloads(&trace, &names, &sizes, &FitConfig::default()).unwrap());
+        assert_eq!(a, b);
+        fitted.validate().unwrap();
     }
 
     #[test]

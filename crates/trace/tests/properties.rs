@@ -28,7 +28,7 @@ proptest! {
                 len: len_kib * 1024,
             });
         }
-        let set = fit_workloads(&trace, &["a".into()], &[1 << 40], &FitConfig::default());
+        let set = fit_workloads(&trace, &["a".into()], &[1 << 40], &FitConfig::default()).unwrap();
         let spec = &set.specs[0];
         let span = (n - 1) as f64 * interval_ms as f64 / 1e3;
         let expected_rate = n as f64 / span;
@@ -66,7 +66,7 @@ proptest! {
                 t += 0.01;
             }
         }
-        let set = fit_workloads(&trace, &["a".into()], &[1 << 42], &FitConfig::default());
+        let set = fit_workloads(&trace, &["a".into()], &[1 << 42], &FitConfig::default()).unwrap();
         prop_assert!(
             (set.specs[0].run_count - run_len as f64).abs() < 1e-9,
             "fitted {} expected {}",
@@ -96,7 +96,7 @@ proptest! {
         }
         let names: Vec<String> = (0..streams).map(|s| format!("s{s}")).collect();
         let sizes = vec![1u64 << 30; streams as usize];
-        let set = fit_workloads(&trace, &names, &sizes, &FitConfig::default());
+        let set = fit_workloads(&trace, &names, &sizes, &FitConfig::default()).unwrap();
         for i in 0..streams as usize {
             for j in 0..streams as usize {
                 let o = set.specs[i].overlaps[j];

@@ -19,76 +19,45 @@
 //!   the analytic estimator) plus a target list, and prints the
 //!   recommended layout.
 //! * `demo` runs the built-in TPC-H-like scenario end-to-end.
+//!
+//! Every failure surfaces as a [`WaslaError`] with a stable exit
+//! code: `2` usage, `3` file I/O, `4` malformed JSON, `1` pipeline
+//! failures (infeasible problems, unmodelable targets, bad traces).
 
 use std::sync::Arc;
 use wasla::core::report::{render_layout, render_stages};
 use wasla::core::{recommend, AdminConstraint, AdvisorOptions, LayoutProblem};
+use wasla::error::WaslaError;
 use wasla::model::{calibrate_device, CalibrationGrid, TableModel, TargetCostModel};
 use wasla::pipeline::{self, AdviseConfig, RunSettings, Scenario, LVM_STRIPE};
+use wasla::simlib::json::FromJson;
 use wasla::storage::{DeviceSpec, DiskParams, SsdParams, TargetConfig};
 use wasla::workload::{SqlWorkload, WorkloadSet};
 
-fn usage() -> ! {
-    eprintln!(
-        "usage:\n  wasla-advisor calibrate --device <scsi15k|scsi10k|nearline7200|ssd|ssd2> \
-         --capacity-gb <G> [--out FILE]\n  wasla-advisor fit --trace FILE \
-         --objects FILE [--window-s S] [--out FILE]\n  wasla-advisor advise \
-         --workloads FILE --targets FILE [--models FILE,...] [--regular] \
-         [--pin OBJ=T]... [--forbid OBJ=T]... [--out FILE]\n  \
-         wasla-advisor demo [--scale S]"
-    );
-    std::process::exit(2)
-}
+const USAGE: &str = "usage:
+  wasla-advisor calibrate --device <scsi15k|scsi10k|nearline7200|ssd|ssd2> \
+--capacity-gb <G> [--out FILE]
+  wasla-advisor fit --trace FILE --objects FILE [--window-s S] [--out FILE]
+  wasla-advisor advise --workloads FILE --targets FILE [--models FILE,...] \
+[--regular] [--pin OBJ=T]... [--forbid OBJ=T]... [--out FILE]
+  wasla-advisor demo [--scale S]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
+    let result = match args.first().map(String::as_str) {
         Some("calibrate") => calibrate(&args[1..]),
         Some("fit") => fit(&args[1..]),
         Some("advise") => advise(&args[1..]),
         Some("demo") => demo(&args[1..]),
-        _ => usage(),
-    }
-}
-
-/// An object inventory entry for the `fit` subcommand.
-struct ObjectEntry {
-    name: String,
-    size: u64,
-}
-
-wasla::simlib::impl_json_struct!(ObjectEntry { name, size });
-
-fn fit(args: &[String]) {
-    let trace_path = flag_value(args, "--trace").unwrap_or_else(|| usage());
-    let objects_path = flag_value(args, "--objects").unwrap_or_else(|| usage());
-    let trace: wasla::storage::Trace = wasla::simlib::json::from_str(
-        &std::fs::read_to_string(trace_path).expect("read trace file"),
-    )
-    .expect("parse Trace JSON");
-    let objects: Vec<ObjectEntry> = wasla::simlib::json::from_str(
-        &std::fs::read_to_string(objects_path).expect("read objects file"),
-    )
-    .expect("parse objects JSON ([{\"name\":..., \"size\":...}])");
-    let names: Vec<String> = objects.iter().map(|o| o.name.clone()).collect();
-    let sizes: Vec<u64> = objects.iter().map(|o| o.size).collect();
-    let mut fit_config = wasla::trace::FitConfig::default();
-    if let Some(w) = flag_value(args, "--window-s").and_then(|v| v.parse().ok()) {
-        fit_config.window_s = w;
-    }
-    let set = wasla::trace::fit_workloads(&trace, &names, &sizes, &fit_config);
-    set.validate().expect("fitted set is consistent");
-    let json = wasla::simlib::json::to_string_pretty(&set);
-    match flag_value(args, "--out") {
-        Some(path) => {
-            std::fs::write(path, &json).expect("write workloads file");
-            eprintln!(
-                "fitted {} objects from {} trace records → {path}",
-                set.len(),
-                trace.len()
-            );
+        Some(other) => Err(WaslaError::Usage(format!("unknown subcommand {other:?}"))),
+        None => Err(WaslaError::Usage("missing subcommand".to_string())),
+    };
+    if let Err(err) = result {
+        eprintln!("wasla-advisor: {err}");
+        if matches!(err, WaslaError::Usage(_)) {
+            eprintln!("{USAGE}");
         }
-        None => println!("{json}"),
+        std::process::exit(err.exit_code());
     }
 }
 
@@ -97,6 +66,10 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+fn require_flag<'a>(args: &'a [String], name: &str) -> Result<&'a str, WaslaError> {
+    flag_value(args, name).ok_or_else(|| WaslaError::Usage(format!("missing {name} FILE")))
 }
 
 fn flag_values<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
@@ -112,11 +85,66 @@ fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
-fn calibrate(args: &[String]) {
-    let device = flag_value(args, "--device").unwrap_or_else(|| usage());
+fn read_file(path: &str) -> Result<String, WaslaError> {
+    std::fs::read_to_string(path).map_err(|e| WaslaError::io(path, &e))
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), WaslaError> {
+    std::fs::write(path, contents).map_err(|e| WaslaError::io(path, &e))
+}
+
+/// Reads and decodes a JSON file, tagging parse errors with the path.
+fn load_json<T: FromJson>(path: &str, what: &str) -> Result<T, WaslaError> {
+    wasla::simlib::json::from_str(&read_file(path)?).map_err(|e| {
+        WaslaError::Json(wasla::simlib::json::JsonError::new(format!(
+            "{path}: {what}: {e}"
+        )))
+    })
+}
+
+/// An object inventory entry for the `fit` subcommand.
+struct ObjectEntry {
+    name: String,
+    size: u64,
+}
+
+wasla::simlib::impl_json_struct!(ObjectEntry { name, size });
+
+fn fit(args: &[String]) -> Result<(), WaslaError> {
+    let trace_path = require_flag(args, "--trace")?;
+    let objects_path = require_flag(args, "--objects")?;
+    let trace: wasla::storage::Trace = load_json(trace_path, "Trace")?;
+    let objects: Vec<ObjectEntry> =
+        load_json(objects_path, "objects ([{\"name\":..., \"size\":...}])")?;
+    let names: Vec<String> = objects.iter().map(|o| o.name.clone()).collect();
+    let sizes: Vec<u64> = objects.iter().map(|o| o.size).collect();
+    let mut fit_config = wasla::trace::FitConfig::default();
+    if let Some(w) = flag_value(args, "--window-s").and_then(|v| v.parse().ok()) {
+        fit_config.window_s = w;
+    }
+    let set = wasla::trace::fit_workloads(&trace, &names, &sizes, &fit_config)?;
+    set.validate()
+        .map_err(|e| WaslaError::Internal(format!("fitted set is inconsistent: {e}")))?;
+    let json = wasla::simlib::json::to_string_pretty(&set);
+    match flag_value(args, "--out") {
+        Some(path) => {
+            write_file(path, &json)?;
+            eprintln!(
+                "fitted {} objects from {} trace records → {path}",
+                set.len(),
+                trace.len()
+            );
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn calibrate(args: &[String]) -> Result<(), WaslaError> {
+    let device = require_flag(args, "--device")?;
     let capacity_gb: f64 = flag_value(args, "--capacity-gb")
         .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| usage());
+        .ok_or_else(|| WaslaError::Usage("missing or non-numeric --capacity-gb".to_string()))?;
     let capacity = (capacity_gb * 1e9) as u64;
     let spec = match device {
         "scsi15k" => DeviceSpec::Disk(DiskParams::scsi_15k(capacity)),
@@ -125,8 +153,7 @@ fn calibrate(args: &[String]) {
         "ssd" => DeviceSpec::Ssd(SsdParams::sata_gen1(capacity)),
         "ssd2" => DeviceSpec::Ssd(SsdParams::sata_gen2(capacity)),
         other => {
-            eprintln!("unknown device type {other}");
-            std::process::exit(2);
+            return Err(WaslaError::Usage(format!("unknown device type {other:?}")));
         }
     };
     eprintln!("calibrating {device} ({capacity_gb} GB)...");
@@ -134,95 +161,87 @@ fn calibrate(args: &[String]) {
     let json = model.to_json();
     match flag_value(args, "--out") {
         Some(path) => {
-            std::fs::write(path, &json).expect("write model file");
+            write_file(path, &json)?;
             eprintln!("model written to {path}");
         }
         None => println!("{json}"),
     }
+    Ok(())
 }
 
-fn parse_constraint(s: &str) -> (String, usize) {
-    let (obj, t) = s.split_once('=').unwrap_or_else(|| {
-        eprintln!("constraint must look like OBJECT=TARGET_INDEX: {s}");
-        std::process::exit(2);
-    });
-    let target: usize = t.parse().unwrap_or_else(|_| {
-        eprintln!("target index must be an integer: {s}");
-        std::process::exit(2);
-    });
-    (obj.to_string(), target)
+fn parse_constraint(s: &str) -> Result<(String, usize), WaslaError> {
+    let (obj, t) = s.split_once('=').ok_or_else(|| {
+        WaslaError::Usage(format!(
+            "constraint must look like OBJECT=TARGET_INDEX: {s}"
+        ))
+    })?;
+    let target: usize = t
+        .parse()
+        .map_err(|_| WaslaError::Usage(format!("target index must be an integer: {s}")))?;
+    Ok((obj.to_string(), target))
 }
 
-fn advise(args: &[String]) {
-    let workloads_path = flag_value(args, "--workloads").unwrap_or_else(|| usage());
-    let targets_path = flag_value(args, "--targets").unwrap_or_else(|| usage());
-    let workloads: WorkloadSet = wasla::simlib::json::from_str(
-        &std::fs::read_to_string(workloads_path).expect("read workloads file"),
-    )
-    .expect("parse WorkloadSet JSON");
-    let targets: Vec<TargetConfig> = wasla::simlib::json::from_str(
-        &std::fs::read_to_string(targets_path).expect("read targets file"),
-    )
-    .expect("parse Vec<TargetConfig> JSON");
+fn advise(args: &[String]) -> Result<(), WaslaError> {
+    let workloads_path = require_flag(args, "--workloads")?;
+    let targets_path = require_flag(args, "--targets")?;
+    let workloads: WorkloadSet = load_json(workloads_path, "WorkloadSet")?;
+    let targets: Vec<TargetConfig> = load_json(targets_path, "Vec<TargetConfig>")?;
 
     // Cost models: either provided per target, or calibrated here.
     let models: Vec<Arc<dyn wasla::model::CostModel>> = match flag_value(args, "--models") {
         Some(list) => {
             let paths: Vec<&str> = list.split(',').collect();
-            assert_eq!(
-                paths.len(),
-                targets.len(),
-                "--models needs one file per target"
-            );
+            if paths.len() != targets.len() {
+                return Err(WaslaError::Usage(format!(
+                    "--models needs one file per target ({} files for {} targets)",
+                    paths.len(),
+                    targets.len()
+                )));
+            }
             paths
                 .iter()
                 .zip(&targets)
                 .map(|(path, t)| {
-                    let table = TableModel::from_json(
-                        &std::fs::read_to_string(path).expect("read model file"),
-                    )
-                    .expect("parse model JSON");
-                    Arc::new(TargetCostModel {
+                    let table: TableModel = load_json(path, "TableModel")?;
+                    let member = TargetCostModel::member_spec(t)?;
+                    Ok(Arc::new(TargetCostModel {
                         member: table,
                         width: t.width(),
                         stripe_unit: t.stripe_unit,
-                        parallelism: t.members[0].build().parallelism(),
+                        parallelism: member.build().parallelism(),
                         name: t.name.clone(),
-                    }) as Arc<dyn wasla::model::CostModel>
+                    }) as Arc<dyn wasla::model::CostModel>)
                 })
-                .collect()
+                .collect::<Result<_, WaslaError>>()?
         }
         None => {
             eprintln!("calibrating cost models for {} targets...", targets.len());
-            TargetCostModel::for_targets(&targets, &CalibrationGrid::default(), 7)
+            TargetCostModel::for_targets(&targets, &CalibrationGrid::default(), 7)?
                 .into_iter()
                 .map(|m| Arc::new(m) as Arc<dyn wasla::model::CostModel>)
                 .collect()
         }
     };
 
-    let expect_id = |name: &str| -> usize {
+    let expect_id = |name: &str| -> Result<usize, WaslaError> {
         workloads
             .names
             .iter()
             .position(|n| n == name)
-            .unwrap_or_else(|| {
-                eprintln!("no object named {name} in the workload set");
-                std::process::exit(2);
-            })
+            .ok_or_else(|| WaslaError::Usage(format!("no object named {name} in the workload set")))
     };
     let mut constraints = Vec::new();
     for c in flag_values(args, "--pin") {
-        let (obj, target) = parse_constraint(c);
+        let (obj, target) = parse_constraint(c)?;
         constraints.push(AdminConstraint::PinTo {
-            object: expect_id(&obj),
+            object: expect_id(&obj)?,
             target,
         });
     }
     for c in flag_values(args, "--forbid") {
-        let (obj, target) = parse_constraint(c);
+        let (obj, target) = parse_constraint(c)?;
         constraints.push(AdminConstraint::Forbid {
-            object: expect_id(&obj),
+            object: expect_id(&obj)?,
             target,
         });
     }
@@ -240,46 +259,40 @@ fn advise(args: &[String]) {
         regularize: has_flag(args, "--regular"),
         ..AdvisorOptions::default()
     };
-    match recommend(&problem, &options) {
-        Ok(rec) => {
-            println!("{}", render_stages(&problem, &rec.stages));
-            println!(
-                "{}",
-                render_layout(&problem, rec.final_layout(), problem.n())
-            );
-            println!(
-                "advisor time: {:.2}s (solver {:.2}s, regularization {:.2}s){}",
-                rec.timings.total_s(),
-                rec.timings.solver_s,
-                rec.timings.regularize_s,
-                if rec.fell_back_to_see {
-                    " — SEE is predicted optimal for this workload"
-                } else {
-                    ""
-                }
-            );
-            if let Some(path) = flag_value(args, "--out") {
-                let json = wasla::simlib::json::to_string_pretty(rec.final_layout());
-                std::fs::write(path, json).expect("write layout file");
-                eprintln!("layout written to {path}");
-            }
+    let rec = recommend(&problem, &options)?;
+    println!("{}", render_stages(&problem, &rec.stages));
+    println!(
+        "{}",
+        render_layout(&problem, rec.final_layout(), problem.n())
+    );
+    println!(
+        "advisor time: {:.2}s (solver {:.2}s, regularization {:.2}s){}",
+        rec.timings.total_s(),
+        rec.timings.solver_s,
+        rec.timings.regularize_s,
+        if rec.fell_back_to_see {
+            " — SEE is predicted optimal for this workload"
+        } else {
+            ""
         }
-        Err(e) => {
-            eprintln!("advise failed: {e}");
-            std::process::exit(1);
-        }
+    );
+    if let Some(path) = flag_value(args, "--out") {
+        let json = wasla::simlib::json::to_string_pretty(rec.final_layout());
+        write_file(path, &json)?;
+        eprintln!("layout written to {path}");
     }
+    Ok(())
 }
 
-fn demo(args: &[String]) {
+fn demo(args: &[String]) -> Result<(), WaslaError> {
     let scale: f64 = flag_value(args, "--scale")
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.05);
     let scenario = Scenario::homogeneous_disks(4, scale);
     let workloads = [SqlWorkload::olap1_63(7)];
     eprintln!("running the built-in TPC-H-like demo at scale {scale}...");
-    let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::full());
-    let rec = outcome.recommendation.expect("demo scenario is feasible");
+    let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::full())?;
+    let rec = &outcome.recommendation;
     println!("{}", render_stages(&outcome.problem, &rec.stages));
     println!("{}", render_layout(&outcome.problem, rec.final_layout(), 8));
     let optimized = pipeline::run_with_layout(
@@ -287,11 +300,12 @@ fn demo(args: &[String]) {
         &workloads,
         rec.final_layout(),
         &RunSettings::default(),
-    );
+    )?;
     println!(
         "SEE {:.0}s → optimized {:.0}s ({:.2}x)",
         outcome.baseline_run.elapsed.as_secs(),
         optimized.elapsed.as_secs(),
         optimized.speedup_vs(&outcome.baseline_run)
     );
+    Ok(())
 }

@@ -1,0 +1,239 @@
+//! The unified error hierarchy for the facade crate.
+//!
+//! Every layer below owns a focused error enum — [`AdvisorError`]
+//! (core), [`PlacementError`] (exec), [`FitError`] (trace),
+//! [`ModelError`] (model), [`JsonError`] (simlib) — and the facade is
+//! where those layers meet. [`WaslaError`] wraps each of them plus the
+//! facade's own failure modes (file I/O, CLI usage, broken internal
+//! invariants), so every public entry point in `wasla::pipeline`,
+//! `wasla::session`, and the `wasla-advisor` binary returns one
+//! `Result` type instead of panicking.
+//!
+//! The hierarchy follows the house error pattern: hand-rolled enum,
+//! `Display`/`Error`/`From` impls, and JSON round-tripping through the
+//! in-tree `json` module (externally-tagged variants).
+
+use wasla_core::AdvisorError;
+use wasla_exec::PlacementError;
+use wasla_model::ModelError;
+use wasla_simlib::json::{self, FromJson, Json, JsonError, ToJson};
+use wasla_trace::FitError;
+
+/// Any failure the advise pipeline, session layer, or CLI can report.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WaslaError {
+    /// The layout advisor failed (invalid problem, no initial layout,
+    /// no starts, regularization dead end).
+    Advisor(AdvisorError),
+    /// A layout could not be realized on the targets.
+    Placement(PlacementError),
+    /// Workload fitting rejected the trace or object inventory.
+    Fit(FitError),
+    /// A target could not be modeled (empty or heterogeneous RAID).
+    Model(ModelError),
+    /// A JSON document failed to parse or decode.
+    Json(JsonError),
+    /// A file could not be read or written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The OS error message.
+        detail: String,
+    },
+    /// The caller misused the CLI (bad flags, unknown subcommand).
+    Usage(String),
+    /// An internal invariant broke; a bug, not a user error.
+    Internal(String),
+}
+
+impl WaslaError {
+    /// Wraps a `std::io::Error` with the path it concerns.
+    pub fn io(path: impl Into<String>, err: &std::io::Error) -> Self {
+        WaslaError::Io {
+            path: path.into(),
+            detail: err.to_string(),
+        }
+    }
+
+    /// The process exit code the CLI maps this error to: `2` for
+    /// usage errors, `3` for file I/O, `4` for malformed JSON, `1`
+    /// for everything else (pipeline failures).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            WaslaError::Usage(_) => 2,
+            WaslaError::Io { .. } => 3,
+            WaslaError::Json(_) => 4,
+            _ => 1,
+        }
+    }
+}
+
+impl From<AdvisorError> for WaslaError {
+    fn from(e: AdvisorError) -> Self {
+        WaslaError::Advisor(e)
+    }
+}
+
+impl From<PlacementError> for WaslaError {
+    fn from(e: PlacementError) -> Self {
+        WaslaError::Placement(e)
+    }
+}
+
+impl From<FitError> for WaslaError {
+    fn from(e: FitError) -> Self {
+        WaslaError::Fit(e)
+    }
+}
+
+impl From<ModelError> for WaslaError {
+    fn from(e: ModelError) -> Self {
+        WaslaError::Model(e)
+    }
+}
+
+impl From<JsonError> for WaslaError {
+    fn from(e: JsonError) -> Self {
+        WaslaError::Json(e)
+    }
+}
+
+impl ToJson for WaslaError {
+    fn to_json(&self) -> Json {
+        match self {
+            WaslaError::Advisor(e) => json::variant("Advisor", e.to_json()),
+            WaslaError::Placement(e) => json::variant("Placement", e.to_json()),
+            WaslaError::Fit(e) => json::variant("Fit", e.to_json()),
+            WaslaError::Model(e) => json::variant("Model", e.to_json()),
+            WaslaError::Json(e) => json::variant("Json", e.message().to_json()),
+            WaslaError::Io { path, detail } => json::variant(
+                "Io",
+                Json::Obj(vec![
+                    ("path".to_string(), path.to_json()),
+                    ("detail".to_string(), detail.to_json()),
+                ]),
+            ),
+            WaslaError::Usage(msg) => json::variant("Usage", msg.to_json()),
+            WaslaError::Internal(msg) => json::variant("Internal", msg.to_json()),
+        }
+    }
+}
+
+impl FromJson for WaslaError {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match json::untag(v)? {
+            ("Advisor", payload) => AdvisorError::from_json(payload).map(WaslaError::Advisor),
+            ("Placement", payload) => PlacementError::from_json(payload).map(WaslaError::Placement),
+            ("Fit", payload) => FitError::from_json(payload).map(WaslaError::Fit),
+            ("Model", payload) => ModelError::from_json(payload).map(WaslaError::Model),
+            ("Json", payload) => {
+                String::from_json(payload).map(|m| WaslaError::Json(JsonError::new(m)))
+            }
+            ("Io", payload) => {
+                let get = |name: &str| {
+                    payload
+                        .field(name)
+                        .ok_or_else(|| JsonError::missing_field(name))
+                };
+                Ok(WaslaError::Io {
+                    path: String::from_json(get("path")?)?,
+                    detail: String::from_json(get("detail")?)?,
+                })
+            }
+            ("Usage", payload) => String::from_json(payload).map(WaslaError::Usage),
+            ("Internal", payload) => String::from_json(payload).map(WaslaError::Internal),
+            (other, _) => Err(JsonError::new(format!(
+                "unknown WaslaError variant: {other:?}"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for WaslaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaslaError::Advisor(e) => write!(f, "advisor: {e}"),
+            WaslaError::Placement(e) => write!(f, "placement: {e}"),
+            WaslaError::Fit(e) => write!(f, "fit: {e}"),
+            WaslaError::Model(e) => write!(f, "model: {e}"),
+            WaslaError::Json(e) => write!(f, "json: {e}"),
+            WaslaError::Io { path, detail } => write!(f, "io: {path}: {detail}"),
+            WaslaError::Usage(msg) => write!(f, "usage: {msg}"),
+            WaslaError::Internal(msg) => write!(f, "internal: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WaslaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WaslaError::Advisor(e) => Some(e),
+            WaslaError::Placement(e) => Some(e),
+            WaslaError::Fit(e) => Some(e),
+            WaslaError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasla_core::InitialLayoutError;
+
+    #[test]
+    fn json_round_trip_all_variants() {
+        use wasla_simlib::json::{from_str, to_string};
+        let cases = vec![
+            WaslaError::Advisor(AdvisorError::InvalidProblem("bad".into())),
+            WaslaError::Advisor(AdvisorError::Initial(InitialLayoutError::NoFit {
+                object: 3,
+            })),
+            WaslaError::Placement(PlacementError::ShapeMismatch),
+            WaslaError::Fit(FitError::ShapeMismatch { names: 2, sizes: 3 }),
+            WaslaError::Model(ModelError::NoMembers { target: "t".into() }),
+            WaslaError::Json(JsonError::new("unexpected token")),
+            WaslaError::Io {
+                path: "/tmp/x".into(),
+                detail: "denied".into(),
+            },
+            WaslaError::Usage("missing --trace".into()),
+            WaslaError::Internal("no trace captured".into()),
+        ];
+        for err in cases {
+            let back: WaslaError = from_str(&to_string(&err)).unwrap();
+            assert_eq!(back, err);
+        }
+    }
+
+    #[test]
+    fn exit_codes_partition_failure_classes() {
+        assert_eq!(WaslaError::Usage("u".into()).exit_code(), 2);
+        assert_eq!(
+            WaslaError::Io {
+                path: "p".into(),
+                detail: "d".into()
+            }
+            .exit_code(),
+            3
+        );
+        assert_eq!(WaslaError::Json(JsonError::new("j")).exit_code(), 4);
+        assert_eq!(
+            WaslaError::Placement(PlacementError::ShapeMismatch).exit_code(),
+            1
+        );
+        assert_eq!(
+            WaslaError::Advisor(AdvisorError::InvalidProblem("x".into())).exit_code(),
+            1
+        );
+    }
+
+    #[test]
+    fn display_prefixes_name_the_layer() {
+        let e = WaslaError::Model(ModelError::NoMembers {
+            target: "empty".into(),
+        });
+        assert!(e.to_string().starts_with("model: "));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -33,9 +33,38 @@
 //! // A small TPC-H-like database on four simulated disks.
 //! let scenario = Scenario::homogeneous_disks(4, 0.01);
 //! let workload = SqlWorkload::olap1_21(7);
-//! let outcome = pipeline::advise(&scenario, &[workload], &pipeline::AdviseConfig::fast());
-//! let rec = outcome.recommendation.expect("advise succeeded");
-//! assert!(rec.final_layout().is_regular());
+//! let outcome = pipeline::advise(&scenario, &[workload], &pipeline::AdviseConfig::fast())
+//!     .expect("advise succeeded");
+//! assert!(outcome.recommendation.final_layout().is_regular());
+//! ```
+//!
+//! ## Sessioned advising
+//!
+//! Advising repeatedly — capacity planning sweeps, what-if batches —
+//! recalibrates the same device types again and again. Hold a
+//! [`session::Service`] instead: its [`advise_batch`]
+//! (`session::Service::advise_batch`) loop memoizes calibration
+//! tables and workload fits across requests and fans the batch over
+//! the deterministic thread pool.
+//!
+//! ```
+//! use wasla::pipeline::{AdviseConfig, Scenario};
+//! use wasla::session::{AdviseRequest, Service};
+//! use wasla::workload::SqlWorkload;
+//!
+//! let mut service = Service::new(0x5eed);
+//! let requests: Vec<AdviseRequest> = [3u64, 5]
+//!     .iter()
+//!     .map(|&seed| AdviseRequest::new(
+//!         Scenario::homogeneous_disks(4, 0.01),
+//!         vec![SqlWorkload::olap1_21(seed)],
+//!         AdviseConfig::fast(),
+//!     ))
+//!     .collect();
+//! let outcomes = service.advise_batch(&requests);
+//! assert!(outcomes.iter().all(|o| o.is_ok()));
+//! // Four identical disks × two requests: calibrated exactly once.
+//! assert_eq!(service.session().calibrations_cached(), 1);
 //! ```
 
 pub use wasla_core as core;
@@ -47,16 +76,24 @@ pub use wasla_storage as storage;
 pub use wasla_trace as trace;
 pub use wasla_workload as workload;
 
+pub mod error;
 pub mod pipeline;
+pub mod session;
+pub mod stages;
+
+pub use error::WaslaError;
+pub use session::{AdviseRequest, AdvisorSession, Service};
 
 /// Commonly used items in one import.
 pub mod prelude {
     pub use crate::core::{
         recommend, AdminConstraint, AdvisorOptions, Layout, LayoutProblem, Recommendation,
     };
+    pub use crate::error::WaslaError;
     pub use crate::exec::{Engine, Placement, RunConfig, RunReport};
     pub use crate::model::{CalibrationGrid, CostModel, TargetCostModel};
     pub use crate::pipeline::{self, AdviseConfig, Scenario};
+    pub use crate::session::{AdviseRequest, AdvisorSession, Service};
     pub use crate::storage::{DeviceSpec, DiskParams, SsdParams, StorageSystem, TargetConfig};
     pub use crate::workload::{Catalog, SqlWorkload, WorkloadSet, WorkloadSpec};
 }

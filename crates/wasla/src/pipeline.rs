@@ -16,12 +16,23 @@
 //! the heterogeneous 3-1 and 2-1-1 RAID configurations, disks + SSD,
 //! and the consolidation scenario).
 
+//!
+//! [`advise`] is the *cold* path: it delegates to a fresh
+//! [`AdvisorSession`](crate::session::AdvisorSession), so one-shot
+//! calls and sessioned calls share one code path and produce
+//! byte-identical recommendations. Callers advising repeatedly over
+//! shared device types or traces should hold a session (or a
+//! [`Service`](crate::session::Service)) to reuse calibration tables
+//! and workload fits.
+
+use crate::error::WaslaError;
+use crate::session::AdvisorSession;
 use std::sync::Arc;
-use wasla_core::{AdvisorError, AdvisorOptions, Layout, LayoutProblem, Recommendation};
+use wasla_core::{AdminConstraint, AdvisorOptions, Layout, LayoutProblem, Recommendation};
 use wasla_exec::{Engine, Placement, RunConfig, RunReport};
 use wasla_model::{CalibrationGrid, TargetCostModel};
 use wasla_storage::{DeviceSpec, DiskParams, SsdParams, StorageSystem, TargetConfig};
-use wasla_trace::{fit_workloads, FitConfig};
+use wasla_trace::FitConfig;
 use wasla_workload::{Catalog, SqlWorkload, WorkloadSet};
 
 /// Paper-equivalent disk capacity in bytes at scale 1.0 (18.4 GB).
@@ -190,19 +201,21 @@ impl Default for RunSettings {
 }
 
 /// Runs `workloads` under the layout given by `rows` and reports.
+///
+/// Fails with [`WaslaError::Placement`] when the layout cannot be
+/// realized on the scenario's targets (bad rows, over capacity).
 pub fn run_layout(
     scenario: &Scenario,
     workloads: &[SqlWorkload],
     rows: &[Vec<f64>],
     settings: &RunSettings,
-) -> RunReport {
+) -> Result<RunReport, WaslaError> {
     let placement = Placement::build(
         rows,
         &scenario.catalog.sizes(),
         &scenario.capacities(),
         LVM_STRIPE,
-    )
-    .expect("layout must be implementable");
+    )?;
     let mut storage = scenario.storage();
     let config = RunConfig {
         seed: settings.seed,
@@ -214,14 +227,14 @@ pub fn run_layout(
         capture_trace: settings.capture_trace,
         ..RunConfig::default()
     };
-    Engine::new(
+    Ok(Engine::new(
         &scenario.catalog,
         workloads,
         &placement,
         &mut storage,
         config,
     )
-    .run()
+    .run())
 }
 
 /// Runs `workloads` under a [`Layout`].
@@ -230,7 +243,7 @@ pub fn run_with_layout(
     workloads: &[SqlWorkload],
     layout: &Layout,
     settings: &RunSettings,
-) -> RunReport {
+) -> Result<RunReport, WaslaError> {
     run_layout(scenario, workloads, layout.rows(), settings)
 }
 
@@ -245,6 +258,9 @@ pub struct AdviseConfig {
     pub fit: FitConfig,
     /// Settings for the trace-collection run.
     pub trace_run: RunSettings,
+    /// Administrator placement constraints (pins, forbids) applied to
+    /// the assembled layout problem.
+    pub constraints: Vec<AdminConstraint>,
 }
 
 impl AdviseConfig {
@@ -261,6 +277,7 @@ impl AdviseConfig {
                 capture_trace: true,
                 ..RunSettings::default()
             },
+            constraints: Vec::new(),
         }
     }
 
@@ -283,17 +300,19 @@ pub struct AdviseOutcome {
     /// The assembled layout problem (with calibrated models).
     pub problem: LayoutProblem,
     /// The advisor's recommendation.
-    pub recommendation: Result<Recommendation, AdvisorError>,
+    pub recommendation: Recommendation,
 }
 
-/// Builds a [`LayoutProblem`] from a scenario and fitted workloads,
-/// calibrating target cost models.
-pub fn build_problem(
+/// Assembles a [`LayoutProblem`] from a scenario, fitted workloads,
+/// and already-built target cost models (the session layer supplies
+/// models from its calibration cache; [`build_problem`] calibrates
+/// fresh ones).
+pub fn assemble_problem(
     scenario: &Scenario,
     fitted: WorkloadSet,
-    grid: &CalibrationGrid,
+    models: Vec<TargetCostModel>,
+    constraints: Vec<AdminConstraint>,
 ) -> LayoutProblem {
-    let models = TargetCostModel::for_targets(&scenario.targets, grid, scenario.seed);
     // Reserve allocation slack on each target: striped placements round
     // every (object, target) extent up to whole stripes, so a layout
     // that packs a target to 100% of its fractional capacity may not be
@@ -313,42 +332,34 @@ pub fn build_problem(
             .map(|m| Arc::new(m) as Arc<dyn wasla_model::CostModel>)
             .collect(),
         stripe_size: LVM_STRIPE as f64,
-        constraints: vec![],
+        constraints,
     }
+}
+
+/// Builds a [`LayoutProblem`] from a scenario and fitted workloads,
+/// calibrating target cost models.
+pub fn build_problem(
+    scenario: &Scenario,
+    fitted: WorkloadSet,
+    grid: &CalibrationGrid,
+) -> Result<LayoutProblem, WaslaError> {
+    let models = TargetCostModel::for_targets(&scenario.targets, grid, scenario.seed)?;
+    Ok(assemble_problem(scenario, fitted, models, Vec::new()))
 }
 
 /// The full trace → fit → calibrate → advise pipeline. The trace is
 /// collected under SEE (the natural "operational" baseline the paper
 /// traces against).
+///
+/// This is the cold path: each call runs on a fresh
+/// [`AdvisorSession`], so nothing is reused across calls. Hold a
+/// session yourself to share calibration tables and workload fits.
 pub fn advise(
     scenario: &Scenario,
     workloads: &[SqlWorkload],
     config: &AdviseConfig,
-) -> AdviseOutcome {
-    let n = scenario.catalog.len();
-    let m = scenario.targets.len();
-    let see = Layout::see(n, m);
-    let mut trace_settings = config.trace_run.clone();
-    trace_settings.capture_trace = true;
-    let baseline_run = run_layout(scenario, workloads, see.rows(), &trace_settings);
-    let trace = baseline_run
-        .trace
-        .as_ref()
-        .expect("trace capture was requested");
-    let fitted = fit_workloads(
-        trace,
-        &scenario.catalog.names(),
-        &scenario.catalog.sizes(),
-        &config.fit,
-    );
-    let problem = build_problem(scenario, fitted.clone(), &config.grid);
-    let recommendation = wasla_core::recommend(&problem, &config.advisor);
-    AdviseOutcome {
-        baseline_run,
-        fitted,
-        problem,
-        recommendation,
-    }
+) -> Result<AdviseOutcome, WaslaError> {
+    AdvisorSession::new().advise(scenario, workloads, config)
 }
 
 #[cfg(test)]
@@ -387,7 +398,7 @@ mod tests {
     fn build_problem_reserves_allocation_slack() {
         let scenario = Scenario::homogeneous_disks(4, 0.05);
         let workloads = [SqlWorkload::olap1_21(3)];
-        let outcome = advise(&scenario, &workloads, &AdviseConfig::fast());
+        let outcome = advise(&scenario, &workloads, &AdviseConfig::fast()).expect("advise runs");
         for (advisor_cap, raw_cap) in outcome.problem.capacities.iter().zip(scenario.capacities()) {
             assert!(*advisor_cap < raw_cap, "no slack reserved");
             assert!(*advisor_cap >= raw_cap / 2);
@@ -398,12 +409,11 @@ mod tests {
     fn see_run_and_fit_produce_consistent_problem() {
         let scenario = Scenario::homogeneous_disks(4, 0.01);
         let workloads = [SqlWorkload::olap1_21(3)];
-        let outcome = advise(&scenario, &workloads, &AdviseConfig::fast());
+        let outcome = advise(&scenario, &workloads, &AdviseConfig::fast()).expect("advise runs");
         assert_eq!(outcome.baseline_run.queries_completed, 21);
         assert_eq!(outcome.fitted.len(), 20);
         outcome.problem.validate().unwrap();
-        let rec = outcome.recommendation.expect("advise succeeds");
-        let layout = rec.final_layout();
+        let layout = outcome.recommendation.final_layout();
         assert!(layout.is_regular());
         assert!(layout.is_valid(
             &outcome.problem.workloads.sizes,
@@ -415,18 +425,31 @@ mod tests {
     fn optimized_layout_not_slower_than_see() {
         let scenario = Scenario::homogeneous_disks(4, 0.015);
         let workloads = [SqlWorkload::olap1_21(5)];
-        let outcome = advise(&scenario, &workloads, &AdviseConfig::fast());
-        let rec = outcome.recommendation.expect("advise succeeds");
+        let outcome = advise(&scenario, &workloads, &AdviseConfig::fast()).expect("advise runs");
         let optimized = run_with_layout(
             &scenario,
             &workloads,
-            rec.final_layout(),
+            outcome.recommendation.final_layout(),
             &RunSettings::default(),
-        );
+        )
+        .expect("recommended layout is implementable");
         let speedup = optimized.speedup_vs(&outcome.baseline_run);
         assert!(
             speedup > 0.95,
             "optimized should not regress: speedup {speedup:.3}"
         );
+    }
+
+    #[test]
+    fn run_layout_rejects_unimplementable_layouts() {
+        let scenario = Scenario::homogeneous_disks(4, 0.01);
+        let workloads = [SqlWorkload::olap1_21(3)];
+        // Rows that don't sum to one violate the integrity constraint.
+        let rows = vec![vec![0.5, 0.0, 0.0, 0.0]; scenario.catalog.len()];
+        let err = run_layout(&scenario, &workloads, &rows, &RunSettings::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::WaslaError::Placement(wasla_exec::PlacementError::BadRow { .. })
+        ));
     }
 }

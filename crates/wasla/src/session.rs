@@ -1,0 +1,368 @@
+//! Sessioned advising: memoized stages and the batch service loop.
+//!
+//! [`AdvisorSession`] runs the staged pipeline (see
+//! [`stages`](crate::stages)) while memoizing the outputs of the pure
+//! stages in [`StageCache`]s:
+//!
+//! * calibration tables, keyed by `(DeviceSpec, CalibrationGrid,
+//!   seed)` content hash — the dominant cost of a cold advise;
+//! * fitted workload sets, keyed by `(trace content hash, fit config,
+//!   object inventory)`.
+//!
+//! A warm session advising over a scenario whose device types it has
+//! already calibrated skips recalibration entirely and produces a
+//! recommendation byte-identical to the cold path (cached stage
+//! outputs are bit-identical to freshly computed ones; only wall-clock
+//! timings differ).
+//!
+//! [`Service`] fans a batch of advise requests across the
+//! deterministic [`par`] pool: distinct calibrations are prewarmed
+//! serially first (each calibration is internally parallel, so this
+//! avoids nested fan-out), then requests run concurrently against
+//! worker-local snapshots of the session caches, and newly computed
+//! stage outputs merge back in request order — so batch results are
+//! bit-identical at any `WASLA_THREADS` setting.
+
+use crate::error::WaslaError;
+use crate::pipeline::{assemble_problem, AdviseConfig, AdviseOutcome, Scenario};
+use crate::stages::{
+    CalibrateInput, CalibrateStage, FitInput, FitStage, RegularizeInput, RegularizeStage,
+    SolveStage, TraceInput, TraceStage,
+};
+use wasla_core::{CacheStats, Stage, StageCache};
+use wasla_model::{CalibrationGrid, TableModel, TargetCostModel};
+use wasla_simlib::par;
+use wasla_storage::{TargetConfig, Trace};
+use wasla_trace::FitConfig;
+use wasla_workload::{SqlWorkload, WorkloadSet};
+
+/// Hit/miss counters for a session's stage caches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Calibration-table cache counters.
+    pub calibration: CacheStats,
+    /// Workload-fit cache counters.
+    pub fit: CacheStats,
+}
+
+/// A stateful advisor: the staged pipeline plus memoized outputs of
+/// the cacheable stages.
+#[derive(Clone, Debug, Default)]
+pub struct AdvisorSession {
+    calibrations: StageCache<TableModel>,
+    fits: StageCache<WorkloadSet>,
+}
+
+impl AdvisorSession {
+    /// A fresh session with empty caches.
+    pub fn new() -> Self {
+        AdvisorSession::default()
+    }
+
+    /// Cache hit/miss counters so far.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            calibration: self.calibrations.stats(),
+            fit: self.fits.stats(),
+        }
+    }
+
+    /// Number of calibration tables held.
+    pub fn calibrations_cached(&self) -> usize {
+        self.calibrations.len()
+    }
+
+    /// Number of fitted workload sets held.
+    pub fn fits_cached(&self) -> usize {
+        self.fits.len()
+    }
+
+    /// The calibration table for one target's member device,
+    /// computing it on a cache miss.
+    fn member_table(
+        &mut self,
+        config: &TargetConfig,
+        grid: &CalibrationGrid,
+        seed: u64,
+    ) -> Result<TableModel, WaslaError> {
+        let spec = TargetCostModel::member_spec(config)?;
+        let stage = CalibrateStage { grid };
+        let input = CalibrateInput { spec, seed };
+        let key = stage
+            .cache_key(&input)
+            .ok_or_else(|| WaslaError::Internal("calibrate stage must be cacheable".to_string()))?;
+        Ok(self
+            .calibrations
+            .get_or_insert_with(key, || stage.table(&input))
+            .clone())
+    }
+
+    /// Target cost models for a scenario's targets, assembling each
+    /// around a (possibly cached) member calibration table.
+    pub fn models_for(
+        &mut self,
+        targets: &[TargetConfig],
+        grid: &CalibrationGrid,
+        seed: u64,
+    ) -> Result<Vec<TargetCostModel>, WaslaError> {
+        targets
+            .iter()
+            .map(|config| {
+                let member = self.member_table(config, grid, seed)?;
+                TargetCostModel::with_member(config, member).map_err(WaslaError::from)
+            })
+            .collect()
+    }
+
+    /// Fitted workload descriptions for a trace, reusing the cache
+    /// when the same trace and inventory were fitted before.
+    pub fn fit(
+        &mut self,
+        trace: &Trace,
+        names: &[String],
+        sizes: &[u64],
+        config: &FitConfig,
+    ) -> Result<WorkloadSet, WaslaError> {
+        let stage = FitStage { config };
+        let input = FitInput {
+            trace,
+            names,
+            sizes,
+        };
+        let key = stage
+            .cache_key(&input)
+            .ok_or_else(|| WaslaError::Internal("fit stage must be cacheable".to_string()))?;
+        if let Some(cached) = self.fits.get(key) {
+            return Ok(cached.clone());
+        }
+        let fitted = stage.run(&input)?;
+        self.fits.insert(key, fitted.clone());
+        Ok(fitted)
+    }
+
+    /// The full staged pipeline — trace → fit → calibrate → solve →
+    /// regularize — with the pure stages served from this session's
+    /// caches.
+    pub fn advise(
+        &mut self,
+        scenario: &Scenario,
+        workloads: &[SqlWorkload],
+        config: &AdviseConfig,
+    ) -> Result<AdviseOutcome, WaslaError> {
+        let trace_stage = TraceStage {
+            settings: &config.trace_run,
+        };
+        let baseline_run = trace_stage.run(&TraceInput {
+            scenario,
+            workloads,
+        })?;
+        let trace = baseline_run.trace.as_ref().ok_or_else(|| {
+            WaslaError::Internal("trace stage returned a report without a trace".to_string())
+        })?;
+
+        let fitted = self.fit(
+            trace,
+            &scenario.catalog.names(),
+            &scenario.catalog.sizes(),
+            &config.fit,
+        )?;
+
+        let models = self.models_for(&scenario.targets, &config.grid, scenario.seed)?;
+        let problem =
+            assemble_problem(scenario, fitted.clone(), models, config.constraints.clone());
+
+        let solve = SolveStage {
+            options: &config.advisor,
+        };
+        let solved = solve.run(&problem)?;
+        let finish = RegularizeStage {
+            options: &config.advisor,
+        };
+        let recommendation = finish.run(&RegularizeInput {
+            problem: &problem,
+            solved,
+        })?;
+
+        Ok(AdviseOutcome {
+            baseline_run,
+            fitted,
+            problem,
+            recommendation,
+        })
+    }
+
+    /// Folds a worker-local session (started as a clone of this one)
+    /// back into this session: new cache entries land first-write-wins
+    /// in merge order, and the counter deltas relative to `baseline`
+    /// are accumulated.
+    fn absorb(&mut self, local: AdvisorSession, baseline: &SessionStats) {
+        self.calibrations
+            .add_stats(local.calibrations.stats().since(&baseline.calibration));
+        self.fits.add_stats(local.fits.stats().since(&baseline.fit));
+        for (key, table) in local.calibrations.into_entries() {
+            self.calibrations.insert(key, table);
+        }
+        for (key, fitted) in local.fits.into_entries() {
+            self.fits.insert(key, fitted);
+        }
+    }
+}
+
+/// One request in a [`Service::advise_batch`] call.
+#[derive(Clone)]
+pub struct AdviseRequest {
+    /// The scenario to advise.
+    pub scenario: Scenario,
+    /// The SQL workloads to trace and fit.
+    pub workloads: Vec<SqlWorkload>,
+    /// Pipeline configuration.
+    pub config: AdviseConfig,
+    /// Seed for the advisor's randomized starts. `None` derives a
+    /// per-request seed from the service's base seed and the request
+    /// index ([`par::task_seed`]), keeping batch results independent
+    /// of thread count and batch composition order.
+    pub seed: Option<u64>,
+}
+
+impl AdviseRequest {
+    /// A request with the default (index-derived) seed.
+    pub fn new(scenario: Scenario, workloads: Vec<SqlWorkload>, config: AdviseConfig) -> Self {
+        AdviseRequest {
+            scenario,
+            workloads,
+            config,
+            seed: None,
+        }
+    }
+}
+
+/// A long-lived advising service: one shared [`AdvisorSession`] plus a
+/// deterministic batch loop.
+pub struct Service {
+    session: AdvisorSession,
+    base_seed: u64,
+}
+
+impl Service {
+    /// A service with empty caches and the given base seed for
+    /// per-request seed derivation.
+    pub fn new(base_seed: u64) -> Self {
+        Service {
+            session: AdvisorSession::new(),
+            base_seed,
+        }
+    }
+
+    /// The shared session (cache statistics, warm state).
+    pub fn session(&self) -> &AdvisorSession {
+        &self.session
+    }
+
+    /// Advises every request, fanning across the [`par`] pool.
+    ///
+    /// Distinct member calibrations are prewarmed serially first (each
+    /// is internally parallel); the fan-out then runs against
+    /// worker-local snapshots of the warm caches, and anything newly
+    /// computed merges back into the shared session in request order.
+    /// Results are bit-identical at any `WASLA_THREADS` setting, and a
+    /// warm service returns byte-identical recommendations to a cold
+    /// one (only wall-clock timings differ).
+    pub fn advise_batch(
+        &mut self,
+        requests: &[AdviseRequest],
+    ) -> Vec<Result<AdviseOutcome, WaslaError>> {
+        // Prewarm: every distinct (device, grid, seed) calibration the
+        // batch will need, serially at this level. Modeling errors are
+        // left for the per-request run to report.
+        for request in requests {
+            for target in &request.scenario.targets {
+                let _ =
+                    self.session
+                        .member_table(target, &request.config.grid, request.scenario.seed);
+            }
+        }
+
+        let base_seed = self.base_seed;
+        let snapshot = self.session.clone();
+        let baseline = snapshot.stats();
+        let indices: Vec<usize> = (0..requests.len()).collect();
+        let runs: Vec<(Result<AdviseOutcome, WaslaError>, AdvisorSession)> =
+            par::par_map(&indices, |&i| {
+                let request = &requests[i];
+                let mut local = snapshot.clone();
+                let mut config = request.config.clone();
+                config.advisor.seed = request
+                    .seed
+                    .unwrap_or_else(|| par::task_seed(base_seed, i as u64));
+                let outcome = local.advise(&request.scenario, &request.workloads, &config);
+                (outcome, local)
+            });
+
+        let mut outcomes = Vec::with_capacity(runs.len());
+        for (outcome, local) in runs {
+            self.session.absorb(local, &baseline);
+            outcomes.push(outcome);
+        }
+        outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Scenario;
+
+    #[test]
+    fn warm_session_skips_recalibration_and_matches_cold() {
+        let scenario = Scenario::homogeneous_disks(4, 0.01);
+        let workloads = [SqlWorkload::olap1_21(3)];
+        let config = AdviseConfig::fast();
+
+        let mut session = AdvisorSession::new();
+        let cold = session.advise(&scenario, &workloads, &config).unwrap();
+        let after_cold = session.stats();
+        // Four identical disks: one calibration, one fit, all misses.
+        assert_eq!(after_cold.calibration.misses, 1);
+        assert_eq!(after_cold.calibration.hits, 3);
+        assert_eq!(session.calibrations_cached(), 1);
+
+        let warm = session.advise(&scenario, &workloads, &config).unwrap();
+        let after_warm = session.stats();
+        assert_eq!(after_warm.calibration.misses, 1, "no recalibration");
+        assert_eq!(after_warm.fit.misses, 1, "fit reused");
+
+        // Same pipeline, same seeds → byte-identical recommendation
+        // (timings excluded: they are wall-clock).
+        assert_eq!(
+            cold.recommendation.solver_layout,
+            warm.recommendation.solver_layout
+        );
+        assert_eq!(
+            cold.recommendation.regular_layout,
+            warm.recommendation.regular_layout
+        );
+        assert_eq!(cold.recommendation.converged, warm.recommendation.converged);
+        assert_eq!(
+            cold.recommendation.fell_back_to_see,
+            warm.recommendation.fell_back_to_see
+        );
+    }
+
+    #[test]
+    fn session_matches_cold_pipeline_advise() {
+        let scenario = Scenario::homogeneous_disks(4, 0.01);
+        let workloads = [SqlWorkload::olap1_21(3)];
+        let config = AdviseConfig::fast();
+        let via_pipeline = crate::pipeline::advise(&scenario, &workloads, &config).unwrap();
+        let mut session = AdvisorSession::new();
+        let via_session = session.advise(&scenario, &workloads, &config).unwrap();
+        assert_eq!(
+            via_pipeline.recommendation.solver_layout,
+            via_session.recommendation.solver_layout
+        );
+        assert_eq!(
+            via_pipeline.recommendation.regular_layout,
+            via_session.recommendation.regular_layout
+        );
+    }
+}

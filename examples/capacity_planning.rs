@@ -27,7 +27,8 @@ fn main() {
     // descriptions, not SQL).
     let scenario = Scenario::homogeneous_disks(4, scale);
     let workloads = [SqlWorkload::olap8_63(7)];
-    let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::full());
+    let outcome =
+        pipeline::advise(&scenario, &workloads, &AdviseConfig::full()).expect("advise succeeds");
     let kinds: Vec<ObjectKind> = scenario.catalog.objects().iter().map(|o| o.kind).collect();
 
     // Sweep every way to group four identical disks into RAID-0
@@ -72,11 +73,7 @@ fn main() {
     }
     let mut grown_problem = outcome.problem;
     grown_problem.workloads = grown;
-    let deployed = outcome
-        .recommendation
-        .expect("advise succeeds")
-        .final_layout()
-        .clone();
+    let deployed = outcome.recommendation.final_layout().clone();
     let decision = readvise(
         &grown_problem,
         &deployed,

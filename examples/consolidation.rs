@@ -33,8 +33,9 @@ fn main() {
         scenario.catalog.len(),
         scenario.targets.len()
     );
-    let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::full());
-    let rec = outcome.recommendation.expect("advise succeeds");
+    let outcome =
+        pipeline::advise(&scenario, &workloads, &AdviseConfig::full()).expect("advise succeeds");
+    let rec = &outcome.recommendation;
 
     println!("\nrecommended layout (12 hottest objects, paper Fig. 16 style):");
     println!(
@@ -47,7 +48,8 @@ fn main() {
         &workloads,
         rec.final_layout(),
         &RunSettings::default(),
-    );
+    )
+    .expect("validation run succeeds");
     println!("                 OLAP elapsed      OLTP throughput");
     println!(
         "SEE baseline : {:10.0} s    {:10.0} txns/min",

@@ -17,8 +17,9 @@ use wasla::workload::SqlWorkload;
 
 fn evaluate(name: &str, scenario: &Scenario, with_all_on_ssd: bool) {
     let workloads = [SqlWorkload::olap8_63(7)];
-    let outcome = pipeline::advise(scenario, &workloads, &AdviseConfig::full());
-    let rec = outcome.recommendation.expect("advise succeeds");
+    let outcome =
+        pipeline::advise(scenario, &workloads, &AdviseConfig::full()).expect("advise succeeds");
+    let rec = &outcome.recommendation;
     let see_s = outcome.baseline_run.elapsed.as_secs();
     println!("=== {name} ===");
     println!("SEE baseline          : {see_s:8.0} s");
@@ -29,7 +30,8 @@ fn evaluate(name: &str, scenario: &Scenario, with_all_on_ssd: bool) {
         &outcome.problem.workloads.sizes,
         &outcome.problem.capacities,
     ) {
-        let r = pipeline::run_with_layout(scenario, &workloads, &iso, &RunSettings::default());
+        let r = pipeline::run_with_layout(scenario, &workloads, &iso, &RunSettings::default())
+            .expect("validation run succeeds");
         println!("isolate-tables        : {:8.0} s", r.elapsed.as_secs());
     }
     if with_all_on_ssd {
@@ -38,7 +40,8 @@ fn evaluate(name: &str, scenario: &Scenario, with_all_on_ssd: bool) {
             &outcome.problem.workloads.sizes,
             &outcome.problem.capacities,
         ) {
-            let r = pipeline::run_with_layout(scenario, &workloads, &all, &RunSettings::default());
+            let r = pipeline::run_with_layout(scenario, &workloads, &all, &RunSettings::default())
+                .expect("validation run succeeds");
             println!("all-on-SSD            : {:8.0} s", r.elapsed.as_secs());
         }
     }
@@ -47,7 +50,8 @@ fn evaluate(name: &str, scenario: &Scenario, with_all_on_ssd: bool) {
         &workloads,
         rec.final_layout(),
         &RunSettings::default(),
-    );
+    )
+    .expect("validation run succeeds");
     println!(
         "workload-aware advisor: {:8.0} s  ({:.2}x vs SEE)",
         opt.elapsed.as_secs(),

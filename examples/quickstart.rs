@@ -29,10 +29,9 @@ fn main() {
     let workloads = [SqlWorkload::olap1_63(7)];
 
     println!("tracing the workload under SEE, fitting, calibrating, advising...");
-    let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::full());
-    let rec = outcome
-        .recommendation
-        .expect("the advisor should find a layout");
+    let outcome =
+        pipeline::advise(&scenario, &workloads, &AdviseConfig::full()).expect("advise succeeds");
+    let rec = &outcome.recommendation;
 
     println!("\npredicted utilizations at each advisor stage (paper Fig. 13):");
     println!("{}", render_stages(&outcome.problem, &rec.stages));
@@ -46,7 +45,8 @@ fn main() {
         &workloads,
         rec.final_layout(),
         &RunSettings::default(),
-    );
+    )
+    .expect("validation run succeeds");
     let see_s = outcome.baseline_run.elapsed.as_secs();
     let opt_s = optimized.elapsed.as_secs();
     println!("SEE baseline : {see_s:8.0} simulated seconds");

@@ -63,7 +63,8 @@ fn main() {
         &scenario.catalog.names(),
         &scenario.catalog.sizes(),
         &FitConfig::default(),
-    );
+    )
+    .expect("fit succeeds");
     let mut hot: Vec<usize> = (0..fitted.len()).collect();
     hot.sort_by(|&a, &b| {
         fitted.specs[b]
@@ -85,7 +86,8 @@ fn main() {
     // slice of it (the paper's Figure 8).
     println!("step 3: calibrate target cost models");
     let grid = CalibrationGrid::default();
-    let models = TargetCostModel::for_targets(&scenario.targets, &grid, 7);
+    let models =
+        TargetCostModel::for_targets(&scenario.targets, &grid, 7).expect("targets calibrate");
     let m = &models[0];
     println!(
         "  8 KiB read cost: sequential {:.2} ms, random {:.2} ms, sequential@chi=4 {:.2} ms",
@@ -96,7 +98,7 @@ fn main() {
 
     // Step 4 — assemble the layout problem and run the advisor.
     println!("step 4: solve the layout NLP and regularize");
-    let problem = build_problem(&scenario, fitted, &grid);
+    let problem = build_problem(&scenario, fitted, &grid).expect("problem builds");
     let rec = recommend(
         &problem,
         &AdvisorOptions {

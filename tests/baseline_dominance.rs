@@ -21,8 +21,9 @@ fn predicted_objective_never_worse_than_see() {
     ];
     for (scenario, workload) in scenarios {
         let workloads = [workload];
-        let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::fast());
-        let rec = outcome.recommendation.expect("advise succeeds");
+        let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::fast())
+            .expect("advise succeeds");
+        let rec = &outcome.recommendation;
         let est = UtilizationEstimator::new(&outcome.problem);
         let see = baselines::see(&outcome.problem);
         let see_max = est.max_utilization(&see);
@@ -41,14 +42,16 @@ fn predicted_objective_never_worse_than_see() {
 fn heterogeneous_targets_get_proportional_load() {
     let scenario = Scenario::config_3_1(0.02);
     let workloads = [SqlWorkload::olap8_63(7)];
-    let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::fast());
-    let rec = outcome.recommendation.expect("advise succeeds");
+    let outcome =
+        pipeline::advise(&scenario, &workloads, &AdviseConfig::fast()).expect("advise succeeds");
+    let rec = &outcome.recommendation;
     let optimized = pipeline::run_with_layout(
         &scenario,
         &workloads,
         rec.final_layout(),
         &RunSettings::default(),
-    );
+    )
+    .expect("validation run succeeds");
     // Under SEE the big target is underutilized relative to the single
     // disk; optimization must narrow that gap.
     let see_gap =
@@ -73,8 +76,9 @@ fn heterogeneous_targets_get_proportional_load() {
 fn figure1_structure_emerges() {
     let scenario = Scenario::homogeneous_disks(4, 0.05);
     let workloads = [SqlWorkload::olap1_63(11)];
-    let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::full());
-    let rec = outcome.recommendation.expect("advise succeeds");
+    let outcome =
+        pipeline::advise(&scenario, &workloads, &AdviseConfig::full()).expect("advise succeeds");
+    let rec = &outcome.recommendation;
     let layout = rec.final_layout();
     let p = &outcome.problem;
     let li = p
@@ -98,7 +102,8 @@ fn figure1_structure_emerges() {
     );
     // And the layout must beat SEE in actual execution.
     let optimized =
-        pipeline::run_with_layout(&scenario, &workloads, layout, &RunSettings::default());
+        pipeline::run_with_layout(&scenario, &workloads, layout, &RunSettings::default())
+            .expect("validation run succeeds");
     assert!(
         optimized.speedup_vs(&outcome.baseline_run) > 1.05,
         "speedup {:.3}",
@@ -113,21 +118,24 @@ fn figure1_structure_emerges() {
 fn isolation_heuristic_backfires_on_2_1_1() {
     let scenario = Scenario::config_2_1_1(0.05);
     let workloads = [SqlWorkload::olap8_63(11)];
-    let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::full());
+    let outcome =
+        pipeline::advise(&scenario, &workloads, &AdviseConfig::full()).expect("advise succeeds");
     let heuristic = baselines::isolate_tables_and_indexes(&outcome.problem, 0, 1, 2);
     assert!(heuristic.is_valid(
         &outcome.problem.workloads.sizes,
         &outcome.problem.capacities
     ));
     let heuristic_run =
-        pipeline::run_with_layout(&scenario, &workloads, &heuristic, &RunSettings::default());
-    let rec = outcome.recommendation.expect("advise succeeds");
+        pipeline::run_with_layout(&scenario, &workloads, &heuristic, &RunSettings::default())
+            .expect("validation run succeeds");
+    let rec = &outcome.recommendation;
     let optimized = pipeline::run_with_layout(
         &scenario,
         &workloads,
         rec.final_layout(),
         &RunSettings::default(),
-    );
+    )
+    .expect("validation run succeeds");
     let see = outcome.baseline_run.elapsed.as_secs();
     assert!(
         heuristic_run.elapsed.as_secs() > see,

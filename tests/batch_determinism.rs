@@ -1,0 +1,72 @@
+//! Batch-service determinism: `Service::advise_batch` produces
+//! byte-identical reports at any `WASLA_THREADS` setting, and a warm
+//! service (caches populated by a previous batch) matches a cold one.
+//!
+//! This is the sessioned pipeline's contract (DESIGN.md §Staged
+//! advisor pipeline): cached stage outputs are bit-identical to
+//! freshly computed ones, and per-request seeds derive from the
+//! request *index*, not from scheduling order. Wall-clock timings are
+//! excluded on purpose.
+//!
+//! The whole check lives in ONE test function: it mutates the
+//! `WASLA_THREADS` environment variable, which is only safe while no
+//! other test in the same binary runs concurrently.
+
+use wasla::pipeline::{AdviseConfig, AdviseOutcome, Scenario};
+use wasla::workload::SqlWorkload;
+use wasla::{AdviseRequest, Service, WaslaError};
+
+fn requests() -> Vec<AdviseRequest> {
+    let scenario = Scenario::homogeneous_disks(4, 0.01);
+    let config = AdviseConfig::fast();
+    vec![
+        AdviseRequest::new(
+            scenario.clone(),
+            vec![SqlWorkload::olap1_21(3)],
+            config.clone(),
+        ),
+        AdviseRequest::new(scenario, vec![SqlWorkload::olap8_63(5)], config),
+    ]
+}
+
+/// Everything deterministic about a batch, as bytes.
+fn report(outcomes: &[Result<AdviseOutcome, WaslaError>]) -> String {
+    let mut out = String::new();
+    for outcome in outcomes {
+        let rec = &outcome.as_ref().expect("advise succeeds").recommendation;
+        out.push_str(&format!(
+            "solver={:?}\nregular={:?}\nstages={:?}\nconverged={:?} fell_back={:?}\n",
+            rec.solver_layout, rec.regular_layout, rec.stages, rec.converged, rec.fell_back_to_see
+        ));
+    }
+    out
+}
+
+/// One cold and one warm batch at the given thread count.
+fn cold_and_warm_at(threads: usize) -> (String, String) {
+    std::env::set_var("WASLA_THREADS", threads.to_string());
+    let mut service = Service::new(0xBA7C4);
+    let cold = report(&service.advise_batch(&requests()));
+    assert!(
+        service.session().calibrations_cached() >= 1,
+        "batch should have populated the calibration cache"
+    );
+    let misses_after_cold = service.session().stats().calibration.misses;
+    let warm = report(&service.advise_batch(&requests()));
+    assert_eq!(
+        service.session().stats().calibration.misses,
+        misses_after_cold,
+        "warm batch must not recalibrate"
+    );
+    std::env::remove_var("WASLA_THREADS");
+    (cold, warm)
+}
+
+#[test]
+fn batches_are_identical_at_any_thread_count_and_temperature() {
+    let (cold_1, warm_1) = cold_and_warm_at(1);
+    let (cold_8, warm_8) = cold_and_warm_at(8);
+    assert_eq!(cold_1, cold_8, "batch results depend on WASLA_THREADS");
+    assert_eq!(cold_1, warm_1, "warm session diverged from cold");
+    assert_eq!(warm_1, warm_8, "warm batch depends on WASLA_THREADS");
+}

@@ -1,0 +1,73 @@
+//! End-to-end error paths: malformed scenarios fed to the full
+//! pipeline must surface as *typed* [`WaslaError`]s, never panics.
+//!
+//! Each case drives `pipeline::advise` (the cold path, which is a
+//! fresh [`wasla::AdvisorSession`]) with a scenario broken in a
+//! different stage: an empty catalog breaks problem validation, a
+//! zero-capacity target breaks SEE placement inside the trace stage,
+//! and unsatisfiable admin constraints dead-end the regularizer.
+
+use wasla::core::{AdminConstraint, AdvisorError};
+use wasla::exec::PlacementError;
+use wasla::pipeline::{self, AdviseConfig, Scenario};
+use wasla::storage::{DeviceSpec, DiskParams, TargetConfig};
+use wasla::workload::{Catalog, SqlWorkload};
+use wasla::WaslaError;
+
+fn workloads() -> [SqlWorkload; 1] {
+    [SqlWorkload::olap1_21(3)]
+}
+
+#[test]
+fn empty_catalog_is_a_typed_error() {
+    let mut scenario = Scenario::homogeneous_disks(4, 0.01);
+    scenario.catalog = Catalog::new();
+    let err = pipeline::advise(&scenario, &workloads(), &AdviseConfig::fast())
+        .err()
+        .expect("advise should fail");
+    assert!(
+        matches!(err, WaslaError::Advisor(AdvisorError::InvalidProblem(_))),
+        "empty catalog should fail problem validation, got {err:?}"
+    );
+    assert_eq!(err.exit_code(), 1);
+}
+
+#[test]
+fn zero_capacity_target_is_a_typed_error() {
+    let mut scenario = Scenario::homogeneous_disks(4, 0.01);
+    // One dead disk: the SEE baseline stripes everything everywhere,
+    // so placement must reject the zero-capacity member.
+    scenario.targets[1] = TargetConfig::single(
+        "dead".to_string(),
+        DeviceSpec::Disk(DiskParams::scsi_15k(0)),
+    );
+    let err = pipeline::advise(&scenario, &workloads(), &AdviseConfig::fast())
+        .err()
+        .expect("advise should fail");
+    assert!(
+        matches!(
+            err,
+            WaslaError::Placement(PlacementError::OverCapacity { .. })
+        ),
+        "zero-capacity target should fail SEE placement, got {err:?}"
+    );
+}
+
+#[test]
+fn infeasible_constraints_are_a_typed_error() {
+    let scenario = Scenario::homogeneous_disks(4, 0.01);
+    let mut config = AdviseConfig::fast();
+    config.advisor.regularize = true;
+    // Forbid object 0 from every target: no regular layout can exist
+    // (the paper's §4.3 manual-intervention case).
+    config.constraints = (0..scenario.targets.len())
+        .map(|target| AdminConstraint::Forbid { object: 0, target })
+        .collect();
+    let err = pipeline::advise(&scenario, &workloads(), &config)
+        .err()
+        .expect("advise should fail");
+    assert!(
+        matches!(err, WaslaError::Advisor(_)),
+        "unsatisfiable constraints should surface from the advisor, got {err:?}"
+    );
+}

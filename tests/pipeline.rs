@@ -8,7 +8,8 @@ use wasla::workload::SqlWorkload;
 fn homogeneous_pipeline_end_to_end() {
     let scenario = Scenario::homogeneous_disks(4, 0.015);
     let workloads = [SqlWorkload::olap1_21(3)];
-    let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::fast());
+    let outcome =
+        pipeline::advise(&scenario, &workloads, &AdviseConfig::fast()).expect("advise succeeds");
 
     // The SEE trace run completed the whole mix.
     assert_eq!(outcome.baseline_run.queries_completed, 21);
@@ -26,7 +27,7 @@ fn homogeneous_pipeline_end_to_end() {
     assert_eq!(outcome.fitted.names[hot], "LINEITEM");
 
     // The recommendation is a valid regular layout.
-    let rec = outcome.recommendation.expect("advise succeeds");
+    let rec = &outcome.recommendation;
     let layout = rec.final_layout();
     assert!(layout.is_regular());
     assert!(layout.is_valid(&outcome.fitted.sizes, &outcome.problem.capacities));
@@ -38,7 +39,8 @@ fn homogeneous_pipeline_end_to_end() {
     // Validation run executes under the recommended layout without
     // losing queries, and does not regress much vs SEE.
     let optimized =
-        pipeline::run_with_layout(&scenario, &workloads, layout, &RunSettings::default());
+        pipeline::run_with_layout(&scenario, &workloads, layout, &RunSettings::default())
+            .expect("validation run succeeds");
     assert_eq!(optimized.queries_completed, 21);
     assert!(
         optimized.speedup_vs(&outcome.baseline_run) > 0.9,
@@ -52,8 +54,9 @@ fn heterogeneous_pipeline_handles_raid_targets() {
     let scenario = Scenario::config_3_1(0.015);
     assert_eq!(scenario.targets[0].width(), 3);
     let workloads = [SqlWorkload::olap1_21(5)];
-    let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::fast());
-    let rec = outcome.recommendation.expect("advise succeeds");
+    let outcome =
+        pipeline::advise(&scenario, &workloads, &AdviseConfig::fast()).expect("advise succeeds");
+    let rec = &outcome.recommendation;
     // Capacities differ 3:1; the layout must respect both.
     let caps = scenario.capacities();
     assert_eq!(caps[0], 3 * caps[1]);
@@ -64,8 +67,9 @@ fn heterogeneous_pipeline_handles_raid_targets() {
 fn ssd_pipeline_uses_the_ssd() {
     let scenario = Scenario::disks_plus_ssd(0.015, SSD_BYTES);
     let workloads = [SqlWorkload::olap8_63(5)];
-    let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::fast());
-    let rec = outcome.recommendation.expect("advise succeeds");
+    let outcome =
+        pipeline::advise(&scenario, &workloads, &AdviseConfig::fast()).expect("advise succeeds");
+    let rec = &outcome.recommendation;
     let layout = rec.final_layout();
     // Some object should land on the SSD (target 4): it is far faster
     // than the disks and large enough for everything at this scale.
@@ -73,7 +77,8 @@ fn ssd_pipeline_uses_the_ssd() {
     assert!(on_ssd > 0.5, "SSD unused: {on_ssd}");
     // And the run under that layout should beat the disk-heavy SEE.
     let optimized =
-        pipeline::run_with_layout(&scenario, &workloads, layout, &RunSettings::default());
+        pipeline::run_with_layout(&scenario, &workloads, layout, &RunSettings::default())
+            .expect("validation run succeeds");
     assert!(
         optimized.speedup_vs(&outcome.baseline_run) > 1.2,
         "speedup {:.3}",
@@ -88,11 +93,12 @@ fn consolidation_pipeline_covers_forty_objects() {
         SqlWorkload::olap1_21(3),
         SqlWorkload::oltp().with_prefix("C_"),
     ];
-    let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::fast());
+    let outcome =
+        pipeline::advise(&scenario, &workloads, &AdviseConfig::fast()).expect("advise succeeds");
     assert_eq!(outcome.fitted.len(), 40);
     assert!(outcome.baseline_run.oltp_txns > 10);
     assert!(outcome.baseline_run.tpm > 0.0);
-    let rec = outcome.recommendation.expect("advise succeeds");
+    let rec = &outcome.recommendation;
     assert!(rec.final_layout().is_regular());
 }
 
@@ -101,8 +107,9 @@ fn pipeline_is_deterministic() {
     let run = || {
         let scenario = Scenario::homogeneous_disks(4, 0.01);
         let workloads = [SqlWorkload::olap1_21(9)];
-        let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::fast());
-        let rec = outcome.recommendation.expect("advise succeeds");
+        let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::fast())
+            .expect("advise succeeds");
+        let rec = &outcome.recommendation;
         (outcome.baseline_run.elapsed, rec.final_layout().clone())
     };
     let (t1, l1) = run();

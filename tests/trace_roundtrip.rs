@@ -42,7 +42,7 @@ fn synthetic_parameters_recovered() {
     }
     let names = vec!["seq".to_string(), "rand".to_string()];
     let sizes = vec![2u64 << 30, 2 << 30];
-    let set = fit_workloads(&trace, &names, &sizes, &FitConfig::default());
+    let set = fit_workloads(&trace, &names, &sizes, &FitConfig::default()).expect("fit succeeds");
     set.validate().unwrap();
 
     let seq = &set.specs[0];
@@ -110,7 +110,8 @@ fn engine_trace_accounts_for_all_physical_requests() {
         &scenario.catalog.names(),
         &scenario.catalog.sizes(),
         &FitConfig::default(),
-    );
+    )
+    .expect("fit succeeds");
     let span = trace.span().as_secs();
     for (i, spec) in fitted.specs.iter().enumerate() {
         let fitted_count = (spec.read_rate + spec.write_rate) * span;
@@ -162,6 +163,7 @@ fn concurrency_changes_fitted_parameters() {
             &scenario.catalog.sizes(),
             &FitConfig::default(),
         )
+        .expect("fit succeeds")
     };
     let w1 = fit(SqlWorkload::olap1_63(5));
     let w8 = fit(SqlWorkload::olap8_63(5));
