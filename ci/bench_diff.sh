@@ -22,3 +22,32 @@ cargo bench --offline
 echo
 echo "== diff against results/baselines/ =="
 cargo run --release --offline --bin repro -- bench-diff "$@"
+
+echo
+echo "== eval-engine speedup gate (nlp_gradient sweep) =="
+# The incremental evaluation engine (DESIGN.md §10) must keep the full
+# LSE gradient at least 5x faster than the from-scratch path on the
+# gradient-heavy N=128, M=16 configuration. Reads the freshly written
+# solver report; the harness emits "id" then "median_ns" lines per
+# bench, so a small awk state machine pairs them up.
+median_of() {
+    awk -v want="\"$1\"" '
+        /"id":/       { id = $2; sub(/,$/, "", id) }
+        /"median_ns":/ && id == want { v = $2; sub(/,$/, "", v); print v; exit }
+    ' results/BENCH_solver.json
+}
+engine_ns=$(median_of "nlp_gradient_engine/n128_m16")
+scratch_ns=$(median_of "nlp_gradient_scratch/n128_m16")
+if [ -z "$engine_ns" ] || [ -z "$scratch_ns" ]; then
+    echo "error: nlp_gradient sweep missing from results/BENCH_solver.json" >&2
+    echo "(expected nlp_gradient_engine/n128_m16 and nlp_gradient_scratch/n128_m16)" >&2
+    exit 1
+fi
+ratio=$(awk -v s="$scratch_ns" -v e="$engine_ns" 'BEGIN { printf "%.1f", s / e }')
+echo "nlp_gradient n128_m16: scratch ${scratch_ns} ns / engine ${engine_ns} ns = ${ratio}x"
+if awk -v s="$scratch_ns" -v e="$engine_ns" 'BEGIN { exit !(s / e >= 5.0) }'; then
+    echo "speedup gate passed (>= 5x)"
+else
+    echo "error: eval-engine speedup ${ratio}x is below the 5x gate" >&2
+    exit 1
+fi

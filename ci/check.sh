@@ -75,6 +75,35 @@ if [ "$ratchet_failed" -ne 0 ]; then
     exit 1
 fi
 
+step "hot-loop allocation ratchet (solver closures stay allocation-free)"
+# The evaluation-engine work (DESIGN.md §10) hoisted every per-call
+# allocation out of the solver's objective/gradient/constraint
+# closures; those hot regions are fenced with `// hot-closure-begin` /
+# `// hot-closure-end` markers. The gate extracts each fenced region
+# and fails on allocation idioms creeping back in — and on a file
+# losing its markers, so the fence can't be deleted to dodge the grep.
+hot_files="crates/core/src/optimizer.rs crates/core/src/eval/engine.rs \
+crates/core/src/eval/scratch.rs crates/solver/src/pg.rs crates/solver/src/auglag.rs"
+alloc_failed=0
+for f in $hot_files; do
+    begins=$(grep -c 'hot-closure-begin' "$f" || true)
+    ends=$(grep -c 'hot-closure-end' "$f" || true)
+    if [ "$begins" -eq 0 ] || [ "$begins" -ne "$ends" ]; then
+        echo "error: $f has $begins hot-closure-begin / $ends hot-closure-end markers" >&2
+        alloc_failed=1
+        continue
+    fi
+    if awk '/hot-closure-begin/{inr=1} inr{print FILENAME":"FNR": "$0} /hot-closure-end/{inr=0}' "$f" \
+        | grep -E 'Layout::from_flat|Vec::new\(|\.to_vec\(|vec!\['; then
+        echo "error: allocation idiom inside a hot-closure region of $f (see matches above)" >&2
+        alloc_failed=1
+    fi
+done
+if [ "$alloc_failed" -ne 0 ]; then
+    echo "hoist the allocation into a reusable scratch buffer (see crates/core/src/eval/)" >&2
+    exit 1
+fi
+
 step "tests (offline)"
 cargo test -q --offline --workspace
 

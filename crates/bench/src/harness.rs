@@ -77,6 +77,9 @@ pub struct BenchResult {
     pub iters_per_sample: u64,
     /// Optional units of work per iteration.
     pub throughput: Option<Throughput>,
+    /// Named per-iteration work counters (e.g. the eval engine's
+    /// `EvalStats` entries), reported alongside the timing.
+    pub counters: Vec<(String, f64)>,
 }
 
 impl BenchResult {
@@ -137,6 +140,17 @@ impl BenchResult {
             let per_sec = units as f64 / (self.median_ns() * 1e-9);
             fields.push((key.to_string(), per_sec.to_json()));
         }
+        if !self.counters.is_empty() {
+            fields.push((
+                "counters".to_string(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ));
+        }
         Json::Obj(fields)
     }
 }
@@ -146,9 +160,17 @@ pub struct Bencher<'a> {
     config: &'a Config,
     samples_ns: Vec<f64>,
     iters: u64,
+    counters: Vec<(String, f64)>,
 }
 
 impl Bencher<'_> {
+    /// Attaches a named per-iteration work counter to the result
+    /// (e.g. cost-model lookups per gradient call). Typically recorded
+    /// from one instrumented call before or after the timed loop.
+    pub fn counter(&mut self, name: impl Into<String>, value: f64) {
+        self.counters.push((name.into(), value));
+    }
+
     /// Times `f` in a tight loop, calibrating the iteration count so
     /// each sample lasts roughly the target wall time.
     pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
@@ -264,6 +286,7 @@ impl Harness {
             config: &self.config,
             samples_ns: Vec::new(),
             iters: 0,
+            counters: Vec::new(),
         };
         f(&mut bencher);
         let result = BenchResult {
@@ -271,6 +294,7 @@ impl Harness {
             samples_ns: bencher.samples_ns,
             iters_per_sample: bencher.iters,
             throughput,
+            counters: bencher.counters,
         };
         println!(
             "{:48} {:>14} /iter  (median of {}, {} iters/sample)",
@@ -381,6 +405,7 @@ mod tests {
             samples_ns: vec![5.0, 1.0, 3.0],
             iters_per_sample: 1,
             throughput: None,
+            counters: vec![],
         };
         assert_eq!(r.median_ns(), 3.0);
         let even = BenchResult {
@@ -388,6 +413,7 @@ mod tests {
             samples_ns: vec![1.0, 2.0, 3.0, 10.0],
             iters_per_sample: 1,
             throughput: None,
+            counters: vec![],
         };
         assert_eq!(even.median_ns(), 2.5);
     }
@@ -399,6 +425,7 @@ mod tests {
             config: &config,
             samples_ns: Vec::new(),
             iters: 0,
+            counters: Vec::new(),
         };
         let mut count = 0u64;
         b.iter(|| {
@@ -417,6 +444,7 @@ mod tests {
             config: &config,
             samples_ns: Vec::new(),
             iters: 0,
+            counters: Vec::new(),
         };
         b.iter_batched(
             || vec![1u64, 2, 3],
@@ -433,6 +461,7 @@ mod tests {
             samples_ns: vec![1000.0],
             iters_per_sample: 10,
             throughput: Some(Throughput::Elements(100)),
+            counters: vec![("cost_model_calls".to_string(), 42.0)],
         };
         let j = r.to_json();
         // 100 elements per 1000 ns = 1e8 per second.

@@ -13,6 +13,7 @@
 //! The target's total utilization `µⱼ = Σᵢ µᵢⱼ` is what the layout
 //! optimizer's min-max objective consumes.
 
+use crate::eval::kernel::{self, RateTransform};
 use crate::layout_model;
 use crate::problem::{Layout, LayoutProblem, EPS};
 use wasla_storage::IoKind;
@@ -54,25 +55,21 @@ impl<'a> UtilizationEstimator<'a> {
     }
 
     /// The contention factor `χᵢⱼ` (Eq. 2): temporally-correlated
-    /// competing requests per own request on target `j`.
+    /// competing requests per own request on target `j`. Folded through
+    /// the canonical pairwise kernel so the result is bit-identical to
+    /// the incremental engine's cached competing-rate trees.
     pub fn contention(&self, layout: &Layout, i: usize, j: usize, own_rate: f64) -> f64 {
-        if own_rate <= 0.0 {
-            return 0.0;
-        }
         let specs = &self.problem.workloads.specs;
         let o_i = &specs[i].overlaps;
-        let mut competing = 0.0;
-        for (k, spec_k) in specs.iter().enumerate() {
-            if k == i {
-                continue;
-            }
-            let f_k = layout.get(k, j);
-            if f_k <= EPS {
-                continue; // O_ij[k] gate (Figure 7)
-            }
-            competing += spec_k.total_rate() * f_k * o_i[k];
-        }
-        competing / own_rate
+        kernel::contention(
+            specs.len(),
+            i,
+            own_rate,
+            RateTransform::Average,
+            &|k| specs[k].total_rate(),
+            &|k| layout.get(k, j),
+            &|k| o_i[k],
+        )
     }
 
     /// The contention factor computed from *busy-period* rates: each
@@ -90,24 +87,17 @@ impl<'a> UtilizationEstimator<'a> {
         own_rate: f64,
         duty: &[f64],
     ) -> f64 {
-        if own_rate <= 0.0 {
-            return 0.0;
-        }
-        let own_busy = own_rate / duty[i].max(1e-6);
         let specs = &self.problem.workloads.specs;
         let o_i = &specs[i].overlaps;
-        let mut competing = 0.0;
-        for (k, spec_k) in specs.iter().enumerate() {
-            if k == i {
-                continue;
-            }
-            let f_k = layout.get(k, j);
-            if f_k <= EPS {
-                continue;
-            }
-            competing += spec_k.total_rate() / duty[k].max(1e-6) * f_k * o_i[k];
-        }
-        competing / own_busy
+        kernel::contention(
+            specs.len(),
+            i,
+            own_rate,
+            RateTransform::BusyPeriod(duty),
+            &|k| specs[k].total_rate(),
+            &|k| layout.get(k, j),
+            &|k| o_i[k],
+        )
     }
 
     /// All target utilizations `µ₁..µ_M`.

@@ -1,0 +1,38 @@
+//! The incremental utilization-evaluation engine.
+//!
+//! Every objective call of the layout NLP (paper §4.1) needs the
+//! per-target utilizations `µⱼ(L)` of Eq. 1, each of which hides an
+//! O(N) contention scan per `µᵢⱼ` cell (Eq. 2) — O(N²·M) per full
+//! evaluation, and O(N³·M) per structured finite-difference gradient.
+//! This module makes re-evaluation *incremental*:
+//!
+//! * [`kernel`] pins the one canonical summation shape (a fixed-shape
+//!   pairwise reduction) that both the from-scratch and the
+//!   incremental paths share, so their results are **bit-identical**
+//!   by construction, not by tolerance;
+//! * [`EvalEngine`] caches per-solve invariants (rate-weighted overlap
+//!   rows `Rᵢₖ = rateₖ·Oᵢ[k]`, layout-model memos, competing-rate
+//!   trees, capacity column sums) and updates them per changed
+//!   coordinate, making a single-coordinate probe `Lᵢⱼ ± h` an O(N)
+//!   walk instead of an O(N²) re-evaluation;
+//! * [`ScratchEval`] is the from-scratch reference path with hoisted
+//!   scratch buffers — the algorithm `solve_with` used before the
+//!   engine existed, kept runnable (`EvalPath::Scratch`) as the
+//!   equivalence oracle and the benchmark baseline;
+//! * [`EvalStats`] counts the work actually done (objective evals,
+//!   FD partials, cost-model lookups, reused `µᵢⱼ` cells) so tests and
+//!   benches can assert the O(N)-per-partial claim instead of trusting
+//!   wall-clock.
+//!
+//! See DESIGN.md §10 for the delta-update math and the argument for
+//! why the summation order is pinned.
+
+pub mod engine;
+pub mod kernel;
+pub mod scratch;
+pub mod stats;
+
+pub use engine::{EngineOracle, EvalEngine, OracleObjective};
+pub use kernel::{pairwise_sum, RateTransform};
+pub use scratch::ScratchEval;
+pub use stats::EvalStats;

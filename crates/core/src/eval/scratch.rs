@@ -1,0 +1,200 @@
+//! The from-scratch evaluation path with hoisted scratch buffers.
+//!
+//! [`ScratchEval`] runs the exact algorithm `optimizer::solve_with`
+//! used before the engine existed — rebuild the [`Layout`], recompute
+//! every `µⱼ` through [`UtilizationEstimator`], finite-difference each
+//! coordinate with two full single-target evaluations — but with the
+//! per-call allocations (`Layout::from_flat`, the `utilizations` Vec,
+//! the softmax scratch) hoisted into a reusable workspace. It stays in
+//! the tree (`EvalPath::Scratch`) as the equivalence oracle for the
+//! incremental engine and as the benchmark baseline: both paths fold
+//! contention through [`crate::eval::kernel`], so their results are
+//! bit-identical and the difference benchmarked is purely the
+//! incremental bookkeeping.
+
+use crate::estimator::UtilizationEstimator;
+use crate::eval::stats::EvalStats;
+use crate::problem::{Layout, LayoutProblem};
+use wasla_solver::{lse_max, softmax_weights};
+
+/// From-scratch evaluator with reusable buffers.
+pub struct ScratchEval<'a> {
+    est: UtilizationEstimator<'a>,
+    n: usize,
+    m: usize,
+    layout: Layout,
+    mus: Vec<f64>,
+    smax: Vec<f64>,
+    /// Work counters (cumulative). Probe-level counters stay zero on
+    /// this path — it has no cache to reuse.
+    pub stats: EvalStats,
+}
+
+impl<'a> ScratchEval<'a> {
+    /// Builds the workspace for one problem.
+    pub fn new(problem: &'a LayoutProblem) -> Self {
+        let n = problem.n();
+        let m = problem.m();
+        ScratchEval {
+            est: UtilizationEstimator::new(problem),
+            n,
+            m,
+            layout: Layout::from_rows(vec![vec![0.0; m]; n]),
+            mus: vec![0.0; m],
+            smax: Vec::with_capacity(m),
+            stats: EvalStats::default(),
+        }
+    }
+
+    // hot-closure-begin: these run inside solver objective/gradient
+    // closures and must not allocate (ci/check.sh greps this region
+    // for allocation idioms).
+
+    /// Loads a flat point into the reusable layout.
+    fn load(&mut self, x: &[f64]) {
+        self.stats.full_rebuilds += 1;
+        for i in 0..self.n {
+            for j in 0..self.m {
+                self.layout.set(i, j, x[i * self.m + j]);
+            }
+        }
+    }
+
+    /// Recomputes every `µⱼ` from scratch at the loaded point.
+    fn refresh_mus(&mut self) {
+        for j in 0..self.m {
+            self.mus[j] = self.est.target_utilization(&self.layout, j);
+        }
+    }
+
+    /// The smoothed objective `lse_max(µ(x), temp)`.
+    pub fn lse_objective(&mut self, x: &[f64], temp: f64) -> f64 {
+        self.stats.objective_evals += 1;
+        self.load(x);
+        self.refresh_mus();
+        lse_max(&self.mus, temp)
+    }
+
+    /// The raw objective `max_j µⱼ(x)`.
+    pub fn max_utilization_at(&mut self, x: &[f64]) -> f64 {
+        self.stats.objective_evals += 1;
+        self.load(x);
+        self.refresh_mus();
+        self.mus.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// The structured finite-difference gradient of the smoothed
+    /// objective — each partial pays two full single-target
+    /// evaluations, exactly as the pre-engine closure did.
+    pub fn lse_gradient(&mut self, x: &[f64], temp: f64, fd: f64, g: &mut [f64]) {
+        self.stats.gradient_evals += 1;
+        self.load(x);
+        self.refresh_mus();
+        softmax_weights(&self.mus, temp, &mut self.smax);
+        for i in 0..self.n {
+            for j in 0..self.m {
+                let orig = self.layout.get(i, j);
+                let up_step = fd;
+                let dn_step = fd.min(orig);
+                self.stats.fd_partials += 1;
+                self.layout.set(i, j, orig + up_step);
+                let up = self.est.target_utilization(&self.layout, j);
+                self.layout.set(i, j, orig - dn_step);
+                let dn = self.est.target_utilization(&self.layout, j);
+                self.layout.set(i, j, orig);
+                g[i * self.m + j] = self.smax[j] * (up - dn) / (up_step + dn_step);
+            }
+        }
+    }
+
+    // hot-closure-end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::engine::EvalEngine;
+    use std::sync::Arc;
+    use wasla_model::CostModel;
+    use wasla_storage::IoKind;
+    use wasla_workload::{ObjectKind, WorkloadSet, WorkloadSpec};
+
+    struct ToyModel;
+    impl CostModel for ToyModel {
+        fn request_cost(&self, _: IoKind, size: f64, run: f64, chi: f64) -> f64 {
+            0.01 / run.max(1.0) + 0.002 * chi + size / 1e8
+        }
+    }
+
+    fn problem(n: usize, m: usize) -> LayoutProblem {
+        let spec = |i: usize| WorkloadSpec {
+            read_size: 65536.0,
+            write_size: 8192.0,
+            read_rate: 10.0 + i as f64,
+            write_rate: 1.0,
+            run_count: 8.0,
+            overlaps: (0..n)
+                .map(|k| {
+                    if k == i {
+                        0.0
+                    } else {
+                        0.4 + 0.1 * ((i * k) % 4) as f64
+                    }
+                })
+                .collect(),
+        };
+        LayoutProblem {
+            workloads: WorkloadSet {
+                names: (0..n).map(|i| format!("o{i}")).collect(),
+                sizes: (0..n).map(|i| 1000 + 10 * i as u64).collect(),
+                specs: (0..n).map(spec).collect(),
+            },
+            kinds: vec![ObjectKind::Table; n],
+            capacities: vec![1 << 20; m],
+            target_names: (0..m).map(|j| format!("t{j}")).collect(),
+            models: (0..m).map(|_| Arc::new(ToyModel) as _).collect(),
+            stripe_size: 1024.0 * 1024.0,
+            constraints: vec![],
+        }
+    }
+
+    fn flat(n: usize, m: usize, seed: u64) -> Vec<f64> {
+        let mut rng = wasla_simlib::SimRng::new(seed);
+        let mut x = vec![0.0; n * m];
+        for row in x.chunks_mut(m) {
+            let mut s = 0.0;
+            for v in row.iter_mut() {
+                *v = rng.uniform_range(0.0, 1.0);
+                s += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= s;
+            }
+        }
+        x
+    }
+
+    #[test]
+    fn scratch_objective_and_gradient_match_engine_bitwise() {
+        let p = problem(6, 4);
+        let x = flat(6, 4, 77);
+        let mut scratch = ScratchEval::new(&p);
+        let mut engine = EvalEngine::new(&p);
+        let temp = 0.05;
+        assert_eq!(
+            scratch.lse_objective(&x, temp).to_bits(),
+            engine.lse_objective(&x, temp).to_bits()
+        );
+        assert_eq!(
+            scratch.max_utilization_at(&x).to_bits(),
+            engine.max_utilization_at(&x).to_bits()
+        );
+        let mut ga = vec![0.0; 24];
+        let mut gb = vec![0.0; 24];
+        scratch.lse_gradient(&x, temp, 1e-4, &mut ga);
+        engine.lse_gradient(&x, temp, 1e-4, &mut gb);
+        for (a, b) in ga.iter().zip(&gb) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -37,6 +37,7 @@ pub mod baselines;
 pub mod configurator;
 pub mod dynamic;
 pub mod estimator;
+pub mod eval;
 pub mod initial;
 pub mod layout_model;
 pub mod optimizer;
@@ -51,9 +52,10 @@ pub use advisor::{
 };
 pub use autoadmin::{autoadmin_layout, AutoAdminOptions};
 pub use estimator::UtilizationEstimator;
+pub use eval::{EvalEngine, EvalStats, ScratchEval};
 pub use initial::{initial_layout, InitialLayoutError};
 pub use optimizer::{
-    solve_multistart, solve_nlp, solve_with, NlpOutcome, SolveMethod, SolverOptions,
+    solve_multistart, solve_nlp, solve_with, EvalPath, NlpOutcome, SolveMethod, SolverOptions,
 };
 pub use problem::{AdminConstraint, Layout, LayoutProblem};
 pub use regularize::{regularize, RegularizeError};

@@ -21,12 +21,13 @@
 //! randomized search could replace the NLP solver.
 
 use crate::estimator::UtilizationEstimator;
+use crate::eval::{EngineOracle, EvalEngine, EvalStats, OracleObjective, ScratchEval};
 use crate::problem::{AdminConstraint, Layout, LayoutProblem};
+use std::cell::RefCell;
 use wasla_simlib::par;
 use wasla_solver::{
-    lse_max, project_simplex, softmax_weights, AnnealOptions, AnnealSolver, AugLagOptions,
-    Constraint, MultistartError, ObjectiveFn, ObjectiveGradFn, PgOptions, ProjectedGradientSolver,
-    SolveSpec, Solver,
+    project_simplex, AnnealOptions, AnnealSolver, AugLagOptions, Constraint, MultistartError,
+    ObjectiveFn, ObjectiveGradFn, PgOptions, ProjectedGradientSolver, SolveSpec, Solver,
 };
 
 /// Which search engine drives the solve.
@@ -58,11 +59,31 @@ impl SolveMethod {
     }
 }
 
+/// Which evaluation machinery backs the objective/gradient closures.
+///
+/// Both paths share the canonical summation kernel
+/// ([`crate::eval::kernel`]) and produce **bit-identical** layouts,
+/// utilizations, and convergence flags — only the work counters
+/// differ. `Scratch` stays selectable as the equivalence oracle and
+/// the benchmark baseline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EvalPath {
+    /// Incremental [`EvalEngine`]: cached per-column aggregates, O(N)
+    /// finite-difference partials.
+    #[default]
+    Engine,
+    /// From-scratch [`ScratchEval`]: full re-evaluation per call (the
+    /// pre-engine algorithm, with allocations hoisted).
+    Scratch,
+}
+
 /// Options for [`solve_nlp`].
 #[derive(Clone, Debug)]
 pub struct SolverOptions {
     /// Search engine.
     pub method: SolveMethod,
+    /// Evaluation machinery behind the objective closures.
+    pub eval: EvalPath,
     /// LSE temperatures relative to the current max utilization,
     /// annealed in order.
     pub temperatures: Vec<f64>,
@@ -80,6 +101,7 @@ impl Default for SolverOptions {
     fn default() -> Self {
         SolverOptions {
             method: SolveMethod::ProjectedGradient,
+            eval: EvalPath::Engine,
             temperatures: vec![0.25, 0.08, 0.02],
             pg: PgOptions {
                 max_iters: 60,
@@ -111,6 +133,9 @@ pub struct NlpOutcome {
     pub max_utilization: f64,
     /// Whether the final stage converged.
     pub converged: bool,
+    /// Work counters of the evaluation path that drove the solve
+    /// (objective evals, FD partials, cost-model lookups, …).
+    pub stats: EvalStats,
 }
 
 /// Builds the feasible-set projection for a problem: per-row simplex
@@ -188,16 +213,100 @@ pub fn solve_nlp(problem: &LayoutProblem, initial: &Layout, opts: &SolverOptions
 /// feasible-set projection and capacity constraints, then either runs
 /// the LSE temperature schedule (engines that follow gradients and
 /// want the `max` smoothed) or hands the engine the raw min-max
-/// objective (randomized search).
+/// objective (randomized search). `opts.eval` selects the evaluation
+/// machinery; both paths yield bit-identical layouts.
 pub fn solve_with(
     problem: &LayoutProblem,
     initial: &Layout,
     opts: &SolverOptions,
     solver: &dyn Solver,
 ) -> NlpOutcome {
-    let n = problem.n();
-    let m = problem.m();
-    let est = UtilizationEstimator::new(problem);
+    match opts.eval {
+        EvalPath::Engine => solve_with_engine(problem, initial, opts, solver),
+        EvalPath::Scratch => solve_with_scratch(problem, initial, opts, solver),
+    }
+}
+
+/// The incremental path: one shared [`EvalEngine`] backs the
+/// objective, the structured gradient, the capacity constraints (via
+/// cached column sums), and the delta oracle.
+fn solve_with_engine(
+    problem: &LayoutProblem,
+    initial: &Layout,
+    opts: &SolverOptions,
+    solver: &dyn Solver,
+) -> NlpOutcome {
+    let engine = RefCell::new(EvalEngine::new(problem));
+    let project = make_projection(problem);
+    let constraints = engine_capacity_constraints(problem, &engine);
+    let mut x = initial.to_flat();
+    project(&mut x);
+
+    if solver.wants_smoothing() {
+        let mut converged = false;
+        for &rel_temp in &opts.temperatures {
+            let current_max = engine.borrow_mut().max_utilization_at(&x).max(1e-9);
+            let temp = rel_temp * current_max;
+            let fd = opts.fd_step;
+            // hot-closure-begin: solver objective/gradient closures —
+            // all scratch lives in the engine workspace.
+            let f: ObjectiveFn<'_> =
+                Box::new(|xv: &[f64]| engine.borrow_mut().lse_objective(xv, temp));
+            // Structured finite differences: perturbing Lᵢⱼ only moves
+            // target j's utilization, so each partial is two O(N)
+            // column probes weighted by the softmax.
+            let grad: ObjectiveGradFn<'_> = Box::new(|xv: &[f64], g: &mut [f64]| {
+                engine.borrow_mut().lse_gradient(xv, temp, fd, g)
+            });
+            // hot-closure-end
+            let oracle = EngineOracle::new(&engine, OracleObjective::Lse(temp));
+            let spec = SolveSpec {
+                objective: f,
+                gradient: Some(grad),
+                fd_step: opts.fd_step,
+                constraints: &constraints,
+                project: &project,
+                x0: &x,
+                delta: Some(&oracle),
+            };
+            let result = solver.minimize(&spec);
+            drop(spec);
+            x = result.x;
+            converged = result.converged;
+        }
+        finish_engine(problem, &engine, x, converged)
+    } else {
+        // hot-closure-begin: raw min-max objective for randomized
+        // search — same engine workspace, no allocations per call.
+        let f: ObjectiveFn<'_> = Box::new(|xv: &[f64]| engine.borrow_mut().max_utilization_at(xv));
+        // hot-closure-end
+        let oracle = EngineOracle::new(&engine, OracleObjective::MinMax);
+        let spec = SolveSpec {
+            objective: f,
+            gradient: None,
+            fd_step: opts.fd_step,
+            constraints: &constraints,
+            project: &project,
+            x0: &x,
+            delta: Some(&oracle),
+        };
+        let result = solver.minimize(&spec);
+        drop(spec);
+        finish_engine(problem, &engine, result.x, result.converged)
+    }
+}
+
+/// The from-scratch path: the pre-engine algorithm over a
+/// [`ScratchEval`] workspace (allocations hoisted, arithmetic
+/// unchanged). Kept selectable as the equivalence oracle and the
+/// benchmark baseline.
+fn solve_with_scratch(
+    problem: &LayoutProblem,
+    initial: &Layout,
+    opts: &SolverOptions,
+    solver: &dyn Solver,
+) -> NlpOutcome {
+    let scratch = RefCell::new(ScratchEval::new(problem));
     let project = make_projection(problem);
     let constraints = capacity_constraints(problem);
     let mut x = initial.to_flat();
@@ -206,37 +315,17 @@ pub fn solve_with(
     if solver.wants_smoothing() {
         let mut converged = false;
         for &rel_temp in &opts.temperatures {
-            let layout = Layout::from_flat(&x, n, m);
-            let current_max = est.max_utilization(&layout).max(1e-9);
+            let current_max = scratch.borrow_mut().max_utilization_at(&x).max(1e-9);
             let temp = rel_temp * current_max;
-
-            let f: ObjectiveFn<'_> = Box::new(|x: &[f64]| {
-                let l = Layout::from_flat(x, n, m);
-                lse_max(&est.utilizations(&l), temp)
-            });
             let fd = opts.fd_step;
-            // Structured finite differences: perturbing Lᵢⱼ only moves
-            // target j's utilization, so each partial is two
-            // single-target evaluations weighted by the softmax.
-            let grad: ObjectiveGradFn<'_> = Box::new(|x: &[f64], g: &mut [f64]| {
-                let mut l = Layout::from_flat(x, n, m);
-                let mus = est.utilizations(&l);
-                let mut w = Vec::new();
-                softmax_weights(&mus, temp, &mut w);
-                for i in 0..n {
-                    for j in 0..m {
-                        let orig = l.get(i, j);
-                        let up_step = fd;
-                        let dn_step = fd.min(orig);
-                        l.set(i, j, orig + up_step);
-                        let up = est.target_utilization(&l, j);
-                        l.set(i, j, orig - dn_step);
-                        let dn = est.target_utilization(&l, j);
-                        l.set(i, j, orig);
-                        g[i * m + j] = w[j] * (up - dn) / (up_step + dn_step);
-                    }
-                }
+            // hot-closure-begin: from-scratch closures — scratch
+            // buffers hoisted into the ScratchEval workspace.
+            let f: ObjectiveFn<'_> =
+                Box::new(|xv: &[f64]| scratch.borrow_mut().lse_objective(xv, temp));
+            let grad: ObjectiveGradFn<'_> = Box::new(|xv: &[f64], g: &mut [f64]| {
+                scratch.borrow_mut().lse_gradient(xv, temp, fd, g)
             });
+            // hot-closure-end
             let spec = SolveSpec {
                 objective: f,
                 gradient: Some(grad),
@@ -244,16 +333,19 @@ pub fn solve_with(
                 constraints: &constraints,
                 project: &project,
                 x0: &x,
+                delta: None,
             };
             let result = solver.minimize(&spec);
             drop(spec);
             x = result.x;
             converged = result.converged;
         }
-        finish(problem, x, converged)
+        let stats = scratch.borrow().stats;
+        finish(problem, x, converged, stats)
     } else {
-        let f: ObjectiveFn<'_> =
-            Box::new(|x: &[f64]| est.max_utilization(&Layout::from_flat(x, n, m)));
+        // hot-closure-begin
+        let f: ObjectiveFn<'_> = Box::new(|xv: &[f64]| scratch.borrow_mut().max_utilization_at(xv));
+        // hot-closure-end
         let spec = SolveSpec {
             objective: f,
             gradient: None,
@@ -261,9 +353,12 @@ pub fn solve_with(
             constraints: &constraints,
             project: &project,
             x0: &x,
+            delta: None,
         };
         let result = solver.minimize(&spec);
-        finish(problem, result.x, result.converged)
+        drop(spec);
+        let stats = scratch.borrow().stats;
+        finish(problem, result.x, result.converged, stats)
     }
 }
 
@@ -318,7 +413,33 @@ fn capacity_constraints(problem: &LayoutProblem) -> Vec<Constraint<'_>> {
         .collect()
 }
 
-fn finish(problem: &LayoutProblem, x: Vec<f64>, converged: bool) -> NlpOutcome {
+/// Capacity constraints over the engine's cached column sums: each
+/// evaluation is a bitwise diff against the committed point (a no-op
+/// when unchanged) plus one cached read, instead of an O(N) refold.
+fn engine_capacity_constraints<'e, 'p: 'e>(
+    problem: &'p LayoutProblem,
+    engine: &'e RefCell<EvalEngine<'p>>,
+) -> Vec<Constraint<'e>> {
+    let n = problem.n();
+    let m = problem.m();
+    (0..m)
+        .map(|j| {
+            let sizes = &problem.workloads.sizes;
+            let cap = problem.capacities[j] as f64;
+            Constraint {
+                g: Box::new(move |x: &[f64]| engine.borrow_mut().capacity_used(x, j) / cap - 1.0),
+                grad: Box::new(move |_x: &[f64], g: &mut [f64]| {
+                    g.fill(0.0);
+                    for i in 0..n {
+                        g[i * m + j] = sizes[i] as f64 / cap;
+                    }
+                }),
+            }
+        })
+        .collect()
+}
+
+fn finish(problem: &LayoutProblem, x: Vec<f64>, converged: bool, stats: EvalStats) -> NlpOutcome {
     let layout = Layout::from_flat(&x, problem.n(), problem.m());
     let est = UtilizationEstimator::new(problem);
     let utilizations = est.utilizations(&layout);
@@ -328,6 +449,26 @@ fn finish(problem: &LayoutProblem, x: Vec<f64>, converged: bool) -> NlpOutcome {
         utilizations,
         max_utilization,
         converged,
+        stats,
+    }
+}
+
+fn finish_engine(
+    problem: &LayoutProblem,
+    engine: &RefCell<EvalEngine<'_>>,
+    x: Vec<f64>,
+    converged: bool,
+) -> NlpOutcome {
+    let mut e = engine.borrow_mut();
+    e.set_point(&x);
+    let utilizations = e.committed_utilizations().to_vec();
+    let max_utilization = e.committed_max_utilization();
+    NlpOutcome {
+        layout: Layout::from_flat(&x, problem.n(), problem.m()),
+        utilizations,
+        max_utilization,
+        converged,
+        stats: e.stats,
     }
 }
 

@@ -22,7 +22,7 @@
 //! object is invalid the algorithm fails — the paper notes manual
 //! intervention is then required, which we surface as a typed error.
 
-use crate::estimator::UtilizationEstimator;
+use crate::eval::EvalEngine;
 use crate::problem::{AdminConstraint, Layout, LayoutProblem, EPS};
 use wasla_simlib::json::{self, FromJson, Json, JsonError, ToJson};
 
@@ -86,13 +86,22 @@ impl std::error::Error for RegularizeError {}
 const REFINE_PASSES: usize = 3;
 
 /// Regularizes a solver layout.
+///
+/// Candidate scoring runs over an incremental [`EvalEngine`] kept
+/// committed at the evolving layout: each candidate row is a
+/// [`EvalEngine::probe_row_max`] (only the targets the row actually
+/// changes are re-evaluated) and the winner is committed row-wise —
+/// bit-identical to the former write-score-restore loop over
+/// `UtilizationEstimator`, minus the O(N·M) re-evaluation per
+/// candidate.
 pub fn regularize(problem: &LayoutProblem, solver: &Layout) -> Result<Layout, RegularizeError> {
     let n = problem.n();
-    let est = UtilizationEstimator::new(problem);
+    let mut engine = EvalEngine::new(problem);
+    engine.set_layout(solver);
 
     // Decreasing total-load order (§4.3).
     let mut order: Vec<usize> = (0..n).collect();
-    let loads: Vec<f64> = (0..n).map(|i| est.object_load(solver, i)).collect();
+    let loads: Vec<f64> = (0..n).map(|i| engine.object_load(i)).collect();
     order.sort_by(|&a, &b| {
         loads[b]
             .partial_cmp(&loads[a])
@@ -102,17 +111,17 @@ pub fn regularize(problem: &LayoutProblem, solver: &Layout) -> Result<Layout, Re
 
     let mut current = solver.clone();
     for &i in &order {
-        place_best(problem, &est, solver, &mut current, i)?;
+        place_best(problem, &mut engine, solver, &mut current, i)?;
     }
     // Refinement: greedy one-shot placement can strand load imbalances;
     // re-placing objects against the finished layout corrects them
     // while keeping every row regular.
-    let mut best_max = est.max_utilization(&current);
+    let mut best_max = engine.committed_max_utilization();
     for _ in 0..REFINE_PASSES {
         for &i in &order {
-            place_best(problem, &est, solver, &mut current, i)?;
+            place_best(problem, &mut engine, solver, &mut current, i)?;
         }
-        let now_max = est.max_utilization(&current);
+        let now_max = engine.committed_max_utilization();
         if now_max >= best_max - 1e-12 {
             break;
         }
@@ -122,10 +131,12 @@ pub fn regularize(problem: &LayoutProblem, solver: &Layout) -> Result<Layout, Re
     Ok(current)
 }
 
-/// Re-places object `i` with its best valid regular candidate.
+/// Re-places object `i` with its best valid regular candidate. The
+/// engine must be committed at `current` on entry and is again on
+/// exit.
 fn place_best(
     problem: &LayoutProblem,
-    est: &UtilizationEstimator<'_>,
+    engine: &mut EvalEngine<'_>,
     solver: &Layout,
     current: &mut Layout,
     i: usize,
@@ -167,12 +178,11 @@ fn place_best(
     } else {
         let mut cands = consistent_candidates(solver.row(i), &forbidden, &remaining, sizes[i], m);
         cands.extend(balancing_candidates(
-            est, current, i, &forbidden, &remaining, sizes[i], m,
+            engine, i, &forbidden, &remaining, sizes[i], m,
         ));
         cands
     };
 
-    let old = current.row(i).to_vec();
     let mut best: Option<(f64, Vec<f64>)> = None;
     for cand in candidates {
         // A candidate is acceptable if it does not push any target over
@@ -186,15 +196,14 @@ fn place_best(
         if !ok {
             continue;
         }
-        *current.row_mut(i) = cand.clone();
-        let score = est.max_utilization(current);
-        *current.row_mut(i) = old.clone();
+        let score = engine.probe_row_max(i, &cand);
         if best.as_ref().map_or(true, |(s, _)| score < *s) {
             best = Some((score, cand));
         }
     }
     match best {
         Some((_, row)) => {
+            engine.commit_row(i, &row);
             *current.row_mut(i) = row;
             Ok(())
         }
@@ -223,19 +232,19 @@ fn consistent_candidates(
 }
 
 /// Class-2 candidates: even spreads over the k least-loaded allowed
-/// targets under the current layout with object `i` removed.
+/// targets under the engine's committed layout with object `i`
+/// removed (a zero-row probe — nothing is committed).
 fn balancing_candidates(
-    est: &UtilizationEstimator<'_>,
-    current: &Layout,
+    engine: &mut EvalEngine<'_>,
     i: usize,
     forbidden: &[bool],
     remaining: &[f64],
     size: u64,
     m: usize,
 ) -> Vec<Vec<f64>> {
-    let mut without = current.clone();
-    without.row_mut(i).fill(0.0);
-    let loads = est.utilizations(&without);
+    let zero_row = vec![0.0; m];
+    let mut loads = vec![0.0; m];
+    engine.probe_row(i, &zero_row, &mut loads);
     let mut order: Vec<usize> = (0..m).filter(|&j| !forbidden[j]).collect();
     order.sort_by(|&a, &b| {
         loads[a]
@@ -400,8 +409,9 @@ mod tests {
         // for object 1 must lead with target 1.
         let p = problem(2, 2, vec![100; 2], vec![1000; 2]);
         let current = Layout::from_rows(vec![vec![1.0, 0.0], vec![0.5, 0.5]]);
-        let est = UtilizationEstimator::new(&p);
-        let cands = balancing_candidates(&est, &current, 1, &[false; 2], &[1e12; 2], 100, 2);
+        let mut engine = EvalEngine::new(&p);
+        engine.set_layout(&current);
+        let cands = balancing_candidates(&mut engine, 1, &[false; 2], &[1e12; 2], 100, 2);
         assert_eq!(cands[0], vec![0.0, 1.0]);
     }
 }

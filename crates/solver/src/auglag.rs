@@ -76,9 +76,16 @@ where
     let mut x = x0.to_vec();
     let mut best: Option<PgResult> = None;
     let mut prev_violation = f64::INFINITY;
+    // Shared constraint-gradient buffer, hoisted out of the inner
+    // closures: the AL gradient runs once per PG iteration and must
+    // not pay an allocation per call.
+    let gbuf = std::cell::RefCell::new(vec![0.0f64; x0.len()]);
 
     for _ in 0..opts.outer_iters {
         let lam = lambda.clone();
+        // hot-closure-begin: the AL objective/gradient closures run in
+        // the PG inner loop and must not allocate (ci/check.sh greps
+        // this region for allocation idioms).
         let al = |x: &[f64]| {
             let mut v = f(x);
             for (c, &l) in constraints.iter().zip(&lam) {
@@ -87,18 +94,15 @@ where
             }
             v
         };
-        // The AL gradient needs interior mutability for the shared
-        // constraint-gradient buffer; rebuild it per closure call
-        // instead (cheap relative to objective evaluation).
         let result = {
             let grad_al = |x: &[f64], g: &mut [f64]| {
                 grad_f(x, g);
-                let mut buf = vec![0.0; g.len()];
+                let mut buf = gbuf.borrow_mut();
                 for (c, &l) in constraints.iter().zip(&lam) {
                     let t = (l + rho * (c.g)(x)).max(0.0);
                     if t > 0.0 {
                         (c.grad)(x, &mut buf);
-                        for (gi, bi) in g.iter_mut().zip(&buf) {
+                        for (gi, bi) in g.iter_mut().zip(buf.iter()) {
                             *gi += t * bi;
                         }
                     }
@@ -106,6 +110,7 @@ where
             };
             minimize(al, grad_al, &project, &x, &opts.inner)
         };
+        // hot-closure-end
         x.copy_from_slice(&result.x);
         // Multiplier update and violation tracking.
         let mut violation = 0.0f64;

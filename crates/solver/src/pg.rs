@@ -49,20 +49,56 @@ pub struct PgResult {
     pub converged: bool,
 }
 
+/// An oracle that evaluates the objective at `x` with one coordinate
+/// replaced: `f(x with x[c] := v)`. Incremental evaluation engines
+/// implement this to answer finite-difference probes in O(N) from
+/// cached per-column aggregates instead of re-evaluating from scratch;
+/// results must be bit-identical to the full objective at the
+/// perturbed point.
+pub trait DeltaOracle {
+    /// The objective value at `x` with `x[c]` replaced by `v`.
+    fn objective_at(&self, x: &[f64], c: usize, v: f64) -> f64;
+}
+
+// hot-closure-begin: gradient kernels run inside solver closures and
+// must not allocate (ci/check.sh greps this region for allocation
+// idioms).
+
 /// Central-difference gradient of a black-box objective. `h` is the
-/// per-coordinate step.
-pub fn fd_gradient<F: Fn(&[f64]) -> f64>(f: F, x: &[f64], h: f64, grad: &mut [f64]) {
-    let mut xt = x.to_vec();
+/// per-coordinate step; `scratch` is a caller-owned buffer of `x`'s
+/// length (hoisted out so per-gradient calls allocate nothing).
+pub fn fd_gradient<F: Fn(&[f64]) -> f64>(
+    f: F,
+    x: &[f64],
+    h: f64,
+    scratch: &mut [f64],
+    grad: &mut [f64],
+) {
+    scratch.copy_from_slice(x);
     for i in 0..x.len() {
-        let orig = xt[i];
-        xt[i] = orig + h;
-        let fp = f(&xt);
-        xt[i] = orig - h;
-        let fm = f(&xt);
-        xt[i] = orig;
+        let orig = scratch[i];
+        scratch[i] = orig + h;
+        let fp = f(scratch);
+        scratch[i] = orig - h;
+        let fm = f(scratch);
+        scratch[i] = orig;
         grad[i] = (fp - fm) / (2.0 * h);
     }
 }
+
+/// Central-difference gradient through a [`DeltaOracle`]: each partial
+/// is two single-coordinate probes, which an incremental engine
+/// answers without rebuilding the full objective state.
+pub fn fd_gradient_delta(oracle: &dyn DeltaOracle, x: &[f64], h: f64, grad: &mut [f64]) {
+    for i in 0..x.len() {
+        let orig = x[i];
+        let fp = oracle.objective_at(x, i, orig + h);
+        let fm = oracle.objective_at(x, i, orig - h);
+        grad[i] = (fp - fm) / (2.0 * h);
+    }
+}
+
+// hot-closure-end
 
 /// Minimizes `f` over the set defined by `project`, starting from `x0`
 /// (projected first if infeasible).
@@ -140,9 +176,29 @@ mod tests {
     fn fd_gradient_of_quadratic() {
         let f = |x: &[f64]| x[0] * x[0] + 3.0 * x[1];
         let mut g = vec![0.0; 2];
-        fd_gradient(f, &[2.0, 5.0], 1e-5, &mut g);
+        let mut scratch = vec![0.0; 2];
+        fd_gradient(f, &[2.0, 5.0], 1e-5, &mut scratch, &mut g);
         assert!((g[0] - 4.0).abs() < 1e-6);
         assert!((g[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fd_gradient_delta_matches_scratch_path() {
+        struct Full;
+        impl DeltaOracle for Full {
+            fn objective_at(&self, x: &[f64], c: usize, v: f64) -> f64 {
+                let term = |i: usize| if i == c { v } else { x[i] };
+                (term(0) - 0.5).powi(2) + 2.0 * term(1)
+            }
+        }
+        let f = |x: &[f64]| (x[0] - 0.5).powi(2) + 2.0 * x[1];
+        let x = [0.3, 0.7];
+        let (mut ga, mut gb, mut scratch) = (vec![0.0; 2], vec![0.0; 2], vec![0.0; 2]);
+        fd_gradient(f, &x, 1e-5, &mut scratch, &mut ga);
+        fd_gradient_delta(&Full, &x, 1e-5, &mut gb);
+        for (a, b) in ga.iter().zip(&gb) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]
@@ -185,7 +241,8 @@ mod tests {
     #[test]
     fn black_box_with_fd_gradient() {
         let f = |x: &[f64]| (x[0] - 0.25).powi(2) + (x[1] - 0.75).powi(2);
-        let grad = |x: &[f64], g: &mut [f64]| fd_gradient(f, x, 1e-6, g);
+        let scratch = std::cell::RefCell::new(vec![0.0; 2]);
+        let grad = |x: &[f64], g: &mut [f64]| fd_gradient(f, x, 1e-6, &mut scratch.borrow_mut(), g);
         let r = minimize(
             f,
             grad,

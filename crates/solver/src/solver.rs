@@ -20,7 +20,8 @@
 
 use crate::anneal::{anneal, AnnealOptions};
 use crate::auglag::{minimize_constrained, AugLagOptions, Constraint};
-use crate::pg::{fd_gradient, PgResult};
+use crate::pg::{fd_gradient, fd_gradient_delta, DeltaOracle, PgResult};
+use std::cell::RefCell;
 
 /// A boxed objective oracle.
 pub type ObjectiveFn<'a> = Box<dyn Fn(&[f64]) -> f64 + 'a>;
@@ -46,6 +47,11 @@ pub struct SolveSpec<'a> {
     pub project: &'a dyn Fn(&mut [f64]),
     /// Starting point (projected first if infeasible).
     pub x0: &'a [f64],
+    /// Optional single-coordinate perturbation oracle. Engines that
+    /// fall back to finite differences prefer it over differencing the
+    /// black-box objective: an incremental evaluator answers each
+    /// probe in O(N) from cached column aggregates, bit-identically.
+    pub delta: Option<&'a dyn DeltaOracle>,
 }
 
 /// A search engine that can drive one [`SolveSpec`] to a (local)
@@ -99,14 +105,32 @@ impl Solver for ProjectedGradientSolver {
             ),
             None => {
                 let h = spec.fd_step;
-                minimize_constrained(
-                    f,
-                    |x: &[f64], out: &mut [f64]| fd_gradient(&f, x, h, out),
-                    spec.constraints,
-                    spec.project,
-                    spec.x0,
-                    &self.auglag,
-                )
+                match spec.delta {
+                    // An incremental engine answers the probes in O(N).
+                    Some(oracle) => minimize_constrained(
+                        f,
+                        |x: &[f64], out: &mut [f64]| fd_gradient_delta(oracle, x, h, out),
+                        spec.constraints,
+                        spec.project,
+                        spec.x0,
+                        &self.auglag,
+                    ),
+                    None => {
+                        // Hoisted perturbation buffer: the per-gradient
+                        // `x.to_vec()` used to live in `fd_gradient`.
+                        let scratch = RefCell::new(vec![0.0; spec.x0.len()]);
+                        minimize_constrained(
+                            f,
+                            |x: &[f64], out: &mut [f64]| {
+                                fd_gradient(&f, x, h, &mut scratch.borrow_mut(), out)
+                            },
+                            spec.constraints,
+                            spec.project,
+                            spec.x0,
+                            &self.auglag,
+                        )
+                    }
+                }
             }
         }
     }
@@ -187,6 +211,7 @@ mod tests {
             constraints,
             project,
             x0,
+            delta: None,
         }
     }
 
