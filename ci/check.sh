@@ -112,6 +112,32 @@ step "tests again on a 2-thread pool (offline)"
 # by the determinism contract every result must be unchanged.
 WASLA_THREADS=2 cargo test -q --offline --workspace
 
+step "fault-injection env var confined to simlib::fault"
+# The robustness policy (DESIGN.md §Fault model) reads the fault-plan
+# environment variable in exactly one place — crates/simlib/src/fault.rs
+# — so every consumer shares one deterministic plan and no crate can
+# grow a private fault channel. Mention the variable elsewhere via
+# `fault::ENV_VAR`, never by its literal name.
+if grep -Rn 'WASLA_FAULTS' crates/*/src | grep -v 'crates/simlib/src/fault.rs'; then
+    echo "error: the fault env var is named outside crates/simlib/src/fault.rs (see matches above)" >&2
+    echo "query wasla_simlib::fault::plan() / refer to fault::ENV_VAR instead" >&2
+    exit 1
+fi
+
+step "fault matrix (offline)"
+# The graceful-degradation contract: under an active fault plan the
+# fault-aware suites must still pass — typed errors and degradation
+# notes, never panics, never silently wrong answers. Golden-result
+# suites (determinism, pipeline) are exempt by design: faults change
+# results, deterministically. Seeds are arbitrary but fixed so CI
+# failures reproduce locally with the same plan.
+for fault_seed in 7 11 1337; do
+    echo "-- fault seed $fault_seed --"
+    WASLA_FAULTS=$fault_seed cargo test -q --offline -p wasla \
+        --test failure_modes --test error_paths \
+        --test fault_injection --test batch_determinism
+done
+
 step "benches compile (offline)"
 cargo bench --offline --no-run
 

@@ -10,10 +10,11 @@
 use crate::baselines;
 use crate::estimator::UtilizationEstimator;
 use crate::initial::{initial_layout, InitialLayoutError};
-use crate::optimizer::{solve_multistart, NlpOutcome, SolverOptions};
+use crate::optimizer::{solve_multistart, NlpOutcome, SolveMethod, SolverOptions};
 use crate::problem::{Layout, LayoutProblem};
 use crate::regularize::{regularize, RegularizeError};
 use std::time::Instant;
+use wasla_simlib::fault::{self, SolverBudget};
 use wasla_simlib::impl_json_struct;
 use wasla_simlib::json::{self, FromJson, Json, JsonError, ToJson};
 use wasla_simlib::SimRng;
@@ -182,6 +183,31 @@ impl std::fmt::Display for AdvisorError {
 
 impl std::error::Error for AdvisorError {}
 
+/// How the solve stage arrived at its layout. Anything other than
+/// [`SolveQuality::Full`] means the result is feasible but degraded —
+/// the advisor never fails outright; it reports the quality instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveQuality {
+    /// The configured solver ran with its normal budget.
+    Full,
+    /// A constrained (fault-injected) budget limited the solve: fewer
+    /// iterations or a cheaper method, anytime best-so-far result.
+    Budgeted,
+    /// The configured solve failed; a projected-gradient-only retry
+    /// produced the layout.
+    FallbackPg,
+    /// Every solver failed (or the budget allowed none); the
+    /// rate-greedy initial layout was recommended as-is.
+    FallbackGreedy,
+}
+
+impl SolveQuality {
+    /// True unless the solve ran at full quality.
+    pub fn degraded(self) -> bool {
+        self != SolveQuality::Full
+    }
+}
+
 /// Predicted utilizations at one stage of the pipeline (one group of
 /// bars in the paper's Figure 13).
 #[derive(Clone, Debug)]
@@ -244,6 +270,9 @@ pub struct Recommendation {
     /// random, overload-balanced workloads) — SEE is then a genuine
     /// local optimum, as the paper's §4.2 observes.
     pub fell_back_to_see: bool,
+    /// How the solve stage arrived at the layout (full quality unless
+    /// a budget or fallback degraded it).
+    pub quality: SolveQuality,
 }
 
 impl Recommendation {
@@ -275,6 +304,8 @@ pub struct SolveOutcome {
     pub initial_s: f64,
     /// NLP solver time.
     pub solver_s: f64,
+    /// How the solve arrived at the layout.
+    pub quality: SolveQuality,
 }
 
 fn record_stage(
@@ -312,6 +343,7 @@ pub fn solve_stage(
     record_stage(&est, &mut stages, "initial", &initial);
 
     let t1 = Instant::now();
+    let fallback = initial.clone();
     let mut starts = vec![initial];
     if let Some(sep) = separation_start(problem) {
         starts.push(sep);
@@ -332,11 +364,53 @@ pub fn solve_stage(
         }
     }
     starts.extend(options.extra_starts.iter().cloned());
-    let NlpOutcome {
-        layout: solver_layout,
-        converged,
-        ..
-    } = solve_multistart(problem, &starts, &options.solver).map_err(AdvisorError::Multistart)?;
+
+    // Solver-budget fault injection: a plan may constrain the solve
+    // (fewer iterations, cheaper method, or none at all). The contract
+    // is anytime: `solve_stage` always returns a feasible layout, with
+    // `quality` recording how it got there.
+    let budget = fault::plan().and_then(|p| p.solver_budget(options.seed));
+    let mut solver_opts = options.solver.clone();
+    let mut quality = SolveQuality::Full;
+    match budget {
+        None | Some(SolverBudget::GreedyOnly) => {}
+        Some(SolverBudget::Tight) => {
+            quality = SolveQuality::Budgeted;
+            solver_opts.pg.max_iters = (solver_opts.pg.max_iters / 4).max(5);
+            solver_opts.auglag.outer_iters = 1;
+            solver_opts.temperatures.truncate(1);
+        }
+        Some(SolverBudget::PgOnly) => {
+            quality = SolveQuality::Budgeted;
+            solver_opts.method = SolveMethod::ProjectedGradient;
+            solver_opts.auglag.outer_iters = 1;
+        }
+    }
+
+    let good = |out: &NlpOutcome| {
+        out.max_utilization.is_finite() && out.layout.rows().iter().flatten().all(|f| f.is_finite())
+    };
+    let (solver_layout, converged, quality) = if matches!(budget, Some(SolverBudget::GreedyOnly)) {
+        // Budget allows no NLP at all: recommend the rate-greedy seed.
+        (fallback, false, SolveQuality::FallbackGreedy)
+    } else {
+        match solve_multistart(problem, &starts, &solver_opts) {
+            Ok(out) if good(&out) => (out.layout, out.converged, quality),
+            _ => {
+                // The configured solve failed (or went non-finite):
+                // retry with a bare projected-gradient pass, and if
+                // that also fails, fall back to the greedy seed — the
+                // advisor degrades, it does not error out here.
+                let mut pg_opts = options.solver.clone();
+                pg_opts.method = SolveMethod::ProjectedGradient;
+                pg_opts.auglag.outer_iters = 1;
+                match solve_multistart(problem, &starts, &pg_opts) {
+                    Ok(out) if good(&out) => (out.layout, out.converged, SolveQuality::FallbackPg),
+                    _ => (fallback, false, SolveQuality::FallbackGreedy),
+                }
+            }
+        }
+    };
     let solver_s = t1.elapsed().as_secs_f64();
     record_stage(&est, &mut stages, "solver", &solver_layout);
 
@@ -346,6 +420,7 @@ pub fn solve_stage(
         stages,
         initial_s,
         solver_s,
+        quality,
     })
 }
 
@@ -364,6 +439,7 @@ pub fn regularize_stage(
         mut stages,
         initial_s,
         solver_s,
+        quality,
     } = solved;
 
     let (mut regular_layout, regularize_s) = if options.regularize {
@@ -418,6 +494,7 @@ pub fn regularize_stage(
         },
         converged,
         fell_back_to_see,
+        quality,
     })
 }
 
@@ -514,6 +591,16 @@ mod tests {
         assert!(solver < see, "solver {solver} vs see {see}");
         // Regularization may cost a little but not catastrophically.
         assert!(regular < see * 1.2, "regular {regular} vs see {see}");
+    }
+
+    #[test]
+    fn solve_quality_is_full_without_fault_plan() {
+        let p = problem();
+        let rec = recommend(&p, &AdvisorOptions::default()).unwrap();
+        assert_eq!(rec.quality, SolveQuality::Full);
+        assert!(!rec.quality.degraded());
+        assert!(SolveQuality::Budgeted.degraded());
+        assert!(SolveQuality::FallbackGreedy.degraded());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use crate::advisor::{recommend, AdvisorError, AdvisorOptions};
 use crate::estimator::UtilizationEstimator;
-use crate::problem::{Layout, LayoutProblem};
+use crate::problem::{AdminConstraint, Layout, LayoutProblem};
 use wasla_simlib::{impl_json_struct, par};
 
 /// Outcome of one re-advising round.
@@ -102,6 +102,33 @@ pub fn readvise(
         current_max_utilization: current_max,
         new_max_utilization: new_max,
     })
+}
+
+/// Re-advises around failed (or administratively drained) targets.
+///
+/// Each failed target is forbidden for *every* object via
+/// [`AdminConstraint::Forbid`], then the problem is re-advised from the
+/// deployed layout. Because a failed target can no longer hold data,
+/// migration is forced whenever the deployed layout still places mass
+/// there — the capacity-validity check in [`readvise`] sees the failed
+/// targets as zero-capacity.
+pub fn readvise_around_failures(
+    problem: &LayoutProblem,
+    deployed: &Layout,
+    failed_targets: &[usize],
+    advisor_options: &AdvisorOptions,
+    options: &DynamicOptions,
+) -> Result<ReadviseOutcome, AdvisorError> {
+    let mut constrained = problem.clone();
+    for &target in failed_targets {
+        constrained.capacities[target] = 0;
+        for object in 0..problem.workloads.names.len() {
+            constrained
+                .constraints
+                .push(AdminConstraint::Forbid { object, target });
+        }
+    }
+    readvise(&constrained, deployed, advisor_options, options)
 }
 
 /// Re-advises several candidate what-if problems against the same
@@ -235,6 +262,35 @@ mod tests {
             .collect();
         assert_eq!(batch.len(), serial.len());
         assert_eq!(format!("{batch:?}"), format!("{serial:?}"));
+    }
+
+    #[test]
+    fn readvise_around_failures_evacuates_failed_target() {
+        let p = problem(vec![1 << 20, 1 << 20], vec![50.0, 50.0]);
+        // Everything deployed on target 0, which then fails.
+        let deployed = Layout::from_rows(vec![vec![1.0, 0.0], vec![1.0, 0.0]]);
+        let out = readvise_around_failures(
+            &p,
+            &deployed,
+            &[0],
+            &AdvisorOptions {
+                regularize: true,
+                ..AdvisorOptions::default()
+            },
+            &DynamicOptions {
+                migrate_threshold: 10.0, // impossible threshold: failure must still force it
+            },
+        )
+        .unwrap();
+        assert!(out.migrate, "a failed target must force migration");
+        for i in 0..2 {
+            assert!(
+                out.layout.get(i, 0) < 1e-3,
+                "object {i} still has mass {} on the failed target",
+                out.layout.get(i, 0)
+            );
+        }
+        assert!(out.migration_bytes > 0);
     }
 
     #[test]

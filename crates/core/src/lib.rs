@@ -48,7 +48,7 @@ pub mod stage;
 
 pub use advisor::{
     recommend, regularize_stage, solve_stage, AdvisorError, AdvisorOptions, Recommendation,
-    SolveOutcome, StageReport, Timings,
+    SolveOutcome, SolveQuality, StageReport, Timings,
 };
 pub use autoadmin::{autoadmin_layout, AutoAdminOptions};
 pub use estimator::UtilizationEstimator;

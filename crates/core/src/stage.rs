@@ -148,6 +148,21 @@ impl<V> StageCache<V> {
         self.entries
     }
 
+    /// The `(key, value)` entries in insertion order, borrowed (the
+    /// persistence layer serializes these without draining the cache).
+    pub fn entries(&self) -> &[(u64, V)] {
+        &self.entries
+    }
+
+    /// Rebuilds a cache from persisted entries. Counters start at
+    /// zero: a restored cache is *warm data* but has served nothing.
+    pub fn from_entries(entries: Vec<(u64, V)>) -> Self {
+        StageCache {
+            entries,
+            stats: CacheStats::default(),
+        }
+    }
+
     /// Folds another cache's counters into this one's (used together
     /// with [`CacheStats::since`] when merging worker-local caches).
     pub fn add_stats(&mut self, delta: CacheStats) {

@@ -13,6 +13,7 @@
 use crate::cache::BufferPool;
 use crate::placement::Placement;
 use crate::report::{ObjectIoStats, RunReport};
+use wasla_simlib::fault::{self, DeviceFault};
 use wasla_simlib::{SimRng, SimTime};
 use wasla_storage::{BlockTraceRecord, IoKind, StorageSystem, TargetIo, Trace};
 use wasla_workload::sql::SqlWorkloadKind;
@@ -60,6 +61,81 @@ impl Default for RunConfig {
             capture_trace: false,
         }
     }
+}
+
+/// Typed failures of the execution engine's slot bookkeeping.
+///
+/// These replace the old `expect(...)` panics on the step/query slab
+/// accessors: a storage completion carrying a bogus tag (corrupted or
+/// fault-injected) now surfaces as an error the caller can handle
+/// instead of aborting the process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// A completion or phase transition referenced a step slot with no
+    /// live step.
+    DeadStep {
+        /// The offending slot index.
+        slot: usize,
+    },
+    /// A step or phase transition referenced a query slot with no live
+    /// query.
+    DeadQuery {
+        /// The offending slot index.
+        slot: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::DeadStep { slot } => {
+                write!(f, "engine error: no live step in slot {slot}")
+            }
+            EngineError::DeadQuery { slot } => {
+                write!(f, "engine error: no live query in slot {slot}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// An injected device fault observed during a run. Reported
+/// out-of-band from [`RunReport`], whose JSON shape the golden result
+/// files pin.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DeviceEvent {
+    /// The target's member devices ran with service times scaled by
+    /// `factor`.
+    Degraded {
+        /// Target index.
+        target: usize,
+        /// Service-time multiplier applied.
+        factor: f64,
+    },
+    /// The target effectively failed (pathological latency factor).
+    Failed {
+        /// Target index.
+        target: usize,
+    },
+}
+
+impl DeviceEvent {
+    /// The affected target.
+    pub fn target(&self) -> usize {
+        match *self {
+            DeviceEvent::Degraded { target, .. } | DeviceEvent::Failed { target } => target,
+        }
+    }
+}
+
+/// A run's report plus the injected device faults that shaped it.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// The ordinary run report.
+    pub report: RunReport,
+    /// Device faults applied during the run, in target order.
+    pub device_events: Vec<DeviceEvent>,
 }
 
 /// Access pattern state of a running step.
@@ -227,7 +303,33 @@ impl<'a> Engine<'a> {
     }
 
     /// Runs the workload(s) to completion and reports.
-    pub fn run(mut self) -> RunReport {
+    pub fn run(self) -> Result<RunReport, EngineError> {
+        self.run_observed().map(|o| o.report)
+    }
+
+    /// Like [`Engine::run`], but also applies the active fault plan's
+    /// device faults (degraded or failed targets) before the run and
+    /// reports them alongside the [`RunReport`]. With no plan (the
+    /// default) the event list is empty and the run is bit-identical
+    /// to [`Engine::run`].
+    pub fn run_observed(mut self) -> Result<RunOutcome, EngineError> {
+        let mut device_events = Vec::new();
+        if let Some(plan) = fault::plan() {
+            for target in 0..self.storage.target_count() {
+                let key = fault::device_key(self.config.seed, target as u64);
+                let Some(f) = plan.device_fault(key) else {
+                    continue;
+                };
+                self.storage.degrade_target(target, f.latency_factor());
+                device_events.push(match f {
+                    DeviceFault::Degraded { latency_factor } => DeviceEvent::Degraded {
+                        target,
+                        factor: latency_factor,
+                    },
+                    DeviceFault::Failed => DeviceEvent::Failed { target },
+                });
+            }
+        }
         let pool = if self.config.pool_bytes > 0 {
             let (random, seq) = self.heat();
             BufferPool::new(self.catalog, &random, &seq, self.config.pool_bytes)
@@ -241,13 +343,13 @@ impl<'a> Engine<'a> {
                 SqlWorkloadKind::Olap(c) => {
                     let launch = c.concurrency.min(c.sequence.len());
                     for _ in 0..launch {
-                        self.start_next_olap_query(widx, now, &pool);
+                        self.start_next_olap_query(widx, now, &pool)?;
                     }
                 }
                 SqlWorkloadKind::Oltp(c) => {
                     for _ in 0..c.terminals {
                         let template = self.sample_txn_template(widx);
-                        self.start_query(widx, template, now, &pool);
+                        self.start_query(widx, template, now, &pool)?;
                     }
                 }
             }
@@ -271,11 +373,14 @@ impl<'a> Engine<'a> {
             let completions = self.storage.advance_until(t);
             last = t;
             for c in completions {
-                self.on_part_complete(c.tag as usize, c.finished, &pool);
+                self.on_part_complete(c.tag as usize, c.finished, &pool)?;
             }
         }
 
-        self.build_report(last)
+        Ok(RunOutcome {
+            report: self.build_report(last),
+            device_events,
+        })
     }
 
     fn stop_condition_met(&self) -> bool {
@@ -314,7 +419,12 @@ impl<'a> Engine<'a> {
         c.mix[self.rng.weighted_index(&weights)].0
     }
 
-    fn start_next_olap_query(&mut self, widx: usize, now: SimTime, pool: &BufferPool) {
+    fn start_next_olap_query(
+        &mut self,
+        widx: usize,
+        now: SimTime,
+        pool: &BufferPool,
+    ) -> Result<(), EngineError> {
         let SqlWorkloadKind::Olap(c) = &self.workloads[widx].kind else {
             unreachable!()
         };
@@ -334,8 +444,9 @@ impl<'a> Engine<'a> {
         };
         if has_more {
             let template = sequence[pos_now];
-            self.start_query(widx, template, now, pool);
+            self.start_query(widx, template, now, pool)?;
         }
+        Ok(())
     }
 
     fn alloc_query(&mut self, q: QueryRun) -> usize {
@@ -358,7 +469,13 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn start_query(&mut self, widx: usize, template: usize, now: SimTime, pool: &BufferPool) {
+    fn start_query(
+        &mut self,
+        widx: usize,
+        template: usize,
+        now: SimTime,
+        pool: &BufferPool,
+    ) -> Result<(), EngineError> {
         let qidx = self.alloc_query(QueryRun {
             workload: widx,
             template,
@@ -366,29 +483,37 @@ impl<'a> Engine<'a> {
             live_steps: 0,
             started: now,
         });
-        self.enter_phase(qidx, now, pool);
+        self.enter_phase(qidx, now, pool)
     }
 
     /// Starts the current phase's steps; if every phase completes
     /// instantly (all cached), advances through phases and finishes the
     /// query synchronously.
-    fn enter_phase(&mut self, qidx: usize, now: SimTime, pool: &BufferPool) {
+    fn enter_phase(
+        &mut self,
+        qidx: usize,
+        now: SimTime,
+        pool: &BufferPool,
+    ) -> Result<(), EngineError> {
         loop {
             let (widx, template, phase) = {
-                let q = self.queries[qidx].as_ref().expect("live query");
+                let q = self
+                    .queries
+                    .get(qidx)
+                    .and_then(Option::as_ref)
+                    .ok_or(EngineError::DeadQuery { slot: qidx })?;
                 (q.workload, q.template, q.phase)
             };
             let phases = &self.workloads[widx].templates[template].phases;
             if phase >= phases.len() {
-                self.finish_query(qidx, now, pool);
-                return;
+                return self.finish_query(qidx, now, pool);
             }
             let n_steps = phases[phase].len();
             let mut live = 0usize;
             for s in 0..n_steps {
                 let step_spec = self.workloads[widx].templates[template].phases[phase][s].clone();
                 let is_oltp = matches!(self.workloads[widx].kind, SqlWorkloadKind::Oltp(_));
-                if let Some(sidx) = self.spawn_step(qidx, &step_spec, is_oltp, now, pool) {
+                if let Some(sidx) = self.spawn_step(qidx, &step_spec, is_oltp, now, pool)? {
                     if self.steps[sidx].as_ref().expect("just spawned").alive() {
                         live += 1;
                     } else {
@@ -396,10 +521,14 @@ impl<'a> Engine<'a> {
                     }
                 }
             }
-            let q = self.queries[qidx].as_mut().expect("live query");
+            let q = self
+                .queries
+                .get_mut(qidx)
+                .and_then(Option::as_mut)
+                .ok_or(EngineError::DeadQuery { slot: qidx })?;
             q.live_steps = live;
             if live > 0 {
-                return;
+                return Ok(());
             }
             q.phase += 1;
         }
@@ -414,7 +543,7 @@ impl<'a> Engine<'a> {
         is_oltp: bool,
         now: SimTime,
         pool: &BufferPool,
-    ) -> Option<usize> {
+    ) -> Result<Option<usize>, EngineError> {
         let object = self.catalog.expect_id(&spec.object);
         let size = self.catalog.object(object).size;
         let (request, count, is_write, sequential) = match spec.kind {
@@ -448,7 +577,7 @@ impl<'a> Engine<'a> {
             }
         };
         if count == 0 {
-            return None;
+            return Ok(None);
         }
         let span = (size - size % request).max(request);
         let pattern = if sequential {
@@ -477,8 +606,8 @@ impl<'a> Engine<'a> {
             scan_hit: policy.scan_hit,
             random_hit: policy.random_hit,
         });
-        self.issue(sidx, now);
-        Some(sidx)
+        self.issue(sidx, now)?;
+        Ok(Some(sidx))
     }
 
     fn stochastic_round(&mut self, x: f64) -> u64 {
@@ -490,11 +619,15 @@ impl<'a> Engine<'a> {
     /// Issues logical requests for a step until its outstanding window
     /// is full or it runs out of requests. Cache hits complete
     /// synchronously and never reach storage.
-    fn issue(&mut self, sidx: usize, now: SimTime) {
+    fn issue(&mut self, sidx: usize, now: SimTime) -> Result<(), EngineError> {
         loop {
-            let step = self.steps[sidx].as_mut().expect("live step");
+            let step = self
+                .steps
+                .get_mut(sidx)
+                .and_then(Option::as_mut)
+                .ok_or(EngineError::DeadStep { slot: sidx })?;
             if step.remaining == 0 || step.outstanding as usize >= step.depth {
-                return;
+                return Ok(());
             }
             step.remaining -= 1;
             // Generate the next logical request.
@@ -553,7 +686,11 @@ impl<'a> Engine<'a> {
             self.placement
                 .translate(object, offset, len, &mut self.translate_buf);
             let parts = self.translate_buf.len() as u32;
-            let step = self.steps[sidx].as_mut().expect("live step");
+            let step = self
+                .steps
+                .get_mut(sidx)
+                .and_then(Option::as_mut)
+                .ok_or(EngineError::DeadStep { slot: sidx })?;
             step.outstanding += parts;
             let kind = if is_write {
                 IoKind::Write
@@ -585,31 +722,58 @@ impl<'a> Engine<'a> {
         self.free_steps.push(sidx);
     }
 
-    fn on_part_complete(&mut self, sidx: usize, now: SimTime, pool: &BufferPool) {
+    fn on_part_complete(
+        &mut self,
+        sidx: usize,
+        now: SimTime,
+        pool: &BufferPool,
+    ) -> Result<(), EngineError> {
         {
-            let step = self.steps[sidx].as_mut().expect("completion for dead step");
+            let step = self
+                .steps
+                .get_mut(sidx)
+                .and_then(Option::as_mut)
+                .ok_or(EngineError::DeadStep { slot: sidx })?;
             debug_assert!(step.outstanding > 0);
             step.outstanding -= 1;
         }
-        self.issue(sidx, now);
+        self.issue(sidx, now)?;
         let (alive, qidx) = {
-            let step = self.steps[sidx].as_ref().expect("live step");
+            let step = self
+                .steps
+                .get(sidx)
+                .and_then(Option::as_ref)
+                .ok_or(EngineError::DeadStep { slot: sidx })?;
             (step.alive(), step.query)
         };
         if alive {
-            return;
+            return Ok(());
         }
         self.release_step(sidx);
-        let q = self.queries[qidx].as_mut().expect("live query");
+        let q = self
+            .queries
+            .get_mut(qidx)
+            .and_then(Option::as_mut)
+            .ok_or(EngineError::DeadQuery { slot: qidx })?;
         q.live_steps -= 1;
         if q.live_steps == 0 {
             q.phase += 1;
-            self.enter_phase(qidx, now, pool);
+            self.enter_phase(qidx, now, pool)?;
         }
+        Ok(())
     }
 
-    fn finish_query(&mut self, qidx: usize, now: SimTime, pool: &BufferPool) {
-        let q = self.queries[qidx].as_ref().expect("live query");
+    fn finish_query(
+        &mut self,
+        qidx: usize,
+        now: SimTime,
+        pool: &BufferPool,
+    ) -> Result<(), EngineError> {
+        let q = self
+            .queries
+            .get(qidx)
+            .and_then(Option::as_ref)
+            .ok_or(EngineError::DeadQuery { slot: qidx })?;
         let widx = q.workload;
         let tidx = q.template;
         let latency = (now - q.started).as_secs();
@@ -623,7 +787,7 @@ impl<'a> Engine<'a> {
                 self.query_latency.record(latency);
                 *active -= 1;
                 *completed += 1;
-                self.start_next_olap_query(widx, now, pool);
+                self.start_next_olap_query(widx, now, pool)?;
             }
             WorkloadProgress::Oltp {
                 txns,
@@ -640,10 +804,11 @@ impl<'a> Engine<'a> {
                 let under_time = self.config.max_time.map_or(true, |cap| now.as_secs() < cap);
                 if under_cap && under_time {
                     let template = self.sample_txn_template(widx);
-                    self.start_query(widx, template, now, pool);
+                    self.start_query(widx, template, now, pool)?;
                 }
             }
         }
+        Ok(())
     }
 
     fn build_report(self, last: SimTime) -> RunReport {
@@ -736,7 +901,9 @@ mod tests {
         )
         .unwrap();
         let workloads = [workload];
-        Engine::new(&catalog, &workloads, &placement, &mut storage, config).run()
+        Engine::new(&catalog, &workloads, &placement, &mut storage, config)
+            .run()
+            .expect("run succeeds")
     }
 
     #[test]
@@ -843,7 +1010,8 @@ mod tests {
                 ..RunConfig::default()
             },
         )
-        .run();
+        .run()
+        .expect("run succeeds");
         assert!(report.oltp_txns > 10, "txns {}", report.oltp_txns);
         assert!(report.tpm > 0.0);
         assert_eq!(report.txn_latency.count(), report.oltp_txns);
@@ -877,7 +1045,8 @@ mod tests {
                 ..RunConfig::default()
             },
         )
-        .run();
+        .run()
+        .expect("run succeeds");
         assert!(report.oltp_txns > 100);
         // All five transaction types executed, with New-Order and
         // Payment dominating (45/43/4/4/4 mix).
@@ -917,6 +1086,40 @@ mod tests {
         let catalog = Catalog::tpch_like(0.01);
         let li = catalog.expect_id("LINEITEM") as u32;
         assert!(trace.stream_ids().contains(&li));
+    }
+
+    #[test]
+    fn malformed_completion_tag_is_a_typed_error() {
+        // A completion whose tag references no live step (corrupted or
+        // fault-injected) must surface as EngineError, not a panic.
+        let catalog = Catalog::tpch_like(0.01);
+        let mut storage = four_disks();
+        let rows = see_rows(catalog.len(), 4);
+        let placement = Placement::build(
+            &rows,
+            &catalog.sizes(),
+            &storage.capacities(),
+            DEFAULT_STRIPE,
+        )
+        .unwrap();
+        let workloads = [SqlWorkload::olap1_21(3)];
+        let mut engine = Engine::new(
+            &catalog,
+            &workloads,
+            &placement,
+            &mut storage,
+            RunConfig::default(),
+        );
+        let pool = BufferPool::disabled(engine.catalog.len());
+        let err = engine
+            .on_part_complete(99, SimTime::ZERO, &pool)
+            .unwrap_err();
+        assert_eq!(err, EngineError::DeadStep { slot: 99 });
+        assert!(err.to_string().contains("slot 99"), "{err}");
+        assert!(
+            engine.enter_phase(7, SimTime::ZERO, &pool).unwrap_err()
+                == EngineError::DeadQuery { slot: 7 }
+        );
     }
 
     #[test]

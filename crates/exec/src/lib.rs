@@ -33,7 +33,7 @@ pub mod placement;
 pub mod report;
 
 pub use cache::BufferPool;
-pub use engine::{Engine, RunConfig};
+pub use engine::{DeviceEvent, Engine, EngineError, RunConfig, RunOutcome};
 pub use openloop::{run_open_loop, OpenLoopReport, OpenStream};
 pub use placement::{see_rows, ObjectMapping, Placement, PlacementError};
 pub use report::{ObjectIoStats, RunReport};

@@ -24,6 +24,8 @@
 
 use crate::grid::{Axis, Grid3};
 use crate::table::TableModel;
+use wasla_simlib::fault::{self, DeviceFault};
+use wasla_simlib::hash::hash_json;
 use wasla_simlib::{par, SimRng};
 use wasla_storage::device::DeviceSpec;
 use wasla_storage::request::DeviceIo;
@@ -81,14 +83,31 @@ impl CalibrationGrid {
     }
 }
 
+/// The fault-plan query for calibrating `spec` under `seed`, if the
+/// plan injects one. Public so the session layer can re-query it to
+/// record a degradation note alongside the (already scaled) tables.
+pub fn calibration_fault(spec: &DeviceSpec, seed: u64) -> Option<DeviceFault> {
+    fault::plan()?.device_fault(fault::calibration_key(seed, hash_json(spec)))
+}
+
 /// Calibrates a device spec into a tabulated cost model.
+///
+/// When the active fault plan degrades this calibration run (see
+/// [`calibration_fault`]), every tabulated service time is scaled by
+/// the fault's latency factor — the table honestly describes the
+/// slower device the advisor must plan around. With no plan or no
+/// fault the values are untouched, bit-for-bit.
 pub fn calibrate_device(spec: &DeviceSpec, grid: &CalibrationGrid, seed: u64) -> TableModel {
     let name = match spec {
         DeviceSpec::Disk(_) => "disk",
         DeviceSpec::Ssd(_) => "ssd",
     };
-    let reads = calibrate_kind(spec, grid, IoKind::Read, seed);
-    let writes = calibrate_kind(spec, grid, IoKind::Write, seed ^ 0x5eed);
+    let mut reads = calibrate_kind(spec, grid, IoKind::Read, seed);
+    let mut writes = calibrate_kind(spec, grid, IoKind::Write, seed ^ 0x5eed);
+    if let Some(f) = calibration_fault(spec, seed) {
+        reads.scale_values(f.latency_factor());
+        writes.scale_values(f.latency_factor());
+    }
     TableModel {
         device: name.to_string(),
         reads,

@@ -94,6 +94,14 @@ impl Grid3 {
         self.values[(i * nr + j) * nc + k]
     }
 
+    /// Multiplies every tabulated value by `factor` (fault-injected
+    /// device degradation scales whole tables uniformly).
+    pub fn scale_values(&mut self, factor: f64) {
+        for v in &mut self.values {
+            *v *= factor;
+        }
+    }
+
     /// Trilinear interpolation at (size, run, contention), clamped to
     /// the calibrated range.
     pub fn interpolate(&self, size: f64, run: f64, contention: f64) -> f64 {
@@ -175,6 +183,14 @@ mod tests {
             let got = g.interpolate(s, r, c);
             assert!((got - expect).abs() < 1e-9, "({s},{r},{c}) got {got}");
         }
+    }
+
+    #[test]
+    fn scale_values_multiplies_uniformly() {
+        let mut g = linear_grid();
+        let before = g.interpolate(1.5, 2.0, 2.0);
+        g.scale_values(3.0);
+        assert!((g.interpolate(1.5, 2.0, 2.0) - 3.0 * before).abs() < 1e-9);
     }
 
     #[test]

@@ -28,6 +28,6 @@ pub mod table;
 pub mod target;
 
 pub use analytic::AnalyticDiskModel;
-pub use calibrate::{calibrate_device, CalibrationGrid};
+pub use calibrate::{calibrate_device, calibration_fault, CalibrationGrid};
 pub use table::{CostModel, TableModel};
 pub use target::{ModelError, TargetCostModel};

@@ -119,6 +119,7 @@ impl Json {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -310,14 +311,29 @@ fn write_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Maximum container nesting the parser accepts. The parser recurses
+/// per nesting level, so hostile input like `"[".repeat(1_000_000)`
+/// must produce a typed error, not a stack overflow; no document the
+/// repo produces nests anywhere near this deep.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
     fn error(&self, msg: &str) -> JsonError {
         JsonError::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn descend(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error(&format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
     }
 
     fn skip_ws(&mut self) {
@@ -357,11 +373,13 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
+        self.descend()?;
         self.pos += 1; // '['
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -372,6 +390,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.error("expected `,` or `]`")),
@@ -380,11 +399,13 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
+        self.descend()?;
         self.pos += 1; // '{'
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(pairs));
         }
         loop {
@@ -403,6 +424,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(pairs));
                 }
                 _ => return Err(self.error("expected `,` or `}`")),
@@ -916,6 +938,29 @@ mod tests {
         let v = Json::parse(r#"{"id":"x","rows":[{"m":[["a",1.5]]}],"empty":[]}"#).unwrap();
         let want = "{\n  \"id\": \"x\",\n  \"rows\": [\n    {\n      \"m\": [\n        [\n          \"a\",\n          1.5\n        ]\n      ]\n    }\n  ],\n  \"empty\": []\n}";
         assert_eq!(v.to_string_pretty(), want);
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        // Reasonable nesting parses; hostile nesting gets a typed
+        // error instead of exhausting the stack.
+        let deep_ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&deep_ok).is_ok());
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let err = Json::parse(&too_deep).unwrap_err();
+        assert!(err.to_string().contains("nesting"), "{err}");
+        // Unbalanced hostile input (no closers at all) must also fail
+        // cleanly — this is the stack-overflow shape.
+        assert!(Json::parse(&"[".repeat(1 << 20)).is_err());
+        assert!(Json::parse(&"{\"a\":".repeat(1 << 18)).is_err());
+        // Depth is the *current* nesting, not a cumulative count:
+        // many sibling containers at the same level stay fine.
+        let wide = format!("[{}]", vec!["[[1]]"; 200].join(","));
+        assert!(Json::parse(&wide).is_ok());
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! by insertion order rather than by heap internals.
 
 pub mod events;
+pub mod fault;
 pub mod hash;
 pub mod json;
 pub mod par;

@@ -1,0 +1,104 @@
+//! Adversarial property tests for the JSON parser.
+//!
+//! The persistence layer feeds the parser bytes read back from disk,
+//! which after a crash can be truncated, bit-flipped, or garbage. The
+//! contract is that [`Json::parse`] is total over `&str`: every input
+//! yields either a value or a typed [`JsonError`] — never a panic and
+//! never unbounded recursion (see the depth guard in `json.rs`).
+
+use wasla_simlib::json::Json;
+use wasla_simlib::proptest::prelude::*;
+
+/// A seed corpus shaped like the documents the repo actually writes:
+/// cache files, bench reports, experiment rows.
+const CORPUS: &[&str] = &[
+    r#"{"version":1,"kind":"calibrations","checksum":12345,"entries":[[42,{"reads":[0.001,0.002],"writes":[0.003]}]]}"#,
+    r#"{"elapsed":12.5,"target_utilization":[0.91,0.18,0.2],"objects":[{"logical_reads":100,"bytes_read":819200}]}"#,
+    r#"[["LINEITEM",1073741824],["ORDERS",268435456],["PART",-7]]"#,
+    r#"{"name":"x","count":3,"ratio":1.5e-7,"tags":["a","b"],"extra":null,"deep":{"a":{"b":{"c":[true,false]}}}}"#,
+    r#""plain \"string\" with A escapes and 𝄞 pairs""#,
+    r#"-123.456e-2"#,
+];
+
+/// Largest char-boundary position `<= want` in `text`.
+fn boundary(text: &str, want: usize) -> usize {
+    let mut cut = want.min(text.len());
+    while !text.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    cut
+}
+
+proptest! {
+    /// Every truncation of a valid document parses or fails with a
+    /// typed error — the torn-write shape a crashed writer leaves.
+    #[test]
+    fn truncated_documents_yield_typed_errors(
+        doc in 0usize..6,
+        cut in any::<u64>(),
+    ) {
+        let text = CORPUS[doc % CORPUS.len()];
+        let cut = boundary(text, cut as usize % (text.len() + 1));
+        match Json::parse(&text[..cut]) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(
+                e.to_string().starts_with("json error:"),
+                "untyped error {:?}", e.to_string()
+            ),
+        }
+    }
+
+    /// Every single-byte mutation of a valid document (that is still
+    /// UTF-8) parses or fails with a typed error, and whatever parses
+    /// round-trips through the printer.
+    #[test]
+    fn mutated_documents_yield_typed_errors(
+        doc in 0usize..6,
+        idx in any::<u64>(),
+        byte in 0u64..256,
+    ) {
+        let text = CORPUS[doc % CORPUS.len()];
+        let mut bytes = text.as_bytes().to_vec();
+        let at = idx as usize % bytes.len();
+        bytes[at] = byte as u8;
+        let Ok(mutated) = String::from_utf8(bytes) else {
+            // parse() takes &str; invalid UTF-8 can't reach it.
+            return Ok(());
+        };
+        match Json::parse(&mutated) {
+            Ok(v) => {
+                let printed = v.to_string_compact();
+                prop_assert_eq!(Json::parse(&printed).unwrap(), v);
+            }
+            Err(e) => prop_assert!(
+                e.to_string().starts_with("json error:"),
+                "untyped error {:?}", e.to_string()
+            ),
+        }
+    }
+
+    /// Container nesting beyond the guard depth errors instead of
+    /// overflowing the stack; nesting at or under it parses.
+    #[test]
+    fn nesting_depth_guard_holds(depth in 1usize..400, brace in 0usize..2) {
+        let (open, close) = if brace == 0 { ("[", "]") } else { ("{\"k\":", "}") };
+        let doc = format!("{}1{}", open.repeat(depth), close.repeat(depth));
+        let parsed = Json::parse(&doc);
+        if depth <= 128 {
+            prop_assert!(parsed.is_ok(), "depth {} should parse", depth);
+        } else {
+            let err = parsed.expect_err("depth beyond the guard must error");
+            prop_assert!(err.to_string().contains("nesting"), "{}", err);
+        }
+    }
+
+    /// Raw random ASCII never panics the parser.
+    #[test]
+    fn random_ascii_never_panics(bytes in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let text: String = bytes
+            .iter()
+            .map(|&b| char::from((b % 95) as u8 + 32))
+            .collect();
+        let _ = Json::parse(&text);
+    }
+}

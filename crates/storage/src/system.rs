@@ -65,6 +65,9 @@ struct DeviceRuntime {
     pending: Vec<QueuedIo>,
     in_flight: usize,
     stats: DeviceStats,
+    /// Service-time multiplier for injected degradation; exactly 1.0
+    /// (the default) leaves service times bit-identical.
+    latency_factor: f64,
 }
 
 impl DeviceRuntime {
@@ -115,6 +118,7 @@ impl StorageSystem {
                     pending: Vec::new(),
                     in_flight: 0,
                     stats: DeviceStats::default(),
+                    latency_factor: 1.0,
                 });
             }
             targets.push(TargetRuntime {
@@ -138,6 +142,16 @@ impl StorageSystem {
     /// Number of targets.
     pub fn target_count(&self) -> usize {
         self.targets.len()
+    }
+
+    /// Degrades every member device of `target`: all subsequent service
+    /// times are multiplied by `factor`. Used by the fault-injection
+    /// layer to model slow or effectively failed targets.
+    pub fn degrade_target(&mut self, target: TargetId, factor: f64) {
+        debug_assert!(factor >= 1.0, "degradation must not speed devices up");
+        for &d in &self.targets[target].devices {
+            self.devices[d].latency_factor = factor;
+        }
     }
 
     /// The configuration of a target.
@@ -278,6 +292,11 @@ impl StorageSystem {
                 .pick_from(dev.pending.iter().map(|q| q.io.offset), head);
             let q = dev.pending.remove(pick);
             let service = dev.model.service_time(&q.io, &mut dev.rng);
+            let service = if dev.latency_factor != 1.0 {
+                SimTime::from_secs(service.as_secs() * dev.latency_factor)
+            } else {
+                service
+            };
             dev.in_flight += 1;
             dev.record_occupancy(now);
             self.queue.schedule_at(
@@ -481,6 +500,26 @@ mod tests {
             sys.drain(SimTime::ZERO).0
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn degraded_target_scales_service_time() {
+        let elapsed = |factor: Option<f64>| {
+            let mut sys = one_disk_system();
+            if let Some(f) = factor {
+                sys.degrade_target(0, f);
+            }
+            for i in 0..10u64 {
+                sys.submit(SimTime::ZERO, 0, TargetIo::read(i * GIB, 8192, 0), i);
+            }
+            sys.drain(SimTime::ZERO).0
+        };
+        let healthy = elapsed(None);
+        // Factor 1.0 is the identity, bit for bit.
+        assert_eq!(elapsed(Some(1.0)), healthy);
+        let slow = elapsed(Some(4.0));
+        let ratio = slow.as_secs() / healthy.as_secs();
+        assert!((3.9..=4.1).contains(&ratio), "ratio {ratio}");
     }
 
     #[test]

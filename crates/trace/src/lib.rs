@@ -223,6 +223,79 @@ pub fn fit_workloads(
     })
 }
 
+/// What a lossy fit salvaged: how much of the trace was fit and how
+/// much was discarded as damaged.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// Records in the valid prefix that was fitted.
+    pub kept: usize,
+    /// Damaged-tail records that were discarded.
+    pub dropped: usize,
+}
+
+impl SalvageReport {
+    /// True when anything was discarded.
+    pub fn degraded(&self) -> bool {
+        self.dropped > 0
+    }
+}
+
+/// [`fit_workloads`], but tolerant of a damaged trace tail: fits the
+/// longest valid prefix (every record before the first out-of-range
+/// stream id) and reports how much was salvaged.
+///
+/// A fully valid trace fits identically to the strict path with zero
+/// drops. A trace whose *first* record is already damaged has no
+/// salvageable prefix, so the strict [`FitError`] propagates — callers
+/// degrade gracefully only when there is signal left to degrade to.
+pub fn fit_workloads_lossy(
+    trace: &Trace,
+    names: &[String],
+    sizes: &[u64],
+    config: &FitConfig,
+) -> Result<(WorkloadSet, SalvageReport), FitError> {
+    if names.len() != sizes.len() {
+        return Err(FitError::ShapeMismatch {
+            names: names.len(),
+            sizes: sizes.len(),
+        });
+    }
+    let n = names.len();
+    let records = trace.records();
+    let valid = records
+        .iter()
+        .position(|r| r.stream as usize >= n)
+        .unwrap_or(records.len());
+    if valid == records.len() {
+        let set = fit_workloads(trace, names, sizes, config)?;
+        return Ok((
+            set,
+            SalvageReport {
+                kept: valid,
+                dropped: 0,
+            },
+        ));
+    }
+    if valid == 0 {
+        return Err(FitError::StreamOutOfRange {
+            stream: records[0].stream,
+            objects: n,
+        });
+    }
+    let mut prefix = Trace::new();
+    for rec in &records[..valid] {
+        prefix.push(rec.clone());
+    }
+    let set = fit_workloads(&prefix, names, sizes, config)?;
+    Ok((
+        set,
+        SalvageReport {
+            kept: valid,
+            dropped: records.len() - valid,
+        },
+    ))
+}
+
 fn observe(a: &mut Accum, rec: &BlockTraceRecord, config: &FitConfig) {
     match rec.kind {
         IoKind::Read => {
@@ -549,6 +622,74 @@ mod tests {
         let b = to_string(&fit_workloads(&trace, &names, &sizes, &FitConfig::default()).unwrap());
         assert_eq!(a, b);
         fitted.validate().unwrap();
+    }
+
+    #[test]
+    fn lossy_fit_salvages_valid_prefix() {
+        let (names, sizes) = two_obj_names();
+        // A clean 20-record trace, then a damaged 10-record tail.
+        let mut clean = Trace::new();
+        let mut damaged = Trace::new();
+        for k in 0..30u64 {
+            let stream = if k < 20 { (k % 2) as u32 } else { u32::MAX };
+            let r = rec(k as f64 * 0.1, stream, IoKind::Read, k * 8192, 8192);
+            if k < 20 {
+                clean.push(r.clone());
+            }
+            damaged.push(r);
+        }
+        let (set, salvage) =
+            fit_workloads_lossy(&damaged, &names, &sizes, &FitConfig::default()).unwrap();
+        assert_eq!(
+            salvage,
+            SalvageReport {
+                kept: 20,
+                dropped: 10
+            }
+        );
+        assert!(salvage.degraded());
+        // The salvaged fit is exactly the fit of the clean prefix.
+        let clean_set = fit_workloads(&clean, &names, &sizes, &FitConfig::default()).unwrap();
+        use wasla_simlib::json::to_string;
+        assert_eq!(to_string(&set), to_string(&clean_set));
+    }
+
+    #[test]
+    fn lossy_fit_on_clean_trace_matches_strict_with_zero_drops() {
+        let (names, sizes) = two_obj_names();
+        let mut trace = Trace::new();
+        for k in 0..10u64 {
+            trace.push(rec(k as f64, (k % 2) as u32, IoKind::Read, k * 4096, 4096));
+        }
+        let (set, salvage) =
+            fit_workloads_lossy(&trace, &names, &sizes, &FitConfig::default()).unwrap();
+        assert_eq!(
+            salvage,
+            SalvageReport {
+                kept: 10,
+                dropped: 0
+            }
+        );
+        assert!(!salvage.degraded());
+        let strict = fit_workloads(&trace, &names, &sizes, &FitConfig::default()).unwrap();
+        use wasla_simlib::json::to_string;
+        assert_eq!(to_string(&set), to_string(&strict));
+    }
+
+    #[test]
+    fn lossy_fit_with_no_valid_prefix_keeps_the_typed_error() {
+        let (names, sizes) = two_obj_names();
+        let mut trace = Trace::new();
+        trace.push(rec(0.0, 9, IoKind::Read, 0, 8192));
+        trace.push(rec(1.0, 0, IoKind::Read, 0, 8192));
+        let err = fit_workloads_lossy(&trace, &names, &sizes, &FitConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            FitError::StreamOutOfRange {
+                stream: 9,
+                objects: 2
+            }
+        );
     }
 
     #[test]

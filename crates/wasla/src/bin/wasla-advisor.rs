@@ -8,7 +8,7 @@
 //! wasla-advisor advise --workloads w.json --targets t.json [--models m.json,...]
 //!                      [--regular] [--pin OBJ=TARGET]... [--forbid OBJ=TARGET]...
 //!                      [--out layout.json]
-//! wasla-advisor demo  [--scale 0.05]
+//! wasla-advisor demo  [--scale 0.05] [--cache-dir DIR]
 //! ```
 //!
 //! * `calibrate` builds a tabulated cost model for a device type and
@@ -18,7 +18,11 @@
 //!   and Rome-style descriptions — produce one with `wasla-trace` or
 //!   the analytic estimator) plus a target list, and prints the
 //!   recommended layout.
-//! * `demo` runs the built-in TPC-H-like scenario end-to-end.
+//! * `demo` runs the built-in TPC-H-like scenario end-to-end. With
+//!   `--cache-dir`, the advisor session persists its calibration and
+//!   fit caches there (crash-safe, versioned, checksummed): a rerun
+//!   starts warm, a corrupt cache file is quarantined and rebuilt, and
+//!   a quarantine that cannot be written maps to the I/O exit code.
 //!
 //! Every failure surfaces as a [`WaslaError`] with a stable exit
 //! code: `2` usage, `3` file I/O, `4` malformed JSON, `1` pipeline
@@ -40,7 +44,7 @@ const USAGE: &str = "usage:
   wasla-advisor fit --trace FILE --objects FILE [--window-s S] [--out FILE]
   wasla-advisor advise --workloads FILE --targets FILE [--models FILE,...] \
 [--regular] [--pin OBJ=T]... [--forbid OBJ=T]... [--out FILE]
-  wasla-advisor demo [--scale S]";
+  wasla-advisor demo [--scale S] [--cache-dir DIR]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -291,7 +295,31 @@ fn demo(args: &[String]) -> Result<(), WaslaError> {
     let scenario = Scenario::homogeneous_disks(4, scale);
     let workloads = [SqlWorkload::olap1_63(7)];
     eprintln!("running the built-in TPC-H-like demo at scale {scale}...");
-    let outcome = pipeline::advise(&scenario, &workloads, &AdviseConfig::full())?;
+    let outcome = match flag_value(args, "--cache-dir") {
+        Some(dir) => {
+            let (mut service, notes) = wasla::Service::open(0x5eed, dir)?;
+            for note in &notes {
+                eprintln!("cache: {note}");
+            }
+            let outcome = service
+                .advise_batch(&[wasla::AdviseRequest {
+                    scenario: scenario.clone(),
+                    workloads: workloads.to_vec(),
+                    config: AdviseConfig::full(),
+                    seed: Some(AdvisorOptions::default().seed),
+                }])
+                .pop()
+                .ok_or_else(|| {
+                    WaslaError::Internal("one request in, one outcome out".to_string())
+                })??;
+            service.persist()?;
+            outcome
+        }
+        None => pipeline::advise(&scenario, &workloads, &AdviseConfig::full())?,
+    };
+    for note in &outcome.degraded {
+        eprintln!("degraded: {note}");
+    }
     let rec = &outcome.recommendation;
     println!("{}", render_stages(&outcome.problem, &rec.stages));
     println!("{}", render_layout(&outcome.problem, rec.final_layout(), 8));

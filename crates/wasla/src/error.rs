@@ -14,7 +14,7 @@
 //! in-tree `json` module (externally-tagged variants).
 
 use wasla_core::AdvisorError;
-use wasla_exec::PlacementError;
+use wasla_exec::{EngineError, PlacementError};
 use wasla_model::ModelError;
 use wasla_simlib::json::{self, FromJson, Json, JsonError, ToJson};
 use wasla_trace::FitError;
@@ -27,6 +27,18 @@ pub enum WaslaError {
     Advisor(AdvisorError),
     /// A layout could not be realized on the targets.
     Placement(PlacementError),
+    /// The execution engine's bookkeeping failed mid-run (bad
+    /// completion tag — corrupted or fault-injected).
+    Engine(EngineError),
+    /// An injected request fault persisted through every retry
+    /// attempt (fault-injection testing only; never fires without an
+    /// active fault plan — see [`wasla_simlib::fault`]).
+    Fault {
+        /// Retry attempts consumed before giving up.
+        attempts: u32,
+        /// Description of the injected failure.
+        detail: String,
+    },
     /// Workload fitting rejected the trace or object inventory.
     Fit(FitError),
     /// A target could not be modeled (empty or heterogeneous RAID).
@@ -80,6 +92,12 @@ impl From<PlacementError> for WaslaError {
     }
 }
 
+impl From<EngineError> for WaslaError {
+    fn from(e: EngineError) -> Self {
+        WaslaError::Engine(e)
+    }
+}
+
 impl From<FitError> for WaslaError {
     fn from(e: FitError) -> Self {
         WaslaError::Fit(e)
@@ -103,6 +121,20 @@ impl ToJson for WaslaError {
         match self {
             WaslaError::Advisor(e) => json::variant("Advisor", e.to_json()),
             WaslaError::Placement(e) => json::variant("Placement", e.to_json()),
+            WaslaError::Engine(e) => {
+                let (name, slot) = match e {
+                    EngineError::DeadStep { slot } => ("DeadStep", *slot),
+                    EngineError::DeadQuery { slot } => ("DeadQuery", *slot),
+                };
+                json::variant("Engine", json::variant(name, slot.to_json()))
+            }
+            WaslaError::Fault { attempts, detail } => json::variant(
+                "Fault",
+                Json::Obj(vec![
+                    ("attempts".to_string(), attempts.to_json()),
+                    ("detail".to_string(), detail.to_json()),
+                ]),
+            ),
             WaslaError::Fit(e) => json::variant("Fit", e.to_json()),
             WaslaError::Model(e) => json::variant("Model", e.to_json()),
             WaslaError::Json(e) => json::variant("Json", e.message().to_json()),
@@ -124,6 +156,28 @@ impl FromJson for WaslaError {
         match json::untag(v)? {
             ("Advisor", payload) => AdvisorError::from_json(payload).map(WaslaError::Advisor),
             ("Placement", payload) => PlacementError::from_json(payload).map(WaslaError::Placement),
+            ("Engine", payload) => {
+                let (kind, slot) = json::untag(payload)?;
+                let slot = usize::from_json(slot)?;
+                match kind {
+                    "DeadStep" => Ok(WaslaError::Engine(EngineError::DeadStep { slot })),
+                    "DeadQuery" => Ok(WaslaError::Engine(EngineError::DeadQuery { slot })),
+                    other => Err(JsonError::new(format!(
+                        "unknown EngineError variant: {other:?}"
+                    ))),
+                }
+            }
+            ("Fault", payload) => {
+                let get = |name: &str| {
+                    payload
+                        .field(name)
+                        .ok_or_else(|| JsonError::missing_field(name))
+                };
+                Ok(WaslaError::Fault {
+                    attempts: u32::from_json(get("attempts")?)?,
+                    detail: String::from_json(get("detail")?)?,
+                })
+            }
             ("Fit", payload) => FitError::from_json(payload).map(WaslaError::Fit),
             ("Model", payload) => ModelError::from_json(payload).map(WaslaError::Model),
             ("Json", payload) => {
@@ -154,6 +208,10 @@ impl std::fmt::Display for WaslaError {
         match self {
             WaslaError::Advisor(e) => write!(f, "advisor: {e}"),
             WaslaError::Placement(e) => write!(f, "placement: {e}"),
+            WaslaError::Engine(e) => write!(f, "engine: {e}"),
+            WaslaError::Fault { attempts, detail } => {
+                write!(f, "fault: {detail} (persisted through {attempts} attempts)")
+            }
             WaslaError::Fit(e) => write!(f, "fit: {e}"),
             WaslaError::Model(e) => write!(f, "model: {e}"),
             WaslaError::Json(e) => write!(f, "json: {e}"),
@@ -169,6 +227,7 @@ impl std::error::Error for WaslaError {
         match self {
             WaslaError::Advisor(e) => Some(e),
             WaslaError::Placement(e) => Some(e),
+            WaslaError::Engine(e) => Some(e),
             WaslaError::Fit(e) => Some(e),
             WaslaError::Model(e) => Some(e),
             _ => None,
@@ -190,6 +249,12 @@ mod tests {
                 object: 3,
             })),
             WaslaError::Placement(PlacementError::ShapeMismatch),
+            WaslaError::Engine(EngineError::DeadStep { slot: 5 }),
+            WaslaError::Engine(EngineError::DeadQuery { slot: 0 }),
+            WaslaError::Fault {
+                attempts: 2,
+                detail: "injected request fault".into(),
+            },
             WaslaError::Fit(FitError::ShapeMismatch { names: 2, sizes: 3 }),
             WaslaError::Model(ModelError::NoMembers { target: "t".into() }),
             WaslaError::Json(JsonError::new("unexpected token")),

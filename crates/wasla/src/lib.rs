@@ -77,11 +77,13 @@ pub use wasla_trace as trace;
 pub use wasla_workload as workload;
 
 pub mod error;
+pub mod persist;
 pub mod pipeline;
 pub mod session;
 pub mod stages;
 
 pub use error::WaslaError;
+pub use pipeline::DegradedNote;
 pub use session::{AdviseRequest, AdvisorSession, Service};
 
 /// Commonly used items in one import.

@@ -28,8 +28,10 @@
 use crate::error::WaslaError;
 use crate::session::AdvisorSession;
 use std::sync::Arc;
-use wasla_core::{AdminConstraint, AdvisorOptions, Layout, LayoutProblem, Recommendation};
-use wasla_exec::{Engine, Placement, RunConfig, RunReport};
+use wasla_core::{
+    AdminConstraint, AdvisorOptions, Layout, LayoutProblem, Recommendation, SolveQuality,
+};
+use wasla_exec::{Engine, Placement, RunConfig, RunOutcome, RunReport};
 use wasla_model::{CalibrationGrid, TargetCostModel};
 use wasla_storage::{DeviceSpec, DiskParams, SsdParams, StorageSystem, TargetConfig};
 use wasla_trace::FitConfig;
@@ -210,6 +212,18 @@ pub fn run_layout(
     rows: &[Vec<f64>],
     settings: &RunSettings,
 ) -> Result<RunReport, WaslaError> {
+    run_layout_observed(scenario, workloads, rows, settings).map(|o| o.report)
+}
+
+/// Like [`run_layout`], but also reports the device faults the active
+/// fault plan injected into the run (empty without an active plan;
+/// see [`wasla_simlib::fault`]).
+pub fn run_layout_observed(
+    scenario: &Scenario,
+    workloads: &[SqlWorkload],
+    rows: &[Vec<f64>],
+    settings: &RunSettings,
+) -> Result<RunOutcome, WaslaError> {
     let placement = Placement::build(
         rows,
         &scenario.catalog.sizes(),
@@ -234,7 +248,7 @@ pub fn run_layout(
         &mut storage,
         config,
     )
-    .run())
+    .run_observed()?)
 }
 
 /// Runs `workloads` under a [`Layout`].
@@ -291,6 +305,84 @@ impl AdviseConfig {
     }
 }
 
+/// One graceful degradation the pipeline worked around instead of
+/// failing on. Notes are typed so callers (and tests) can react to
+/// specific degradations; `Display` renders them for operators.
+///
+/// Outside fault-injection testing the pipeline produces no notes
+/// other than [`DegradedNote::CacheQuarantined`], which fires whenever
+/// a persisted session cache arrives corrupt.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DegradedNote {
+    /// The captured block trace arrived damaged; the valid prefix was
+    /// fitted and the torn tail discarded.
+    TraceSalvaged {
+        /// Records in the fitted prefix.
+        kept: usize,
+        /// Damaged-tail records discarded.
+        dropped: usize,
+    },
+    /// A storage target answered slowly during the trace run.
+    DeviceDegraded {
+        /// The target's name.
+        target: String,
+        /// Service-time multiplier observed.
+        factor: f64,
+    },
+    /// A storage target failed during the trace run; it was modeled as
+    /// pathologically slow so the advisor steers load away.
+    DeviceFailed {
+        /// The target's name.
+        target: String,
+    },
+    /// Calibration measurements for a target's member device came back
+    /// degraded; its cost model overestimates service times.
+    CalibrationDegraded {
+        /// The target's name.
+        device: String,
+        /// Service-time multiplier baked into the model.
+        factor: f64,
+    },
+    /// The NLP solve ran under an exhausted budget or fell down the
+    /// fallback chain; the layout is feasible but possibly weaker.
+    SolverDegraded {
+        /// How the solve stage arrived at its layout.
+        quality: SolveQuality,
+    },
+    /// A persisted session-cache file was corrupt or version-skewed;
+    /// it was quarantined and the cache rebuilt cold.
+    CacheQuarantined {
+        /// Where the damaged file was moved.
+        path: String,
+    },
+}
+
+impl std::fmt::Display for DegradedNote {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradedNote::TraceSalvaged { kept, dropped } => {
+                write!(
+                    f,
+                    "trace tail damaged: fitted {kept} records, dropped {dropped}"
+                )
+            }
+            DegradedNote::DeviceDegraded { target, factor } => {
+                write!(f, "target {target} degraded ({factor:.1}x service time)")
+            }
+            DegradedNote::DeviceFailed { target } => write!(f, "target {target} failed"),
+            DegradedNote::CalibrationDegraded { device, factor } => {
+                write!(f, "calibration of {device} degraded ({factor:.1}x)")
+            }
+            DegradedNote::SolverDegraded { quality } => {
+                write!(f, "solver budget exhausted ({quality:?})")
+            }
+            DegradedNote::CacheQuarantined { path } => {
+                write!(f, "corrupt session cache quarantined to {path}")
+            }
+        }
+    }
+}
+
 /// Everything the advise pipeline produced.
 pub struct AdviseOutcome {
     /// The SEE trace-collection run (also the SEE baseline numbers).
@@ -301,6 +393,15 @@ pub struct AdviseOutcome {
     pub problem: LayoutProblem,
     /// The advisor's recommendation.
     pub recommendation: Recommendation,
+    /// Degradations the pipeline worked around (empty on a clean run).
+    pub degraded: Vec<DegradedNote>,
+}
+
+impl AdviseOutcome {
+    /// True when any stage degraded gracefully instead of failing.
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded.is_empty()
+    }
 }
 
 /// Assembles a [`LayoutProblem`] from a scenario, fitted workloads,

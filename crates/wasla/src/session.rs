@@ -24,16 +24,19 @@
 //! bit-identical at any `WASLA_THREADS` setting.
 
 use crate::error::WaslaError;
-use crate::pipeline::{assemble_problem, AdviseConfig, AdviseOutcome, Scenario};
+use crate::persist;
+use crate::pipeline::{assemble_problem, AdviseConfig, AdviseOutcome, DegradedNote, Scenario};
 use crate::stages::{
     CalibrateInput, CalibrateStage, FitInput, FitStage, RegularizeInput, RegularizeStage,
     SolveStage, TraceInput, TraceStage,
 };
+use std::path::PathBuf;
 use wasla_core::{CacheStats, Stage, StageCache};
-use wasla_model::{CalibrationGrid, TableModel, TargetCostModel};
-use wasla_simlib::par;
+use wasla_exec::DeviceEvent;
+use wasla_model::{calibration_fault, CalibrationGrid, TableModel, TargetCostModel};
+use wasla_simlib::{fault, par};
 use wasla_storage::{TargetConfig, Trace};
-use wasla_trace::FitConfig;
+use wasla_trace::{fit_workloads_lossy, FitConfig, SalvageReport};
 use wasla_workload::{SqlWorkload, WorkloadSet};
 
 /// Hit/miss counters for a session's stage caches.
@@ -75,6 +78,21 @@ impl AdvisorSession {
     /// Number of fitted workload sets held.
     pub fn fits_cached(&self) -> usize {
         self.fits.len()
+    }
+
+    /// The stage caches, borrowed (the persistence layer serializes
+    /// them without draining the session).
+    pub(crate) fn caches(&self) -> (&StageCache<TableModel>, &StageCache<WorkloadSet>) {
+        (&self.calibrations, &self.fits)
+    }
+
+    /// Rebuilds a session around restored caches (counters start at
+    /// zero: restored entries are warm data that has served nothing).
+    pub(crate) fn from_caches(
+        calibrations: StageCache<TableModel>,
+        fits: StageCache<WorkloadSet>,
+    ) -> Self {
+        AdvisorSession { calibrations, fits }
     }
 
     /// The calibration table for one target's member device,
@@ -140,6 +158,54 @@ impl AdvisorSession {
         Ok(fitted)
     }
 
+    /// Like [`fit`](AdvisorSession::fit), but for a trace whose tail
+    /// the active fault plan damages: records past the keep point get
+    /// an out-of-range stream id (a torn tail), and the fitter salvages
+    /// the valid prefix. The damaged trace is cached under its *own*
+    /// content identity, so warm and cold sessions agree byte-for-byte
+    /// under the same fault plan.
+    fn fit_salvaged(
+        &mut self,
+        trace: &Trace,
+        names: &[String],
+        sizes: &[u64],
+        config: &FitConfig,
+        keep_fraction: f64,
+    ) -> Result<(WorkloadSet, SalvageReport), WaslaError> {
+        let keep = ((trace.len() as f64) * keep_fraction) as usize;
+        let mut damaged = Trace::new();
+        for (i, rec) in trace.records().iter().enumerate() {
+            let mut rec = *rec;
+            if i >= keep {
+                rec.stream = u32::MAX;
+            }
+            damaged.push(rec);
+        }
+        let stage = FitStage { config };
+        let input = FitInput {
+            trace: &damaged,
+            names,
+            sizes,
+        };
+        let key = stage
+            .cache_key(&input)
+            .ok_or_else(|| WaslaError::Internal("fit stage must be cacheable".to_string()))?;
+        if let Some(cached) = self.fits.get(key) {
+            // The engine-produced prefix is entirely valid, so the
+            // salvage boundary is exactly the damage point.
+            return Ok((
+                cached.clone(),
+                SalvageReport {
+                    kept: keep,
+                    dropped: trace.len() - keep,
+                },
+            ));
+        }
+        let (fitted, salvage) = fit_workloads_lossy(&damaged, names, sizes, config)?;
+        self.fits.insert(key, fitted.clone());
+        Ok((fitted, salvage))
+    }
+
     /// The full staged pipeline — trace → fit → calibrate → solve →
     /// regularize — with the pure stages served from this session's
     /// caches.
@@ -149,25 +215,60 @@ impl AdvisorSession {
         workloads: &[SqlWorkload],
         config: &AdviseConfig,
     ) -> Result<AdviseOutcome, WaslaError> {
+        let mut degraded: Vec<DegradedNote> = Vec::new();
         let trace_stage = TraceStage {
             settings: &config.trace_run,
         };
-        let baseline_run = trace_stage.run(&TraceInput {
+        let trace_outcome = trace_stage.run(&TraceInput {
             scenario,
             workloads,
         })?;
+        for event in &trace_outcome.device_events {
+            let target = scenario.targets[event.target()].name.clone();
+            degraded.push(match event {
+                DeviceEvent::Degraded { factor, .. } => DegradedNote::DeviceDegraded {
+                    target,
+                    factor: *factor,
+                },
+                DeviceEvent::Failed { .. } => DegradedNote::DeviceFailed { target },
+            });
+        }
+        let baseline_run = trace_outcome.report;
         let trace = baseline_run.trace.as_ref().ok_or_else(|| {
             WaslaError::Internal("trace stage returned a report without a trace".to_string())
         })?;
 
-        let fitted = self.fit(
-            trace,
-            &scenario.catalog.names(),
-            &scenario.catalog.sizes(),
-            &config.fit,
-        )?;
+        let names = scenario.catalog.names();
+        let sizes = scenario.catalog.sizes();
+        let trace_fault = fault::plan().and_then(|p| p.trace_fault(trace.content_hash()));
+        let fitted = match trace_fault {
+            Some(tf) => {
+                let (fitted, salvage) =
+                    self.fit_salvaged(trace, &names, &sizes, &config.fit, tf.keep_fraction)?;
+                if salvage.degraded() {
+                    degraded.push(DegradedNote::TraceSalvaged {
+                        kept: salvage.kept,
+                        dropped: salvage.dropped,
+                    });
+                }
+                fitted
+            }
+            None => self.fit(trace, &names, &sizes, &config.fit)?,
+        };
 
         let models = self.models_for(&scenario.targets, &config.grid, scenario.seed)?;
+        // Calibration faults are applied inside `calibrate_device`;
+        // re-query the plan here to note which targets got a degraded
+        // model (the cached table carries the degradation with it).
+        for target in &scenario.targets {
+            let spec = TargetCostModel::member_spec(target)?;
+            if let Some(f) = calibration_fault(spec, scenario.seed) {
+                degraded.push(DegradedNote::CalibrationDegraded {
+                    device: target.name.clone(),
+                    factor: f.latency_factor(),
+                });
+            }
+        }
         let problem =
             assemble_problem(scenario, fitted.clone(), models, config.constraints.clone());
 
@@ -182,12 +283,18 @@ impl AdvisorSession {
             problem: &problem,
             solved,
         })?;
+        if recommendation.quality.degraded() {
+            degraded.push(DegradedNote::SolverDegraded {
+                quality: recommendation.quality,
+            });
+        }
 
         Ok(AdviseOutcome {
             baseline_run,
             fitted,
             problem,
             recommendation,
+            degraded,
         })
     }
 
@@ -236,11 +343,17 @@ impl AdviseRequest {
     }
 }
 
+/// Retry budget for fault-injected batch requests: one retry per
+/// request, deterministic by request index.
+const MAX_ATTEMPTS: u32 = 2;
+
 /// A long-lived advising service: one shared [`AdvisorSession`] plus a
-/// deterministic batch loop.
+/// deterministic batch loop, optionally backed by a crash-safe cache
+/// directory.
 pub struct Service {
     session: AdvisorSession,
     base_seed: u64,
+    cache_dir: Option<PathBuf>,
 }
 
 impl Service {
@@ -250,6 +363,41 @@ impl Service {
         Service {
             session: AdvisorSession::new(),
             base_seed,
+            cache_dir: None,
+        }
+    }
+
+    /// Opens a service backed by a persisted cache directory: stage
+    /// caches saved by a previous [`persist`](Service::persist) are
+    /// restored, so a restarted service starts warm and reproduces
+    /// warm results byte-for-byte. Missing files mean a cold start;
+    /// corrupt or version-skewed files are quarantined (renamed to
+    /// `<file>.quarantined`, reported as a
+    /// [`DegradedNote::CacheQuarantined`]) and the cache rebuilds
+    /// transparently — never a panic, never a poisoned session.
+    pub fn open(
+        base_seed: u64,
+        cache_dir: impl Into<PathBuf>,
+    ) -> Result<(Service, Vec<DegradedNote>), WaslaError> {
+        let cache_dir = cache_dir.into();
+        let (session, notes) = persist::load_session(&cache_dir)?;
+        Ok((
+            Service {
+                session,
+                base_seed,
+                cache_dir: Some(cache_dir),
+            },
+            notes,
+        ))
+    }
+
+    /// Writes the session caches to the cache directory (versioned,
+    /// checksummed, atomic rename-on-write). A no-op for services
+    /// without a cache directory.
+    pub fn persist(&self) -> Result<(), WaslaError> {
+        match &self.cache_dir {
+            Some(dir) => persist::save_session(dir, &self.session),
+            None => Ok(()),
         }
     }
 
@@ -283,6 +431,7 @@ impl Service {
         }
 
         let base_seed = self.base_seed;
+        let plan = fault::plan();
         let snapshot = self.session.clone();
         let baseline = snapshot.stats();
         let indices: Vec<usize> = (0..requests.len()).collect();
@@ -294,7 +443,27 @@ impl Service {
                 config.advisor.seed = request
                     .seed
                     .unwrap_or_else(|| par::task_seed(base_seed, i as u64));
-                let outcome = local.advise(&request.scenario, &request.workloads, &config);
+                // Bounded deterministic retry: an injected request
+                // fault consumes an attempt; attempts roll
+                // independently per (request index, attempt), so a
+                // transient fault succeeds on retry and a persistent
+                // one surfaces as a typed per-request error — the rest
+                // of the batch is unaffected.
+                let request_key = fault::request_key(base_seed, i as u64);
+                let mut outcome = None;
+                for attempt in 0..MAX_ATTEMPTS {
+                    if plan.is_some_and(|p| p.request_fault(request_key, attempt)) {
+                        continue;
+                    }
+                    outcome = Some(local.advise(&request.scenario, &request.workloads, &config));
+                    break;
+                }
+                let outcome = outcome.unwrap_or_else(|| {
+                    Err(WaslaError::Fault {
+                        attempts: MAX_ATTEMPTS,
+                        detail: "injected request fault".to_string(),
+                    })
+                });
                 (outcome, local)
             });
 

@@ -27,7 +27,7 @@ use crate::pipeline::{self, RunSettings, Scenario, LVM_STRIPE};
 use wasla_core::{
     AdvisorError, AdvisorOptions, Layout, LayoutProblem, Recommendation, SolveOutcome, Stage,
 };
-use wasla_exec::{Placement, RunReport};
+use wasla_exec::{Placement, RunOutcome};
 use wasla_model::{calibrate_device, CalibrationGrid, TableModel};
 use wasla_simlib::hash::{hash_json, Fnv64};
 use wasla_storage::{DeviceSpec, Trace};
@@ -43,8 +43,9 @@ pub struct TraceInput<'a> {
 }
 
 /// Stage 1 — run the workload under the SEE baseline layout with
-/// trace capture on, producing the baseline [`RunReport`] (which
-/// carries the block trace).
+/// trace capture on, producing the baseline [`RunOutcome`]: the run
+/// report (which carries the block trace) plus any device-fault events
+/// the run observed.
 pub struct TraceStage<'a> {
     /// Settings for the trace-collection run; `capture_trace` is
     /// forced on.
@@ -53,14 +54,14 @@ pub struct TraceStage<'a> {
 
 impl<'a> Stage for TraceStage<'a> {
     type Input = TraceInput<'a>;
-    type Output = RunReport;
+    type Output = RunOutcome;
     type Error = WaslaError;
 
     fn name(&self) -> &'static str {
         "trace"
     }
 
-    fn run(&self, input: &TraceInput<'a>) -> Result<RunReport, WaslaError> {
+    fn run(&self, input: &TraceInput<'a>) -> Result<RunOutcome, WaslaError> {
         let n = input.scenario.catalog.len();
         let m = input.scenario.targets.len();
         // Reject degenerate scenarios before handing them to the
@@ -80,13 +81,14 @@ impl<'a> Stage for TraceStage<'a> {
         let see = Layout::see(n, m);
         let mut settings = self.settings.clone();
         settings.capture_trace = true;
-        let report = pipeline::run_layout(input.scenario, input.workloads, see.rows(), &settings)?;
-        if report.trace.is_none() {
+        let outcome =
+            pipeline::run_layout_observed(input.scenario, input.workloads, see.rows(), &settings)?;
+        if outcome.report.trace.is_none() {
             return Err(WaslaError::Internal(
                 "trace capture was requested but the run produced no trace".to_string(),
             ));
         }
-        Ok(report)
+        Ok(outcome)
     }
 }
 

@@ -48,7 +48,8 @@ fn main() {
             ..RunConfig::default()
         },
     )
-    .run();
+    .run()
+    .expect("engine run succeeds");
     let trace = report.trace.expect("trace requested");
     println!(
         "  {} block requests over {:.0} simulated seconds",

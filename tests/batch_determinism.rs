@@ -13,6 +13,7 @@
 //! other test in the same binary runs concurrently.
 
 use wasla::pipeline::{AdviseConfig, AdviseOutcome, Scenario};
+use wasla::simlib::fault::{self, FaultPlan};
 use wasla::workload::SqlWorkload;
 use wasla::{AdviseRequest, Service, WaslaError};
 
@@ -33,11 +34,22 @@ fn requests() -> Vec<AdviseRequest> {
 fn report(outcomes: &[Result<AdviseOutcome, WaslaError>]) -> String {
     let mut out = String::new();
     for outcome in outcomes {
-        let rec = &outcome.as_ref().expect("advise succeeds").recommendation;
-        out.push_str(&format!(
-            "solver={:?}\nregular={:?}\nstages={:?}\nconverged={:?} fell_back={:?}\n",
-            rec.solver_layout, rec.regular_layout, rec.stages, rec.converged, rec.fell_back_to_see
-        ));
+        match outcome {
+            Ok(outcome) => {
+                let rec = &outcome.recommendation;
+                out.push_str(&format!(
+                    "solver={:?}\nregular={:?}\nstages={:?}\nconverged={:?} fell_back={:?}\n",
+                    rec.solver_layout,
+                    rec.regular_layout,
+                    rec.stages,
+                    rec.converged,
+                    rec.fell_back_to_see
+                ));
+            }
+            // Fault-injected request errors are part of the batch's
+            // deterministic surface too.
+            Err(e) => out.push_str(&format!("error={e}\n")),
+        }
     }
     out
 }
@@ -64,9 +76,51 @@ fn cold_and_warm_at(threads: usize) -> (String, String) {
 
 #[test]
 fn batches_are_identical_at_any_thread_count_and_temperature() {
+    std::env::remove_var(fault::ENV_VAR);
     let (cold_1, warm_1) = cold_and_warm_at(1);
     let (cold_8, warm_8) = cold_and_warm_at(8);
     assert_eq!(cold_1, cold_8, "batch results depend on WASLA_THREADS");
     assert_eq!(cold_1, warm_1, "warm session diverged from cold");
     assert_eq!(warm_1, warm_8, "warm batch depends on WASLA_THREADS");
+
+    // Fault-injected batches hold the same contract: pick a plan that
+    // persistently faults exactly one of the two request slots (both
+    // retry attempts consumed). That slot must come back as the same
+    // typed error at any thread count, warm or cold, while the other
+    // slot still produces its recommendation.
+    let persistent = |p: &FaultPlan, i: u64| {
+        let key = fault::request_key(0xBA7C4, i);
+        p.request_fault(key, 0) && p.request_fault(key, 1)
+    };
+    let seed = (1u64..50_000)
+        .find(|&s| {
+            FaultPlan::from_seed(s)
+                .map(|p| (0..2).filter(|&i| persistent(&p, i)).count() == 1)
+                .unwrap_or(false)
+        })
+        .expect("no persistent-request-fault seed found in range");
+    std::env::set_var(fault::ENV_VAR, seed.to_string());
+    let (fault_cold_1, fault_warm_1) = cold_and_warm_at(1);
+    let (fault_cold_8, fault_warm_8) = cold_and_warm_at(8);
+    std::env::remove_var(fault::ENV_VAR);
+    assert!(
+        fault_cold_1.contains("injected request fault"),
+        "seed {seed}: the faulted slot should surface its error:\n{fault_cold_1}"
+    );
+    assert!(
+        fault_cold_1.contains("solver="),
+        "seed {seed}: the healthy slot should still succeed:\n{fault_cold_1}"
+    );
+    assert_eq!(
+        fault_cold_1, fault_cold_8,
+        "faulted batch depends on WASLA_THREADS"
+    );
+    assert_eq!(
+        fault_cold_1, fault_warm_1,
+        "faulted warm diverged from cold"
+    );
+    assert_eq!(
+        fault_warm_1, fault_warm_8,
+        "faulted warm depends on WASLA_THREADS"
+    );
 }

@@ -5,14 +5,18 @@
 //! fresh [`wasla::AdvisorSession`]) with a scenario broken in a
 //! different stage: an empty catalog breaks problem validation, a
 //! zero-capacity target breaks SEE placement inside the trace stage,
-//! and unsatisfiable admin constraints dead-end the regularizer.
+//! and unsatisfiable admin constraints dead-end the regularizer. The
+//! last case opens a [`wasla::Service`] on a cache directory whose
+//! damage cannot be quarantined — the one persistence failure that is
+//! an error rather than a degradation.
 
 use wasla::core::{AdminConstraint, AdvisorError};
 use wasla::exec::PlacementError;
+use wasla::persist;
 use wasla::pipeline::{self, AdviseConfig, Scenario};
 use wasla::storage::{DeviceSpec, DiskParams, TargetConfig};
 use wasla::workload::{Catalog, SqlWorkload};
-use wasla::WaslaError;
+use wasla::{Service, WaslaError};
 
 fn workloads() -> [SqlWorkload; 1] {
     [SqlWorkload::olap1_21(3)]
@@ -70,4 +74,27 @@ fn infeasible_constraints_are_a_typed_error() {
         matches!(err, WaslaError::Advisor(_)),
         "unsatisfiable constraints should surface from the advisor, got {err:?}"
     );
+}
+
+#[test]
+fn blocked_cache_quarantine_is_a_typed_io_error() {
+    let dir = std::env::temp_dir().join(format!("wasla-error-paths-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    // A corrupt snapshot would normally be quarantined and rebuilt,
+    // but a non-empty directory squatting on the quarantine path
+    // blocks the rename — the damage cannot be moved aside, so the
+    // open must fail with an I/O error naming the quarantine path
+    // (the CLI maps it to exit code 3).
+    std::fs::write(dir.join(persist::CALIBRATIONS_FILE), "{torn write").unwrap();
+    let blocker = dir.join("calibrations.json.quarantined");
+    std::fs::create_dir_all(blocker.join("occupied")).unwrap();
+    let err = Service::open(0x5eed, &dir).err().expect("open should fail");
+    assert_eq!(err.exit_code(), 3, "blocked quarantine must map to I/O");
+    assert!(
+        matches!(&err, WaslaError::Io { path, .. }
+            if path.ends_with("calibrations.json.quarantined")),
+        "error must name the quarantine path, got {err:?}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
 }

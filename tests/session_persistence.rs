@@ -1,0 +1,97 @@
+//! Crash-safe session persistence, end to end: a [`Service`] opened on
+//! a cache directory restarts warm and reproduces warm results
+//! byte-for-byte; a corrupted snapshot is quarantined and rebuilt
+//! transparently. One test function: it owns a fixed scratch
+//! directory and the fault-seed environment variable.
+
+use std::path::PathBuf;
+use wasla::persist;
+use wasla::pipeline::{AdviseConfig, Scenario};
+use wasla::session::{AdviseRequest, Service};
+use wasla::simlib::fault;
+use wasla::workload::SqlWorkload;
+use wasla::DegradedNote;
+
+fn requests() -> Vec<AdviseRequest> {
+    vec![
+        AdviseRequest::new(
+            Scenario::homogeneous_disks(4, 0.01),
+            vec![SqlWorkload::olap1_21(3)],
+            AdviseConfig::fast(),
+        ),
+        AdviseRequest::new(
+            Scenario::homogeneous_disks(4, 0.01),
+            vec![SqlWorkload::olap8_63(5)],
+            AdviseConfig::fast(),
+        ),
+    ]
+}
+
+/// Layouts from a batch run, unwrapped (no faults are active here).
+fn layouts(service: &mut Service) -> Vec<(Vec<Vec<f64>>, Vec<Vec<f64>>)> {
+    service
+        .advise_batch(&requests())
+        .into_iter()
+        .map(|outcome| {
+            let outcome = outcome.expect("advise succeeds");
+            (
+                outcome.recommendation.solver_layout.rows().to_vec(),
+                outcome.recommendation.final_layout().rows().to_vec(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn service_restarts_warm_and_survives_cache_corruption() {
+    std::env::remove_var(fault::ENV_VAR);
+    let dir = PathBuf::from(std::env::temp_dir())
+        .join(format!("wasla-session-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Cold start: nothing on disk, no notes, empty caches.
+    let (mut cold, notes) = Service::open(0xBA7C4, &dir).expect("cold open");
+    assert!(notes.is_empty(), "cold open must be silent: {notes:?}");
+    assert_eq!(cold.session().calibrations_cached(), 0);
+    let cold_layouts = layouts(&mut cold);
+    cold.persist().expect("persist after cold batch");
+    assert!(dir.join(persist::CALIBRATIONS_FILE).exists());
+    assert!(dir.join(persist::FITS_FILE).exists());
+
+    // Restart: caches restored, zero recomputation, byte-identical
+    // results.
+    let (mut warm, notes) = Service::open(0xBA7C4, &dir).expect("warm open");
+    assert!(notes.is_empty(), "warm open must be silent: {notes:?}");
+    assert_eq!(warm.session().calibrations_cached(), 1);
+    assert!(warm.session().fits_cached() >= 1);
+    let warm_layouts = layouts(&mut warm);
+    assert_eq!(cold_layouts, warm_layouts, "warm must equal cold");
+    let stats = warm.session().stats();
+    assert_eq!(stats.calibration.misses, 0, "restored tables must serve");
+    assert_eq!(stats.fit.misses, 0, "restored fits must serve");
+
+    // Corrupt one snapshot: the open quarantines it, reports a typed
+    // note, and the rebuilt service still reproduces the cold results.
+    std::fs::write(dir.join(persist::CALIBRATIONS_FILE), "{torn write").unwrap();
+    let (mut rebuilt, notes) = Service::open(0xBA7C4, &dir).expect("open past corruption");
+    assert_eq!(notes.len(), 1, "expected one quarantine note: {notes:?}");
+    assert!(
+        matches!(&notes[0], DegradedNote::CacheQuarantined { path }
+            if path.ends_with("calibrations.json.quarantined")),
+        "got {:?}",
+        notes[0]
+    );
+    assert!(dir.join("calibrations.json.quarantined").exists());
+    assert_eq!(rebuilt.session().calibrations_cached(), 0, "rebuilt cold");
+    assert!(rebuilt.session().fits_cached() >= 1, "fits were undamaged");
+    let rebuilt_layouts = layouts(&mut rebuilt);
+    assert_eq!(cold_layouts, rebuilt_layouts, "rebuild must equal cold");
+
+    // And persisting again heals the directory for the next restart.
+    rebuilt.persist().expect("persist after rebuild");
+    let (healed, notes) = Service::open(0xBA7C4, &dir).expect("healed open");
+    assert!(notes.is_empty(), "healed open must be silent: {notes:?}");
+    assert_eq!(healed.session().calibrations_cached(), 1);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -94,7 +94,8 @@ fn engine_trace_accounts_for_all_physical_requests() {
             ..RunConfig::default()
         },
     )
-    .run();
+    .run()
+    .expect("engine run succeeds");
     let trace = report.trace.as_ref().expect("trace requested");
     let physical: u64 = report
         .objects
@@ -155,7 +156,8 @@ fn concurrency_changes_fitted_parameters() {
                 ..RunConfig::default()
             },
         )
-        .run();
+        .run()
+        .expect("engine run succeeds");
         let trace = report.trace.expect("trace requested");
         fit_workloads(
             &trace,
