@@ -34,7 +34,7 @@ median_of() {
     awk -v want="\"$1\"" '
         /"id":/       { id = $2; sub(/,$/, "", id) }
         /"median_ns":/ && id == want { v = $2; sub(/,$/, "", v); print v; exit }
-    ' results/BENCH_solver.json
+    ' "results/BENCH_${2:-solver}.json"
 }
 engine_ns=$(median_of "nlp_gradient_engine/n128_m16")
 scratch_ns=$(median_of "nlp_gradient_scratch/n128_m16")
@@ -49,5 +49,27 @@ if awk -v s="$scratch_ns" -v e="$engine_ns" 'BEGIN { exit !(s / e >= 5.0) }'; th
     echo "speedup gate passed (>= 5x)"
 else
     echo "error: eval-engine speedup ${ratio}x is below the 5x gate" >&2
+    exit 1
+fi
+
+echo
+echo "== streamed-ingest gate (op-log chunked reader) =="
+# Streaming an op-log through the chunked reader (DESIGN.md §12) must
+# not lose to materializing the trace first: same fit, strictly less
+# copying. Compared at a single thread so pool overhead cancels out;
+# 1.25x of slack absorbs wall-clock noise.
+streamed_ns=$(median_of "oplog_ingest_streamed/threads1" ingest)
+materialized_ns=$(median_of "oplog_ingest_materialized/threads1" ingest)
+if [ -z "$streamed_ns" ] || [ -z "$materialized_ns" ]; then
+    echo "error: ingest sweep missing from results/BENCH_ingest.json" >&2
+    echo "(expected oplog_ingest_streamed/threads1 and oplog_ingest_materialized/threads1)" >&2
+    exit 1
+fi
+ratio=$(awk -v m="$materialized_ns" -v s="$streamed_ns" 'BEGIN { printf "%.2f", s / m }')
+echo "oplog ingest threads1: streamed ${streamed_ns} ns / materialized ${materialized_ns} ns = ${ratio}x"
+if awk -v m="$materialized_ns" -v s="$streamed_ns" 'BEGIN { exit !(s <= 1.25 * m) }'; then
+    echo "ingest gate passed (streamed <= 1.25x materialized)"
+else
+    echo "error: streamed ingestion is ${ratio}x the materialized path (gate: 1.25x)" >&2
     exit 1
 fi

@@ -129,14 +129,55 @@ step "fault matrix (offline)"
 # fault-aware suites must still pass — typed errors and degradation
 # notes, never panics, never silently wrong answers. Golden-result
 # suites (determinism, pipeline) are exempt by design: faults change
-# results, deterministically. Seeds are arbitrary but fixed so CI
-# failures reproduce locally with the same plan.
-for fault_seed in 7 11 1337; do
+# results, deterministically. The seed list is the chaos soak: eight
+# fixed seeds spanning small, mid, and adversarial-looking values, so
+# CI failures reproduce locally with the same plan. `oplog_stream`
+# rides the matrix too — it covers the op-log corruption-salvage path,
+# and all its assertions are equality claims that hold under faults.
+for fault_seed in 7 11 23 42 99 1337 2024 31337; do
     echo "-- fault seed $fault_seed --"
     WASLA_FAULTS=$fault_seed cargo test -q --offline -p wasla \
         --test failure_modes --test error_paths \
-        --test fault_injection --test batch_determinism
+        --test fault_injection --test batch_determinism \
+        --test oplog_stream
 done
+
+step "op-log replay-validation gate (streamed == materialized)"
+# The streaming contract (DESIGN.md §12): chunked ingestion of a
+# captured op-log must produce a byte-identical fit to materializing
+# the trace first, at any pool width. Capture a small log with the
+# release binary, ingest it streamed at WASLA_THREADS=1/2/8 plus
+# materialized, and byte-compare every output; then check the replay
+# report itself is byte-identical across pool widths. The golden
+# round-trip (write → read → write vs the committed fixture) runs as
+# the named test suite.
+advisor=target/release/wasla-advisor
+oplog_tmp=$(mktemp -d)
+"$advisor" capture --scenario tpch --scale 0.01 --out-dir "$oplog_tmp/cap"
+for t in 1 2 8; do
+    WASLA_THREADS=$t "$advisor" fit --oplog "$oplog_tmp/cap/oplog.tsv" \
+        --objects "$oplog_tmp/cap/objects.json" --out "$oplog_tmp/streamed_t$t.json"
+done
+WASLA_THREADS=1 "$advisor" fit --oplog "$oplog_tmp/cap/oplog.tsv" --materialized \
+    --objects "$oplog_tmp/cap/objects.json" --out "$oplog_tmp/materialized.json"
+for t in 1 2 8; do
+    if ! cmp -s "$oplog_tmp/materialized.json" "$oplog_tmp/streamed_t$t.json"; then
+        echo "error: streamed ingestion at WASLA_THREADS=$t differs from materialized" >&2
+        exit 1
+    fi
+done
+echo "streamed fit == materialized fit at WASLA_THREADS=1/2/8"
+for t in 1 8; do
+    WASLA_THREADS=$t "$advisor" replay --oplog "$oplog_tmp/cap/oplog.tsv" \
+        --scenario tpch --coarse > "$oplog_tmp/replay_t$t.txt"
+done
+if ! cmp -s "$oplog_tmp/replay_t1.txt" "$oplog_tmp/replay_t8.txt"; then
+    echo "error: replay report differs between WASLA_THREADS=1 and 8" >&2
+    exit 1
+fi
+echo "replay report byte-identical at WASLA_THREADS=1/8"
+cargo test -q --offline -p wasla-trace --test golden_oplog
+rm -rf "$oplog_tmp"
 
 step "benches compile (offline)"
 cargo bench --offline --no-run

@@ -6,6 +6,7 @@
 //! repro ablations          # the DESIGN.md §5 ablations
 //! repro fig11 fig17        # a subset
 //! repro bench-diff         # diff results/BENCH_*.json vs baselines
+//! repro replay             # capture/replay predict-vs-observe loop
 //! ```
 //!
 //! Experiments: fig1 fig8 fig11 fig12 fig13 fig14 fig15 fig16 fig17
@@ -110,16 +111,103 @@ fn bench_diff(mut args: impl Iterator<Item = String>) -> ! {
         println!("run `cargo bench` first to generate them");
         std::process::exit(0);
     }
-    print!("{}", diff::render(&diffs));
+    print!("{}", diff::render(&diffs, fail_over));
     let worst = diff::worst_regression(&diffs);
     if worst.is_finite() {
         println!("worst regression vs baseline: {:+.1}%", worst * 100.0);
     }
     if let Some(limit) = fail_over {
-        if worst.is_finite() && worst * 100.0 > limit {
-            eprintln!("bench-diff: regression exceeds --fail-over {limit}%");
+        // Judge every bench, then fail once with the full list — the
+        // table above already carries the per-bench verdicts.
+        let over = diff::regressions_over(&diffs, limit);
+        if !over.is_empty() {
+            eprintln!(
+                "bench-diff: {} bench(es) regressed beyond --fail-over {limit}%:",
+                over.len()
+            );
+            for (suite, d) in &over {
+                eprintln!("  {suite}/{} {:+.1}%", d.id, d.relative() * 100.0);
+            }
             std::process::exit(1);
         }
+    }
+    std::process::exit(0);
+}
+
+/// `repro replay [--scale S] [--full]`
+///
+/// The capture/replay predict-vs-observe loop on both paper catalogs:
+/// capture an op-log under the SEE baseline (TPC-H-like OLAP, then
+/// TPC-C-like OLTP), advise from the streamed log, and replay the log
+/// against the baseline and advised layouts, reporting predicted vs
+/// observed per-target utilization and completion time. `--full` uses
+/// the full-fidelity advise configuration instead of the coarse one.
+fn replay_loop(mut args: impl Iterator<Item = String>) -> ! {
+    use wasla::pipeline::{AdviseConfig, RunSettings, Scenario};
+    use wasla::workload::SqlWorkload;
+    let mut scale = 0.01f64;
+    let mut full = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--scale takes a number");
+            }
+            "--full" => full = true,
+            other => {
+                eprintln!("replay: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let config = if full {
+        AdviseConfig::full()
+    } else {
+        AdviseConfig::fast()
+    };
+    let oltp_settings = RunSettings {
+        max_time: Some(60.0),
+        ..RunSettings::default()
+    };
+    let cases: [(&str, Scenario, Vec<SqlWorkload>, RunSettings); 2] = [
+        (
+            "tpch-like",
+            Scenario::homogeneous_disks(4, scale),
+            vec![SqlWorkload::olap1_21(3)],
+            RunSettings::default(),
+        ),
+        (
+            "tpcc-like",
+            Scenario::oltp_disks(scale),
+            vec![SqlWorkload::oltp()],
+            oltp_settings,
+        ),
+    ];
+    for (name, scenario, workloads, settings) in cases {
+        let captured = match wasla::replay::capture_oplog(&scenario, &workloads, &settings) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("replay: {name}: capture failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let mut session = wasla::AdvisorSession::new();
+        let validation =
+            match wasla::replay::replay_validate(&mut session, &captured.log, &scenario, &config) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("replay: {name}: validation failed: {e}");
+                    std::process::exit(1);
+                }
+            };
+        println!("## replay {name} (scale {scale})");
+        print!(
+            "{}",
+            wasla::replay::render_validation(&validation, &scenario)
+        );
+        println!();
     }
     std::process::exit(0);
 }
@@ -132,6 +220,7 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "bench-diff" => bench_diff(args),
+            "replay" => replay_loop(args),
             "--scale" => {
                 config.scale = args
                     .next()
@@ -155,6 +244,7 @@ fn main() {
     if ids.is_empty() {
         eprintln!("usage: repro [--scale S] [--seed N] [--out DIR] <experiment>|all|ablations ...");
         eprintln!("       repro bench-diff [--baseline DIR] [--current DIR] [--fail-over PCT]");
+        eprintln!("       repro replay [--scale S] [--full]");
         eprintln!("experiments: {FIGS:?} {ABLATIONS:?}");
         std::process::exit(2);
     }

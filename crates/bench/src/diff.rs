@@ -152,18 +152,45 @@ fn format_ns(ns: f64) -> String {
     }
 }
 
-/// Renders the diffs as the table `repro bench-diff` prints.
-pub fn render(diffs: &[SuiteDiff]) -> String {
+/// Advisory threshold (percent) for the verdict column when no
+/// `--fail-over` limit is in force.
+pub const ADVISORY_PCT: f64 = 25.0;
+
+/// One bench's verdict against the regression threshold. With a
+/// `--fail-over` limit the slow side is a hard `FAIL`; without one the
+/// verdicts are advisory (`slower`/`faster`), since wall-clock noise
+/// alone shouldn't read as a gate.
+pub fn verdict(d: &BenchDelta, fail_over_pct: Option<f64>) -> &'static str {
+    let pct = d.relative() * 100.0;
+    let limit = fail_over_pct.unwrap_or(ADVISORY_PCT);
+    if pct > limit {
+        if fail_over_pct.is_some() {
+            "FAIL"
+        } else {
+            "slower"
+        }
+    } else if pct < -limit {
+        "faster"
+    } else {
+        "ok"
+    }
+}
+
+/// Renders the diffs as the per-bench verdict table `repro bench-diff`
+/// prints: one line per bench, every bench judged (no bailing on the
+/// first regression), verdicts in the last column.
+pub fn render(diffs: &[SuiteDiff], fail_over_pct: Option<f64>) -> String {
     let mut out = String::new();
     for diff in diffs {
         out.push_str(&format!("== BENCH_{} ==\n", diff.suite));
         for d in &diff.deltas {
             out.push_str(&format!(
-                "{:48} {:>14} -> {:>14}  {:>+8.1}%\n",
+                "{:48} {:>14} -> {:>14}  {:>+8.1}%  {}\n",
                 d.id,
                 format_ns(d.baseline_ns),
                 format_ns(d.current_ns),
                 d.relative() * 100.0,
+                verdict(d, fail_over_pct),
             ));
         }
         for id in &diff.only_current {
@@ -175,6 +202,19 @@ pub fn render(diffs: &[SuiteDiff]) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Every `(suite, bench)` regressed past the limit, across all suites.
+pub fn regressions_over(diffs: &[SuiteDiff], limit_pct: f64) -> Vec<(String, BenchDelta)> {
+    diffs
+        .iter()
+        .flat_map(|d| {
+            d.deltas
+                .iter()
+                .filter(|x| x.relative() * 100.0 > limit_pct)
+                .map(|x| (d.suite.clone(), x.clone()))
+        })
+        .collect()
 }
 
 /// The worst (most positive) relative regression across all suites.
@@ -221,9 +261,27 @@ mod tests {
         assert_eq!(d.only_current, vec!["fresh"]);
         assert_eq!(d.only_baseline, vec!["gone"]);
         assert!((worst_regression(&diffs) - 0.5).abs() < 1e-12);
-        let table = render(&diffs);
+        let table = render(&diffs, None);
         assert!(table.contains("+50.0%"), "{table}");
         assert!(table.contains("no baseline"));
+        assert!(table.contains("slower"), "advisory verdict: {table}");
+        let gated = render(&diffs, Some(25.0));
+        assert!(gated.contains("FAIL"), "gated verdict: {gated}");
+        let over = regressions_over(&diffs, 25.0);
+        assert_eq!(over.len(), 1);
+        assert_eq!(over[0].1.id, "a");
+        assert!(regressions_over(&diffs, 60.0).is_empty());
+        assert_eq!(
+            verdict(
+                &BenchDelta {
+                    id: "fast".into(),
+                    baseline_ns: 100.0,
+                    current_ns: 50.0
+                },
+                Some(25.0)
+            ),
+            "faster"
+        );
         let _ = std::fs::remove_dir_all(&base);
         let _ = std::fs::remove_dir_all(&cur);
     }

@@ -16,8 +16,17 @@ use crate::report::{ObjectIoStats, RunReport};
 use wasla_simlib::fault::{self, DeviceFault};
 use wasla_simlib::{SimRng, SimTime};
 use wasla_storage::{BlockTraceRecord, IoKind, StorageSystem, TargetIo, Trace};
+use wasla_trace::oplog::{OpLog, OpRecord};
 use wasla_workload::sql::SqlWorkloadKind;
 use wasla_workload::{AccessKind, Catalog, SqlWorkload};
+
+/// Completion tags are `((record + 1) << SHIFT) | step_slot` while an
+/// op-log is being captured, and the bare step slot otherwise. 20 bits
+/// of slot space is far beyond any realistic concurrent-step count, and
+/// the `+ 1` keeps "no op-log record" distinguishable as all-zero high
+/// bits.
+const OPLOG_TAG_SHIFT: u32 = 20;
+const OPLOG_TAG_MASK: u64 = (1 << OPLOG_TAG_SHIFT) - 1;
 
 /// Engine tunables.
 #[derive(Clone, Debug)]
@@ -43,6 +52,9 @@ pub struct RunConfig {
     pub oltp_warmup: f64,
     /// Capture a logical block trace for workload fitting.
     pub capture_trace: bool,
+    /// Capture a streaming op-log (issue *and* completion timestamps
+    /// per physical request) for replay and streamed ingestion.
+    pub capture_oplog: bool,
 }
 
 impl Default for RunConfig {
@@ -59,6 +71,7 @@ impl Default for RunConfig {
             txn_cap: None,
             oltp_warmup: 0.0,
             capture_trace: false,
+            capture_oplog: false,
         }
     }
 }
@@ -136,6 +149,10 @@ pub struct RunOutcome {
     pub report: RunReport,
     /// Device faults applied during the run, in target order.
     pub device_events: Vec<DeviceEvent>,
+    /// The captured op-log, when [`RunConfig::capture_oplog`] was set.
+    /// Reported out-of-band from [`RunReport`], whose JSON shape the
+    /// golden result files pin.
+    pub oplog: Option<OpLog>,
 }
 
 /// Access pattern state of a running step.
@@ -205,6 +222,10 @@ pub struct Engine<'a> {
     progress: Vec<WorkloadProgress>,
     object_stats: Vec<ObjectIoStats>,
     trace: Option<Trace>,
+    oplog: Option<OpLog>,
+    /// Outstanding storage parts per op-log record; a record's
+    /// completion timestamp is stamped when its count drains to zero.
+    oplog_open: Vec<u32>,
     translate_buf: Vec<(usize, u64, u64)>,
     has_olap: bool,
     queries_completed: usize,
@@ -242,6 +263,7 @@ impl<'a> Engine<'a> {
             })
             .collect();
         let trace = config.capture_trace.then(Trace::new);
+        let oplog = config.capture_oplog.then(OpLog::new);
         let rng = SimRng::new(config.seed);
         Engine {
             catalog,
@@ -257,6 +279,8 @@ impl<'a> Engine<'a> {
             progress,
             object_stats: vec![ObjectIoStats::default(); catalog.len()],
             trace,
+            oplog,
+            oplog_open: Vec::new(),
             translate_buf: Vec::new(),
             has_olap,
             queries_completed: 0,
@@ -373,13 +397,16 @@ impl<'a> Engine<'a> {
             let completions = self.storage.advance_until(t);
             last = t;
             for c in completions {
-                self.on_part_complete(c.tag as usize, c.finished, &pool)?;
+                let sidx = self.note_oplog_completion(c.tag, c.finished);
+                self.on_part_complete(sidx, c.finished, &pool)?;
             }
         }
 
+        let oplog = self.oplog.take();
         Ok(RunOutcome {
             report: self.build_report(last),
             device_events,
+            oplog,
         })
     }
 
@@ -697,6 +724,26 @@ impl<'a> Engine<'a> {
             } else {
                 IoKind::Read
             };
+            // With op-log capture on, the completion tag carries the
+            // record index so `run_observed` can stamp completion
+            // times; otherwise it is the bare step slot, bit-identical
+            // to the capture-off behaviour.
+            let tag = if let Some(log) = &mut self.oplog {
+                debug_assert!((sidx as u64) <= OPLOG_TAG_MASK, "step slab overflow");
+                let rid = log.len() as u64;
+                log.push(OpRecord {
+                    kind,
+                    stream: object as u32,
+                    offset,
+                    len,
+                    issue: now,
+                    complete: now,
+                });
+                self.oplog_open.push(parts);
+                ((rid + 1) << OPLOG_TAG_SHIFT) | sidx as u64
+            } else {
+                sidx as u64
+            };
             // Move the buffer out to appease the borrow checker, then
             // restore it (no allocation in steady state).
             let buf = std::mem::take(&mut self.translate_buf);
@@ -710,11 +757,31 @@ impl<'a> Engine<'a> {
                         len: tlen,
                         stream: object as u32,
                     },
-                    sidx as u64,
+                    tag,
                 );
             }
             self.translate_buf = buf;
         }
+    }
+
+    /// Decodes a completion tag: drains the part count of the op-log
+    /// record it names (stamping the record's completion time when the
+    /// last part lands) and returns the step slot.
+    fn note_oplog_completion(&mut self, tag: u64, finished: SimTime) -> usize {
+        let rid_plus_one = tag >> OPLOG_TAG_SHIFT;
+        if rid_plus_one == 0 {
+            return tag as usize;
+        }
+        let rid = (rid_plus_one - 1) as usize;
+        if let Some(open) = self.oplog_open.get_mut(rid) {
+            *open = open.saturating_sub(1);
+            if *open == 0 {
+                if let Some(log) = &mut self.oplog {
+                    log.set_complete(rid, finished);
+                }
+            }
+        }
+        (tag & OPLOG_TAG_MASK) as usize
     }
 
     fn release_step(&mut self, sidx: usize) {

@@ -108,6 +108,28 @@ impl Trace {
         h.finish()
     }
 
+    /// The [`Trace::content_hash`] this trace would have if every
+    /// record past the first `keep` had its stream id replaced by
+    /// `u32::MAX` — the shape fault injection produces. Lets a cache
+    /// layer key the salvage of a damaged trace without materializing
+    /// the damaged copy first.
+    pub fn content_hash_damaged(&self, keep: usize) -> u64 {
+        let mut h = wasla_simlib::hash::Fnv64::new();
+        h.write_u64(self.records.len() as u64);
+        for (i, r) in self.records.iter().enumerate() {
+            let stream = if i < keep { r.stream } else { u32::MAX };
+            h.write_f64(r.time.as_secs());
+            h.write_u64(stream as u64);
+            h.write_u64(match r.kind {
+                IoKind::Read => 0,
+                IoKind::Write => 1,
+            });
+            h.write_u64(r.offset);
+            h.write_u64(r.len);
+        }
+        h.finish()
+    }
+
     /// Distinct stream ids, ascending.
     pub fn stream_ids(&self) -> Vec<u32> {
         let mut ids: Vec<u32> = self.records.iter().map(|r| r.stream).collect();
@@ -144,5 +166,26 @@ mod tests {
         let s1: Vec<_> = tr.stream(1).collect();
         assert_eq!(s1.len(), 2);
         assert_eq!(s1[1].offset, 8192);
+    }
+
+    #[test]
+    fn damaged_hash_matches_materialized_damage() {
+        let mut tr = Trace::new();
+        for k in 0..10 {
+            tr.push(rec(k as f64, k % 3, k as u64 * 4096));
+        }
+        for keep in [0, 3, 10] {
+            let mut damaged = Trace::new();
+            for (i, r) in tr.records().iter().enumerate() {
+                let mut r = *r;
+                if i >= keep {
+                    r.stream = u32::MAX;
+                }
+                damaged.push(r);
+            }
+            assert_eq!(tr.content_hash_damaged(keep), damaged.content_hash());
+        }
+        assert_eq!(tr.content_hash_damaged(10), tr.content_hash());
+        assert_ne!(tr.content_hash_damaged(3), tr.content_hash());
     }
 }

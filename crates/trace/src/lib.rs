@@ -28,6 +28,8 @@ use wasla_simlib::par;
 use wasla_storage::{BlockTraceRecord, IoKind, Trace};
 use wasla_workload::{WorkloadSet, WorkloadSpec};
 
+pub mod oplog;
+
 /// Failure modes of trace fitting.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FitError {
@@ -131,6 +133,11 @@ impl Default for FitConfig {
 }
 
 /// Per-object accumulation state during the single pass over the trace.
+///
+/// Also usable as a *partial* accumulation over a contiguous chunk of
+/// the trace: `first` remembers the shape of the object's first request
+/// in the chunk so [`oplog`]'s merge can decide whether the chunk
+/// boundary split a sequential run.
 #[derive(Clone, Debug)]
 struct Accum {
     reads: u64,
@@ -138,6 +145,9 @@ struct Accum {
     read_bytes: u64,
     write_bytes: u64,
     runs: u64,
+    /// `(offset, len)` of the object's first record in this
+    /// accumulation range (used only when merging partials).
+    first: Option<(u64, u64)>,
     next_expected: Option<u64>,
     windows: Vec<u32>,
 }
@@ -150,6 +160,7 @@ impl Accum {
             read_bytes: 0,
             write_bytes: 0,
             runs: 0,
+            first: None,
             next_expected: None,
             windows: Vec::new(),
         }
@@ -297,6 +308,9 @@ pub fn fit_workloads_lossy(
 }
 
 fn observe(a: &mut Accum, rec: &BlockTraceRecord, config: &FitConfig) {
+    if a.first.is_none() {
+        a.first = Some((rec.offset, rec.len));
+    }
     match rec.kind {
         IoKind::Read => {
             a.reads += 1;

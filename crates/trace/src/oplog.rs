@@ -1,0 +1,986 @@
+//! Streaming op-log capture/replay ingestion.
+//!
+//! The advisor is driven entirely by traces, but [`fit_workloads`]
+//! wants the whole trace materialized in memory — a scaling wall for
+//! production-length captures. This module adds a compact
+//! line-oriented *op-log* format plus a chunked reader whose per-object
+//! sufficient statistics are **mergeable**, so fits stream through
+//! [`wasla_simlib::par`] chunk by chunk and still come out bit-identical
+//! to the materialized path at any `WASLA_THREADS` setting.
+//!
+//! # Record format (TSV, one op per line)
+//!
+//! ```text
+//! #wasla-oplog v1
+//! R<TAB>stream<TAB>offset<TAB>len<TAB>issue<TAB>complete
+//! W<TAB>stream<TAB>offset<TAB>len<TAB>issue<TAB>complete
+//! ```
+//!
+//! `R`/`W` is the op direction, `stream` the object id, `offset`/`len`
+//! the object-relative byte range, and `issue`/`complete` the
+//! submission and completion timestamps in seconds. Timestamps are
+//! serialized with [`json::format_f64`] (shortest round-trip decimal),
+//! so write → read → write is byte-identical. Records appear in issue
+//! order; `complete ≥ issue` per record.
+//!
+//! # Mergeable sufficient statistics
+//!
+//! A [`ChunkStats`] is the per-object fitting state over one contiguous
+//! record range: request/byte counters, the sequential-run count, the
+//! trailing `next_expected` offset, the chunk's first request shape,
+//! and the deduplicated activity-window list. Merging two adjacent
+//! partials is exact:
+//!
+//! * counters add;
+//! * the later chunk's run count is decremented iff its first request
+//!   continues the earlier chunk's trailing run (same `continues`
+//!   predicate as the serial pass);
+//! * window lists concatenate with one boundary dedup;
+//! * `next_expected` and the span endpoints carry over.
+//!
+//! Every operation is integer arithmetic (or an f64 carried verbatim),
+//! so the merged state equals the serial single-pass state *bitwise*,
+//! and the specs built from it are byte-identical to
+//! [`fit_workloads`] on the materialized trace.
+
+use crate::{build_spec, observe, Accum, FitConfig, FitError};
+use wasla_simlib::json::{self, FromJson, Json, JsonError, ToJson};
+use wasla_simlib::par;
+use wasla_simlib::SimTime;
+use wasla_storage::{BlockTraceRecord, IoKind, Trace};
+use wasla_workload::WorkloadSet;
+
+/// First line of every op-log file.
+pub const FORMAT_HEADER: &str = "#wasla-oplog v1";
+
+/// Records per chunk for the streaming reader and the streamed fit.
+/// Chunk boundaries depend only on this constant — never on the thread
+/// count — so the streamed result is reproducible at any
+/// `WASLA_THREADS`.
+pub const DEFAULT_CHUNK: usize = 4096;
+
+/// Longest well-formed line (a full record is ≈100 bytes); anything
+/// longer is corruption and is rejected before field parsing.
+pub const MAX_LINE_BYTES: usize = 160;
+
+/// One captured operation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpRecord {
+    /// Read or write.
+    pub kind: IoKind,
+    /// Stream (database object) identifier.
+    pub stream: u32,
+    /// Offset within the object, in bytes.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Submission time.
+    pub issue: SimTime,
+    /// Completion time (≥ `issue`).
+    pub complete: SimTime,
+}
+
+impl OpRecord {
+    /// The trace-record view of this op (the fit consumes submission
+    /// times only).
+    pub fn as_block_record(&self) -> BlockTraceRecord {
+        BlockTraceRecord {
+            time: self.issue,
+            stream: self.stream,
+            kind: self.kind,
+            offset: self.offset,
+            len: self.len,
+        }
+    }
+}
+
+/// A captured op-log: records in issue order.
+#[derive(Clone, Debug, Default)]
+pub struct OpLog {
+    records: Vec<OpRecord>,
+}
+
+/// Typed op-log reader failures. Line numbers are 1-based and count
+/// the header line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpLogError {
+    /// The file does not start with [`FORMAT_HEADER`].
+    MissingHeader,
+    /// A record line has the wrong number of tab-separated fields.
+    Truncated {
+        /// Offending line.
+        line: usize,
+        /// Fields found (6 expected).
+        fields: usize,
+    },
+    /// A field failed to parse (or holds a non-finite/negative time).
+    BadField {
+        /// Offending line.
+        line: usize,
+        /// Name of the field that failed.
+        field: &'static str,
+    },
+    /// The op column is neither `R` nor `W`.
+    UnknownOp {
+        /// Offending line.
+        line: usize,
+    },
+    /// Issue times went backwards, or a completion precedes its issue.
+    NonMonotone {
+        /// Offending line.
+        line: usize,
+    },
+    /// A line exceeds [`MAX_LINE_BYTES`].
+    Overlong {
+        /// Offending line.
+        line: usize,
+        /// Observed byte length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for OpLogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpLogError::MissingHeader => {
+                write!(f, "op-log missing `{FORMAT_HEADER}` header")
+            }
+            OpLogError::Truncated { line, fields } => {
+                write!(f, "op-log line {line}: {fields} fields, expected 6")
+            }
+            OpLogError::BadField { line, field } => {
+                write!(f, "op-log line {line}: unparsable {field} field")
+            }
+            OpLogError::UnknownOp { line } => {
+                write!(f, "op-log line {line}: op is neither R nor W")
+            }
+            OpLogError::NonMonotone { line } => {
+                write!(f, "op-log line {line}: timestamps go backwards")
+            }
+            OpLogError::Overlong { line, len } => {
+                write!(
+                    f,
+                    "op-log line {line}: {len} bytes exceeds the {MAX_LINE_BYTES}-byte limit"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for OpLogError {}
+
+impl ToJson for OpLogError {
+    fn to_json(&self) -> Json {
+        let obj = |fields: Vec<(&str, Json)>| {
+            Json::Obj(
+                fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            )
+        };
+        match *self {
+            OpLogError::MissingHeader => json::variant("MissingHeader", Json::Null),
+            OpLogError::Truncated { line, fields } => json::variant(
+                "Truncated",
+                obj(vec![("line", line.to_json()), ("fields", fields.to_json())]),
+            ),
+            OpLogError::BadField { line, field } => json::variant(
+                "BadField",
+                obj(vec![
+                    ("line", line.to_json()),
+                    ("field", field.to_string().to_json()),
+                ]),
+            ),
+            OpLogError::UnknownOp { line } => {
+                json::variant("UnknownOp", obj(vec![("line", line.to_json())]))
+            }
+            OpLogError::NonMonotone { line } => {
+                json::variant("NonMonotone", obj(vec![("line", line.to_json())]))
+            }
+            OpLogError::Overlong { line, len } => json::variant(
+                "Overlong",
+                obj(vec![("line", line.to_json()), ("len", len.to_json())]),
+            ),
+        }
+    }
+}
+
+impl FromJson for OpLogError {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let field = |payload: &Json, name: &str| -> Result<Json, JsonError> {
+            payload
+                .field(name)
+                .cloned()
+                .ok_or_else(|| JsonError::missing_field(name))
+        };
+        let line = |payload: &Json| -> Result<usize, JsonError> {
+            usize::from_json(&field(payload, "line")?)
+        };
+        match json::untag(v)? {
+            ("MissingHeader", _) => Ok(OpLogError::MissingHeader),
+            ("Truncated", payload) => Ok(OpLogError::Truncated {
+                line: line(payload)?,
+                fields: usize::from_json(&field(payload, "fields")?)?,
+            }),
+            ("BadField", payload) => Ok(OpLogError::BadField {
+                line: line(payload)?,
+                field: canonical_field(&String::from_json(&field(payload, "field")?)?),
+            }),
+            ("UnknownOp", payload) => Ok(OpLogError::UnknownOp {
+                line: line(payload)?,
+            }),
+            ("NonMonotone", payload) => Ok(OpLogError::NonMonotone {
+                line: line(payload)?,
+            }),
+            ("Overlong", payload) => Ok(OpLogError::Overlong {
+                line: line(payload)?,
+                len: usize::from_json(&field(payload, "len")?)?,
+            }),
+            (other, _) => Err(JsonError::new(format!(
+                "unknown OpLogError variant: {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Maps a deserialized field name back onto the static name the parser
+/// uses, so the error round-trips through JSON without leaking an
+/// allocation into the `&'static str` slot.
+fn canonical_field(name: &str) -> &'static str {
+    for known in ["stream", "offset", "len", "issue", "complete"] {
+        if name == known {
+            return known;
+        }
+    }
+    "unknown"
+}
+
+/// What the lossy reader salvaged from a damaged op-log.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpLogSalvage {
+    /// Records in the valid prefix that was kept.
+    pub kept: usize,
+    /// Record lines discarded from the first damaged line onward.
+    pub dropped: usize,
+    /// The error that ended the valid prefix (None when clean).
+    pub first_error: Option<OpLogError>,
+}
+
+impl OpLogSalvage {
+    /// True when anything was discarded.
+    pub fn degraded(&self) -> bool {
+        self.dropped > 0
+    }
+}
+
+impl OpLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        OpLog {
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends a record. Records must be appended in non-decreasing
+    /// issue order (the capture hook guarantees this).
+    pub fn push(&mut self, rec: OpRecord) {
+        debug_assert!(
+            self.records.last().map_or(true, |l| l.issue <= rec.issue),
+            "op-log records out of issue order"
+        );
+        self.records.push(rec);
+    }
+
+    /// Stamps the completion time of record `idx` (no-op if out of
+    /// range — the capture hook owns the indices).
+    pub fn set_complete(&mut self, idx: usize, t: SimTime) {
+        if let Some(rec) = self.records.get_mut(idx) {
+            rec.complete = t;
+        }
+    }
+
+    /// All records in issue order.
+    pub fn records(&self) -> &[OpRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Serializes the log to the TSV format. Reading the output back
+    /// with [`OpLog::parse_tsv`] and re-serializing is byte-identical.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::with_capacity(self.records.len() * 48 + FORMAT_HEADER.len() + 1);
+        out.push_str(FORMAT_HEADER);
+        out.push('\n');
+        for rec in &self.records {
+            out.push(match rec.kind {
+                IoKind::Read => 'R',
+                IoKind::Write => 'W',
+            });
+            out.push('\t');
+            out.push_str(&rec.stream.to_string());
+            out.push('\t');
+            out.push_str(&rec.offset.to_string());
+            out.push('\t');
+            out.push_str(&rec.len.to_string());
+            out.push('\t');
+            out.push_str(&json::format_f64(rec.issue.as_secs()));
+            out.push('\t');
+            out.push_str(&json::format_f64(rec.complete.as_secs()));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Materializes the trace-equivalent of this log (issue times
+    /// become trace timestamps).
+    pub fn to_trace(&self) -> Trace {
+        let mut trace = Trace::new();
+        for rec in &self.records {
+            trace.push(rec.as_block_record());
+        }
+        trace
+    }
+
+    /// Content hash of [`OpLog::to_trace`]'s result, computed without
+    /// materializing the trace. Byte-for-byte the same key
+    /// [`Trace::content_hash`] would produce, so a fit cached from a
+    /// materialized trace serves the streamed path and vice versa.
+    pub fn trace_content_hash(&self) -> u64 {
+        let mut h = wasla_simlib::hash::Fnv64::new();
+        h.write_u64(self.records.len() as u64);
+        for r in &self.records {
+            h.write_f64(r.issue.as_secs());
+            h.write_u64(r.stream as u64);
+            h.write_u64(match r.kind {
+                IoKind::Read => 0,
+                IoKind::Write => 1,
+            });
+            h.write_u64(r.offset);
+            h.write_u64(r.len);
+        }
+        h.finish()
+    }
+
+    /// [`OpLog::trace_content_hash`] with every record past the first
+    /// `keep` rewritten to stream `u32::MAX` — byte-for-byte what
+    /// [`Trace::content_hash_damaged`] produces on the materialized
+    /// trace, so a salvage cached from either representation serves
+    /// both.
+    pub fn trace_content_hash_damaged(&self, keep: usize) -> u64 {
+        let mut h = wasla_simlib::hash::Fnv64::new();
+        h.write_u64(self.records.len() as u64);
+        for (i, r) in self.records.iter().enumerate() {
+            let stream = if i < keep { r.stream } else { u32::MAX };
+            h.write_f64(r.issue.as_secs());
+            h.write_u64(stream as u64);
+            h.write_u64(match r.kind {
+                IoKind::Read => 0,
+                IoKind::Write => 1,
+            });
+            h.write_u64(r.offset);
+            h.write_u64(r.len);
+        }
+        h.finish()
+    }
+
+    /// Issue-time span from first to last record.
+    pub fn span(&self) -> SimTime {
+        match (self.records.first(), self.records.last()) {
+            (Some(f), Some(l)) => l.issue - f.issue,
+            _ => SimTime::ZERO,
+        }
+    }
+
+    /// Strict chunked reader: parses a TSV op-log, fanning record
+    /// chunks over [`par`]. Chunk boundaries are fixed by
+    /// [`DEFAULT_CHUNK`], so the result (and any error) is independent
+    /// of the thread count.
+    pub fn parse_tsv(text: &str) -> Result<OpLog, OpLogError> {
+        let (log, salvage) = Self::parse_tsv_lossy(text)?;
+        match salvage.first_error {
+            Some(err) => Err(err),
+            None => Ok(log),
+        }
+    }
+
+    /// Lossy chunked reader: salvages the longest valid record prefix
+    /// of a damaged op-log and reports what was dropped and why.
+    ///
+    /// A clean log parses fully with a zero-drop salvage. A log whose
+    /// *first* record line is already damaged (or whose header is
+    /// missing) has no salvageable prefix, so the typed error
+    /// propagates — mirroring [`crate::fit_workloads_lossy`].
+    pub fn parse_tsv_lossy(text: &str) -> Result<(OpLog, OpLogSalvage), OpLogError> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(header) if header == FORMAT_HEADER => {}
+            _ => return Err(OpLogError::MissingHeader),
+        }
+        let body: Vec<&str> = lines.collect();
+
+        // Fan fixed-size line chunks over the pool. Each chunk parses
+        // up to its first bad line; reassembly below stitches prefixes
+        // back together in order.
+        let chunks: Vec<(usize, &[&str])> = body
+            .chunks(DEFAULT_CHUNK)
+            .enumerate()
+            .map(|(c, chunk)| (c * DEFAULT_CHUNK, chunk))
+            .collect();
+        let parsed: Vec<(Vec<OpRecord>, Option<OpLogError>)> =
+            par::par_map(&chunks, |&(base, chunk)| parse_chunk(base, chunk));
+
+        let mut log = OpLog::new();
+        let mut first_error = None;
+        'outer: for (records, err) in parsed {
+            for rec in records {
+                // Cross-chunk (and cross-record) monotonicity: issue
+                // times never go backwards. Intra-record ordering was
+                // already checked during field parsing.
+                if log.records.last().map_or(false, |l| rec.issue < l.issue) {
+                    first_error = Some(OpLogError::NonMonotone {
+                        // +2: 1-based lines and the header line.
+                        line: log.records.len() + 2,
+                    });
+                    break 'outer;
+                }
+                log.records.push(rec);
+            }
+            if let Some(err) = err {
+                first_error = Some(err);
+                break;
+            }
+        }
+
+        let kept = log.records.len();
+        if kept == 0 {
+            if let Some(err) = first_error {
+                // No salvageable prefix: keep the typed error strict.
+                return Err(err);
+            }
+        }
+        Ok((
+            log,
+            OpLogSalvage {
+                kept,
+                dropped: body.len() - kept,
+                first_error,
+            },
+        ))
+    }
+}
+
+/// Parses one chunk of record lines, stopping at the first malformed
+/// line. `base` is the chunk's 0-based offset into the record body.
+fn parse_chunk(base: usize, chunk: &[&str]) -> (Vec<OpRecord>, Option<OpLogError>) {
+    let mut records = Vec::with_capacity(chunk.len());
+    let mut prev_issue: Option<SimTime> = None;
+    for (k, raw) in chunk.iter().enumerate() {
+        // 1-based line number counting the header line.
+        let line = base + k + 2;
+        match parse_line(line, raw) {
+            Ok(rec) => {
+                if prev_issue.map_or(false, |p| rec.issue < p) {
+                    return (records, Some(OpLogError::NonMonotone { line }));
+                }
+                prev_issue = Some(rec.issue);
+                records.push(rec);
+            }
+            Err(err) => return (records, Some(err)),
+        }
+    }
+    (records, None)
+}
+
+fn parse_line(line: usize, raw: &str) -> Result<OpRecord, OpLogError> {
+    if raw.len() > MAX_LINE_BYTES {
+        return Err(OpLogError::Overlong {
+            line,
+            len: raw.len(),
+        });
+    }
+    let mut fields = [""; 6];
+    let mut count = 0;
+    for part in raw.split('\t') {
+        if count < 6 {
+            fields[count] = part;
+        }
+        count += 1;
+    }
+    if count != 6 {
+        return Err(OpLogError::Truncated {
+            line,
+            fields: count,
+        });
+    }
+    let kind = match fields[0] {
+        "R" => IoKind::Read,
+        "W" => IoKind::Write,
+        _ => return Err(OpLogError::UnknownOp { line }),
+    };
+    let stream: u32 = fields[1].parse().map_err(|_| OpLogError::BadField {
+        line,
+        field: "stream",
+    })?;
+    let offset: u64 = fields[2].parse().map_err(|_| OpLogError::BadField {
+        line,
+        field: "offset",
+    })?;
+    let len: u64 = fields[3]
+        .parse()
+        .map_err(|_| OpLogError::BadField { line, field: "len" })?;
+    let issue = parse_time(line, "issue", fields[4])?;
+    let complete = parse_time(line, "complete", fields[5])?;
+    if complete < issue {
+        return Err(OpLogError::NonMonotone { line });
+    }
+    Ok(OpRecord {
+        kind,
+        stream,
+        offset,
+        len,
+        issue,
+        complete,
+    })
+}
+
+fn parse_time(line: usize, field: &'static str, raw: &str) -> Result<SimTime, OpLogError> {
+    let secs: f64 = raw
+        .parse()
+        .map_err(|_| OpLogError::BadField { line, field })?;
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(OpLogError::BadField { line, field });
+    }
+    Ok(SimTime::from_secs(secs))
+}
+
+/// Mergeable per-object fitting statistics over one contiguous record
+/// range. See the module docs for the merge contract.
+#[derive(Clone, Debug)]
+pub struct ChunkStats {
+    accums: Vec<Accum>,
+    first_time: Option<SimTime>,
+    last_time: Option<SimTime>,
+}
+
+impl ChunkStats {
+    /// Empty statistics for `n_objects` objects.
+    pub fn new(n_objects: usize) -> Self {
+        ChunkStats {
+            accums: vec![Accum::new(); n_objects],
+            first_time: None,
+            last_time: None,
+        }
+    }
+
+    /// Folds one record into the statistics. Records must arrive in
+    /// issue order. Fails on a stream id outside the catalog, exactly
+    /// like the materialized fit.
+    pub fn observe(&mut self, rec: &BlockTraceRecord, config: &FitConfig) -> Result<(), FitError> {
+        let i = rec.stream as usize;
+        if i >= self.accums.len() {
+            return Err(FitError::StreamOutOfRange {
+                stream: rec.stream,
+                objects: self.accums.len(),
+            });
+        }
+        let a = &mut self.accums[i];
+        observe(a, rec, config);
+        let w = (rec.time.as_secs() / config.window_s) as u32;
+        if a.windows.last() != Some(&w) {
+            a.windows.push(w);
+        }
+        if self.first_time.is_none() {
+            self.first_time = Some(rec.time);
+        }
+        self.last_time = Some(rec.time);
+        Ok(())
+    }
+
+    /// Merges the statistics of the *immediately following* record
+    /// range into `self`. Exact: the result equals observing both
+    /// ranges serially.
+    pub fn merge(&mut self, later: &ChunkStats, config: &FitConfig) {
+        for (a, b) in self.accums.iter_mut().zip(&later.accums) {
+            if b.requests() == 0 {
+                continue;
+            }
+            if a.requests() == 0 {
+                *a = b.clone();
+                continue;
+            }
+            // The later chunk counted its first request as a run start
+            // (its local `next_expected` was None). Undo that iff the
+            // request actually continues our trailing run.
+            let continues = match (b.first, a.next_expected) {
+                (Some((offset, len)), Some(next)) => {
+                    offset >= next.saturating_sub(len) && offset <= next + config.gap_tolerance
+                }
+                _ => false,
+            };
+            a.reads += b.reads;
+            a.writes += b.writes;
+            a.read_bytes += b.read_bytes;
+            a.write_bytes += b.write_bytes;
+            a.runs += b.runs - u64::from(continues);
+            a.next_expected = b.next_expected;
+            let skip_dup = a.windows.last() == b.windows.first();
+            a.windows
+                .extend(b.windows.iter().skip(usize::from(skip_dup)).copied());
+        }
+        if self.first_time.is_none() {
+            self.first_time = later.first_time;
+        }
+        if later.last_time.is_some() {
+            self.last_time = later.last_time;
+        }
+    }
+
+    /// Builds the fitted workload set from the accumulated statistics.
+    /// Spec construction fans over [`par`], same as the materialized
+    /// fit.
+    pub fn finish(&self, names: &[String], sizes: &[u64]) -> Result<WorkloadSet, FitError> {
+        if names.len() != sizes.len() || names.len() != self.accums.len() {
+            return Err(FitError::ShapeMismatch {
+                names: names.len(),
+                sizes: sizes.len(),
+            });
+        }
+        let span = match (self.first_time, self.last_time) {
+            (Some(f), Some(l)) => (l - f).as_secs(),
+            _ => 0.0,
+        }
+        .max(1e-9);
+        let object_ids: Vec<usize> = (0..self.accums.len()).collect();
+        let specs = par::par_map(&object_ids, |&i| build_spec(&self.accums, i, span));
+        Ok(WorkloadSet {
+            names: names.to_vec(),
+            sizes: sizes.to_vec(),
+            specs,
+        })
+    }
+}
+
+/// Streamed ingest: fits Rome workload descriptions directly from an
+/// op-log by accumulating fixed-size record chunks in parallel and
+/// merging the partial statistics in order.
+///
+/// Bit-identical to `fit_workloads(&log.to_trace(), ...)` at any
+/// `WASLA_THREADS` setting: chunk boundaries depend only on
+/// `chunk_records`, accumulation is integer-exact, and the merged
+/// state equals the serial pass (see the module docs).
+pub fn fit_oplog_streamed(
+    log: &OpLog,
+    names: &[String],
+    sizes: &[u64],
+    config: &FitConfig,
+    chunk_records: usize,
+) -> Result<WorkloadSet, FitError> {
+    if names.len() != sizes.len() {
+        return Err(FitError::ShapeMismatch {
+            names: names.len(),
+            sizes: sizes.len(),
+        });
+    }
+    let n = names.len();
+    let chunk = chunk_records.max(1);
+    let records = log.records();
+    let ranges: Vec<(usize, usize)> = (0..records.len())
+        .step_by(chunk)
+        .map(|start| (start, (start + chunk).min(records.len())))
+        .collect();
+    let partials: Vec<Result<ChunkStats, FitError>> = par::par_map(&ranges, |&(start, end)| {
+        let mut stats = ChunkStats::new(n);
+        for rec in &records[start..end] {
+            stats.observe(&rec.as_block_record(), config)?;
+        }
+        Ok(stats)
+    });
+    let mut merged = ChunkStats::new(n);
+    for partial in partials {
+        merged.merge(&partial?, config);
+    }
+    merged.finish(names, sizes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit_workloads;
+    use wasla_simlib::json::to_string;
+
+    fn rec(t: f64, stream: u32, kind: IoKind, offset: u64, len: u64) -> OpRecord {
+        OpRecord {
+            kind,
+            stream,
+            offset,
+            len,
+            issue: SimTime::from_secs(t),
+            complete: SimTime::from_secs(t + 0.002),
+        }
+    }
+
+    fn sample_log(n: u64) -> OpLog {
+        let mut log = OpLog::new();
+        for k in 0..n {
+            let stream = (k % 3) as u32;
+            let kind = if k % 5 == 0 {
+                IoKind::Write
+            } else {
+                IoKind::Read
+            };
+            // Stream 0 is sequential; the others jump around.
+            let offset = if stream == 0 {
+                k * 65536
+            } else {
+                (k * 97_777_777) % (1 << 29)
+            };
+            log.push(rec(
+                k as f64 * 0.013,
+                stream,
+                kind,
+                offset,
+                8192 + (k % 3) * 4096,
+            ));
+        }
+        log
+    }
+
+    fn catalog() -> (Vec<String>, Vec<u64>) {
+        (
+            vec!["A".into(), "B".into(), "C".into()],
+            vec![1 << 30, 1 << 30, 1 << 30],
+        )
+    }
+
+    #[test]
+    fn tsv_round_trip_is_byte_identical() {
+        let log = sample_log(200);
+        let tsv = log.to_tsv();
+        let back = OpLog::parse_tsv(&tsv).unwrap();
+        assert_eq!(back.records(), log.records());
+        assert_eq!(
+            back.to_tsv(),
+            tsv,
+            "write -> read -> write must be identity"
+        );
+    }
+
+    #[test]
+    fn empty_log_round_trips() {
+        let log = OpLog::new();
+        let tsv = log.to_tsv();
+        assert_eq!(tsv, format!("{FORMAT_HEADER}\n"));
+        let back = OpLog::parse_tsv(&tsv).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn streamed_fit_matches_materialized_at_many_chunk_sizes() {
+        let log = sample_log(500);
+        let (names, sizes) = catalog();
+        let config = FitConfig::default();
+        let materialized = fit_workloads(&log.to_trace(), &names, &sizes, &config).unwrap();
+        for chunk in [1, 2, 3, 7, 64, 499, 500, 5000] {
+            let streamed = fit_oplog_streamed(&log, &names, &sizes, &config, chunk).unwrap();
+            assert_eq!(
+                to_string(&streamed),
+                to_string(&materialized),
+                "chunk={chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_fit_of_empty_log_matches_materialized() {
+        let log = OpLog::new();
+        let (names, sizes) = catalog();
+        let config = FitConfig::default();
+        let streamed = fit_oplog_streamed(&log, &names, &sizes, &config, 16).unwrap();
+        let materialized = fit_workloads(&log.to_trace(), &names, &sizes, &config).unwrap();
+        assert_eq!(to_string(&streamed), to_string(&materialized));
+    }
+
+    #[test]
+    fn merge_preserves_runs_split_across_chunks() {
+        // One long sequential run split across a chunk boundary must
+        // still count as a single run.
+        let mut log = OpLog::new();
+        for k in 0..10u64 {
+            log.push(rec(k as f64 * 0.01, 0, IoKind::Read, k * 65536, 65536));
+        }
+        let (names, sizes) = catalog();
+        let config = FitConfig::default();
+        for chunk in [1, 3, 5] {
+            let set = fit_oplog_streamed(&log, &names, &sizes, &config, chunk).unwrap();
+            assert!(
+                (set.specs[0].run_count - 10.0).abs() < 1e-9,
+                "chunk={chunk} run_count={}",
+                set.specs[0].run_count
+            );
+        }
+    }
+
+    #[test]
+    fn trace_content_hash_matches_materialized_trace() {
+        let log = sample_log(120);
+        assert_eq!(log.trace_content_hash(), log.to_trace().content_hash());
+        assert_eq!(
+            OpLog::new().trace_content_hash(),
+            Trace::new().content_hash()
+        );
+    }
+
+    #[test]
+    fn damaged_trace_content_hash_matches_materialized_damage() {
+        let log = sample_log(40);
+        for keep in [0, 17, 40] {
+            assert_eq!(
+                log.trace_content_hash_damaged(keep),
+                log.to_trace().content_hash_damaged(keep),
+                "keep={keep}"
+            );
+        }
+        assert_eq!(log.trace_content_hash_damaged(40), log.trace_content_hash());
+        assert_ne!(log.trace_content_hash_damaged(17), log.trace_content_hash());
+    }
+
+    #[test]
+    fn streamed_fit_reports_stream_out_of_range() {
+        let mut log = sample_log(10);
+        log.push(rec(1.0, 99, IoKind::Read, 0, 8192));
+        let (names, sizes) = catalog();
+        let err = fit_oplog_streamed(&log, &names, &sizes, &FitConfig::default(), 4).unwrap_err();
+        assert_eq!(
+            err,
+            FitError::StreamOutOfRange {
+                stream: 99,
+                objects: 3
+            }
+        );
+    }
+
+    #[test]
+    fn missing_header_is_typed() {
+        assert_eq!(
+            OpLog::parse_tsv("R\t0\t0\t8192\t0\t0.1\n").unwrap_err(),
+            OpLogError::MissingHeader
+        );
+        assert_eq!(OpLog::parse_tsv("").unwrap_err(), OpLogError::MissingHeader);
+    }
+
+    #[test]
+    fn malformed_lines_are_typed() {
+        let cases: Vec<(String, OpLogError)> = vec![
+            (
+                format!("{FORMAT_HEADER}\nR\t0\t0\t8192\t0\n"),
+                OpLogError::Truncated { line: 2, fields: 5 },
+            ),
+            (
+                format!("{FORMAT_HEADER}\nX\t0\t0\t8192\t0\t0.1\n"),
+                OpLogError::UnknownOp { line: 2 },
+            ),
+            (
+                format!("{FORMAT_HEADER}\nR\t-1\t0\t8192\t0\t0.1\n"),
+                OpLogError::BadField {
+                    line: 2,
+                    field: "stream",
+                },
+            ),
+            (
+                format!("{FORMAT_HEADER}\nR\t0\t0\t8192\tnan\t0.1\n"),
+                OpLogError::BadField {
+                    line: 2,
+                    field: "issue",
+                },
+            ),
+            (
+                format!("{FORMAT_HEADER}\nR\t0\t0\t8192\t5\t1\n"),
+                OpLogError::NonMonotone { line: 2 },
+            ),
+            (
+                format!("{FORMAT_HEADER}\nR\t0\t{}\t8192\t0\t0.1\n", "9".repeat(200)),
+                OpLogError::Overlong { line: 2, len: 215 },
+            ),
+        ];
+        for (text, want) in cases {
+            assert_eq!(OpLog::parse_tsv(&text).unwrap_err(), want, "text={text:?}");
+        }
+    }
+
+    #[test]
+    fn lossy_parse_salvages_valid_prefix() {
+        let log = sample_log(20);
+        let mut tsv = log.to_tsv();
+        tsv.push_str("garbage line\n");
+        tsv.push_str("R\t0\t0\t8192\t99\t99.1\n");
+        let (salvaged, salvage) = OpLog::parse_tsv_lossy(&tsv).unwrap();
+        assert_eq!(salvaged.records(), log.records());
+        assert_eq!(salvage.kept, 20);
+        assert_eq!(salvage.dropped, 2);
+        assert!(salvage.degraded());
+        assert_eq!(
+            salvage.first_error,
+            Some(OpLogError::Truncated {
+                line: 22,
+                fields: 1
+            })
+        );
+    }
+
+    #[test]
+    fn lossy_parse_with_no_valid_prefix_keeps_the_typed_error() {
+        let text = format!("{FORMAT_HEADER}\nnot a record\nR\t0\t0\t8192\t0\t0.1\n");
+        let err = OpLog::parse_tsv_lossy(&text).unwrap_err();
+        assert_eq!(err, OpLogError::Truncated { line: 2, fields: 1 });
+    }
+
+    #[test]
+    fn lossy_parse_truncates_at_cross_chunk_time_regression() {
+        let mut log = sample_log(5);
+        log.records.push(rec(0.001, 0, IoKind::Read, 0, 8192)); // goes backwards
+        let mut tsv = String::new();
+        tsv.push_str(FORMAT_HEADER);
+        tsv.push('\n');
+        for r in log.records() {
+            let mut one = OpLog::new();
+            one.records.push(*r);
+            tsv.push_str(one.to_tsv().lines().nth(1).unwrap());
+            tsv.push('\n');
+        }
+        let (salvaged, salvage) = OpLog::parse_tsv_lossy(&tsv).unwrap();
+        assert_eq!(salvaged.len(), 5);
+        assert_eq!(
+            salvage.first_error,
+            Some(OpLogError::NonMonotone { line: 7 })
+        );
+    }
+
+    #[test]
+    fn oplog_error_json_round_trip() {
+        use wasla_simlib::json::{from_str, to_string};
+        for err in [
+            OpLogError::MissingHeader,
+            OpLogError::Truncated { line: 3, fields: 2 },
+            OpLogError::BadField {
+                line: 4,
+                field: "issue",
+            },
+            OpLogError::UnknownOp { line: 5 },
+            OpLogError::NonMonotone { line: 6 },
+            OpLogError::Overlong { line: 7, len: 999 },
+        ] {
+            let back: OpLogError = from_str(&to_string(&err)).unwrap();
+            assert_eq!(back, err);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Golden round-trip: the committed fixture `tests/fixtures/golden.oplog`
+//! (the header plus the first 40 records of a real `wasla-advisor
+//! capture` run) must survive write → read → write byte-for-byte.
+//!
+//! This pins the on-disk format: any change to the TSV layout, the
+//! float formatting, or the header string shows up as a diff against
+//! the fixture instead of silently breaking captured logs in the wild.
+//! `ci/check.sh` runs this suite by name in its replay-validation gate.
+
+use wasla_trace::oplog::{OpLog, FORMAT_HEADER};
+
+const GOLDEN: &str = include_str!("../../../tests/fixtures/golden.oplog");
+
+#[test]
+fn golden_fixture_round_trips_byte_for_byte() {
+    assert!(GOLDEN.starts_with(FORMAT_HEADER));
+    let log = OpLog::parse_tsv(GOLDEN).expect("committed fixture parses");
+    assert_eq!(log.len(), 40, "fixture holds 40 records");
+    assert_eq!(
+        log.to_tsv(),
+        GOLDEN,
+        "write→read→write must be the identity on the committed fixture"
+    );
+}
+
+#[test]
+fn golden_fixture_is_clean_for_the_lossy_reader() {
+    let (log, salvage) = OpLog::parse_tsv_lossy(GOLDEN).expect("lossy parse succeeds");
+    assert_eq!(salvage.kept, 40);
+    assert_eq!(salvage.dropped, 0);
+    assert!(salvage.first_error.is_none());
+    assert_eq!(log.to_tsv(), GOLDEN);
+}
+
+#[test]
+fn golden_fixture_hash_agrees_with_materialized_trace() {
+    let log = OpLog::parse_tsv(GOLDEN).expect("fixture parses");
+    // The cache-key contract: the streamed hash equals the hash of the
+    // materialized trace, so fits cached from either serve both.
+    assert_eq!(log.trace_content_hash(), log.to_trace().content_hash());
+}

@@ -5,9 +5,13 @@
 //! ```text
 //! wasla-advisor calibrate --device scsi15k --capacity-gb 18.4 --out disk.model.json
 //! wasla-advisor fit --trace trace.json --objects objects.json [--out workloads.json]
+//! wasla-advisor fit --oplog oplog.tsv --objects objects.json [--materialized]
 //! wasla-advisor advise --workloads w.json --targets t.json [--models m.json,...]
 //!                      [--regular] [--pin OBJ=TARGET]... [--forbid OBJ=TARGET]...
 //!                      [--out layout.json]
+//! wasla-advisor capture [--scenario tpch|tpcc] [--scale S] [--max-time T] --out-dir DIR
+//! wasla-advisor replay  --oplog oplog.tsv [--scenario tpch|tpcc] [--scale S]
+//!                       [--coarse] [--cache-dir DIR]
 //! wasla-advisor demo  [--scale 0.05] [--cache-dir DIR]
 //! ```
 //!
@@ -18,6 +22,12 @@
 //!   and Rome-style descriptions — produce one with `wasla-trace` or
 //!   the analytic estimator) plus a target list, and prints the
 //!   recommended layout.
+//! * `capture` runs a built-in scenario under the SEE baseline with
+//!   op-log capture on and writes `oplog.tsv` (the compact
+//!   line-oriented record format) plus `objects.json` to `--out-dir`.
+//! * `replay` feeds a captured op-log through the streamed advise
+//!   pipeline and replays it against the SEE baseline and the advised
+//!   layout, printing a predicted-vs-observed report.
 //! * `demo` runs the built-in TPC-H-like scenario end-to-end. With
 //!   `--cache-dir`, the advisor session persists its calibration and
 //!   fit caches there (crash-safe, versioned, checksummed): a rerun
@@ -42,8 +52,12 @@ const USAGE: &str = "usage:
   wasla-advisor calibrate --device <scsi15k|scsi10k|nearline7200|ssd|ssd2> \
 --capacity-gb <G> [--out FILE]
   wasla-advisor fit --trace FILE --objects FILE [--window-s S] [--out FILE]
+  wasla-advisor fit --oplog FILE --objects FILE [--materialized] [--window-s S] [--out FILE]
   wasla-advisor advise --workloads FILE --targets FILE [--models FILE,...] \
 [--regular] [--pin OBJ=T]... [--forbid OBJ=T]... [--out FILE]
+  wasla-advisor capture [--scenario tpch|tpcc] [--scale S] [--max-time T] --out-dir DIR
+  wasla-advisor replay --oplog FILE [--scenario tpch|tpcc] [--scale S] \
+[--coarse] [--cache-dir DIR]
   wasla-advisor demo [--scale S] [--cache-dir DIR]";
 
 fn main() {
@@ -52,6 +66,8 @@ fn main() {
         Some("calibrate") => calibrate(&args[1..]),
         Some("fit") => fit(&args[1..]),
         Some("advise") => advise(&args[1..]),
+        Some("capture") => capture(&args[1..]),
+        Some("replay") => replay(&args[1..]),
         Some("demo") => demo(&args[1..]),
         Some(other) => Err(WaslaError::Usage(format!("unknown subcommand {other:?}"))),
         None => Err(WaslaError::Usage("missing subcommand".to_string())),
@@ -115,9 +131,7 @@ struct ObjectEntry {
 wasla::simlib::impl_json_struct!(ObjectEntry { name, size });
 
 fn fit(args: &[String]) -> Result<(), WaslaError> {
-    let trace_path = require_flag(args, "--trace")?;
     let objects_path = require_flag(args, "--objects")?;
-    let trace: wasla::storage::Trace = load_json(trace_path, "Trace")?;
     let objects: Vec<ObjectEntry> =
         load_json(objects_path, "objects ([{\"name\":..., \"size\":...}])")?;
     let names: Vec<String> = objects.iter().map(|o| o.name.clone()).collect();
@@ -126,7 +140,35 @@ fn fit(args: &[String]) -> Result<(), WaslaError> {
     if let Some(w) = flag_value(args, "--window-s").and_then(|v| v.parse().ok()) {
         fit_config.window_s = w;
     }
-    let set = wasla::trace::fit_workloads(&trace, &names, &sizes, &fit_config)?;
+    let (set, records) = match (flag_value(args, "--trace"), flag_value(args, "--oplog")) {
+        (Some(trace_path), None) => {
+            let trace: wasla::storage::Trace = load_json(trace_path, "Trace")?;
+            let set = wasla::trace::fit_workloads(&trace, &names, &sizes, &fit_config)?;
+            (set, trace.len())
+        }
+        (None, Some(oplog_path)) => {
+            let log = wasla::trace::oplog::OpLog::parse_tsv(&read_file(oplog_path)?)?;
+            // The streamed path is the default; --materialized is the
+            // cross-check (both produce bit-identical fits).
+            let set = if has_flag(args, "--materialized") {
+                wasla::trace::fit_workloads(&log.to_trace(), &names, &sizes, &fit_config)?
+            } else {
+                wasla::trace::oplog::fit_oplog_streamed(
+                    &log,
+                    &names,
+                    &sizes,
+                    &fit_config,
+                    wasla::trace::oplog::DEFAULT_CHUNK,
+                )?
+            };
+            (set, log.len())
+        }
+        _ => {
+            return Err(WaslaError::Usage(
+                "fit takes exactly one of --trace FILE or --oplog FILE".to_string(),
+            ));
+        }
+    };
     set.validate()
         .map_err(|e| WaslaError::Internal(format!("fitted set is inconsistent: {e}")))?;
     let json = wasla::simlib::json::to_string_pretty(&set);
@@ -134,13 +176,106 @@ fn fit(args: &[String]) -> Result<(), WaslaError> {
         Some(path) => {
             write_file(path, &json)?;
             eprintln!(
-                "fitted {} objects from {} trace records → {path}",
-                set.len(),
-                trace.len()
+                "fitted {} objects from {records} records → {path}",
+                set.len()
             );
         }
         None => println!("{json}"),
     }
+    Ok(())
+}
+
+/// The built-in scenario a `--scenario` flag names: the paper's
+/// TPC-H-like OLAP setup or the TPC-C-like OLTP setup, each with its
+/// standard workload mix and capture settings (OLTP runs are
+/// open-ended, so they get a hard time cap).
+fn scenario_from_flags(
+    args: &[String],
+) -> Result<(Scenario, Vec<SqlWorkload>, RunSettings), WaslaError> {
+    let scale: f64 = flag_value(args, "--scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.01);
+    let name = flag_value(args, "--scenario").unwrap_or("tpch");
+    match name {
+        "tpch" => Ok((
+            Scenario::homogeneous_disks(4, scale),
+            vec![SqlWorkload::olap1_21(3)],
+            RunSettings::default(),
+        )),
+        "tpcc" => {
+            let max_time: f64 = flag_value(args, "--max-time")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(60.0);
+            Ok((
+                Scenario::oltp_disks(scale),
+                vec![SqlWorkload::oltp()],
+                RunSettings {
+                    max_time: Some(max_time),
+                    ..RunSettings::default()
+                },
+            ))
+        }
+        other => Err(WaslaError::Usage(format!(
+            "unknown --scenario {other:?} (tpch or tpcc)"
+        ))),
+    }
+}
+
+fn capture(args: &[String]) -> Result<(), WaslaError> {
+    let out_dir = require_flag(args, "--out-dir")?;
+    let (scenario, workloads, settings) = scenario_from_flags(args)?;
+    let outcome = wasla::replay::capture_oplog(&scenario, &workloads, &settings)?;
+    std::fs::create_dir_all(out_dir).map_err(|e| WaslaError::io(out_dir, &e))?;
+    let oplog_path = format!("{out_dir}/oplog.tsv");
+    write_file(&oplog_path, &outcome.log.to_tsv())?;
+    let objects: Vec<ObjectEntry> = scenario
+        .catalog
+        .names()
+        .into_iter()
+        .zip(scenario.catalog.sizes())
+        .map(|(name, size)| ObjectEntry { name, size })
+        .collect();
+    write_file(
+        &format!("{out_dir}/objects.json"),
+        &wasla::simlib::json::to_string_pretty(&objects),
+    )?;
+    eprintln!(
+        "captured {} ops over {:.2}s under SEE → {oplog_path}",
+        outcome.log.len(),
+        outcome.log.span().as_secs()
+    );
+    Ok(())
+}
+
+fn replay(args: &[String]) -> Result<(), WaslaError> {
+    let oplog_path = require_flag(args, "--oplog")?;
+    let (scenario, _workloads, _settings) = scenario_from_flags(args)?;
+    let log = wasla::trace::oplog::OpLog::parse_tsv(&read_file(oplog_path)?)?;
+    let config = if has_flag(args, "--coarse") {
+        AdviseConfig::fast()
+    } else {
+        AdviseConfig::full()
+    };
+    let validation = match flag_value(args, "--cache-dir") {
+        Some(dir) => {
+            let (mut service, notes) = wasla::Service::open(0x5eed, dir)?;
+            for note in &notes {
+                eprintln!("cache: {note}");
+            }
+            let v =
+                wasla::replay::replay_validate(service.session_mut(), &log, &scenario, &config)?;
+            service.persist()?;
+            v
+        }
+        None => {
+            let mut session = wasla::AdvisorSession::new();
+            wasla::replay::replay_validate(&mut session, &log, &scenario, &config)?
+        }
+    };
+    print!(
+        "{}",
+        wasla::replay::render_validation(&validation, &scenario)
+    );
     Ok(())
 }
 

@@ -17,6 +17,7 @@ use wasla_core::AdvisorError;
 use wasla_exec::{EngineError, PlacementError};
 use wasla_model::ModelError;
 use wasla_simlib::json::{self, FromJson, Json, JsonError, ToJson};
+use wasla_trace::oplog::OpLogError;
 use wasla_trace::FitError;
 
 /// Any failure the advise pipeline, session layer, or CLI can report.
@@ -41,6 +42,8 @@ pub enum WaslaError {
     },
     /// Workload fitting rejected the trace or object inventory.
     Fit(FitError),
+    /// A captured op-log failed to parse (malformed or damaged file).
+    OpLog(OpLogError),
     /// A target could not be modeled (empty or heterogeneous RAID).
     Model(ModelError),
     /// A JSON document failed to parse or decode.
@@ -104,6 +107,12 @@ impl From<FitError> for WaslaError {
     }
 }
 
+impl From<OpLogError> for WaslaError {
+    fn from(e: OpLogError) -> Self {
+        WaslaError::OpLog(e)
+    }
+}
+
 impl From<ModelError> for WaslaError {
     fn from(e: ModelError) -> Self {
         WaslaError::Model(e)
@@ -136,6 +145,7 @@ impl ToJson for WaslaError {
                 ]),
             ),
             WaslaError::Fit(e) => json::variant("Fit", e.to_json()),
+            WaslaError::OpLog(e) => json::variant("OpLog", e.to_json()),
             WaslaError::Model(e) => json::variant("Model", e.to_json()),
             WaslaError::Json(e) => json::variant("Json", e.message().to_json()),
             WaslaError::Io { path, detail } => json::variant(
@@ -179,6 +189,7 @@ impl FromJson for WaslaError {
                 })
             }
             ("Fit", payload) => FitError::from_json(payload).map(WaslaError::Fit),
+            ("OpLog", payload) => OpLogError::from_json(payload).map(WaslaError::OpLog),
             ("Model", payload) => ModelError::from_json(payload).map(WaslaError::Model),
             ("Json", payload) => {
                 String::from_json(payload).map(|m| WaslaError::Json(JsonError::new(m)))
@@ -213,6 +224,7 @@ impl std::fmt::Display for WaslaError {
                 write!(f, "fault: {detail} (persisted through {attempts} attempts)")
             }
             WaslaError::Fit(e) => write!(f, "fit: {e}"),
+            WaslaError::OpLog(e) => write!(f, "oplog: {e}"),
             WaslaError::Model(e) => write!(f, "model: {e}"),
             WaslaError::Json(e) => write!(f, "json: {e}"),
             WaslaError::Io { path, detail } => write!(f, "io: {path}: {detail}"),
@@ -229,6 +241,7 @@ impl std::error::Error for WaslaError {
             WaslaError::Placement(e) => Some(e),
             WaslaError::Engine(e) => Some(e),
             WaslaError::Fit(e) => Some(e),
+            WaslaError::OpLog(e) => Some(e),
             WaslaError::Model(e) => Some(e),
             _ => None,
         }
@@ -256,6 +269,9 @@ mod tests {
                 detail: "injected request fault".into(),
             },
             WaslaError::Fit(FitError::ShapeMismatch { names: 2, sizes: 3 }),
+            WaslaError::OpLog(OpLogError::MissingHeader),
+            WaslaError::OpLog(OpLogError::Truncated { line: 4, fields: 3 }),
+            WaslaError::OpLog(OpLogError::NonMonotone { line: 9 }),
             WaslaError::Model(ModelError::NoMembers { target: "t".into() }),
             WaslaError::Json(JsonError::new("unexpected token")),
             WaslaError::Io {

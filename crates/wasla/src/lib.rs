@@ -79,12 +79,14 @@ pub use wasla_workload as workload;
 pub mod error;
 pub mod persist;
 pub mod pipeline;
+pub mod replay;
 pub mod session;
 pub mod stages;
 
 pub use error::WaslaError;
 pub use pipeline::DegradedNote;
-pub use session::{AdviseRequest, AdvisorSession, Service};
+pub use replay::{capture_oplog, replay_validate, CaptureOutcome, ReplayValidation};
+pub use session::{AdviseRequest, AdvisorSession, OpLogAdvice, Service};
 
 /// Commonly used items in one import.
 pub mod prelude {

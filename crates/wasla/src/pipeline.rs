@@ -180,6 +180,9 @@ impl Scenario {
 pub struct RunSettings {
     /// Capture a block trace.
     pub capture_trace: bool,
+    /// Capture an op-log (per-request issue/complete timestamps, for
+    /// the capture/replay pipeline).
+    pub capture_oplog: bool,
     /// Hard stop for OLTP-only runs (simulated seconds).
     pub max_time: Option<f64>,
     /// Stop OLTP-only runs after this many transactions.
@@ -194,6 +197,7 @@ impl Default for RunSettings {
     fn default() -> Self {
         RunSettings {
             capture_trace: false,
+            capture_oplog: false,
             max_time: None,
             txn_cap: None,
             oltp_warmup: 0.0,
@@ -239,6 +243,7 @@ pub fn run_layout_observed(
         txn_cap: settings.txn_cap,
         oltp_warmup: settings.oltp_warmup,
         capture_trace: settings.capture_trace,
+        capture_oplog: settings.capture_oplog,
         ..RunConfig::default()
     };
     Ok(Engine::new(

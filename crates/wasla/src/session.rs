@@ -31,11 +31,12 @@ use crate::stages::{
     SolveStage, TraceInput, TraceStage,
 };
 use std::path::PathBuf;
-use wasla_core::{CacheStats, Stage, StageCache};
+use wasla_core::{CacheStats, LayoutProblem, Recommendation, Stage, StageCache};
 use wasla_exec::DeviceEvent;
 use wasla_model::{calibration_fault, CalibrationGrid, TableModel, TargetCostModel};
 use wasla_simlib::{fault, par};
 use wasla_storage::{TargetConfig, Trace};
+use wasla_trace::oplog::{fit_oplog_streamed, OpLog, DEFAULT_CHUNK};
 use wasla_trace::{fit_workloads_lossy, FitConfig, SalvageReport};
 use wasla_workload::{SqlWorkload, WorkloadSet};
 
@@ -173,23 +174,47 @@ impl AdvisorSession {
         keep_fraction: f64,
     ) -> Result<(WorkloadSet, SalvageReport), WaslaError> {
         let keep = ((trace.len() as f64) * keep_fraction) as usize;
-        let mut damaged = Trace::new();
-        for (i, rec) in trace.records().iter().enumerate() {
-            let mut rec = *rec;
-            if i >= keep {
-                rec.stream = u32::MAX;
-            }
-            damaged.push(rec);
-        }
-        let stage = FitStage { config };
-        let input = FitInput {
-            trace: &damaged,
+        self.fit_salvaged_keyed(
+            trace.content_hash_damaged(keep),
+            trace.len(),
+            keep,
             names,
             sizes,
-        };
-        let key = stage
-            .cache_key(&input)
-            .ok_or_else(|| WaslaError::Internal("fit stage must be cacheable".to_string()))?;
+            config,
+            || {
+                let mut damaged = Trace::new();
+                for (i, rec) in trace.records().iter().enumerate() {
+                    let mut rec = *rec;
+                    if i >= keep {
+                        rec.stream = u32::MAX;
+                    }
+                    damaged.push(rec);
+                }
+                damaged
+            },
+        )
+    }
+
+    /// Salvage keyed by the damaged trace's content hash. A cache hit
+    /// answers without rebuilding the damaged records at all (the hash
+    /// is computed in place over the clean source); only a miss pays
+    /// for `build_damaged` and the lossy fit. Both the trace path and
+    /// the op-log path route through here, so a salvage cached from
+    /// either representation serves the other — and warm ≡ cold holds
+    /// for replayed logs under the same fault plan.
+    #[allow(clippy::too_many_arguments)]
+    fn fit_salvaged_keyed(
+        &mut self,
+        damaged_hash: u64,
+        total: usize,
+        keep: usize,
+        names: &[String],
+        sizes: &[u64],
+        config: &FitConfig,
+        build_damaged: impl FnOnce() -> Trace,
+    ) -> Result<(WorkloadSet, SalvageReport), WaslaError> {
+        let stage = FitStage { config };
+        let key = stage.key_for_hash(damaged_hash, names, sizes);
         if let Some(cached) = self.fits.get(key) {
             // The engine-produced prefix is entirely valid, so the
             // salvage boundary is exactly the damage point.
@@ -197,13 +222,123 @@ impl AdvisorSession {
                 cached.clone(),
                 SalvageReport {
                     kept: keep,
-                    dropped: trace.len() - keep,
+                    dropped: total - keep,
                 },
             ));
         }
+        let damaged = build_damaged();
         let (fitted, salvage) = fit_workloads_lossy(&damaged, names, sizes, config)?;
         self.fits.insert(key, fitted.clone());
         Ok((fitted, salvage))
+    }
+
+    /// Fitted workload descriptions from a captured op-log, streamed
+    /// through the chunked reader without ever materializing the
+    /// equivalent [`Trace`] on the clean path. The result is cached
+    /// under [`OpLog::trace_content_hash`] — the same key the
+    /// materialized path uses — so a fit computed from a trace run
+    /// serves a later op-log ingest of the same I/O and vice versa.
+    ///
+    /// Under an active trace fault the log's tail is salvaged exactly
+    /// like [`advise`](AdvisorSession::advise) salvages a damaged live
+    /// trace, keyed by the damaged content hash; the returned report is
+    /// `Some` when records were dropped.
+    pub fn ingest_oplog(
+        &mut self,
+        log: &OpLog,
+        names: &[String],
+        sizes: &[u64],
+        config: &FitConfig,
+    ) -> Result<(WorkloadSet, Option<SalvageReport>), WaslaError> {
+        let trace_fault = fault::plan().and_then(|p| p.trace_fault(log.trace_content_hash()));
+        if let Some(tf) = trace_fault {
+            let keep = ((log.len() as f64) * tf.keep_fraction) as usize;
+            let (fitted, salvage) = self.fit_salvaged_keyed(
+                log.trace_content_hash_damaged(keep),
+                log.len(),
+                keep,
+                names,
+                sizes,
+                config,
+                || {
+                    let mut damaged = Trace::new();
+                    for (i, rec) in log.records().iter().enumerate() {
+                        let mut rec = rec.as_block_record();
+                        if i >= keep {
+                            rec.stream = u32::MAX;
+                        }
+                        damaged.push(rec);
+                    }
+                    damaged
+                },
+            )?;
+            let dropped = salvage.degraded();
+            return Ok((fitted, dropped.then_some(salvage)));
+        }
+        let stage = FitStage { config };
+        let key = stage.key_for_hash(log.trace_content_hash(), names, sizes);
+        if let Some(cached) = self.fits.get(key) {
+            return Ok((cached.clone(), None));
+        }
+        let fitted = fit_oplog_streamed(log, names, sizes, config, DEFAULT_CHUNK)?;
+        self.fits.insert(key, fitted.clone());
+        Ok((fitted, None))
+    }
+
+    /// The advise pipeline fed from a captured op-log instead of a
+    /// fresh trace-collection run: streamed ingest → calibrate →
+    /// solve → regularize. No simulation runs; the log stands in for
+    /// the operational system's observed I/O.
+    pub fn advise_from_oplog(
+        &mut self,
+        log: &OpLog,
+        scenario: &Scenario,
+        config: &AdviseConfig,
+    ) -> Result<OpLogAdvice, WaslaError> {
+        let mut degraded: Vec<DegradedNote> = Vec::new();
+        let names = scenario.catalog.names();
+        let sizes = scenario.catalog.sizes();
+        let (fitted, salvage) = self.ingest_oplog(log, &names, &sizes, &config.fit)?;
+        if let Some(s) = salvage {
+            degraded.push(DegradedNote::TraceSalvaged {
+                kept: s.kept,
+                dropped: s.dropped,
+            });
+        }
+        let models = self.models_for(&scenario.targets, &config.grid, scenario.seed)?;
+        for target in &scenario.targets {
+            let spec = TargetCostModel::member_spec(target)?;
+            if let Some(f) = calibration_fault(spec, scenario.seed) {
+                degraded.push(DegradedNote::CalibrationDegraded {
+                    device: target.name.clone(),
+                    factor: f.latency_factor(),
+                });
+            }
+        }
+        let problem =
+            assemble_problem(scenario, fitted.clone(), models, config.constraints.clone());
+        let solve = SolveStage {
+            options: &config.advisor,
+        };
+        let solved = solve.run(&problem)?;
+        let finish = RegularizeStage {
+            options: &config.advisor,
+        };
+        let recommendation = finish.run(&RegularizeInput {
+            problem: &problem,
+            solved,
+        })?;
+        if recommendation.quality.degraded() {
+            degraded.push(DegradedNote::SolverDegraded {
+                quality: recommendation.quality,
+            });
+        }
+        Ok(OpLogAdvice {
+            fitted,
+            problem,
+            recommendation,
+            degraded,
+        })
     }
 
     /// The full staged pipeline — trace → fit → calibrate → solve →
@@ -315,6 +450,20 @@ impl AdvisorSession {
     }
 }
 
+/// What [`AdvisorSession::advise_from_oplog`] produced. Unlike
+/// [`AdviseOutcome`] there is no baseline run report: the op-log *is*
+/// the baseline observation.
+pub struct OpLogAdvice {
+    /// The fitted per-object workload descriptions.
+    pub fitted: WorkloadSet,
+    /// The assembled layout problem (with calibrated models).
+    pub problem: LayoutProblem,
+    /// The advisor's recommendation.
+    pub recommendation: Recommendation,
+    /// Degradations the pipeline worked around (empty on a clean run).
+    pub degraded: Vec<DegradedNote>,
+}
+
 /// One request in a [`Service::advise_batch`] call.
 #[derive(Clone)]
 pub struct AdviseRequest {
@@ -404,6 +553,14 @@ impl Service {
     /// The shared session (cache statistics, warm state).
     pub fn session(&self) -> &AdvisorSession {
         &self.session
+    }
+
+    /// Mutable access to the shared session, for direct stage work —
+    /// op-log ingestion and replay advising run against the same
+    /// caches [`advise_batch`](Service::advise_batch) warms and
+    /// [`persist`](Service::persist) saves.
+    pub fn session_mut(&mut self) -> &mut AdvisorSession {
+        &mut self.session
     }
 
     /// Advises every request, fanning across the [`par`] pool.

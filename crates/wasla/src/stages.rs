@@ -110,6 +110,32 @@ pub struct FitStage<'a> {
     pub config: &'a FitConfig,
 }
 
+impl<'a> FitStage<'a> {
+    /// The fit cache key for a trace known only by its content hash.
+    ///
+    /// This is the single key scheme for every path into the fit
+    /// cache: materialized traces ([`Stage::cache_key`]), streamed
+    /// op-log ingestion (keyed by
+    /// [`wasla_trace::oplog::OpLog::trace_content_hash`]), and
+    /// fault-damaged salvage (keyed by the *damaged* trace hash).
+    /// Sharing the scheme is what makes a fit cached from one
+    /// representation serve the others.
+    pub fn key_for_hash(&self, trace_hash: u64, names: &[String], sizes: &[u64]) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(trace_hash)
+            .write_f64(self.config.window_s)
+            .write_u64(self.config.gap_tolerance)
+            .write_u64(names.len() as u64);
+        for name in names {
+            h.write_str(name);
+        }
+        for &size in sizes {
+            h.write_u64(size);
+        }
+        h.finish()
+    }
+}
+
 impl<'a> Stage for FitStage<'a> {
     type Input = FitInput<'a>;
     type Output = wasla_workload::WorkloadSet;
@@ -124,18 +150,7 @@ impl<'a> Stage for FitStage<'a> {
     }
 
     fn cache_key(&self, input: &FitInput<'a>) -> Option<u64> {
-        let mut h = Fnv64::new();
-        h.write_u64(input.trace.content_hash())
-            .write_f64(self.config.window_s)
-            .write_u64(self.config.gap_tolerance)
-            .write_u64(input.names.len() as u64);
-        for name in input.names {
-            h.write_str(name);
-        }
-        for &size in input.sizes {
-            h.write_u64(size);
-        }
-        Some(h.finish())
+        Some(self.key_for_hash(input.trace.content_hash(), input.names, input.sizes))
     }
 }
 
@@ -346,6 +361,13 @@ mod tests {
             base,
             key(&trace_a, &[2 << 20]),
             "inventory must be in the key"
+        );
+        // The hash-first entry point is the same key scheme, so the
+        // streamed op-log path hits fits cached from materialized
+        // traces (and vice versa).
+        assert_eq!(
+            base,
+            FitStage { config: &config }.key_for_hash(trace_a.content_hash(), &names, &[1 << 20])
         );
     }
 

@@ -1,0 +1,131 @@
+//! Streaming op-log ingestion, end to end: capture equivalence, fit
+//! cache sharing across representations, and replay-validation
+//! determinism.
+//!
+//! This suite runs inside the `ci/check.sh` fault matrix, so every
+//! assertion is an equality or determinism claim that holds under any
+//! active fault plan — faults change *results*, deterministically, and
+//! the salvage path is keyed exactly like the clean path. The suite
+//! never touches the fault-seed environment variable; it only observes
+//! the plan through `fault::plan()`.
+
+use wasla::pipeline::{AdviseConfig, RunSettings, Scenario};
+use wasla::replay::{capture_oplog, replay_validate, CaptureOutcome};
+use wasla::session::AdvisorSession;
+use wasla::simlib::{fault, json};
+use wasla::trace::FitConfig;
+use wasla::workload::SqlWorkload;
+
+fn scenario() -> Scenario {
+    Scenario::homogeneous_disks(4, 0.01)
+}
+
+fn capture(settings: &RunSettings) -> CaptureOutcome {
+    capture_oplog(&scenario(), &[SqlWorkload::olap1_21(3)], settings)
+        .expect("capture must survive fault injection")
+}
+
+/// The op-log is the trace plus timing: materializing the captured log
+/// reproduces the block trace the same run records, bit for bit.
+#[test]
+fn captured_log_materializes_to_the_captured_trace() {
+    let settings = RunSettings {
+        capture_trace: true,
+        ..RunSettings::default()
+    };
+    let c = capture(&settings);
+    let trace = c.report.trace.as_ref().expect("trace captured alongside");
+    assert_eq!(c.log.len(), trace.len(), "same request stream");
+    assert_eq!(
+        c.log.trace_content_hash(),
+        trace.content_hash(),
+        "log-derived hash must equal the materialized trace hash"
+    );
+    assert_eq!(c.log.to_trace().records(), trace.records());
+}
+
+/// One cache entry serves every representation of the same I/O: a
+/// streamed ingest warms the fit cache for the materialized path and
+/// for later re-ingests (including the salvage path under a fault
+/// plan, which is keyed by the damaged content hash).
+#[test]
+fn session_shares_fit_cache_across_representations() {
+    let c = capture(&RunSettings::default());
+    let s = scenario();
+    let names = s.catalog.names();
+    let sizes = s.catalog.sizes();
+    let config = FitConfig::default();
+
+    let mut session = AdvisorSession::new();
+    let (first, first_salvage) = session
+        .ingest_oplog(&c.log, &names, &sizes, &config)
+        .expect("ingest");
+    assert_eq!(session.stats().fit.misses, 1);
+
+    // Re-ingesting the same log is a pure cache hit with an identical
+    // answer — also under a fault plan, where the salvage short-cut
+    // answers from the damaged-hash key without rebuilding the trace.
+    let (again, again_salvage) = session
+        .ingest_oplog(&c.log, &names, &sizes, &config)
+        .expect("re-ingest");
+    assert_eq!(json::to_string(&first), json::to_string(&again));
+    assert_eq!(
+        first_salvage.map(|s| (s.kept, s.dropped)),
+        again_salvage.map(|s| (s.kept, s.dropped))
+    );
+    let stats = session.stats();
+    assert_eq!(stats.fit.misses, 1, "re-ingest must not recompute");
+    assert!(stats.fit.hits >= 1);
+
+    // On a clean plan the materialized trace path lands on the very
+    // same cache entry the streamed path filled.
+    let clean = fault::plan()
+        .and_then(|p| p.trace_fault(c.log.trace_content_hash()))
+        .is_none();
+    if clean {
+        assert!(first_salvage.is_none(), "clean ingest must not salvage");
+        let materialized = session
+            .fit(&c.log.to_trace(), &names, &sizes, &config)
+            .expect("materialized fit");
+        assert_eq!(json::to_string(&first), json::to_string(&materialized));
+        assert_eq!(
+            session.stats().fit.misses,
+            1,
+            "materialized fit must hit the streamed entry"
+        );
+    } else {
+        let salvage = first_salvage.expect("fault plan must damage the log");
+        assert!(salvage.kept > 0, "engine-produced prefix salvages");
+        assert!(salvage.dropped > 0, "damage drops the tail");
+    }
+}
+
+/// The replay-validation loop is complete (every captured op is issued
+/// and, absent faults, completed) and deterministic: two sessions over
+/// the same log render byte-identical reports.
+#[test]
+fn replay_validation_is_complete_and_deterministic() {
+    let c = capture(&RunSettings::default());
+    let s = scenario();
+    let config = AdviseConfig::fast();
+
+    let mut session = AdvisorSession::new();
+    let v = replay_validate(&mut session, &c.log, &s, &config).expect("validate");
+    assert_eq!(v.baseline.observed.issued, c.log.len() as u64);
+    assert!(v.baseline.observed.completed <= v.baseline.observed.issued);
+    if fault::plan().is_none() {
+        assert_eq!(v.baseline.observed.completed, v.baseline.observed.issued);
+        assert_eq!(v.advised.observed.completed, v.advised.observed.issued);
+    }
+    assert!(v.baseline.observed.makespan.is_finite());
+    assert!(v.predicted_advised_makespan.is_finite());
+    assert!(v.baseline.predicted_max() >= 0.0);
+
+    let mut fresh = AdvisorSession::new();
+    let w = replay_validate(&mut fresh, &c.log, &s, &config).expect("revalidate");
+    assert_eq!(
+        wasla::replay::render_validation(&v, &s),
+        wasla::replay::render_validation(&w, &s),
+        "same log, same scenario, same config → byte-identical report"
+    );
+}
