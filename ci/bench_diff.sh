@@ -73,3 +73,28 @@ else
     echo "error: streamed ingestion is ${ratio}x the materialized path (gate: 1.25x)" >&2
     exit 1
 fi
+
+echo
+echo "== objective-trait overhead gate (weighted vs raw gradient) =="
+# The pluggable-objective refactor (DESIGN.md §13) routes the solver's
+# LSE gradient through LayoutObjective weights; the raw pre-refactor
+# min-max entry points are benched in the same run, and the default
+# MinMax objective must stay within 1.05x of them. In-run comparison,
+# so machine drift cancels out.
+for size in n32_m4 n128_m4; do
+    raw_ns=$(median_of "objective_gradient/raw_${size}" objectives)
+    weighted_ns=$(median_of "objective_gradient/minmax_${size}" objectives)
+    if [ -z "$raw_ns" ] || [ -z "$weighted_ns" ]; then
+        echo "error: objective gradient sweep missing from results/BENCH_objectives.json" >&2
+        echo "(expected objective_gradient/raw_${size} and objective_gradient/minmax_${size})" >&2
+        exit 1
+    fi
+    ratio=$(awk -v r="$raw_ns" -v w="$weighted_ns" 'BEGIN { printf "%.3f", w / r }')
+    echo "objective_gradient ${size}: weighted ${weighted_ns} ns / raw ${raw_ns} ns = ${ratio}x"
+    if awk -v r="$raw_ns" -v w="$weighted_ns" 'BEGIN { exit !(w <= 1.05 * r) }'; then
+        echo "objective gate passed (minmax <= 1.05x raw)"
+    else
+        echo "error: MinMax-through-trait is ${ratio}x the raw path (gate: 1.05x)" >&2
+        exit 1
+    fi
+done

@@ -104,6 +104,19 @@ if [ "$alloc_failed" -ne 0 ]; then
     exit 1
 fi
 
+step "objective ratchet (max-utilization reductions live in core::eval)"
+# The pluggable-objective refactor (DESIGN.md §13) funnels every
+# max-utilization reduction through `core::eval` — `max_of`,
+# `weighted_max`, and the `LayoutObjective` implementations — so no
+# code path can silently hard-wire the min-max objective again. The
+# idiomatic fold is the grep target; outside crates/core/src/eval/ it
+# is a policy violation.
+if grep -RnE 'fold\(0\.0,[[:space:]]*f64::max\)' crates/core/src | grep -v 'crates/core/src/eval/'; then
+    echo "error: direct max-utilization fold outside crates/core/src/eval/ (see matches above)" >&2
+    echo "route the reduction through wasla_core::eval (max_of / weighted_max / LayoutObjective)" >&2
+    exit 1
+fi
+
 step "tests (offline)"
 cargo test -q --offline --workspace
 
@@ -111,6 +124,16 @@ step "tests again on a 2-thread pool (offline)"
 # Exercises the parallel code paths even on single-core CI machines;
 # by the determinism contract every result must be unchanged.
 WASLA_THREADS=2 cargo test -q --offline --workspace
+
+step "objective-equivalence golden gate (WASLA_THREADS=1 and 8)"
+# The pluggable-objective contract (DESIGN.md §13): the default MinMax
+# objective routed through the LayoutObjective trait must reproduce
+# the committed pre-refactor advisor reports bit-for-bit on both paper
+# catalogs, at serial and wide pool widths alike.
+for t in 1 8; do
+    echo "-- WASLA_THREADS=$t --"
+    WASLA_THREADS=$t cargo test -q --offline -p wasla --test objective_equivalence
+done
 
 step "fault-injection env var confined to simlib::fault"
 # The robustness policy (DESIGN.md §Fault model) reads the fault-plan
@@ -134,12 +157,15 @@ step "fault matrix (offline)"
 # CI failures reproduce locally with the same plan. `oplog_stream`
 # rides the matrix too — it covers the op-log corruption-salvage path,
 # and all its assertions are equality claims that hold under faults.
+# `objective_equivalence` rides it as well: its golden test self-skips
+# under an active plan, and its warm≡cold per-objective assertions are
+# pure equality claims that must hold on degraded answers too.
 for fault_seed in 7 11 23 42 99 1337 2024 31337; do
     echo "-- fault seed $fault_seed --"
     WASLA_FAULTS=$fault_seed cargo test -q --offline -p wasla \
         --test failure_modes --test error_paths \
         --test fault_injection --test batch_determinism \
-        --test oplog_stream
+        --test oplog_stream --test objective_equivalence
 done
 
 step "op-log replay-validation gate (streamed == materialized)"

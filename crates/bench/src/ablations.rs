@@ -1,14 +1,14 @@
 //! Ablation experiments for the design choices DESIGN.md §5 calls out.
 
-use crate::common::{advise, run_settings, ExpConfig, ExperimentResult, Row};
+use crate::common::{advise, advise_config, run_settings, ExpConfig, ExperimentResult, Row};
 use std::sync::Arc;
 use std::time::Instant;
 use wasla::core::{
-    initial_layout, recommend, solve_nlp, AdvisorOptions, SolveMethod, SolverOptions,
-    UtilizationEstimator,
+    initial_layout, recommend, solve_nlp, weighted_max, AdvisorOptions, ObjectiveKind, SolveMethod,
+    SolverOptions, UtilizationEstimator,
 };
 use wasla::model::AnalyticDiskModel;
-use wasla::pipeline::{self, Scenario, DISK_BYTES};
+use wasla::pipeline::{self, Scenario, DISK_BYTES, SSD_BYTES};
 use wasla::storage::DiskParams;
 use wasla::workload::SqlWorkload;
 
@@ -96,6 +96,90 @@ pub fn ablation_starts(config: &ExpConfig) -> ExperimentResult {
     ExperimentResult {
         id: "ablation-starts".into(),
         title: "initial-layout / multistart policy".into(),
+        rows,
+        text: String::new(),
+    }
+}
+
+/// Ablation: the pluggable layout objective × target mix. Sweeps every
+/// [`ObjectiveKind`] over three target mixes (all-HDD, all-SSD, and the
+/// paper's 4-disks-plus-SSD two-tier setup) on both paper catalogs.
+/// Each (catalog, mix) pair is traced/fitted/calibrated once; the
+/// objectives then re-solve the same [`LayoutProblem`], so the rows
+/// isolate what the objective changes: the weighted score it optimizes,
+/// the raw max utilization it accepts in exchange, and solve time.
+pub fn ablation_objectives(config: &ExpConfig) -> ExperimentResult {
+    // Target mixes are catalog-independent: build them once from the
+    // TPC-H constructors and graft them onto the OLTP scenario.
+    let mixes = [
+        (
+            "all-hdd",
+            Scenario::homogeneous_disks(4, config.scale).targets,
+        ),
+        (
+            "all-ssd",
+            Scenario::homogeneous_ssds(4, config.scale).targets,
+        ),
+        (
+            "2-tier",
+            Scenario::disks_plus_ssd(config.scale, SSD_BYTES).targets,
+        ),
+    ];
+    let mut rows = Vec::new();
+    for catalog in ["tpch", "tpcc"] {
+        for (mix, targets) in &mixes {
+            let (mut scenario, workloads) = match catalog {
+                "tpch" => (
+                    Scenario::homogeneous_disks(4, config.scale),
+                    vec![SqlWorkload::olap1_21(config.seed)],
+                ),
+                _ => (
+                    Scenario::oltp_disks(config.scale),
+                    vec![SqlWorkload::oltp()],
+                ),
+            };
+            scenario.targets = targets.clone();
+            let mut cfg = advise_config(config);
+            if catalog == "tpcc" {
+                cfg.trace_run.max_time = Some(60.0);
+            }
+            let outcome = pipeline::advise(&scenario, &workloads, &cfg)
+                .expect("experiment advise pipeline succeeds");
+            let problem = &outcome.problem;
+            let est = UtilizationEstimator::new(problem);
+            for kind in ObjectiveKind::ALL {
+                let opts = AdvisorOptions {
+                    regularize: true,
+                    solver: SolverOptions {
+                        objective: kind,
+                        ..SolverOptions::default()
+                    },
+                    ..AdvisorOptions::default()
+                };
+                let t0 = Instant::now();
+                let rec = recommend(problem, &opts).expect("recommend succeeds");
+                let dt = t0.elapsed().as_secs_f64();
+                let layout = rec.final_layout();
+                let utils = est.utilizations(layout);
+                let weights = kind.weights(problem);
+                rows.push(Row::new(
+                    format!("{catalog}/{mix}/{}", kind.name()),
+                    vec![
+                        ("score", weighted_max(&utils, &weights)),
+                        ("max_util", est.max_utilization(layout)),
+                        ("solve_s", dt),
+                        (
+                            "fell_back_to_see",
+                            f64::from(u8::from(rec.fell_back_to_see)),
+                        ),
+                    ],
+                ));
+            }
+        }
+    }
+    ExperimentResult {
+        id: "objectives".into(),
+        title: "layout objective × target mix (both catalogs)".into(),
         rows,
         text: String::new(),
     }

@@ -11,7 +11,8 @@
 //!
 //! Experiments: fig1 fig8 fig11 fig12 fig13 fig14 fig15 fig16 fig17
 //! fig18 fig19 fig20, ablation-solver ablation-starts
-//! ablation-costmodel ablation-regularization.
+//! ablation-costmodel ablation-regularization, objectives (the
+//! objective × target-mix sweep).
 //!
 //! Independent experiments run concurrently on the `wasla_simlib::par`
 //! pool (width from `WASLA_THREADS`); each experiment's wall-clock is
@@ -42,6 +43,7 @@ const ABLATIONS: &[&str] = &[
     "dynamic-growth",
     "config-sweep",
     "fig15-pagesize",
+    "objectives",
 ];
 
 fn run_one(id: &str, config: &ExpConfig) -> ExperimentResult {
@@ -68,6 +70,7 @@ fn run_one(id: &str, config: &ExpConfig) -> ExperimentResult {
         "dynamic-growth" => future_work::dynamic_growth(config),
         "config-sweep" => future_work::config_sweep(config),
         "fig15-pagesize" => validation::fig15_pagesize(config),
+        "objectives" => ablations::ablation_objectives(config),
         other => unreachable!("experiment ids are validated in main: {other}"),
     }
 }

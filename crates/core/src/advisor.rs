@@ -9,10 +9,11 @@
 
 use crate::baselines;
 use crate::estimator::UtilizationEstimator;
+use crate::eval::{max_of, weighted_max};
 use crate::initial::{initial_layout, InitialLayoutError};
 use crate::optimizer::{solve_multistart, NlpOutcome, SolveMethod, SolverOptions};
 use crate::problem::{Layout, LayoutProblem};
-use crate::regularize::{regularize, RegularizeError};
+use crate::regularize::{regularize_with, RegularizeError};
 use std::time::Instant;
 use wasla_simlib::fault::{self, SolverBudget};
 use wasla_simlib::impl_json_struct;
@@ -315,7 +316,7 @@ fn record_stage(
     layout: &Layout,
 ) {
     let utilizations = est.utilizations(layout);
-    let max_utilization = utilizations.iter().cloned().fold(0.0, f64::max);
+    let max_utilization = max_of(&utilizations);
     stages.push(StageReport {
         stage: name.to_string(),
         utilizations,
@@ -388,7 +389,9 @@ pub fn solve_stage(
     }
 
     let good = |out: &NlpOutcome| {
-        out.max_utilization.is_finite() && out.layout.rows().iter().flatten().all(|f| f.is_finite())
+        out.score.is_finite()
+            && out.max_utilization.is_finite()
+            && out.layout.rows().iter().flatten().all(|f| f.is_finite())
     };
     let (solver_layout, converged, quality) = if matches!(budget, Some(SolverBudget::GreedyOnly)) {
         // Budget allows no NLP at all: recommend the rate-greedy seed.
@@ -444,7 +447,8 @@ pub fn regularize_stage(
 
     let (mut regular_layout, regularize_s) = if options.regularize {
         let t2 = Instant::now();
-        let reg = regularize(problem, &solver_layout).map_err(AdvisorError::Regularize)?;
+        let reg = regularize_with(problem, &solver_layout, options.solver.objective)
+            .map_err(AdvisorError::Regularize)?;
         let dt = t2.elapsed().as_secs_f64();
         record_stage(&est, &mut stages, "regular", &reg);
         (Some(reg), dt)
@@ -455,28 +459,34 @@ pub fn regularize_stage(
     // Never recommend a layout the model itself rates worse than the
     // trivial SEE default. (SEE can be a genuine local optimum; the
     // solver is only seeded away from it to escape when escape helps.)
+    // The comparison runs in objective-score space — under the default
+    // objective the weights are 1.0 and this is exactly the recorded
+    // `max_utilization` comparison, bit for bit.
+    let obj_w = options.solver.objective.weights(problem);
+    let stage_score = |s: &StageReport| weighted_max(&s.utilizations, &obj_w);
     let see_layout = baselines::see(problem);
-    let see_max = stages[0].max_utilization;
+    let see_score = stage_score(&stages[0]);
     let mut solver_layout = solver_layout;
     let mut fell_back_to_see = false;
     if options.regularize {
-        let final_max = stages.last().expect("stages recorded").max_utilization;
+        let final_score = stage_score(stages.last().expect("stages recorded"));
         if problem.satisfies_constraints(&see_layout)
             && see_layout.satisfies_capacity(&problem.workloads.sizes, &problem.capacities)
-            && see_max < final_max
+            && see_score < final_score
         {
             regular_layout = Some(see_layout);
             fell_back_to_see = true;
         }
     } else {
-        let solver_max = stages
-            .iter()
-            .find(|s| s.stage == "solver")
-            .expect("solver stage recorded")
-            .max_utilization;
+        let solver_score = stage_score(
+            stages
+                .iter()
+                .find(|s| s.stage == "solver")
+                .expect("solver stage recorded"),
+        );
         if problem.satisfies_constraints(&see_layout)
             && see_layout.satisfies_capacity(&problem.workloads.sizes, &problem.capacities)
-            && see_max < solver_max
+            && see_score < solver_score
         {
             solver_layout = see_layout;
             fell_back_to_see = true;

@@ -109,7 +109,7 @@ impl<'a> UtilizationEstimator<'a> {
 
     /// The objective `max_j µⱼ` (paper Definition 1).
     pub fn max_utilization(&self, layout: &Layout) -> f64 {
-        self.utilizations(layout).into_iter().fold(0.0, f64::max)
+        crate::eval::max_of(&self.utilizations(layout))
     }
 
     /// The full `µᵢⱼ` matrix.

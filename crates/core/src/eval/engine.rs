@@ -27,6 +27,7 @@
 
 use std::cell::RefCell;
 
+use crate::eval::objective::ObjectiveKind;
 use crate::eval::stats::EvalStats;
 use crate::layout_model::{self, PerTargetWorkload};
 use crate::problem::{Layout, LayoutProblem, EPS};
@@ -75,13 +76,28 @@ pub struct EvalEngine<'a> {
     mu_probe: Vec<f64>,
     /// Scratch flat point for [`EvalEngine::set_layout`].
     xbuf: Vec<f64>,
+    /// The objective this engine scores for.
+    objective: ObjectiveKind,
+    /// The objective's per-target penalty weights (layout-independent;
+    /// exactly 1.0 under the default `MinMax` objective).
+    obj_w: Vec<f64>,
+    /// Scratch column for the weighted utilization vector `wⱼ·µⱼ`.
+    wcol: Vec<f64>,
     /// Work counters (cumulative).
     pub stats: EvalStats,
 }
 
 impl<'a> EvalEngine<'a> {
-    /// Builds the engine and commits the all-zero layout.
+    /// Builds the engine for the default min-max objective and commits
+    /// the all-zero layout.
     pub fn new(problem: &'a LayoutProblem) -> Self {
+        Self::with_objective(problem, ObjectiveKind::MinMax)
+    }
+
+    /// Builds the engine scoring for `objective` and commits the
+    /// all-zero layout. The utilization caches are objective-agnostic;
+    /// only the `score*` family applies the penalty weights.
+    pub fn with_objective(problem: &'a LayoutProblem, objective: ObjectiveKind) -> Self {
         let n = problem.n();
         let m = problem.m();
         let p = n.next_power_of_two().max(1);
@@ -115,6 +131,9 @@ impl<'a> EvalEngine<'a> {
             smax: Vec::with_capacity(m),
             mu_probe: vec![0.0; m],
             xbuf: vec![0.0; n * m],
+            objective,
+            obj_w: objective.weights(problem),
+            wcol: vec![0.0; m],
             stats: EvalStats::default(),
         };
         // The zero layout's caches are all zeros already, except the
@@ -134,6 +153,16 @@ impl<'a> EvalEngine<'a> {
     /// Number of targets.
     pub fn m(&self) -> usize {
         self.m
+    }
+
+    /// The objective this engine scores for.
+    pub fn objective(&self) -> ObjectiveKind {
+        self.objective
+    }
+
+    /// The objective's per-target penalty weights.
+    pub fn objective_weights(&self) -> &[f64] {
+        &self.obj_w
     }
 
     // hot-closure-begin: everything below runs inside solver
@@ -462,6 +491,105 @@ impl<'a> EvalEngine<'a> {
         best
     }
 
+    // --- objective-weighted scoring -------------------------------
+    //
+    // The `score*` family mirrors the raw `max_utilization*` family
+    // with every µⱼ scaled by the objective's penalty weight wⱼ. The
+    // weights are layout-independent, so every probe/commit law above
+    // carries over; under the default MinMax objective wⱼ = 1.0 and
+    // `x * 1.0` is bitwise `x`, so these paths are bit-identical to
+    // the raw ones.
+
+    /// Fills the weighted-utilization scratch from the committed
+    /// columns.
+    fn refill_wcol(&mut self) {
+        for j in 0..self.m {
+            self.wcol[j] = self.obj_w[j] * self.mu_col[j];
+        }
+    }
+
+    /// Commits `x` and returns the smoothed score
+    /// `lse_max(w·µ, temp)`.
+    pub fn lse_score(&mut self, x: &[f64], temp: f64) -> f64 {
+        self.set_point(x);
+        self.stats.objective_evals += 1;
+        self.refill_wcol();
+        lse_max(&self.wcol, temp)
+    }
+
+    /// Commits `x` and returns the raw score `max_j wⱼ·µⱼ`.
+    pub fn score_at(&mut self, x: &[f64]) -> f64 {
+        self.set_point(x);
+        self.stats.objective_evals += 1;
+        self.committed_score()
+    }
+
+    /// `max_j wⱼ·µⱼ` at the committed point.
+    pub fn committed_score(&self) -> f64 {
+        self.mu_col
+            .iter()
+            .zip(&self.obj_w)
+            .fold(0.0, |acc, (&mu, &w)| acc.max(w * mu))
+    }
+
+    /// The structured finite-difference gradient of the smoothed
+    /// score: softmax over the *weighted* utilizations, each partial
+    /// scaled by its target's weight (chain rule through `wⱼ·µⱼ`).
+    pub fn lse_score_gradient(&mut self, x: &[f64], temp: f64, fd: f64, g: &mut [f64]) {
+        self.set_point(x);
+        self.stats.gradient_evals += 1;
+        self.refill_wcol();
+        softmax_weights(&self.wcol, temp, &mut self.smax);
+        for i in 0..self.n {
+            for j in 0..self.m {
+                let orig = self.x[i * self.m + j];
+                let up_step = fd;
+                let dn_step = fd.min(orig);
+                self.stats.fd_partials += 1;
+                let up = self.probe_coord(i, j, orig + up_step);
+                let dn = self.probe_coord(i, j, orig - dn_step);
+                g[i * self.m + j] = self.smax[j] * self.obj_w[j] * (up - dn) / (up_step + dn_step);
+            }
+        }
+    }
+
+    /// The smoothed score with one coordinate perturbed — the
+    /// [`DeltaOracle`] entry point under a penalty objective.
+    pub fn lse_score_probe(&mut self, i: usize, j: usize, v: f64, temp: f64) -> f64 {
+        let mu_j = self.probe_coord(i, j, v);
+        for jj in 0..self.m {
+            self.mu_probe[jj] = self.obj_w[jj] * self.mu_col[jj];
+        }
+        self.mu_probe[j] = self.obj_w[j] * mu_j;
+        lse_max(&self.mu_probe, temp)
+    }
+
+    /// The raw score with one coordinate perturbed.
+    pub fn score_probe(&mut self, i: usize, j: usize, v: f64) -> f64 {
+        let mu_j = self.probe_coord(i, j, v);
+        let mut best = 0.0f64;
+        for jj in 0..self.m {
+            let mu = if jj == j { mu_j } else { self.mu_col[jj] };
+            best = best.max(self.obj_w[jj] * mu);
+        }
+        best
+    }
+
+    /// `max_j wⱼ·µⱼ` with row `i` replaced by `row`, without
+    /// committing (the regularizer's candidate score).
+    pub fn probe_row_score(&mut self, i: usize, row: &[f64]) -> f64 {
+        let mut best = 0.0f64;
+        for j in 0..self.m {
+            let mu_j = if row[j].to_bits() == self.x[i * self.m + j].to_bits() {
+                self.mu_col[j]
+            } else {
+                self.probe_coord(i, j, row[j])
+            };
+            best = best.max(self.obj_w[j] * mu_j);
+        }
+        best
+    }
+
     // hot-closure-end
 
     /// Commits a [`Layout`] (convenience for the regularizer).
@@ -477,12 +605,15 @@ impl<'a> EvalEngine<'a> {
     }
 }
 
-/// Which objective an [`EngineOracle`] answers for.
+/// Which objective shape an [`EngineOracle`] answers for. The penalty
+/// weights come from the engine itself; under the default `MinMax`
+/// objective they are 1.0 and both shapes reduce to the raw
+/// utilization objectives.
 #[derive(Clone, Copy, Debug)]
 pub enum OracleObjective {
-    /// `lse_max(µ, temp)` — the smoothed temperature stages.
+    /// `lse_max(w·µ, temp)` — the smoothed temperature stages.
     Lse(f64),
-    /// `max_j µⱼ` — the raw min-max objective.
+    /// `max_j wⱼ·µⱼ` — the raw min-max score.
     MinMax,
 }
 
@@ -507,8 +638,8 @@ impl DeltaOracle for EngineOracle<'_, '_> {
         e.set_point(x);
         let (i, j) = (c / e.m(), c % e.m());
         match self.objective {
-            OracleObjective::Lse(temp) => e.lse_objective_probe(i, j, v, temp),
-            OracleObjective::MinMax => e.max_utilization_probe(i, j, v),
+            OracleObjective::Lse(temp) => e.lse_score_probe(i, j, v, temp),
+            OracleObjective::MinMax => e.score_probe(i, j, v),
         }
     }
 }

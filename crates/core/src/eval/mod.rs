@@ -23,16 +23,26 @@
 //!   FD partials, cost-model lookups, reused `µᵢⱼ` cells) so tests and
 //!   benches can assert the O(N)-per-partial claim instead of trusting
 //!   wall-clock.
+//! * [`objective`] hosts the pluggable [`LayoutObjective`] penalty
+//!   transforms (`score = max_j wⱼ·µⱼ`); both evaluation paths score
+//!   through them, and the default [`MinMaxUtilization`] weights are
+//!   exactly 1.0, keeping the default bit-identical to the raw path.
 //!
 //! See DESIGN.md §10 for the delta-update math and the argument for
-//! why the summation order is pinned.
+//! why the summation order is pinned, and §13 for the objective-trait
+//! contract.
 
 pub mod engine;
 pub mod kernel;
+pub mod objective;
 pub mod scratch;
 pub mod stats;
 
 pub use engine::{EngineOracle, EvalEngine, OracleObjective};
 pub use kernel::{pairwise_sum, RateTransform};
+pub use objective::{
+    max_of, weighted_max, LayoutObjective, MinMaxUtilization, ObjectiveKind, ProvisioningCost,
+    WearBlend,
+};
 pub use scratch::ScratchEval;
 pub use stats::EvalStats;

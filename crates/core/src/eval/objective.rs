@@ -1,0 +1,268 @@
+//! Pluggable layout objectives.
+//!
+//! The paper's NLP minimizes `max_j µⱼ(L)` — the worst predicted
+//! target utilization. That remains the default, but other deployment
+//! goals reduce to the same shape with a per-target *penalty
+//! transform*: score a layout as `max_j wⱼ·µⱼ(L)` for a weight vector
+//! `w` fixed by the problem (its tier descriptors and aggregate
+//! workload), not by the layout. Because the weights are
+//! layout-independent, every incremental-update law the
+//! [`EvalEngine`](crate::eval::EvalEngine) relies on carries over
+//! unchanged: a probe that replaces `µⱼ` replaces `wⱼ·µⱼ`, and the
+//! smoothed objective is the same LSE over the weighted vector.
+//!
+//! Contract (see DESIGN.md §13): an objective is *pure* — `weights`
+//! depends only on the problem, never on a layout or on mutable
+//! state — and its `id` participates in every persisted cache key so
+//! warm and cold sessions agree per objective.
+
+use crate::problem::LayoutProblem;
+
+/// A layout-scoring objective: a named per-target penalty transform.
+///
+/// `score(L) = max_j weights(problem)[j] · µⱼ(L)`.
+pub trait LayoutObjective: Send + Sync {
+    /// Stable identifier; joins persisted cache keys and CLI flags.
+    fn id(&self) -> &'static str;
+
+    /// The per-target penalty weights, one per target, all finite and
+    /// non-negative. Must be a pure function of the problem.
+    fn weights(&self, problem: &LayoutProblem) -> Vec<f64>;
+}
+
+/// The paper's objective: minimize the maximum target utilization.
+///
+/// Weights are exactly 1.0, and `x * 1.0` is bitwise-identical to `x`
+/// for every finite non-negative f64, so routing the default objective
+/// through the weighted code paths keeps advisor outputs byte-identical
+/// to the pre-trait implementation.
+pub struct MinMaxUtilization;
+
+impl LayoutObjective for MinMaxUtilization {
+    fn id(&self) -> &'static str {
+        "minmax"
+    }
+
+    fn weights(&self, problem: &LayoutProblem) -> Vec<f64> {
+        vec![1.0; problem.m()]
+    }
+}
+
+/// Provisioning-cost objective: penalize utilization on expensive
+/// targets by their tier's $/IOPS, steering load toward the cheapest
+/// capable tier. `wⱼ = tierⱼ.cost_per_iops`.
+pub struct ProvisioningCost;
+
+impl LayoutObjective for ProvisioningCost {
+    fn id(&self) -> &'static str {
+        "provision-cost"
+    }
+
+    fn weights(&self, problem: &LayoutProblem) -> Vec<f64> {
+        problem
+            .models
+            .iter()
+            .map(|m| m.tier().cost_per_iops)
+            .collect()
+    }
+}
+
+/// SSD-endurance objective: blend the minmax goal with a write-rate
+/// penalty on endurance-limited tiers.
+/// `wⱼ = 1.0 + tierⱼ.endurance_weight × (Σᵢ write_rateᵢ / Σᵢ total_rateᵢ)`.
+///
+/// The write fraction is a property of the aggregate workload (not of
+/// the layout), so a read-mostly catalog leaves SSD targets nearly
+/// unpenalized while a write-heavy one steers bulk writes to tiers
+/// with no wear budget.
+pub struct WearBlend;
+
+impl WearBlend {
+    /// The aggregate write fraction of the problem's workloads.
+    pub fn write_fraction(problem: &LayoutProblem) -> f64 {
+        let mut writes = 0.0;
+        let mut total = 0.0;
+        for spec in &problem.workloads.specs {
+            writes += spec.write_rate;
+            total += spec.read_rate + spec.write_rate;
+        }
+        if total > 0.0 {
+            writes / total
+        } else {
+            0.0
+        }
+    }
+}
+
+impl LayoutObjective for WearBlend {
+    fn id(&self) -> &'static str {
+        "wear-blend"
+    }
+
+    fn weights(&self, problem: &LayoutProblem) -> Vec<f64> {
+        let wf = Self::write_fraction(problem);
+        problem
+            .models
+            .iter()
+            .map(|m| 1.0 + m.tier().endurance_weight * wf)
+            .collect()
+    }
+}
+
+/// Objective selector threaded through [`SolverOptions`]
+/// (crate::optimizer::SolverOptions), stage cache keys, and the
+/// `wasla-advisor --objective` flag.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ObjectiveKind {
+    /// Minimize `max_j µⱼ` (the paper's objective; the default).
+    #[default]
+    MinMax,
+    /// Minimize `max_j ($/IOPS)ⱼ·µⱼ`.
+    ProvisioningCost,
+    /// Minimize `max_j (1 + endureⱼ·write_frac)·µⱼ`.
+    WearBlend,
+}
+
+impl ObjectiveKind {
+    /// Every selectable objective, in CLI/report order.
+    pub const ALL: [ObjectiveKind; 3] = [
+        ObjectiveKind::MinMax,
+        ObjectiveKind::ProvisioningCost,
+        ObjectiveKind::WearBlend,
+    ];
+
+    /// The stable name (CLI flag value, cache-key component).
+    pub fn name(self) -> &'static str {
+        self.objective().id()
+    }
+
+    /// Parses a CLI/config name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// The objective implementation.
+    pub fn objective(self) -> &'static dyn LayoutObjective {
+        match self {
+            ObjectiveKind::MinMax => &MinMaxUtilization,
+            ObjectiveKind::ProvisioningCost => &ProvisioningCost,
+            ObjectiveKind::WearBlend => &WearBlend,
+        }
+    }
+
+    /// The penalty weights for this objective on `problem`.
+    pub fn weights(self, problem: &LayoutProblem) -> Vec<f64> {
+        self.objective().weights(problem)
+    }
+}
+
+/// `max(0, values...)` — the one place the raw max-utilization fold
+/// lives (ci/check.sh forbids reimplementing it outside `core::eval`).
+pub fn max_of(values: &[f64]) -> f64 {
+    values.iter().cloned().fold(0.0, f64::max)
+}
+
+/// `max(0, wⱼ·vⱼ...)` — an objective score from raw utilizations.
+pub fn weighted_max(values: &[f64], weights: &[f64]) -> f64 {
+    debug_assert_eq!(values.len(), weights.len());
+    values
+        .iter()
+        .zip(weights)
+        .fold(0.0, |acc, (&v, &w)| acc.max(w * v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wasla_model::CostModel;
+    use wasla_storage::{IoKind, Tier};
+    use wasla_workload::{ObjectKind, WorkloadSet, WorkloadSpec};
+
+    struct Tiered(Tier);
+    impl CostModel for Tiered {
+        fn request_cost(&self, _: IoKind, _: f64, _: f64, _: f64) -> f64 {
+            0.01
+        }
+        fn tier(&self) -> Tier {
+            self.0.clone()
+        }
+    }
+
+    fn problem(tiers: Vec<Tier>, write_rate: f64) -> LayoutProblem {
+        let n = 2;
+        let m = tiers.len();
+        LayoutProblem {
+            workloads: WorkloadSet {
+                names: (0..n).map(|i| format!("o{i}")).collect(),
+                sizes: vec![1000; n],
+                specs: (0..n)
+                    .map(|_| WorkloadSpec {
+                        read_size: 8192.0,
+                        write_size: 8192.0,
+                        read_rate: 30.0,
+                        write_rate,
+                        run_count: 1.0,
+                        overlaps: vec![0.0; n],
+                    })
+                    .collect(),
+            },
+            kinds: vec![ObjectKind::Table; n],
+            capacities: vec![1 << 20; m],
+            target_names: (0..m).map(|j| format!("t{j}")).collect(),
+            models: tiers
+                .into_iter()
+                .map(|t| Arc::new(Tiered(t)) as Arc<dyn CostModel>)
+                .collect(),
+            stripe_size: 1024.0 * 1024.0,
+            constraints: vec![],
+        }
+    }
+
+    #[test]
+    fn minmax_weights_are_exactly_one() {
+        let p = problem(vec![Tier::hdd(), Tier::ssd()], 10.0);
+        let w = ObjectiveKind::MinMax.weights(&p);
+        assert!(w.iter().all(|&v| v.to_bits() == 1.0f64.to_bits()));
+    }
+
+    #[test]
+    fn provisioning_cost_uses_tier_iops_price() {
+        let p = problem(vec![Tier::hdd(), Tier::ssd()], 10.0);
+        let w = ObjectiveKind::ProvisioningCost.weights(&p);
+        assert_eq!(
+            w,
+            vec![Tier::hdd().cost_per_iops, Tier::ssd().cost_per_iops]
+        );
+    }
+
+    #[test]
+    fn wear_blend_scales_with_write_fraction() {
+        let p = problem(vec![Tier::hdd(), Tier::ssd()], 30.0);
+        assert!((WearBlend::write_fraction(&p) - 0.5).abs() < 1e-12);
+        let w = ObjectiveKind::WearBlend.weights(&p);
+        assert_eq!(w[0], 1.0, "HDD tier has no endurance weight");
+        assert_eq!(w[1], 1.0 + Tier::ssd().endurance_weight * 0.5);
+        let read_only = problem(vec![Tier::hdd(), Tier::ssd()], 0.0);
+        assert_eq!(
+            ObjectiveKind::WearBlend.weights(&read_only),
+            vec![1.0, 1.0],
+            "read-only workload leaves SSD unpenalized"
+        );
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for k in ObjectiveKind::ALL {
+            assert_eq!(ObjectiveKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(ObjectiveKind::from_name("bogus"), None);
+        assert_eq!(ObjectiveKind::default(), ObjectiveKind::MinMax);
+    }
+
+    #[test]
+    fn weighted_max_with_unit_weights_is_max_of() {
+        let v = [0.25, 0.75, 0.5];
+        assert_eq!(weighted_max(&v, &[1.0; 3]).to_bits(), max_of(&v).to_bits());
+    }
+}

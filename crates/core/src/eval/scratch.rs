@@ -13,6 +13,7 @@
 //! incremental bookkeeping.
 
 use crate::estimator::UtilizationEstimator;
+use crate::eval::objective::ObjectiveKind;
 use crate::eval::stats::EvalStats;
 use crate::problem::{Layout, LayoutProblem};
 use wasla_solver::{lse_max, softmax_weights};
@@ -25,14 +26,25 @@ pub struct ScratchEval<'a> {
     layout: Layout,
     mus: Vec<f64>,
     smax: Vec<f64>,
+    /// The objective's per-target penalty weights (1.0 under the
+    /// default `MinMax` objective).
+    obj_w: Vec<f64>,
+    /// Scratch for the weighted utilization vector `wⱼ·µⱼ`.
+    wmus: Vec<f64>,
     /// Work counters (cumulative). Probe-level counters stay zero on
     /// this path — it has no cache to reuse.
     pub stats: EvalStats,
 }
 
 impl<'a> ScratchEval<'a> {
-    /// Builds the workspace for one problem.
+    /// Builds the workspace for one problem under the default min-max
+    /// objective.
     pub fn new(problem: &'a LayoutProblem) -> Self {
+        Self::with_objective(problem, ObjectiveKind::MinMax)
+    }
+
+    /// Builds the workspace scoring for `objective`.
+    pub fn with_objective(problem: &'a LayoutProblem, objective: ObjectiveKind) -> Self {
         let n = problem.n();
         let m = problem.m();
         ScratchEval {
@@ -42,6 +54,8 @@ impl<'a> ScratchEval<'a> {
             layout: Layout::from_rows(vec![vec![0.0; m]; n]),
             mus: vec![0.0; m],
             smax: Vec::with_capacity(m),
+            obj_w: objective.weights(problem),
+            wmus: vec![0.0; m],
             stats: EvalStats::default(),
         }
     }
@@ -103,6 +117,60 @@ impl<'a> ScratchEval<'a> {
                 let dn = self.est.target_utilization(&self.layout, j);
                 self.layout.set(i, j, orig);
                 g[i * self.m + j] = self.smax[j] * (up - dn) / (up_step + dn_step);
+            }
+        }
+    }
+
+    /// Fills the weighted-utilization scratch from the current `µ`s.
+    fn refill_wmus(&mut self) {
+        for j in 0..self.m {
+            self.wmus[j] = self.obj_w[j] * self.mus[j];
+        }
+    }
+
+    /// The smoothed score `lse_max(w·µ(x), temp)` — the weighted
+    /// mirror of [`ScratchEval::lse_objective`]; bit-identical to it
+    /// under the default objective (`wⱼ = 1.0`).
+    pub fn lse_score(&mut self, x: &[f64], temp: f64) -> f64 {
+        self.stats.objective_evals += 1;
+        self.load(x);
+        self.refresh_mus();
+        self.refill_wmus();
+        lse_max(&self.wmus, temp)
+    }
+
+    /// The raw score `max_j wⱼ·µⱼ(x)`.
+    pub fn score_at(&mut self, x: &[f64]) -> f64 {
+        self.stats.objective_evals += 1;
+        self.load(x);
+        self.refresh_mus();
+        self.mus
+            .iter()
+            .zip(&self.obj_w)
+            .fold(0.0, |acc, (&mu, &w)| acc.max(w * mu))
+    }
+
+    /// The structured finite-difference gradient of the smoothed
+    /// score: softmax over the weighted `µ`s, each partial scaled by
+    /// its target's weight.
+    pub fn lse_score_gradient(&mut self, x: &[f64], temp: f64, fd: f64, g: &mut [f64]) {
+        self.stats.gradient_evals += 1;
+        self.load(x);
+        self.refresh_mus();
+        self.refill_wmus();
+        softmax_weights(&self.wmus, temp, &mut self.smax);
+        for i in 0..self.n {
+            for j in 0..self.m {
+                let orig = self.layout.get(i, j);
+                let up_step = fd;
+                let dn_step = fd.min(orig);
+                self.stats.fd_partials += 1;
+                self.layout.set(i, j, orig + up_step);
+                let up = self.est.target_utilization(&self.layout, j);
+                self.layout.set(i, j, orig - dn_step);
+                let dn = self.est.target_utilization(&self.layout, j);
+                self.layout.set(i, j, orig);
+                g[i * self.m + j] = self.smax[j] * self.obj_w[j] * (up - dn) / (up_step + dn_step);
             }
         }
     }

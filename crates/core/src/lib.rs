@@ -52,11 +52,13 @@ pub use advisor::{
 };
 pub use autoadmin::{autoadmin_layout, AutoAdminOptions};
 pub use estimator::UtilizationEstimator;
-pub use eval::{EvalEngine, EvalStats, ScratchEval};
+pub use eval::{
+    max_of, weighted_max, EvalEngine, EvalStats, LayoutObjective, ObjectiveKind, ScratchEval,
+};
 pub use initial::{initial_layout, InitialLayoutError};
 pub use optimizer::{
     solve_multistart, solve_nlp, solve_with, EvalPath, NlpOutcome, SolveMethod, SolverOptions,
 };
 pub use problem::{AdminConstraint, Layout, LayoutProblem};
-pub use regularize::{regularize, RegularizeError};
+pub use regularize::{regularize, regularize_with, RegularizeError};
 pub use stage::{CacheStats, Stage, StageCache, STAGE_NAMES};

@@ -21,9 +21,13 @@
 //! randomized search could replace the NLP solver.
 
 use crate::estimator::UtilizationEstimator;
-use crate::eval::{EngineOracle, EvalEngine, EvalStats, OracleObjective, ScratchEval};
+use crate::eval::{
+    max_of, weighted_max, EngineOracle, EvalEngine, EvalStats, ObjectiveKind, OracleObjective,
+    ScratchEval,
+};
 use crate::problem::{AdminConstraint, Layout, LayoutProblem};
 use std::cell::RefCell;
+use std::sync::Mutex;
 use wasla_simlib::par;
 use wasla_solver::{
     project_simplex, AnnealOptions, AnnealSolver, AugLagOptions, Constraint, MultistartError,
@@ -95,6 +99,10 @@ pub struct SolverOptions {
     pub fd_step: f64,
     /// Annealing options (when `method` is `Anneal`).
     pub anneal: AnnealOptions,
+    /// The layout objective scored by the solve. The default
+    /// `MinMax` is the paper's objective and routes through weights
+    /// of exactly 1.0, bit-identical to the unweighted path.
+    pub objective: ObjectiveKind,
 }
 
 impl Default for SolverOptions {
@@ -118,6 +126,7 @@ impl Default for SolverOptions {
                 sigma: 0.2,
                 ..AnnealOptions::default()
             },
+            objective: ObjectiveKind::MinMax,
         }
     }
 }
@@ -129,8 +138,13 @@ pub struct NlpOutcome {
     pub layout: Layout,
     /// Predicted per-target utilizations under that layout.
     pub utilizations: Vec<f64>,
-    /// The objective `max_j µⱼ`.
+    /// The raw maximum utilization `max_j µⱼ` (reported regardless of
+    /// objective).
     pub max_utilization: f64,
+    /// The objective score `max_j wⱼ·µⱼ` — what the solve minimized
+    /// and what multistart winners are picked by. Bitwise equal to
+    /// `max_utilization` under the default `MinMax` objective.
+    pub score: f64,
     /// Whether the final stage converged.
     pub converged: bool,
     /// Work counters of the evaluation path that drove the solve
@@ -236,30 +250,46 @@ fn solve_with_engine(
     opts: &SolverOptions,
     solver: &dyn Solver,
 ) -> NlpOutcome {
-    let engine = RefCell::new(EvalEngine::new(problem));
+    let engine = RefCell::new(EvalEngine::with_objective(problem, opts.objective));
+    solve_with_engine_in(problem, initial, opts, solver, &engine)
+}
+
+/// The engine-path body over a caller-supplied engine, so multistart
+/// can reuse one workspace across solves. The engine's caches are
+/// pure functions of its committed point (see
+/// `incremental_commit_equals_rebuild`), so starting from whatever
+/// point a previous solve left committed is bit-equivalent to a fresh
+/// build. The engine must have been built for `opts.objective`.
+fn solve_with_engine_in<'p>(
+    problem: &'p LayoutProblem,
+    initial: &Layout,
+    opts: &SolverOptions,
+    solver: &dyn Solver,
+    engine: &RefCell<EvalEngine<'p>>,
+) -> NlpOutcome {
+    debug_assert_eq!(engine.borrow().objective(), opts.objective);
     let project = make_projection(problem);
-    let constraints = engine_capacity_constraints(problem, &engine);
+    let constraints = engine_capacity_constraints(problem, engine);
     let mut x = initial.to_flat();
     project(&mut x);
 
     if solver.wants_smoothing() {
         let mut converged = false;
         for &rel_temp in &opts.temperatures {
-            let current_max = engine.borrow_mut().max_utilization_at(&x).max(1e-9);
+            let current_max = engine.borrow_mut().score_at(&x).max(1e-9);
             let temp = rel_temp * current_max;
             let fd = opts.fd_step;
             // hot-closure-begin: solver objective/gradient closures —
             // all scratch lives in the engine workspace.
-            let f: ObjectiveFn<'_> =
-                Box::new(|xv: &[f64]| engine.borrow_mut().lse_objective(xv, temp));
+            let f: ObjectiveFn<'_> = Box::new(|xv: &[f64]| engine.borrow_mut().lse_score(xv, temp));
             // Structured finite differences: perturbing Lᵢⱼ only moves
             // target j's utilization, so each partial is two O(N)
             // column probes weighted by the softmax.
             let grad: ObjectiveGradFn<'_> = Box::new(|xv: &[f64], g: &mut [f64]| {
-                engine.borrow_mut().lse_gradient(xv, temp, fd, g)
+                engine.borrow_mut().lse_score_gradient(xv, temp, fd, g)
             });
             // hot-closure-end
-            let oracle = EngineOracle::new(&engine, OracleObjective::Lse(temp));
+            let oracle = EngineOracle::new(engine, OracleObjective::Lse(temp));
             let spec = SolveSpec {
                 objective: f,
                 gradient: Some(grad),
@@ -274,13 +304,13 @@ fn solve_with_engine(
             x = result.x;
             converged = result.converged;
         }
-        finish_engine(problem, &engine, x, converged)
+        finish_engine(problem, engine, x, converged)
     } else {
-        // hot-closure-begin: raw min-max objective for randomized
+        // hot-closure-begin: raw min-max score for randomized
         // search — same engine workspace, no allocations per call.
-        let f: ObjectiveFn<'_> = Box::new(|xv: &[f64]| engine.borrow_mut().max_utilization_at(xv));
+        let f: ObjectiveFn<'_> = Box::new(|xv: &[f64]| engine.borrow_mut().score_at(xv));
         // hot-closure-end
-        let oracle = EngineOracle::new(&engine, OracleObjective::MinMax);
+        let oracle = EngineOracle::new(engine, OracleObjective::MinMax);
         let spec = SolveSpec {
             objective: f,
             gradient: None,
@@ -292,7 +322,7 @@ fn solve_with_engine(
         };
         let result = solver.minimize(&spec);
         drop(spec);
-        finish_engine(problem, &engine, result.x, result.converged)
+        finish_engine(problem, engine, result.x, result.converged)
     }
 }
 
@@ -306,7 +336,7 @@ fn solve_with_scratch(
     opts: &SolverOptions,
     solver: &dyn Solver,
 ) -> NlpOutcome {
-    let scratch = RefCell::new(ScratchEval::new(problem));
+    let scratch = RefCell::new(ScratchEval::with_objective(problem, opts.objective));
     let project = make_projection(problem);
     let constraints = capacity_constraints(problem);
     let mut x = initial.to_flat();
@@ -315,15 +345,15 @@ fn solve_with_scratch(
     if solver.wants_smoothing() {
         let mut converged = false;
         for &rel_temp in &opts.temperatures {
-            let current_max = scratch.borrow_mut().max_utilization_at(&x).max(1e-9);
+            let current_max = scratch.borrow_mut().score_at(&x).max(1e-9);
             let temp = rel_temp * current_max;
             let fd = opts.fd_step;
             // hot-closure-begin: from-scratch closures — scratch
             // buffers hoisted into the ScratchEval workspace.
             let f: ObjectiveFn<'_> =
-                Box::new(|xv: &[f64]| scratch.borrow_mut().lse_objective(xv, temp));
+                Box::new(|xv: &[f64]| scratch.borrow_mut().lse_score(xv, temp));
             let grad: ObjectiveGradFn<'_> = Box::new(|xv: &[f64], g: &mut [f64]| {
-                scratch.borrow_mut().lse_gradient(xv, temp, fd, g)
+                scratch.borrow_mut().lse_score_gradient(xv, temp, fd, g)
             });
             // hot-closure-end
             let spec = SolveSpec {
@@ -341,10 +371,10 @@ fn solve_with_scratch(
             converged = result.converged;
         }
         let stats = scratch.borrow().stats;
-        finish(problem, x, converged, stats)
+        finish(problem, x, converged, stats, opts.objective)
     } else {
         // hot-closure-begin
-        let f: ObjectiveFn<'_> = Box::new(|xv: &[f64]| scratch.borrow_mut().max_utilization_at(xv));
+        let f: ObjectiveFn<'_> = Box::new(|xv: &[f64]| scratch.borrow_mut().score_at(xv));
         // hot-closure-end
         let spec = SolveSpec {
             objective: f,
@@ -358,7 +388,7 @@ fn solve_with_scratch(
         let result = solver.minimize(&spec);
         drop(spec);
         let stats = scratch.borrow().stats;
-        finish(problem, result.x, result.converged, stats)
+        finish(problem, result.x, result.converged, stats, opts.objective)
     }
 }
 
@@ -371,17 +401,46 @@ fn solve_with_scratch(
 /// [`par`] pool; the winner is picked in start-index order (earliest
 /// of equally-good outcomes), so the result is identical to the serial
 /// loop at any `WASLA_THREADS` setting.
+///
+/// On the engine path the solves draw from a shared pool of
+/// [`EvalEngine`] workspaces instead of building a fresh engine per
+/// start: at most `min(starts, threads)` engines are ever built, and
+/// each is re-pointed per start. Engine caches are pure functions of
+/// the committed point, so reuse is bit-equivalent to rebuilding
+/// (asserted in `tests/eval_determinism.rs`).
 pub fn solve_multistart(
     problem: &LayoutProblem,
     starts: &[Layout],
     opts: &SolverOptions,
 ) -> Result<NlpOutcome, MultistartError> {
-    let outcomes = par::par_map(starts, |s| solve_nlp(problem, s, opts));
+    let pool: Mutex<Vec<EvalEngine<'_>>> = Mutex::new(Vec::new());
+    let outcomes = par::par_map(starts, |s| {
+        if opts.eval != EvalPath::Engine {
+            return solve_nlp(problem, s, opts);
+        }
+        // A poisoned pool only means another start panicked mid-solve;
+        // parked engines are re-pointed before use, so recover the
+        // guard rather than propagating the panic.
+        let mut engine = pool
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop()
+            .unwrap_or_else(|| EvalEngine::with_objective(problem, opts.objective));
+        // Counters restart per solve; the outcome reports this start's
+        // work, not the pool's cumulative total.
+        engine.stats = EvalStats::default();
+        let cell = RefCell::new(engine);
+        let outcome = solve_with_engine_in(problem, s, opts, opts.build_solver().as_ref(), &cell);
+        pool.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(cell.into_inner());
+        outcome
+    });
     let mut best: Option<NlpOutcome> = None;
     for outcome in outcomes {
         let better = match &best {
             None => true,
-            Some(b) => outcome.max_utilization < b.max_utilization,
+            Some(b) => outcome.score < b.score,
         };
         if better {
             best = Some(outcome);
@@ -439,15 +498,23 @@ fn engine_capacity_constraints<'e, 'p: 'e>(
         .collect()
 }
 
-fn finish(problem: &LayoutProblem, x: Vec<f64>, converged: bool, stats: EvalStats) -> NlpOutcome {
+fn finish(
+    problem: &LayoutProblem,
+    x: Vec<f64>,
+    converged: bool,
+    stats: EvalStats,
+    objective: ObjectiveKind,
+) -> NlpOutcome {
     let layout = Layout::from_flat(&x, problem.n(), problem.m());
     let est = UtilizationEstimator::new(problem);
     let utilizations = est.utilizations(&layout);
-    let max_utilization = utilizations.iter().cloned().fold(0.0, f64::max);
+    let max_utilization = max_of(&utilizations);
+    let score = weighted_max(&utilizations, &objective.weights(problem));
     NlpOutcome {
         layout,
         utilizations,
         max_utilization,
+        score,
         converged,
         stats,
     }
@@ -463,10 +530,12 @@ fn finish_engine(
     e.set_point(&x);
     let utilizations = e.committed_utilizations().to_vec();
     let max_utilization = e.committed_max_utilization();
+    let score = e.committed_score();
     NlpOutcome {
         layout: Layout::from_flat(&x, problem.n(), problem.m()),
         utilizations,
         max_utilization,
+        score,
         converged,
         stats: e.stats,
     }

@@ -22,7 +22,7 @@
 //! object is invalid the algorithm fails — the paper notes manual
 //! intervention is then required, which we surface as a typed error.
 
-use crate::eval::EvalEngine;
+use crate::eval::{EvalEngine, ObjectiveKind};
 use crate::problem::{AdminConstraint, Layout, LayoutProblem, EPS};
 use wasla_simlib::json::{self, FromJson, Json, JsonError, ToJson};
 
@@ -85,18 +85,27 @@ impl std::error::Error for RegularizeError {}
 /// point.
 const REFINE_PASSES: usize = 3;
 
-/// Regularizes a solver layout.
+/// Regularizes a solver layout under the default min-max objective.
+pub fn regularize(problem: &LayoutProblem, solver: &Layout) -> Result<Layout, RegularizeError> {
+    regularize_with(problem, solver, ObjectiveKind::MinMax)
+}
+
+/// Regularizes a solver layout, scoring candidates by `objective`.
 ///
 /// Candidate scoring runs over an incremental [`EvalEngine`] kept
 /// committed at the evolving layout: each candidate row is a
-/// [`EvalEngine::probe_row_max`] (only the targets the row actually
+/// [`EvalEngine::probe_row_score`] (only the targets the row actually
 /// changes are re-evaluated) and the winner is committed row-wise —
-/// bit-identical to the former write-score-restore loop over
-/// `UtilizationEstimator`, minus the O(N·M) re-evaluation per
-/// candidate.
-pub fn regularize(problem: &LayoutProblem, solver: &Layout) -> Result<Layout, RegularizeError> {
+/// bit-identical, under the default objective, to the former
+/// write-score-restore loop over `UtilizationEstimator`, minus the
+/// O(N·M) re-evaluation per candidate.
+pub fn regularize_with(
+    problem: &LayoutProblem,
+    solver: &Layout,
+    objective: ObjectiveKind,
+) -> Result<Layout, RegularizeError> {
     let n = problem.n();
-    let mut engine = EvalEngine::new(problem);
+    let mut engine = EvalEngine::with_objective(problem, objective);
     engine.set_layout(solver);
 
     // Decreasing total-load order (§4.3).
@@ -116,16 +125,16 @@ pub fn regularize(problem: &LayoutProblem, solver: &Layout) -> Result<Layout, Re
     // Refinement: greedy one-shot placement can strand load imbalances;
     // re-placing objects against the finished layout corrects them
     // while keeping every row regular.
-    let mut best_max = engine.committed_max_utilization();
+    let mut best_score = engine.committed_score();
     for _ in 0..REFINE_PASSES {
         for &i in &order {
             place_best(problem, &mut engine, solver, &mut current, i)?;
         }
-        let now_max = engine.committed_max_utilization();
-        if now_max >= best_max - 1e-12 {
+        let now_score = engine.committed_score();
+        if now_score >= best_score - 1e-12 {
             break;
         }
-        best_max = now_max;
+        best_score = now_score;
     }
     debug_assert!(current.is_regular());
     Ok(current)
@@ -196,7 +205,7 @@ fn place_best(
         if !ok {
             continue;
         }
-        let score = engine.probe_row_max(i, &cand);
+        let score = engine.probe_row_score(i, &cand);
         if best.as_ref().map_or(true, |(s, _)| score < *s) {
             best = Some((score, cand));
         }

@@ -4,10 +4,13 @@
 //! ISSUE's hard requirement — exact `f64` equality, not tolerances).
 
 use std::sync::Arc;
-use wasla_core::{EvalEngine, Layout, LayoutProblem, UtilizationEstimator};
+use wasla_core::{
+    weighted_max, EvalEngine, Layout, LayoutProblem, ObjectiveKind, ScratchEval,
+    UtilizationEstimator,
+};
 use wasla_model::CostModel;
 use wasla_simlib::proptest::prelude::*;
-use wasla_storage::IoKind;
+use wasla_storage::{IoKind, Tier};
 use wasla_workload::{ObjectKind, WorkloadSet, WorkloadSpec};
 
 struct TestModel;
@@ -18,6 +21,19 @@ impl CostModel for TestModel {
             IoKind::Write => 0.003,
         };
         base / run.max(1.0) + 0.002 * chi + size / 60e6 + 0.0002
+    }
+}
+
+/// The same analytics as [`TestModel`], but carrying an explicit tier
+/// so the tier-weighted objectives get heterogeneous weights.
+struct TieredTestModel(Tier);
+impl CostModel for TieredTestModel {
+    fn request_cost(&self, kind: IoKind, size: f64, run: f64, chi: f64) -> f64 {
+        TestModel.request_cost(kind, size, run, chi)
+    }
+
+    fn tier(&self) -> Tier {
+        self.0.clone()
     }
 }
 
@@ -43,7 +59,15 @@ fn build_problem(n: usize, m: usize, rates: &[f64], overlaps: &[f64]) -> LayoutP
         kinds: vec![ObjectKind::Table; n],
         capacities: vec![1 << 24; m],
         target_names: (0..m).map(|j| format!("t{j}")).collect(),
-        models: (0..m).map(|_| Arc::new(TestModel) as _).collect(),
+        // Alternate HDD/SSD tiers so the tier-weighted objectives
+        // (provision-cost, wear-blend) see genuinely distinct
+        // per-target weights; the default MinMax path ignores them.
+        models: (0..m)
+            .map(|j| {
+                let tier = if j % 2 == 0 { Tier::hdd() } else { Tier::ssd() };
+                Arc::new(TieredTestModel(tier)) as _
+            })
+            .collect(),
         stripe_size: 1024.0 * 1024.0,
         constraints: vec![],
     }
@@ -148,6 +172,49 @@ proptest! {
         let layout = Layout::from_flat(&x, n, m);
         for (a, b) in engine.committed_utilizations().iter().zip(&est.utilizations(&layout)) {
             prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// For every objective, the incremental engine and the
+    /// from-scratch evaluator agree bit-for-bit on the weighted score,
+    /// its LSE smoothing, and the LSE gradient — and the score is
+    /// exactly `weighted_max` over the estimator's utilizations.
+    #[test]
+    fn weighted_scores_match_scratch_for_all_objectives(
+        problem in problem_strategy(),
+        noise in proptest::collection::vec(0.005f64..1.0, 64),
+        perturbations in proptest::collection::vec((0usize..64, 0.0f64..1.1), 1..8),
+    ) {
+        let n = problem.n();
+        let m = problem.m();
+        let est = UtilizationEstimator::new(&problem);
+        for kind in ObjectiveKind::ALL {
+            let weights = kind.weights(&problem);
+            let mut engine = EvalEngine::with_objective(&problem, kind);
+            let mut scratch = ScratchEval::with_objective(&problem, kind);
+            let mut x = normalized_x(n, m, &noise);
+            for &(raw_c, v) in &perturbations {
+                let c = raw_c % (n * m);
+                x[c] = v;
+                let layout = Layout::from_flat(&x, n, m);
+                let want = weighted_max(&est.utilizations(&layout), &weights);
+                prop_assert_eq!(engine.score_at(&x).to_bits(), want.to_bits(),
+                    "engine score mismatch under {}", kind.name());
+                prop_assert_eq!(scratch.score_at(&x).to_bits(), want.to_bits(),
+                    "scratch score mismatch under {}", kind.name());
+                prop_assert_eq!(
+                    engine.lse_score(&x, 0.05).to_bits(),
+                    scratch.lse_score(&x, 0.05).to_bits(),
+                    "lse score mismatch under {}", kind.name());
+                let mut ge = vec![0.0; n * m];
+                let mut gs = vec![0.0; n * m];
+                engine.lse_score_gradient(&x, 0.05, 1e-4, &mut ge);
+                scratch.lse_score_gradient(&x, 0.05, 1e-4, &mut gs);
+                for (a, b) in ge.iter().zip(&gs) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(),
+                        "lse gradient mismatch under {}: {} vs {}", kind.name(), a, b);
+                }
+            }
         }
     }
 }

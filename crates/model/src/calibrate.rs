@@ -110,6 +110,7 @@ pub fn calibrate_device(spec: &DeviceSpec, grid: &CalibrationGrid, seed: u64) ->
     }
     TableModel {
         device: name.to_string(),
+        tier: spec.tier(),
         reads,
         writes,
     }

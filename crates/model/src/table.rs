@@ -1,9 +1,8 @@
 //! Tabulated cost models with interpolation.
 
 use crate::grid::Grid3;
-use wasla_simlib::impl_json_struct;
-use wasla_simlib::json::{self, JsonError};
-use wasla_storage::IoKind;
+use wasla_simlib::json::{self, FromJson, Json, JsonError, ToJson};
+use wasla_storage::{IoKind, Tier};
 
 /// A per-request cost model for one device or target type.
 ///
@@ -14,6 +13,14 @@ use wasla_storage::IoKind;
 pub trait CostModel: Send + Sync {
     /// Expected per-request cost in seconds.
     fn request_cost(&self, kind: IoKind, size: f64, run_count: f64, contention: f64) -> f64;
+
+    /// The economic tier of the modeled target, consumed by the
+    /// tier-aware layout objectives (`ProvisioningCost`, `WearBlend`).
+    /// Defaults to the HDD tier, which every pre-tier model
+    /// implicitly assumed.
+    fn tier(&self) -> Tier {
+        Tier::hdd()
+    }
 }
 
 /// A black-box tabulated model: one 3-D grid per request direction,
@@ -23,17 +30,46 @@ pub trait CostModel: Send + Sync {
 pub struct TableModel {
     /// Device name the model was calibrated for (diagnostic).
     pub device: String,
+    /// Economic tier of the calibrated device.
+    pub tier: Tier,
     /// Read-request costs.
     pub reads: Grid3,
     /// Write-request costs.
     pub writes: Grid3,
 }
 
-impl_json_struct!(TableModel {
-    device,
-    reads,
-    writes
-});
+impl ToJson for TableModel {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("device".to_string(), self.device.to_json()),
+            ("tier".to_string(), self.tier.to_json()),
+            ("reads".to_string(), self.reads.to_json()),
+            ("writes".to_string(), self.writes.to_json()),
+        ])
+    }
+}
+
+// Hand-rolled so calibration tables persisted before the tier layer
+// (session caches, committed model files) still parse: a missing
+// `tier` defaults from the device name.
+impl FromJson for TableModel {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let field = |name: &str| v.field(name).ok_or_else(|| JsonError::missing_field(name));
+        let device = String::from_json(field("device")?)?;
+        let tier = match v.field("tier") {
+            Some(t) => Tier::from_json(t)?,
+            None => Tier::for_device_name(&device),
+        };
+        let reads = Grid3::from_json(field("reads")?)?;
+        let writes = Grid3::from_json(field("writes")?)?;
+        Ok(TableModel {
+            device,
+            tier,
+            reads,
+            writes,
+        })
+    }
+}
 
 impl CostModel for TableModel {
     fn request_cost(&self, kind: IoKind, size: f64, run_count: f64, contention: f64) -> f64 {
@@ -42,6 +78,10 @@ impl CostModel for TableModel {
             IoKind::Write => &self.writes,
         };
         grid.interpolate(size, run_count, contention)
+    }
+
+    fn tier(&self) -> Tier {
+        self.tier.clone()
     }
 }
 
@@ -80,6 +120,7 @@ mod tests {
         };
         TableModel {
             device: "test".into(),
+            tier: Tier::hdd(),
             reads: mk(1.0),
             writes: mk(2.0),
         }
@@ -99,5 +140,19 @@ mod tests {
         let j = m.to_json();
         let back = TableModel::from_json(&j).unwrap();
         assert_eq!(m, back);
+    }
+
+    #[test]
+    fn pre_tier_table_json_defaults_from_device_name() {
+        let mut m = tiny_model();
+        m.device = "ssd".into();
+        m.tier = Tier::ssd();
+        let with_tier = m.to_json();
+        let tier_fragment = format!("\"tier\":{},", json::to_string(&m.tier));
+        let old = with_tier.replace(&tier_fragment, "");
+        assert!(!old.contains("tier"), "tier stripped from {old}");
+        let back = TableModel::from_json(&old).unwrap();
+        assert_eq!(back.tier, Tier::ssd(), "tier inferred from device name");
+        assert_eq!(back, m);
     }
 }

@@ -19,9 +19,8 @@
 
 use crate::calibrate::{calibrate_device, CalibrationGrid};
 use crate::table::{CostModel, TableModel};
-use wasla_simlib::impl_json_struct;
 use wasla_simlib::json::{self, FromJson, Json, JsonError, ToJson};
-use wasla_storage::{IoKind, TargetConfig};
+use wasla_storage::{IoKind, TargetConfig, Tier};
 
 /// Why a target could not be modeled.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -99,15 +98,49 @@ pub struct TargetCostModel {
     pub parallelism: usize,
     /// Target name (diagnostic).
     pub name: String,
+    /// Economic tier of the target (from its [`TargetConfig`]).
+    pub tier: Tier,
 }
 
-impl_json_struct!(TargetCostModel {
-    member,
-    width,
-    stripe_unit,
-    parallelism,
-    name
-});
+impl ToJson for TargetCostModel {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            // Fully qualified: TableModel's inherent `to_json` is the
+            // string-returning convenience, not the trait method.
+            ("member".to_string(), ToJson::to_json(&self.member)),
+            ("width".to_string(), self.width.to_json()),
+            ("stripe_unit".to_string(), self.stripe_unit.to_json()),
+            ("parallelism".to_string(), self.parallelism.to_json()),
+            ("name".to_string(), self.name.to_json()),
+            ("tier".to_string(), self.tier.to_json()),
+        ])
+    }
+}
+
+// Hand-rolled: `tier` is optional on parse (defaulting to the member
+// table's tier) so model files written before the tier layer load.
+impl FromJson for TargetCostModel {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let field = |name: &str| v.field(name).ok_or_else(|| JsonError::missing_field(name));
+        let member = <TableModel as FromJson>::from_json(field("member")?)?;
+        let width = usize::from_json(field("width")?)?;
+        let stripe_unit = u64::from_json(field("stripe_unit")?)?;
+        let parallelism = usize::from_json(field("parallelism")?)?;
+        let name = String::from_json(field("name")?)?;
+        let tier = match v.field("tier") {
+            Some(t) => Tier::from_json(t)?,
+            None => member.tier.clone(),
+        };
+        Ok(TargetCostModel {
+            member,
+            width,
+            stripe_unit,
+            parallelism,
+            name,
+            tier,
+        })
+    }
+}
 
 impl TargetCostModel {
     /// Checks a target configuration is modelable — at least one
@@ -140,6 +173,7 @@ impl TargetCostModel {
             stripe_unit: config.stripe_unit,
             parallelism,
             name: config.name.clone(),
+            tier: config.tier.clone(),
         })
     }
 
@@ -203,6 +237,10 @@ impl CostModel for TargetCostModel {
                 * k
                 / (w * par)
         }
+    }
+
+    fn tier(&self) -> Tier {
+        self.tier.clone()
     }
 }
 
@@ -313,6 +351,7 @@ mod tests {
             members: vec![],
             stripe_unit: 256 * KIB,
             scheduler: wasla_storage::SchedulerKind::Sstf,
+            tier: Tier::hdd(),
         };
         let err = TargetCostModel::from_target(&config, &grid, 1).unwrap_err();
         assert_eq!(
@@ -321,6 +360,30 @@ mod tests {
                 target: "empty".to_string()
             }
         );
+    }
+
+    #[test]
+    fn tier_identity_carried_end_to_end() {
+        let grid = CalibrationGrid::coarse();
+        let ssd = TargetCostModel::from_target(
+            &TargetConfig::single("ssd", DeviceSpec::Ssd(SsdParams::sata_gen1(32 * GIB))),
+            &grid,
+            3,
+        )
+        .unwrap();
+        assert_eq!(ssd.tier, Tier::ssd());
+        assert_eq!(ssd.member.tier, Tier::ssd());
+        assert_eq!(CostModel::tier(&ssd), Tier::ssd());
+        let json = wasla_simlib::json::to_string(&ssd);
+        let back: TargetCostModel = wasla_simlib::json::from_str(&json).unwrap();
+        assert_eq!(back.tier, Tier::ssd());
+        // A pre-tier model file (no top-level tier field) inherits the
+        // member table's tier. The top-level tier is the final field,
+        // so drop it by truncating at the last `,"tier":`.
+        let pos = json.rfind(",\"tier\":").unwrap();
+        let old = format!("{}}}", &json[..pos]);
+        let back: TargetCostModel = wasla_simlib::json::from_str(&old).unwrap();
+        assert_eq!(back.tier, back.member.tier);
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod ssd;
 pub mod stats;
 pub mod system;
 pub mod target;
+pub mod tier;
 pub mod trace;
 
 pub use device::{DeviceKind, DeviceModel, DeviceSpec};
@@ -41,6 +42,7 @@ pub use ssd::SsdParams;
 pub use stats::{DeviceStats, TargetStats};
 pub use system::{Completion, StorageSystem};
 pub use target::{TargetConfig, TargetId};
+pub use tier::{Tier, TierClass};
 pub use trace::{BlockTraceRecord, Trace};
 
 /// One kibibyte in bytes.

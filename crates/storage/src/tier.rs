@@ -1,0 +1,156 @@
+//! Storage tiers: the economic identity of a target.
+//!
+//! The paper's NLP treats every target as an interchangeable
+//! utilization sink; real fleets mix device classes whose dollar and
+//! endurance costs differ by orders of magnitude. A [`Tier`] carries
+//! that identity — class, $/GiB, $/IOPS, endurance weight — from the
+//! device spec through calibration tables and target cost models to
+//! the solver's pluggable objectives (`wasla_core::eval::objective`):
+//! `ProvisioningCost` weights each target's utilization by its
+//! $/IOPS, and `WearBlend` by its endurance sensitivity.
+
+use crate::device::{DeviceKind, DeviceSpec};
+use wasla_simlib::{impl_json_struct, impl_json_unit_enum};
+
+/// Broad tier class. Mirrors [`DeviceKind`] today; kept separate so a
+/// tier can later be a RAID level or a cloud volume class without
+/// touching the device layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TierClass {
+    /// Rotating-disk tier.
+    Hdd,
+    /// Flash tier.
+    Ssd,
+}
+
+impl_json_unit_enum!(TierClass { Hdd, Ssd });
+
+/// Economic descriptor of a storage tier.
+///
+/// The prices are circa-2010 list prices matching the paper's
+/// hardware generation (15k SCSI disks vs. first-generation SATA
+/// SSDs); they only ever enter the solver as *relative* per-target
+/// weights, so the absolute scale is irrelevant to the layouts chosen.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tier {
+    /// Broad device class.
+    pub class: TierClass,
+    /// Capacity price, dollars per GiB.
+    pub cost_per_gib: f64,
+    /// Throughput price, dollars per sustained IOPS.
+    pub cost_per_iops: f64,
+    /// Endurance sensitivity in [0, ∞): how strongly write traffic
+    /// should be penalized on this tier (0 for HDDs — they do not
+    /// wear out per write; positive for flash).
+    pub endurance_weight: f64,
+}
+
+impl_json_struct!(Tier {
+    class,
+    cost_per_gib,
+    cost_per_iops,
+    endurance_weight
+});
+
+impl Tier {
+    /// The enterprise-HDD tier: cheap IOPS-hungry capacity, no wear.
+    pub fn hdd() -> Self {
+        Tier {
+            class: TierClass::Hdd,
+            cost_per_gib: 2.0,
+            cost_per_iops: 1.0,
+            endurance_weight: 0.0,
+        }
+    }
+
+    /// The flash tier: expensive capacity, cheap IOPS, finite
+    /// endurance.
+    pub fn ssd() -> Self {
+        Tier {
+            class: TierClass::Ssd,
+            cost_per_gib: 12.0,
+            cost_per_iops: 0.25,
+            endurance_weight: 1.0,
+        }
+    }
+
+    /// The default tier for a device class.
+    pub fn for_kind(kind: DeviceKind) -> Self {
+        match kind {
+            DeviceKind::Disk => Tier::hdd(),
+            DeviceKind::Ssd => Tier::ssd(),
+        }
+    }
+
+    /// The default tier for a calibrated table's device name (the
+    /// `TableModel::device` field: "disk" or "ssd"). Unknown names get
+    /// the HDD tier — the conservative choice for old persisted
+    /// caches that predate tiers.
+    pub fn for_device_name(name: &str) -> Self {
+        if name == "ssd" {
+            Tier::ssd()
+        } else {
+            Tier::hdd()
+        }
+    }
+}
+
+impl Default for Tier {
+    fn default() -> Self {
+        Tier::hdd()
+    }
+}
+
+impl DeviceSpec {
+    /// The device's default tier, derived from its class. Derived
+    /// rather than stored so device-spec JSON (and the calibration
+    /// cache keys hashed from it) is unchanged by the tier layer.
+    pub fn tier(&self) -> Tier {
+        Tier::for_kind(self.kind())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskParams;
+    use crate::ssd::SsdParams;
+    use crate::GIB;
+    use wasla_simlib::json;
+
+    #[test]
+    fn tier_round_trips_through_json() {
+        for tier in [Tier::hdd(), Tier::ssd()] {
+            let s = json::to_string(&tier);
+            let back: Tier = json::from_str(&s).unwrap();
+            assert_eq!(tier, back);
+        }
+    }
+
+    #[test]
+    fn device_specs_derive_their_class_tier() {
+        let disk = DeviceSpec::Disk(DiskParams::scsi_15k(18 * GIB));
+        let ssd = DeviceSpec::Ssd(SsdParams::sata_gen1(32 * GIB));
+        assert_eq!(disk.tier(), Tier::hdd());
+        assert_eq!(ssd.tier(), Tier::ssd());
+        assert_eq!(disk.tier().class, TierClass::Hdd);
+        assert_eq!(ssd.tier().class, TierClass::Ssd);
+    }
+
+    #[test]
+    fn device_name_fallback_is_conservative() {
+        assert_eq!(Tier::for_device_name("ssd"), Tier::ssd());
+        assert_eq!(Tier::for_device_name("disk"), Tier::hdd());
+        assert_eq!(Tier::for_device_name("mystery"), Tier::hdd());
+    }
+
+    #[test]
+    fn ssd_iops_cheaper_but_capacity_dearer() {
+        let hdd = Tier::hdd();
+        let ssd = Tier::ssd();
+        assert!(ssd.cost_per_iops < hdd.cost_per_iops);
+        assert!(ssd.cost_per_gib > hdd.cost_per_gib);
+        assert_eq!(hdd.endurance_weight, 0.0);
+        assert!(ssd.endurance_weight > 0.0);
+    }
+}

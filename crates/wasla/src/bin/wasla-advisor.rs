@@ -7,12 +7,14 @@
 //! wasla-advisor fit --trace trace.json --objects objects.json [--out workloads.json]
 //! wasla-advisor fit --oplog oplog.tsv --objects objects.json [--materialized]
 //! wasla-advisor advise --workloads w.json --targets t.json [--models m.json,...]
+//!                      [--objective minmax|provision-cost|wear-blend]
+//!                      [--tier-spec tiers.json]
 //!                      [--regular] [--pin OBJ=TARGET]... [--forbid OBJ=TARGET]...
 //!                      [--out layout.json]
 //! wasla-advisor capture [--scenario tpch|tpcc] [--scale S] [--max-time T] --out-dir DIR
 //! wasla-advisor replay  --oplog oplog.tsv [--scenario tpch|tpcc] [--scale S]
-//!                       [--coarse] [--cache-dir DIR]
-//! wasla-advisor demo  [--scale 0.05] [--cache-dir DIR]
+//!                       [--objective NAME] [--coarse] [--cache-dir DIR]
+//! wasla-advisor demo  [--scale 0.05] [--objective NAME] [--cache-dir DIR]
 //! ```
 //!
 //! * `calibrate` builds a tabulated cost model for a device type and
@@ -21,7 +23,12 @@
 //! * `advise` consumes a `WorkloadSet` JSON (per-object names, sizes,
 //!   and Rome-style descriptions — produce one with `wasla-trace` or
 //!   the analytic estimator) plus a target list, and prints the
-//!   recommended layout.
+//!   recommended layout. `--objective` picks the layout objective
+//!   (`minmax` is the paper's default; `provision-cost` weights each
+//!   target by its tier's $/IOPS; `wear-blend` penalizes write traffic
+//!   on wear-limited tiers) and `--tier-spec` overrides the per-target
+//!   tier descriptors from a JSON array of `Tier` objects (one per
+//!   target, in target order).
 //! * `capture` runs a built-in scenario under the SEE baseline with
 //!   op-log capture on and writes `oplog.tsv` (the compact
 //!   line-oriented record format) plus `objects.json` to `--out-dir`.
@@ -35,8 +42,11 @@
 //!   a quarantine that cannot be written maps to the I/O exit code.
 //!
 //! Every failure surfaces as a [`WaslaError`] with a stable exit
-//! code: `2` usage, `3` file I/O, `4` malformed JSON, `1` pipeline
-//! failures (infeasible problems, unmodelable targets, bad traces).
+//! code: `2` usage (including an unknown `--objective` name or a
+//! `--tier-spec` whose length does not match the target list), `3`
+//! file I/O, `4` malformed JSON (including an unparsable tier spec),
+//! `1` pipeline failures (infeasible problems, unmodelable targets,
+//! bad traces).
 
 use std::sync::Arc;
 use wasla::core::report::{render_layout, render_stages};
@@ -54,11 +64,12 @@ const USAGE: &str = "usage:
   wasla-advisor fit --trace FILE --objects FILE [--window-s S] [--out FILE]
   wasla-advisor fit --oplog FILE --objects FILE [--materialized] [--window-s S] [--out FILE]
   wasla-advisor advise --workloads FILE --targets FILE [--models FILE,...] \
+[--objective minmax|provision-cost|wear-blend] [--tier-spec FILE] \
 [--regular] [--pin OBJ=T]... [--forbid OBJ=T]... [--out FILE]
   wasla-advisor capture [--scenario tpch|tpcc] [--scale S] [--max-time T] --out-dir DIR
   wasla-advisor replay --oplog FILE [--scenario tpch|tpcc] [--scale S] \
-[--coarse] [--cache-dir DIR]
-  wasla-advisor demo [--scale S] [--cache-dir DIR]";
+[--objective NAME] [--coarse] [--cache-dir DIR]
+  wasla-advisor demo [--scale S] [--objective NAME] [--cache-dir DIR]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -103,6 +114,15 @@ fn flag_values<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// The layout objective named by `--objective`, defaulting to the
+/// paper's min-max. Unknown names are usage errors (exit code 2).
+fn objective_from_flags(args: &[String]) -> Result<wasla::core::ObjectiveKind, WaslaError> {
+    match flag_value(args, "--objective") {
+        Some(name) => pipeline::parse_objective(name),
+        None => Ok(wasla::core::ObjectiveKind::MinMax),
+    }
 }
 
 fn read_file(path: &str) -> Result<String, WaslaError> {
@@ -251,11 +271,12 @@ fn replay(args: &[String]) -> Result<(), WaslaError> {
     let oplog_path = require_flag(args, "--oplog")?;
     let (scenario, _workloads, _settings) = scenario_from_flags(args)?;
     let log = wasla::trace::oplog::OpLog::parse_tsv(&read_file(oplog_path)?)?;
-    let config = if has_flag(args, "--coarse") {
+    let mut config = if has_flag(args, "--coarse") {
         AdviseConfig::fast()
     } else {
         AdviseConfig::full()
     };
+    config.advisor.solver.objective = objective_from_flags(args)?;
     let validation = match flag_value(args, "--cache-dir") {
         Some(dir) => {
             let (mut service, notes) = wasla::Service::open(0x5eed, dir)?;
@@ -324,7 +345,24 @@ fn advise(args: &[String]) -> Result<(), WaslaError> {
     let workloads_path = require_flag(args, "--workloads")?;
     let targets_path = require_flag(args, "--targets")?;
     let workloads: WorkloadSet = load_json(workloads_path, "WorkloadSet")?;
-    let targets: Vec<TargetConfig> = load_json(targets_path, "Vec<TargetConfig>")?;
+    let mut targets: Vec<TargetConfig> = load_json(targets_path, "Vec<TargetConfig>")?;
+
+    // Tier overrides: one Tier per target, in target order. Targets
+    // parsed from old spec files carry their device-derived default
+    // tier, so this flag is only needed for custom economics.
+    if let Some(path) = flag_value(args, "--tier-spec") {
+        let tiers: Vec<wasla::storage::Tier> = load_json(path, "Vec<Tier>")?;
+        if tiers.len() != targets.len() {
+            return Err(WaslaError::Usage(format!(
+                "--tier-spec needs one tier per target ({} tiers for {} targets)",
+                tiers.len(),
+                targets.len()
+            )));
+        }
+        for (target, tier) in targets.iter_mut().zip(tiers) {
+            target.tier = tier;
+        }
+    }
 
     // Cost models: either provided per target, or calibrated here.
     let models: Vec<Arc<dyn wasla::model::CostModel>> = match flag_value(args, "--models") {
@@ -349,6 +387,7 @@ fn advise(args: &[String]) -> Result<(), WaslaError> {
                         stripe_unit: t.stripe_unit,
                         parallelism: member.build().parallelism(),
                         name: t.name.clone(),
+                        tier: t.tier.clone(),
                     }) as Arc<dyn wasla::model::CostModel>)
                 })
                 .collect::<Result<_, WaslaError>>()?
@@ -394,10 +433,11 @@ fn advise(args: &[String]) -> Result<(), WaslaError> {
         stripe_size: LVM_STRIPE as f64,
         constraints,
     };
-    let options = AdvisorOptions {
+    let mut options = AdvisorOptions {
         regularize: has_flag(args, "--regular"),
         ..AdvisorOptions::default()
     };
+    options.solver.objective = objective_from_flags(args)?;
     let rec = recommend(&problem, &options)?;
     println!("{}", render_stages(&problem, &rec.stages));
     println!(
@@ -429,6 +469,8 @@ fn demo(args: &[String]) -> Result<(), WaslaError> {
         .unwrap_or(0.05);
     let scenario = Scenario::homogeneous_disks(4, scale);
     let workloads = [SqlWorkload::olap1_63(7)];
+    let mut config = AdviseConfig::full();
+    config.advisor.solver.objective = objective_from_flags(args)?;
     eprintln!("running the built-in TPC-H-like demo at scale {scale}...");
     let outcome = match flag_value(args, "--cache-dir") {
         Some(dir) => {
@@ -440,7 +482,7 @@ fn demo(args: &[String]) -> Result<(), WaslaError> {
                 .advise_batch(&[wasla::AdviseRequest {
                     scenario: scenario.clone(),
                     workloads: workloads.to_vec(),
-                    config: AdviseConfig::full(),
+                    config: config.clone(),
                     seed: Some(AdvisorOptions::default().seed),
                 }])
                 .pop()
@@ -450,7 +492,7 @@ fn demo(args: &[String]) -> Result<(), WaslaError> {
             service.persist()?;
             outcome
         }
-        None => pipeline::advise(&scenario, &workloads, &AdviseConfig::full())?,
+        None => pipeline::advise(&scenario, &workloads, &config)?,
     };
     for note in &outcome.degraded {
         eprintln!("degraded: {note}");

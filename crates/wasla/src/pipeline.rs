@@ -29,7 +29,8 @@ use crate::error::WaslaError;
 use crate::session::AdvisorSession;
 use std::sync::Arc;
 use wasla_core::{
-    AdminConstraint, AdvisorOptions, Layout, LayoutProblem, Recommendation, SolveQuality,
+    AdminConstraint, AdvisorOptions, Layout, LayoutProblem, ObjectiveKind, Recommendation,
+    SolveQuality,
 };
 use wasla_exec::{Engine, Placement, RunConfig, RunOutcome, RunReport};
 use wasla_model::{CalibrationGrid, TargetCostModel};
@@ -50,6 +51,19 @@ pub const RAID_STRIPE: u64 = 256 * 1024;
 /// stripe is also what makes co-located sequential streams genuinely
 /// interleave on each member disk.
 pub const LVM_STRIPE: u64 = 256 * 1024;
+
+/// Parses a user-supplied objective name (the CLI's `--objective`
+/// value) into an [`ObjectiveKind`]. Unknown names are
+/// [`WaslaError::Usage`] (exit code 2) and list the valid names.
+pub fn parse_objective(name: &str) -> Result<ObjectiveKind, WaslaError> {
+    ObjectiveKind::from_name(name).ok_or_else(|| {
+        let valid: Vec<&str> = ObjectiveKind::ALL.iter().map(|k| k.name()).collect();
+        WaslaError::Usage(format!(
+            "unknown objective {name:?} (valid: {})",
+            valid.join(", ")
+        ))
+    })
+}
 
 /// One experimental setup: a database catalog on a set of storage
 /// targets at a given scale.
@@ -79,6 +93,26 @@ impl Scenario {
             catalog: Catalog::tpch_like(scale),
             targets: (0..n)
                 .map(|i| TargetConfig::single(format!("disk{i}"), scaled_disk(scale)))
+                .collect(),
+            scale,
+            pool_bytes: (POOL_BYTES * scale) as u64,
+            seed: 42,
+        }
+    }
+
+    /// TPC-H-like catalog on `n` identical SSDs — the all-flash
+    /// counterpart of [`homogeneous_disks`](Self::homogeneous_disks),
+    /// used by the objective ablation's target-mix sweep.
+    pub fn homogeneous_ssds(n: usize, scale: f64) -> Self {
+        Scenario {
+            catalog: Catalog::tpch_like(scale),
+            targets: (0..n)
+                .map(|i| {
+                    TargetConfig::single(
+                        format!("ssd{i}"),
+                        DeviceSpec::Ssd(SsdParams::sata_gen1((SSD_BYTES * scale) as u64)),
+                    )
+                })
                 .collect(),
             scale,
             pool_bytes: (POOL_BYTES * scale) as u64,

@@ -31,7 +31,7 @@ use crate::stages::{
     SolveStage, TraceInput, TraceStage,
 };
 use std::path::PathBuf;
-use wasla_core::{CacheStats, LayoutProblem, Recommendation, Stage, StageCache};
+use wasla_core::{CacheStats, LayoutProblem, ObjectiveKind, Recommendation, Stage, StageCache};
 use wasla_exec::DeviceEvent;
 use wasla_model::{calibration_fault, CalibrationGrid, TableModel, TargetCostModel};
 use wasla_simlib::{fault, par};
@@ -134,15 +134,17 @@ impl AdvisorSession {
     }
 
     /// Fitted workload descriptions for a trace, reusing the cache
-    /// when the same trace and inventory were fitted before.
+    /// when the same trace and inventory were fitted before (under the
+    /// same layout objective — the objective id partitions the cache).
     pub fn fit(
         &mut self,
         trace: &Trace,
         names: &[String],
         sizes: &[u64],
         config: &FitConfig,
+        objective: ObjectiveKind,
     ) -> Result<WorkloadSet, WaslaError> {
-        let stage = FitStage { config };
+        let stage = FitStage { config, objective };
         let input = FitInput {
             trace,
             names,
@@ -171,6 +173,7 @@ impl AdvisorSession {
         names: &[String],
         sizes: &[u64],
         config: &FitConfig,
+        objective: ObjectiveKind,
         keep_fraction: f64,
     ) -> Result<(WorkloadSet, SalvageReport), WaslaError> {
         let keep = ((trace.len() as f64) * keep_fraction) as usize;
@@ -181,6 +184,7 @@ impl AdvisorSession {
             names,
             sizes,
             config,
+            objective,
             || {
                 let mut damaged = Trace::new();
                 for (i, rec) in trace.records().iter().enumerate() {
@@ -211,9 +215,10 @@ impl AdvisorSession {
         names: &[String],
         sizes: &[u64],
         config: &FitConfig,
+        objective: ObjectiveKind,
         build_damaged: impl FnOnce() -> Trace,
     ) -> Result<(WorkloadSet, SalvageReport), WaslaError> {
-        let stage = FitStage { config };
+        let stage = FitStage { config, objective };
         let key = stage.key_for_hash(damaged_hash, names, sizes);
         if let Some(cached) = self.fits.get(key) {
             // The engine-produced prefix is entirely valid, so the
@@ -249,6 +254,7 @@ impl AdvisorSession {
         names: &[String],
         sizes: &[u64],
         config: &FitConfig,
+        objective: ObjectiveKind,
     ) -> Result<(WorkloadSet, Option<SalvageReport>), WaslaError> {
         let trace_fault = fault::plan().and_then(|p| p.trace_fault(log.trace_content_hash()));
         if let Some(tf) = trace_fault {
@@ -260,6 +266,7 @@ impl AdvisorSession {
                 names,
                 sizes,
                 config,
+                objective,
                 || {
                     let mut damaged = Trace::new();
                     for (i, rec) in log.records().iter().enumerate() {
@@ -275,7 +282,7 @@ impl AdvisorSession {
             let dropped = salvage.degraded();
             return Ok((fitted, dropped.then_some(salvage)));
         }
-        let stage = FitStage { config };
+        let stage = FitStage { config, objective };
         let key = stage.key_for_hash(log.trace_content_hash(), names, sizes);
         if let Some(cached) = self.fits.get(key) {
             return Ok((cached.clone(), None));
@@ -298,7 +305,13 @@ impl AdvisorSession {
         let mut degraded: Vec<DegradedNote> = Vec::new();
         let names = scenario.catalog.names();
         let sizes = scenario.catalog.sizes();
-        let (fitted, salvage) = self.ingest_oplog(log, &names, &sizes, &config.fit)?;
+        let (fitted, salvage) = self.ingest_oplog(
+            log,
+            &names,
+            &sizes,
+            &config.fit,
+            config.advisor.solver.objective,
+        )?;
         if let Some(s) = salvage {
             degraded.push(DegradedNote::TraceSalvaged {
                 kept: s.kept,
@@ -376,10 +389,17 @@ impl AdvisorSession {
         let names = scenario.catalog.names();
         let sizes = scenario.catalog.sizes();
         let trace_fault = fault::plan().and_then(|p| p.trace_fault(trace.content_hash()));
+        let objective = config.advisor.solver.objective;
         let fitted = match trace_fault {
             Some(tf) => {
-                let (fitted, salvage) =
-                    self.fit_salvaged(trace, &names, &sizes, &config.fit, tf.keep_fraction)?;
+                let (fitted, salvage) = self.fit_salvaged(
+                    trace,
+                    &names,
+                    &sizes,
+                    &config.fit,
+                    objective,
+                    tf.keep_fraction,
+                )?;
                 if salvage.degraded() {
                     degraded.push(DegradedNote::TraceSalvaged {
                         kept: salvage.kept,
@@ -388,7 +408,7 @@ impl AdvisorSession {
                 }
                 fitted
             }
-            None => self.fit(trace, &names, &sizes, &config.fit)?,
+            None => self.fit(trace, &names, &sizes, &config.fit, objective)?,
         };
 
         let models = self.models_for(&scenario.targets, &config.grid, scenario.seed)?;

@@ -14,8 +14,11 @@
 //!   a calibration table is a pure function of the device, the grid,
 //!   and the measurement seed.
 //! * **fit** — `(Trace::content_hash, FitConfig fields, object names,
-//!   object sizes)`: a fitted workload set is a pure function of the
-//!   trace and the object inventory.
+//!   object sizes, objective id)`: a fitted workload set is a pure
+//!   function of the trace and the object inventory; the objective id
+//!   partitions the cache per layout objective so a warm session
+//!   answering for one objective never serves another (warm ≡ cold
+//!   holds per objective).
 //!
 //! Trace, solve, regularize, and place are not cached: the trace stage
 //! runs a simulation whose cost *is* the measurement, and the solve
@@ -25,7 +28,8 @@
 use crate::error::WaslaError;
 use crate::pipeline::{self, RunSettings, Scenario, LVM_STRIPE};
 use wasla_core::{
-    AdvisorError, AdvisorOptions, Layout, LayoutProblem, Recommendation, SolveOutcome, Stage,
+    AdvisorError, AdvisorOptions, Layout, LayoutProblem, ObjectiveKind, Recommendation,
+    SolveOutcome, Stage,
 };
 use wasla_exec::{Placement, RunOutcome};
 use wasla_model::{calibrate_device, CalibrationGrid, TableModel};
@@ -108,6 +112,11 @@ pub struct FitInput<'a> {
 pub struct FitStage<'a> {
     /// Fitting tunables.
     pub config: &'a FitConfig,
+    /// The layout objective the fitted workloads will be solved
+    /// under. The fit itself is objective-independent, but the id
+    /// participates in the cache key so each objective's warm path
+    /// replays exactly the entries its own cold path wrote.
+    pub objective: ObjectiveKind,
 }
 
 impl<'a> FitStage<'a> {
@@ -132,6 +141,7 @@ impl<'a> FitStage<'a> {
         for &size in sizes {
             h.write_u64(size);
         }
+        h.write_str(self.objective.name());
         h.finish()
     }
 }
@@ -345,29 +355,51 @@ mod tests {
         trace_b.push(record(8192));
         let config = FitConfig::default();
         let names = ["obj".to_string()];
-        let key = |trace: &Trace, sizes: &[u64]| {
-            FitStage { config: &config }
-                .cache_key(&FitInput {
-                    trace,
-                    names: &names,
-                    sizes,
-                })
-                .unwrap()
+        let key = |trace: &Trace, sizes: &[u64], objective: ObjectiveKind| {
+            FitStage {
+                config: &config,
+                objective,
+            }
+            .cache_key(&FitInput {
+                trace,
+                names: &names,
+                sizes,
+            })
+            .unwrap()
         };
-        let base = key(&trace_a, &[1 << 20]);
-        assert_eq!(base, key(&trace_a, &[1 << 20]));
-        assert_ne!(base, key(&trace_b, &[1 << 20]), "trace must be in the key");
+        let minmax = ObjectiveKind::MinMax;
+        let base = key(&trace_a, &[1 << 20], minmax);
+        assert_eq!(base, key(&trace_a, &[1 << 20], minmax));
         assert_ne!(
             base,
-            key(&trace_a, &[2 << 20]),
+            key(&trace_b, &[1 << 20], minmax),
+            "trace must be in the key"
+        );
+        assert_ne!(
+            base,
+            key(&trace_a, &[2 << 20], minmax),
             "inventory must be in the key"
         );
+        // The objective id partitions the cache: each objective's warm
+        // path only ever sees entries its own cold path wrote.
+        for objective in [ObjectiveKind::ProvisioningCost, ObjectiveKind::WearBlend] {
+            assert_ne!(
+                base,
+                key(&trace_a, &[1 << 20], objective),
+                "objective {} must be in the key",
+                objective.name()
+            );
+        }
         // The hash-first entry point is the same key scheme, so the
         // streamed op-log path hits fits cached from materialized
         // traces (and vice versa).
         assert_eq!(
             base,
-            FitStage { config: &config }.key_for_hash(trace_a.content_hash(), &names, &[1 << 20])
+            FitStage {
+                config: &config,
+                objective: minmax,
+            }
+            .key_for_hash(trace_a.content_hash(), &names, &[1 << 20])
         );
     }
 
@@ -384,6 +416,7 @@ mod tests {
             .name(),
             FitStage {
                 config: &fit_config,
+                objective: ObjectiveKind::MinMax,
             }
             .name(),
             CalibrateStage { grid: &grid }.name(),

@@ -77,6 +77,31 @@ fn infeasible_constraints_are_a_typed_error() {
 }
 
 #[test]
+fn unknown_objective_is_a_usage_error() {
+    use wasla::core::ObjectiveKind;
+    // The CLI's `--objective` values parse through this helper; an
+    // unknown name is a usage error (exit code 2) listing the valid
+    // names, and every valid name round-trips.
+    let err = pipeline::parse_objective("throughput")
+        .err()
+        .expect("unknown objective should fail");
+    assert!(
+        matches!(err, WaslaError::Usage(_)),
+        "unknown objective should be a usage error, got {err:?}"
+    );
+    assert_eq!(err.exit_code(), 2);
+    let msg = err.to_string();
+    for kind in ObjectiveKind::ALL {
+        assert!(
+            msg.contains(kind.name()),
+            "usage error should list {:?}, got {msg}",
+            kind.name()
+        );
+        assert_eq!(pipeline::parse_objective(kind.name()).unwrap(), kind);
+    }
+}
+
+#[test]
 fn blocked_cache_quarantine_is_a_typed_io_error() {
     let dir = std::env::temp_dir().join(format!("wasla-error-paths-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

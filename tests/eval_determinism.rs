@@ -59,9 +59,47 @@ fn problem(n: usize, m: usize) -> LayoutProblem {
 /// The deterministic part of an outcome, as bytes (stats excluded).
 fn outcome_bytes(out: &NlpOutcome) -> String {
     format!(
-        "layout={:?}\nutilizations={:?}\nmax={:?}\nconverged={:?}\n",
-        out.layout, out.utilizations, out.max_utilization, out.converged
+        "layout={:?}\nutilizations={:?}\nmax={:?}\nscore={:?}\nconverged={:?}\n",
+        out.layout, out.utilizations, out.max_utilization, out.score, out.converged
     )
+}
+
+/// `solve_multistart` reuses pooled `EvalEngine`s across starts; a
+/// pooled engine must be indistinguishable from a freshly built one.
+/// Compare against the pre-pooling semantics: one `solve_nlp` (fresh
+/// engine) per start, winner picked by score in index order.
+fn multistart_pool_matches_fresh_engines(eval: EvalPath) {
+    let p = problem(6, 3);
+    let init = initial_layout(&p).expect("ample capacity");
+    let see = Layout::see(6, 3);
+    let blend = |lambda: f64| {
+        Layout::from_rows(
+            (0..6)
+                .map(|i| {
+                    (0..3)
+                        .map(|j| lambda * init.get(i, j) + (1.0 - lambda) * see.get(i, j))
+                        .collect()
+                })
+                .collect(),
+        )
+    };
+    // Four starts so a single worker reuses one engine repeatedly.
+    let starts = vec![init.clone(), see.clone(), blend(0.25), blend(0.75)];
+    let opts = SolverOptions {
+        eval,
+        ..SolverOptions::default()
+    };
+    let pooled = solve_multistart(&p, &starts, &opts).expect("starts supplied");
+    let fresh = starts
+        .iter()
+        .map(|s| solve_nlp(&p, s, &opts))
+        .reduce(|best, out| if out.score < best.score { out } else { best })
+        .expect("at least one start");
+    assert_eq!(
+        outcome_bytes(&pooled),
+        outcome_bytes(&fresh),
+        "pooled multistart engines changed solve outcomes"
+    );
 }
 
 fn solve_report(eval: EvalPath) -> String {
@@ -92,6 +130,8 @@ fn at_threads(t: usize) -> (String, String) {
         solve_report(EvalPath::Engine),
         solve_report(EvalPath::Scratch),
     );
+    multistart_pool_matches_fresh_engines(EvalPath::Engine);
+    multistart_pool_matches_fresh_engines(EvalPath::Scratch);
     std::env::remove_var("WASLA_THREADS");
     out
 }

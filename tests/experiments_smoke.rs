@@ -182,6 +182,25 @@ fn future_work_smoke() {
 }
 
 #[test]
+fn objectives_smoke() {
+    let r = ablations::ablation_objectives(&config());
+    // 2 catalogs × 3 target mixes × 3 objectives.
+    assert_eq!(r.rows.len(), 18);
+    for row in &r.rows {
+        assert!(row.metric("score").unwrap() > 0.0, "{}", row.label);
+        assert!(row.metric("max_util").unwrap() > 0.0, "{}", row.label);
+    }
+    for label in ["tpch/all-hdd/minmax", "tpcc/2-tier/wear-blend"] {
+        assert!(r.row(label).is_some(), "{label} missing");
+    }
+    // MinMax weights are identically 1.0, so its weighted score *is*
+    // the raw max utilization, exactly.
+    for row in r.rows.iter().filter(|row| row.label.ends_with("/minmax")) {
+        assert_eq!(row.metric("score"), row.metric("max_util"), "{}", row.label);
+    }
+}
+
+#[test]
 fn ablations_smoke() {
     let r = ablations::ablation_solver(&config());
     assert_eq!(r.rows.len(), 2);

@@ -9,6 +9,7 @@
 //! never touches the fault-seed environment variable; it only observes
 //! the plan through `fault::plan()`.
 
+use wasla::core::ObjectiveKind;
 use wasla::pipeline::{AdviseConfig, RunSettings, Scenario};
 use wasla::replay::{capture_oplog, replay_validate, CaptureOutcome};
 use wasla::session::AdvisorSession;
@@ -58,7 +59,7 @@ fn session_shares_fit_cache_across_representations() {
 
     let mut session = AdvisorSession::new();
     let (first, first_salvage) = session
-        .ingest_oplog(&c.log, &names, &sizes, &config)
+        .ingest_oplog(&c.log, &names, &sizes, &config, ObjectiveKind::MinMax)
         .expect("ingest");
     assert_eq!(session.stats().fit.misses, 1);
 
@@ -66,7 +67,7 @@ fn session_shares_fit_cache_across_representations() {
     // answer — also under a fault plan, where the salvage short-cut
     // answers from the damaged-hash key without rebuilding the trace.
     let (again, again_salvage) = session
-        .ingest_oplog(&c.log, &names, &sizes, &config)
+        .ingest_oplog(&c.log, &names, &sizes, &config, ObjectiveKind::MinMax)
         .expect("re-ingest");
     assert_eq!(json::to_string(&first), json::to_string(&again));
     assert_eq!(
@@ -85,7 +86,13 @@ fn session_shares_fit_cache_across_representations() {
     if clean {
         assert!(first_salvage.is_none(), "clean ingest must not salvage");
         let materialized = session
-            .fit(&c.log.to_trace(), &names, &sizes, &config)
+            .fit(
+                &c.log.to_trace(),
+                &names,
+                &sizes,
+                &config,
+                ObjectiveKind::MinMax,
+            )
             .expect("materialized fit");
         assert_eq!(json::to_string(&first), json::to_string(&materialized));
         assert_eq!(

@@ -7,6 +7,7 @@
 //! scratch directory and the fault-seed environment variable.
 
 use std::path::PathBuf;
+use wasla::core::ObjectiveKind;
 use wasla::persist;
 use wasla::pipeline::{AdviseConfig, Scenario};
 use wasla::session::{AdviseRequest, Service};
@@ -121,7 +122,7 @@ fn service_restarts_warm_and_survives_cache_corruption() {
     let (mut cold, _) = Service::open(0xBA7C4, &dir).expect("open for salvage phase");
     let (cold_set, cold_salvage) = cold
         .session_mut()
-        .ingest_oplog(&log, &names, &sizes, &fit_config)
+        .ingest_oplog(&log, &names, &sizes, &fit_config, ObjectiveKind::MinMax)
         .expect("salvaged ingest");
     let cold_salvage = cold_salvage.expect("the fault plan must damage the log");
     assert!(cold_salvage.kept > 0 && cold_salvage.dropped > 0);
@@ -135,7 +136,7 @@ fn service_restarts_warm_and_survives_cache_corruption() {
     let (mut warm, _) = Service::open(0xBA7C4, &dir).expect("warm salvage open");
     let (warm_set, warm_salvage) = warm
         .session_mut()
-        .ingest_oplog(&log, &names, &sizes, &fit_config)
+        .ingest_oplog(&log, &names, &sizes, &fit_config, ObjectiveKind::MinMax)
         .expect("warm salvaged ingest");
     let warm_salvage = warm_salvage.expect("same plan, same damage");
     assert_eq!(
