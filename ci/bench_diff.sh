@@ -98,3 +98,27 @@ for size in n32_m4 n128_m4; do
         exit 1
     fi
 done
+
+echo
+echo "== daemon tick-cost gate (no-drift tick vs full re-solve) =="
+# The control loop's economics (DESIGN.md §14): a quiet tick is one
+# EvalEngine pass over the deployed layout, a drifted tick pays for a
+# warm-started solve. The cheap path must stay >= 50x cheaper than the
+# full re-solve or the daemon's "probe every tick, solve rarely"
+# design stops paying for itself. In-run comparison, so machine drift
+# cancels out.
+tick_ns=$(median_of "daemon/no_drift_tick" daemon)
+resolve_ns=$(median_of "daemon/full_resolve" daemon)
+if [ -z "$tick_ns" ] || [ -z "$resolve_ns" ]; then
+    echo "error: daemon sweep missing from results/BENCH_daemon.json" >&2
+    echo "(expected daemon/no_drift_tick and daemon/full_resolve)" >&2
+    exit 1
+fi
+ratio=$(awk -v r="$resolve_ns" -v t="$tick_ns" 'BEGIN { printf "%.1f", r / t }')
+echo "daemon: full_resolve ${resolve_ns} ns / no_drift_tick ${tick_ns} ns = ${ratio}x"
+if awk -v r="$resolve_ns" -v t="$tick_ns" 'BEGIN { exit !(r / t >= 50.0) }'; then
+    echo "daemon gate passed (no-drift tick >= 50x cheaper than re-solve)"
+else
+    echo "error: no-drift tick is only ${ratio}x cheaper than a full re-solve (gate: 50x)" >&2
+    exit 1
+fi

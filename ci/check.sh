@@ -160,12 +160,18 @@ step "fault matrix (offline)"
 # `objective_equivalence` rides it as well: its golden test self-skips
 # under an active plan, and its warm≡cold per-objective assertions are
 # pure equality claims that must hold on degraded answers too.
+# `daemon` rides the matrix for the control loop's contracts (its
+# restart test self-skips under a plan — prefix logs salvage
+# differently — everything else must hold degraded), and the `repro
+# drift` soak re-proves the budget/evacuation contract per seed.
 for fault_seed in 7 11 23 42 99 1337 2024 31337; do
     echo "-- fault seed $fault_seed --"
     WASLA_FAULTS=$fault_seed cargo test -q --offline -p wasla \
         --test failure_modes --test error_paths \
         --test fault_injection --test batch_determinism \
-        --test oplog_stream --test objective_equivalence
+        --test oplog_stream --test objective_equivalence \
+        --test daemon
+    WASLA_FAULTS=$fault_seed target/release/repro drift > /dev/null
 done
 
 step "op-log replay-validation gate (streamed == materialized)"
@@ -202,6 +208,18 @@ if ! cmp -s "$oplog_tmp/replay_t1.txt" "$oplog_tmp/replay_t8.txt"; then
     exit 1
 fi
 echo "replay report byte-identical at WASLA_THREADS=1/8"
+# The daemon's decision log must be byte-identical across pool widths
+# end-to-end (CLI included), same contract as the in-process test.
+for t in 1 8; do
+    WASLA_THREADS=$t "$advisor" serve --oplog "$oplog_tmp/cap/oplog.tsv" \
+        --budget 16777216 --pane-s 2 --panes 2 --scenario tpch --coarse \
+        --json > "$oplog_tmp/serve_t$t.json"
+done
+if ! cmp -s "$oplog_tmp/serve_t1.json" "$oplog_tmp/serve_t8.json"; then
+    echo "error: daemon decision log differs between WASLA_THREADS=1 and 8" >&2
+    exit 1
+fi
+echo "daemon decision log byte-identical at WASLA_THREADS=1/8"
 cargo test -q --offline -p wasla-trace --test golden_oplog
 rm -rf "$oplog_tmp"
 

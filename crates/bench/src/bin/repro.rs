@@ -7,6 +7,7 @@
 //! repro fig11 fig17        # a subset
 //! repro bench-diff         # diff results/BENCH_*.json vs baselines
 //! repro replay             # capture/replay predict-vs-observe loop
+//! repro drift              # online control-loop soak (budget contract)
 //! ```
 //!
 //! Experiments: fig1 fig8 fig11 fig12 fig13 fig14 fig15 fig16 fig17
@@ -215,6 +216,43 @@ fn replay_loop(mut args: impl Iterator<Item = String>) -> ! {
     std::process::exit(0);
 }
 
+/// `repro drift [--scale S] [--full]`
+///
+/// The online control-loop soak: four drift shapes (rate ramp,
+/// hotspot rotation, object growth, target failure mid-stream) on
+/// both paper catalogs, each run checked against the daemon's
+/// bounded-cost contract — cumulative voluntary migration bytes never
+/// exceed the granted budget, and failed targets are fully evacuated.
+fn drift_loop(mut args: impl Iterator<Item = String>) -> ! {
+    let mut scale = 0.01f64;
+    let mut full = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--scale takes a number");
+            }
+            "--full" => full = true,
+            other => {
+                eprintln!("drift: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    match wasla_bench::drift::drift_soak(scale, full) {
+        Ok(report) => {
+            print!("{report}");
+            std::process::exit(0);
+        }
+        Err(violation) => {
+            eprintln!("drift: {violation}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let mut config = ExpConfig::default();
     let mut out_dir: Option<String> = None;
@@ -224,6 +262,7 @@ fn main() {
         match arg.as_str() {
             "bench-diff" => bench_diff(args),
             "replay" => replay_loop(args),
+            "drift" => drift_loop(args),
             "--scale" => {
                 config.scale = args
                     .next()
@@ -248,6 +287,7 @@ fn main() {
         eprintln!("usage: repro [--scale S] [--seed N] [--out DIR] <experiment>|all|ablations ...");
         eprintln!("       repro bench-diff [--baseline DIR] [--current DIR] [--fail-over PCT]");
         eprintln!("       repro replay [--scale S] [--full]");
+        eprintln!("       repro drift [--scale S] [--full]");
         eprintln!("experiments: {FIGS:?} {ABLATIONS:?}");
         std::process::exit(2);
     }

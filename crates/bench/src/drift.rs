@@ -1,0 +1,238 @@
+//! `repro drift` — the online control-loop soak.
+//!
+//! Sweeps the daemon across four drift shapes on both paper catalogs
+//! and enforces the bounded-cost contract on every run:
+//!
+//! * **rate-ramp** — request rate quadruples over the stream;
+//! * **hotspot-rotation** — the read hotspot rotates through the
+//!   catalog, so the best layout keeps changing;
+//! * **object-growth** — one object's traffic share and touched span
+//!   grow until it dominates;
+//! * **target-failure** — hotspot rotation plus a target failing
+//!   mid-stream, forcing an evacuation.
+//!
+//! Contract checks (any violation is a soak failure):
+//!
+//! * cumulative *voluntary* migration bytes never exceed the granted
+//!   budget, for every prefix of ticks (`Σ admitted ≤ ticks ·
+//!   budget`; carry-forward makes per-tick checks wrong, prefix sums
+//!   right);
+//! * after a target failure the final deployed layout holds no mass
+//!   on the dead target, and the failure surfaced as a typed
+//!   [`DegradedNote::DeviceFailed`];
+//! * every run terminates with a decision for every pane the stream
+//!   covers.
+
+use wasla::daemon::{DaemonConfig, TargetFailure};
+use wasla::pipeline::{AdviseConfig, DegradedNote, Scenario};
+use wasla::simlib::time::SimTime;
+use wasla::storage::IoKind;
+use wasla::trace::oplog::{OpLog, OpRecord, WindowPlan};
+use wasla::Service;
+
+/// Stream length in seconds; panes are 2 s, so 12 ticks per run.
+const TOTAL_S: f64 = 24.0;
+
+#[derive(Clone, Copy)]
+enum Shape {
+    RateRamp,
+    HotspotRotation,
+    ObjectGrowth,
+    TargetFailure,
+}
+
+impl Shape {
+    fn name(self) -> &'static str {
+        match self {
+            Shape::RateRamp => "rate-ramp",
+            Shape::HotspotRotation => "hotspot-rotation",
+            Shape::ObjectGrowth => "object-growth",
+            Shape::TargetFailure => "target-failure",
+        }
+    }
+
+    const ALL: [Shape; 4] = [
+        Shape::RateRamp,
+        Shape::HotspotRotation,
+        Shape::ObjectGrowth,
+        Shape::TargetFailure,
+    ];
+}
+
+fn push(log: &mut OpLog, k: u64, t: f64, stream: u32, size: u64, span: u64) {
+    let len = if k % 5 == 0 { 8192 } else { 131072 };
+    let span = span.min(size).saturating_sub(len).max(1);
+    log.push(OpRecord {
+        kind: if k % 5 == 0 {
+            IoKind::Write
+        } else {
+            IoKind::Read
+        },
+        stream,
+        offset: (k.wrapping_mul(131072)) % span,
+        len,
+        issue: SimTime::from_secs(t),
+        complete: SimTime::from_secs(t + 0.004),
+    });
+}
+
+/// A deterministic synthetic stream with the requested drift shape.
+fn synth(shape: Shape, sizes: &[u64]) -> OpLog {
+    let n = sizes.len() as u64;
+    let mut log = OpLog::new();
+    let mut t = 0.0f64;
+    let mut k = 0u64;
+    while t < TOTAL_S {
+        let frac = t / TOTAL_S;
+        let (stream, span_frac, dt) = match shape {
+            // Fixed hotspot, interarrival shrinking 40 ms → 10 ms.
+            Shape::RateRamp => {
+                let s = if k % 4 == 0 { k % n } else { 0 };
+                (s, 1.0, 0.040 - 0.030 * frac)
+            }
+            // Hotspot rotates every 6 s; steady 50 ops/s.
+            Shape::HotspotRotation | Shape::TargetFailure => {
+                let hot = ((t / 6.0) as u64) % n;
+                let s = if k % 4 == 0 { k % n } else { hot };
+                (s, 1.0, 0.020)
+            }
+            // Object 0 takes a growing share of a growing span:
+            // 1-in-10 of the ops at the start, 9-in-10 at the end.
+            Shape::ObjectGrowth => {
+                let p10 = 1 + (8.0 * frac) as u64;
+                let s = if k % 10 < p10 { 0 } else { k % n };
+                (s, 0.2 + 0.8 * frac, 0.020)
+            }
+        };
+        let size = sizes[stream as usize];
+        push(
+            &mut log,
+            k,
+            t,
+            stream as u32,
+            size,
+            (size as f64 * span_frac) as u64,
+        );
+        t += dt;
+        k += 1;
+    }
+    log
+}
+
+struct SoakRun {
+    case: String,
+    ticks: usize,
+    replans: usize,
+    admitted: u64,
+    forced: u64,
+    deferred: u64,
+    worst_drift: f64,
+}
+
+/// Runs the full sweep; `Err` carries the first contract violation.
+pub fn drift_soak(scale: f64, full: bool) -> Result<String, String> {
+    let config = if full {
+        AdviseConfig::full()
+    } else {
+        AdviseConfig::fast()
+    };
+    let catalogs: [(&str, Scenario); 2] = [
+        ("tpch", Scenario::homogeneous_disks(4, scale)),
+        ("tpcc", Scenario::oltp_disks(scale)),
+    ];
+    let mut rows: Vec<SoakRun> = Vec::new();
+    for (catalog_name, scenario) in catalogs {
+        let sizes = scenario.catalog.sizes();
+        let total: u64 = sizes.iter().sum();
+        // Tight enough that migrations actually defer, loose enough
+        // that the loop converges within the stream.
+        let budget = (total / 32).max(1 << 20);
+        for shape in Shape::ALL {
+            let failures = match shape {
+                Shape::TargetFailure => vec![TargetFailure { tick: 2, target: 0 }],
+                _ => Vec::new(),
+            };
+            let daemon = DaemonConfig {
+                window: WindowPlan {
+                    pane_s: 2.0,
+                    panes_per_window: 2,
+                },
+                drift_threshold: 0.10,
+                budget_bytes_per_tick: budget,
+                alpha: 0.0,
+                carry_cap_ticks: 8,
+                target_failures: failures.clone(),
+            };
+            let case = format!("{}/{}", shape.name(), catalog_name);
+            let log = synth(shape, &sizes);
+            let mut service = Service::new(scenario.seed);
+            let report = service
+                .run_loop(&log, &scenario, &config, &daemon)
+                .map_err(|e| format!("{case}: daemon run failed: {e}"))?;
+
+            if report.decisions.is_empty() {
+                return Err(format!("{case}: the stream produced no ticks"));
+            }
+            let mut admitted = 0u64;
+            for (i, d) in report.decisions.iter().enumerate() {
+                admitted += d.admitted_bytes;
+                let granted = budget.saturating_mul(i as u64 + 1);
+                if admitted > granted {
+                    return Err(format!(
+                        "{case}: tick {}: cumulative voluntary bytes {admitted} \
+                         exceed granted budget {granted}",
+                        d.tick
+                    ));
+                }
+            }
+            for failure in &failures {
+                if report.state.next_tick <= failure.tick {
+                    return Err(format!("{case}: stream ended before the failure tick"));
+                }
+                for i in 0..report.state.deployed.n_objects() {
+                    let mass = report.state.deployed.row(i)[failure.target];
+                    if mass > 1e-9 {
+                        return Err(format!(
+                            "{case}: object {i} still holds {mass} of its mass \
+                             on failed target {}",
+                            failure.target
+                        ));
+                    }
+                }
+                let noted = report
+                    .degraded
+                    .iter()
+                    .any(|n| matches!(n, DegradedNote::DeviceFailed { .. }));
+                if !noted {
+                    return Err(format!("{case}: target failure left no DeviceFailed note"));
+                }
+            }
+            rows.push(SoakRun {
+                case,
+                ticks: report.decisions.len(),
+                replans: report.decisions.iter().filter(|d| d.resolved).count(),
+                admitted: report.state.admitted_bytes_total,
+                forced: report.state.forced_bytes_total,
+                deferred: report.decisions.iter().map(|d| d.deferred_bytes).sum(),
+                worst_drift: report
+                    .decisions
+                    .iter()
+                    .map(|d| d.drift_score)
+                    .fold(f64::NEG_INFINITY, f64::max),
+            });
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("# drift soak (scale {scale})\n"));
+    out.push_str(
+        "case                      ticks  replans  admitted(B)   forced(B)  deferred(B)  worst drift\n",
+    );
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<24}  {:>5}  {:>7}  {:>11}  {:>10}  {:>11}  {:>+11.4}\n",
+            r.case, r.ticks, r.replans, r.admitted, r.forced, r.deferred, r.worst_drift
+        ));
+    }
+    out.push_str("budget and evacuation contracts held on every run\n");
+    Ok(out)
+}

@@ -29,6 +29,7 @@ pub mod ablations;
 pub mod autoadmin;
 pub mod common;
 pub mod diff;
+pub mod drift;
 pub mod future_work;
 pub mod harness;
 pub mod layouts;

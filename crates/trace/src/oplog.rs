@@ -44,6 +44,7 @@
 //! [`fit_workloads`] on the materialized trace.
 
 use crate::{build_spec, observe, Accum, FitConfig, FitError};
+use wasla_simlib::impl_json_struct;
 use wasla_simlib::json::{self, FromJson, Json, JsonError, ToJson};
 use wasla_simlib::par;
 use wasla_simlib::SimTime;
@@ -712,6 +713,128 @@ pub fn fit_oplog_streamed(
     merged.finish(names, sizes)
 }
 
+/// Sliding-window configuration for control-loop ingestion: the
+/// stream is cut into fixed *panes* of `pane_s` seconds, and every
+/// pane boundary (a controller tick) sees the statistics of the last
+/// `panes_per_window` panes merged into one window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowPlan {
+    /// Pane length in seconds — the controller's tick period.
+    pub pane_s: f64,
+    /// Panes per sliding window (≥ 1). One pane means tumbling
+    /// windows; more smooths the snapshot over recent history.
+    pub panes_per_window: usize,
+}
+
+impl_json_struct!(WindowPlan {
+    pane_s,
+    panes_per_window
+});
+
+impl Default for WindowPlan {
+    fn default() -> Self {
+        WindowPlan {
+            pane_s: 10.0,
+            panes_per_window: 3,
+        }
+    }
+}
+
+/// One per-tick workload snapshot produced by [`windowed_workloads`].
+#[derive(Clone, Debug)]
+pub struct WindowSnapshot {
+    /// The tick index — the window's last pane.
+    pub tick: u64,
+    /// Window start (inclusive; clamped to the stream origin).
+    pub start: SimTime,
+    /// Window end (exclusive): `(tick + 1) · pane_s`.
+    pub end: SimTime,
+    /// Records observed inside the window.
+    pub records: u64,
+    /// The fitted per-object workload descriptions for the window.
+    /// Rates are normalized over the window's *observed* span (first
+    /// to last record), exactly like the batch fit; objects silent in
+    /// the window come back as idle specs.
+    pub workloads: WorkloadSet,
+}
+
+/// Slices an op-log into pane-aligned sliding windows and fits a
+/// [`WorkloadSet`] snapshot per tick, reusing the mergeable
+/// [`ChunkStats`] machinery: each pane is accumulated once (panes fan
+/// over [`par`]), and a tick's window is the in-order merge of its
+/// panes — identical to observing the window's records serially.
+///
+/// Determinism contract: pane boundaries depend only on record issue
+/// times and `plan.pane_s` — never on the thread count or on how the
+/// stream was chunked on arrival — so the snapshot sequence is
+/// byte-identical at any `WASLA_THREADS` setting.
+pub fn windowed_workloads(
+    log: &OpLog,
+    names: &[String],
+    sizes: &[u64],
+    config: &FitConfig,
+    plan: &WindowPlan,
+) -> Result<Vec<WindowSnapshot>, FitError> {
+    if names.len() != sizes.len() {
+        return Err(FitError::ShapeMismatch {
+            names: names.len(),
+            sizes: sizes.len(),
+        });
+    }
+    let records = log.records();
+    if records.is_empty() {
+        return Ok(Vec::new());
+    }
+    let n = names.len();
+    let pane_s = plan.pane_s.max(1e-9);
+    let width = plan.panes_per_window.max(1) as u64;
+    let pane_of = |t: SimTime| (t.as_secs() / pane_s) as u64;
+    let last_pane = pane_of(records[records.len() - 1].issue);
+
+    // Contiguous record range per pane (records arrive in issue order).
+    let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(last_pane as usize + 1);
+    let mut cursor = 0usize;
+    for pane in 0..=last_pane {
+        let start = cursor;
+        while cursor < records.len() && pane_of(records[cursor].issue) == pane {
+            cursor += 1;
+        }
+        ranges.push((start, cursor));
+    }
+
+    let panes: Vec<Result<ChunkStats, FitError>> = par::par_map(&ranges, |&(start, end)| {
+        let mut stats = ChunkStats::new(n);
+        for rec in &records[start..end] {
+            stats.observe(&rec.as_block_record(), config)?;
+        }
+        Ok(stats)
+    });
+    let mut pane_stats = Vec::with_capacity(panes.len());
+    for pane in panes {
+        pane_stats.push(pane?);
+    }
+
+    let mut snapshots = Vec::with_capacity(pane_stats.len());
+    for tick in 0..=last_pane {
+        let first_pane = (tick + 1).saturating_sub(width);
+        let mut merged = ChunkStats::new(n);
+        let mut in_window = 0u64;
+        for pane in first_pane..=tick {
+            merged.merge(&pane_stats[pane as usize], config);
+            let (start, end) = ranges[pane as usize];
+            in_window += (end - start) as u64;
+        }
+        snapshots.push(WindowSnapshot {
+            tick,
+            start: SimTime::from_secs(first_pane as f64 * pane_s),
+            end: SimTime::from_secs((tick + 1) as f64 * pane_s),
+            records: in_window,
+            workloads: merged.finish(names, sizes)?,
+        });
+    }
+    Ok(snapshots)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -982,5 +1105,102 @@ mod tests {
             let back: OpLogError = from_str(&to_string(&err)).unwrap();
             assert_eq!(back, err);
         }
+    }
+
+    #[test]
+    fn windows_match_serial_observation() {
+        let (names, sizes) = catalog();
+        let log = sample_log(400);
+        let config = FitConfig::default();
+        let plan = WindowPlan {
+            pane_s: 0.7,
+            panes_per_window: 3,
+        };
+        let snapshots = windowed_workloads(&log, &names, &sizes, &config, &plan).unwrap();
+        assert!(!snapshots.is_empty());
+        for snap in &snapshots {
+            // Reference: observe exactly the window's records serially.
+            let mut direct = ChunkStats::new(names.len());
+            let mut count = 0u64;
+            for rec in log.records() {
+                if rec.issue >= snap.start && rec.issue < snap.end {
+                    direct.observe(&rec.as_block_record(), &config).unwrap();
+                    count += 1;
+                }
+            }
+            assert_eq!(snap.records, count, "tick {}", snap.tick);
+            let expected = direct.finish(&names, &sizes).unwrap();
+            assert_eq!(
+                to_string(&snap.workloads),
+                to_string(&expected),
+                "tick {} window diverges from the serial pass",
+                snap.tick
+            );
+        }
+        // The last tick covers the last record's pane.
+        let last = log.records().last().unwrap().issue.as_secs();
+        assert_eq!(snapshots.last().unwrap().tick, (last / plan.pane_s) as u64);
+    }
+
+    #[test]
+    fn empty_panes_yield_idle_snapshots() {
+        let (names, sizes) = catalog();
+        let mut log = OpLog::new();
+        log.push(rec(0.1, 0, IoKind::Read, 0, 8192));
+        log.push(rec(5.1, 1, IoKind::Read, 65536, 8192));
+        let plan = WindowPlan {
+            pane_s: 1.0,
+            panes_per_window: 1,
+        };
+        let snapshots =
+            windowed_workloads(&log, &names, &sizes, &FitConfig::default(), &plan).unwrap();
+        assert_eq!(snapshots.len(), 6, "one snapshot per pane, gaps included");
+        for snap in &snapshots[1..5] {
+            assert_eq!(snap.records, 0);
+            let idle = snap
+                .workloads
+                .specs
+                .iter()
+                .all(|s| s.read_rate == 0.0 && s.write_rate == 0.0);
+            assert!(idle, "tick {} must be idle", snap.tick);
+        }
+        assert_eq!(snapshots[0].records, 1);
+        assert_eq!(snapshots[5].records, 1);
+    }
+
+    #[test]
+    fn windows_slide_over_at_most_the_configured_panes() {
+        let (names, sizes) = catalog();
+        let log = sample_log(300);
+        let plan = WindowPlan {
+            pane_s: 0.5,
+            panes_per_window: 4,
+        };
+        let snapshots =
+            windowed_workloads(&log, &names, &sizes, &FitConfig::default(), &plan).unwrap();
+        for snap in &snapshots {
+            let spanned = (snap.end - snap.start).as_secs();
+            assert!(
+                spanned <= plan.pane_s * plan.panes_per_window as f64 + 1e-9,
+                "tick {} window too wide: {spanned}",
+                snap.tick
+            );
+            let start_pane = (snap.tick + 1).saturating_sub(plan.panes_per_window as u64);
+            assert_eq!(snap.start.as_secs(), start_pane as f64 * plan.pane_s);
+        }
+    }
+
+    #[test]
+    fn empty_log_has_no_windows() {
+        let (names, sizes) = catalog();
+        let snapshots = windowed_workloads(
+            &OpLog::new(),
+            &names,
+            &sizes,
+            &FitConfig::default(),
+            &WindowPlan::default(),
+        )
+        .unwrap();
+        assert!(snapshots.is_empty());
     }
 }

@@ -14,6 +14,9 @@
 //! wasla-advisor capture [--scenario tpch|tpcc] [--scale S] [--max-time T] --out-dir DIR
 //! wasla-advisor replay  --oplog oplog.tsv [--scenario tpch|tpcc] [--scale S]
 //!                       [--objective NAME] [--coarse] [--cache-dir DIR]
+//! wasla-advisor serve   --oplog oplog.tsv --budget BYTES_PER_TICK
+//!                       [--pane-s S] [--panes N] [--threshold X] [--alpha A]
+//!                       [--fail TICK:TARGET]... [--cache-dir DIR] [--json]
 //! wasla-advisor demo  [--scale 0.05] [--objective NAME] [--cache-dir DIR]
 //! ```
 //!
@@ -35,6 +38,13 @@
 //! * `replay` feeds a captured op-log through the streamed advise
 //!   pipeline and replays it against the SEE baseline and the advised
 //!   layout, printing a predicted-vs-observed report.
+//! * `serve` runs the online re-layout control loop over a captured
+//!   op-log stream: pane-aligned sliding windows, cheap drift probes,
+//!   and budgeted incremental migration (`--budget` voluntary bytes
+//!   per tick; evacuations off targets failed via `--fail` are always
+//!   admitted). With `--cache-dir` the controller checkpoint persists
+//!   next to the stage caches, so a restarted daemon resumes where it
+//!   left off.
 //! * `demo` runs the built-in TPC-H-like scenario end-to-end. With
 //!   `--cache-dir`, the advisor session persists its calibration and
 //!   fit caches there (crash-safe, versioned, checksummed): a rerun
@@ -69,6 +79,9 @@ const USAGE: &str = "usage:
   wasla-advisor capture [--scenario tpch|tpcc] [--scale S] [--max-time T] --out-dir DIR
   wasla-advisor replay --oplog FILE [--scenario tpch|tpcc] [--scale S] \
 [--objective NAME] [--coarse] [--cache-dir DIR]
+  wasla-advisor serve --oplog FILE --budget BYTES_PER_TICK [--scenario tpch|tpcc] \
+[--scale S] [--pane-s S] [--panes N] [--threshold X] [--alpha A] [--carry-cap N] \
+[--fail TICK:TARGET]... [--objective NAME] [--coarse] [--cache-dir DIR] [--json]
   wasla-advisor demo [--scale S] [--objective NAME] [--cache-dir DIR]";
 
 fn main() {
@@ -79,6 +92,7 @@ fn main() {
         Some("advise") => advise(&args[1..]),
         Some("capture") => capture(&args[1..]),
         Some("replay") => replay(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some("demo") => demo(&args[1..]),
         Some(other) => Err(WaslaError::Usage(format!("unknown subcommand {other:?}"))),
         None => Err(WaslaError::Usage("missing subcommand".to_string())),
@@ -297,6 +311,77 @@ fn replay(args: &[String]) -> Result<(), WaslaError> {
         "{}",
         wasla::replay::render_validation(&validation, &scenario)
     );
+    Ok(())
+}
+
+/// Parses `--fail TICK:TARGET` occurrences into injected failures.
+fn failures_from_flags(args: &[String]) -> Result<Vec<wasla::daemon::TargetFailure>, WaslaError> {
+    flag_values(args, "--fail")
+        .into_iter()
+        .map(|spec| {
+            let bad = || WaslaError::Usage(format!("--fail expects TICK:TARGET, got {spec:?}"));
+            let (tick, target) = spec.split_once(':').ok_or_else(bad)?;
+            Ok(wasla::daemon::TargetFailure {
+                tick: tick.parse().map_err(|_| bad())?,
+                target: target.parse().map_err(|_| bad())?,
+            })
+        })
+        .collect()
+}
+
+fn serve(args: &[String]) -> Result<(), WaslaError> {
+    let oplog_path = require_flag(args, "--oplog")?;
+    let budget: u64 = require_flag(args, "--budget")?
+        .parse()
+        .map_err(|_| WaslaError::Usage("--budget expects a byte count".to_string()))?;
+    let (scenario, _workloads, _settings) = scenario_from_flags(args)?;
+    let log = wasla::trace::oplog::OpLog::parse_tsv(&read_file(oplog_path)?)?;
+    let mut config = if has_flag(args, "--coarse") {
+        AdviseConfig::fast()
+    } else {
+        AdviseConfig::full()
+    };
+    config.advisor.solver.objective = objective_from_flags(args)?;
+    let numeric = |name: &str, default: f64| -> Result<f64, WaslaError> {
+        match flag_value(args, name) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| WaslaError::Usage(format!("{name} expects a number, got {v:?}"))),
+            None => Ok(default),
+        }
+    };
+    let defaults = wasla::daemon::DaemonConfig::default();
+    let daemon = wasla::daemon::DaemonConfig {
+        window: wasla::trace::oplog::WindowPlan {
+            pane_s: numeric("--pane-s", defaults.window.pane_s)?,
+            panes_per_window: numeric("--panes", defaults.window.panes_per_window as f64)? as usize,
+        },
+        drift_threshold: numeric("--threshold", defaults.drift_threshold)?,
+        budget_bytes_per_tick: budget,
+        alpha: numeric("--alpha", defaults.alpha)?,
+        carry_cap_ticks: numeric("--carry-cap", defaults.carry_cap_ticks as f64)? as u64,
+        target_failures: failures_from_flags(args)?,
+    };
+    let mut service = match flag_value(args, "--cache-dir") {
+        Some(dir) => {
+            let (service, notes) = wasla::Service::open(scenario.seed, dir)?;
+            for note in &notes {
+                eprintln!("cache: {note}");
+            }
+            service
+        }
+        None => wasla::Service::new(scenario.seed),
+    };
+    let report = service.run_loop(&log, &scenario, &config, &daemon)?;
+    service.persist()?;
+    for note in &report.degraded {
+        eprintln!("degraded: {note}");
+    }
+    if has_flag(args, "--json") {
+        println!("{}", report.render_decisions());
+    } else {
+        print!("{}", wasla::daemon::render_ticks(&report));
+    }
     Ok(())
 }
 

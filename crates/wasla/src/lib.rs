@@ -76,6 +76,7 @@ pub use wasla_storage as storage;
 pub use wasla_trace as trace;
 pub use wasla_workload as workload;
 
+pub mod daemon;
 pub mod error;
 pub mod persist;
 pub mod pipeline;
@@ -83,6 +84,7 @@ pub mod replay;
 pub mod session;
 pub mod stages;
 
+pub use daemon::{ControllerState, DaemonConfig, DaemonReport, TargetFailure, TickDecision};
 pub use error::WaslaError;
 pub use pipeline::DegradedNote;
 pub use replay::{capture_oplog, replay_validate, CaptureOutcome, ReplayValidation};

@@ -51,6 +51,9 @@ pub const CALIBRATIONS_FILE: &str = "calibrations.json";
 /// File name of the workload-fit snapshot inside a cache dir.
 pub const FITS_FILE: &str = "fits.json";
 
+/// File name of the daemon controller checkpoint inside a cache dir.
+pub const CONTROLLER_FILE: &str = "controller.json";
+
 /// Saves both session caches into `dir` (created if missing), each
 /// with an atomic tmp-file-then-rename write.
 pub fn save_session(dir: &Path, session: &AdvisorSession) -> Result<(), WaslaError> {
@@ -68,6 +71,81 @@ pub fn load_session(dir: &Path) -> Result<(AdvisorSession, Vec<DegradedNote>), W
     let calibrations = load_cache(dir, CALIBRATIONS_FILE, "calibrations", &mut notes)?;
     let fits = load_cache(dir, FITS_FILE, "fits", &mut notes)?;
     Ok((AdvisorSession::from_caches(calibrations, fits), notes))
+}
+
+/// Saves a daemon controller checkpoint into `dir` (created if
+/// missing) under the same version/kind/checksum discipline as the
+/// stage caches; the checksum covers the canonical rendering of the
+/// `state` field. Atomic tmp-file-then-rename write.
+pub fn save_controller(
+    dir: &Path,
+    state: &crate::daemon::ControllerState,
+) -> Result<(), WaslaError> {
+    std::fs::create_dir_all(dir).map_err(|e| WaslaError::io(dir.display().to_string(), &e))?;
+    let body = state.to_json();
+    let doc = Json::Obj(vec![
+        ("version".to_string(), CACHE_VERSION.to_json()),
+        ("kind".to_string(), "controller".to_json()),
+        ("checksum".to_string(), checksum(&body).to_json()),
+        ("state".to_string(), body),
+    ]);
+    let path = dir.join(CONTROLLER_FILE);
+    let tmp = dir.join(format!("{CONTROLLER_FILE}.tmp"));
+    std::fs::write(&tmp, json::to_string(&doc))
+        .map_err(|e| WaslaError::io(tmp.display().to_string(), &e))?;
+    std::fs::rename(&tmp, &path).map_err(|e| WaslaError::io(path.display().to_string(), &e))
+}
+
+/// Loads a daemon controller checkpoint from `dir`. A missing file is
+/// a cold start (`None`); a corrupt, version-skewed, wrong-kind, or
+/// checksum-mismatched file is quarantined to `<file>.quarantined`,
+/// reported as a [`DegradedNote::CacheQuarantined`], and the
+/// controller restarts cold. Only a failing quarantine rename is an
+/// error.
+pub fn load_controller(
+    dir: &Path,
+) -> Result<(Option<crate::daemon::ControllerState>, Vec<DegradedNote>), WaslaError> {
+    let path = dir.join(CONTROLLER_FILE);
+    let raw = match std::fs::read_to_string(&path) {
+        Ok(raw) => raw,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((None, Vec::new())),
+        Err(e) => return Err(WaslaError::io(path.display().to_string(), &e)),
+    };
+    match decode_controller(&raw) {
+        Ok(state) => Ok((Some(state), Vec::new())),
+        Err(_reason) => {
+            let quarantined = quarantine(&path)?;
+            Ok((
+                None,
+                vec![DegradedNote::CacheQuarantined { path: quarantined }],
+            ))
+        }
+    }
+}
+
+/// Decodes and validates one controller checkpoint; any `Err` means
+/// "quarantine".
+fn decode_controller(raw: &str) -> Result<crate::daemon::ControllerState, String> {
+    let doc = Json::parse(raw).map_err(|e| e.to_string())?;
+    let field = |name: &str| {
+        doc.field(name)
+            .ok_or_else(|| format!("missing field {name:?}"))
+    };
+    let version = u64::from_json(field("version")?).map_err(|e| e.to_string())?;
+    if version != CACHE_VERSION {
+        return Err(format!("version skew: {version} != {CACHE_VERSION}"));
+    }
+    let file_kind = String::from_json(field("kind")?).map_err(|e| e.to_string())?;
+    if file_kind != "controller" {
+        return Err(format!("kind mismatch: {file_kind:?} != \"controller\""));
+    }
+    let declared = u64::from_json(field("checksum")?).map_err(|e| e.to_string())?;
+    let body = field("state")?;
+    let actual = checksum(body);
+    if declared != actual {
+        return Err(format!("checksum mismatch: {declared} != {actual}"));
+    }
+    crate::daemon::ControllerState::from_json(body).map_err(|e| e.to_string())
 }
 
 /// The canonical JSON array a cache's entries serialize to; the

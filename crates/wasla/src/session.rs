@@ -583,6 +583,13 @@ impl Service {
         &mut self.session
     }
 
+    /// The cache directory this service persists to, if any. The
+    /// daemon loop stores its controller checkpoint alongside the
+    /// stage caches.
+    pub(crate) fn cache_dir(&self) -> Option<&std::path::Path> {
+        self.cache_dir.as_deref()
+    }
+
     /// Advises every request, fanning across the [`par`] pool.
     ///
     /// Distinct member calibrations are prewarmed serially first (each

@@ -123,3 +123,29 @@ fn blocked_cache_quarantine_is_a_typed_io_error() {
     );
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+#[test]
+fn evacuating_with_every_target_failed_is_a_typed_error() {
+    // A fleet-wide outage leaves nowhere to evacuate to; the planner
+    // must refuse with a typed error instead of solving (or panicking
+    // on) an all-zero-capacity problem.
+    let scenario = Scenario::homogeneous_disks(3, 0.01);
+    let outcome = pipeline::advise(&scenario, &workloads(), &AdviseConfig::fast())
+        .expect("baseline advise succeeds");
+    let deployed = outcome.recommendation.final_layout();
+    let err: WaslaError = wasla::core::dynamic::readvise_around_failures(
+        &outcome.problem,
+        deployed,
+        &[0, 1, 2],
+        &Default::default(),
+        &Default::default(),
+    )
+    .err()
+    .expect("all targets failed should be an error")
+    .into();
+    assert!(
+        matches!(err, WaslaError::Advisor(AdvisorError::InvalidProblem(_))),
+        "expected a typed InvalidProblem, got {err:?}"
+    );
+    assert_eq!(err.exit_code(), 1);
+}
