@@ -53,6 +53,37 @@ else
 fi
 
 echo
+echo "== analytic-gradient speedup gate (gradient sweep) =="
+# The analytic gradient (DESIGN.md §15) must keep one objective
+# gradient at least 5x cheaper than the structured-FD path it retired
+# from the solver hot loop, on the same gradient-heavy N=128, M=16
+# configuration the engine gate uses. Both numbers come from the same
+# fresh run of the gradient suite, so machine drift cancels out.
+analytic_ns=$(median_of "gradient_analytic/n128_m16" gradient)
+fd_delta_ns=$(median_of "gradient_fd_delta/n128_m16" gradient)
+if [ -z "$analytic_ns" ] || [ -z "$fd_delta_ns" ]; then
+    echo "error: gradient sweep missing from results/BENCH_gradient.json" >&2
+    echo "(expected gradient_analytic/n128_m16 and gradient_fd_delta/n128_m16)" >&2
+    exit 1
+fi
+ratio=$(awk -v f="$fd_delta_ns" -v a="$analytic_ns" 'BEGIN { printf "%.1f", f / a }')
+echo "gradient n128_m16: fd_delta ${fd_delta_ns} ns / analytic ${analytic_ns} ns = ${ratio}x"
+if awk -v f="$fd_delta_ns" -v a="$analytic_ns" 'BEGIN { exit !(f / a >= 5.0) }'; then
+    echo "analytic-gradient gate passed (>= 5x)"
+else
+    echo "error: analytic gradient speedup ${ratio}x is below the 5x gate" >&2
+    exit 1
+fi
+# End-to-end verdict (report only): the per-gradient win must be
+# visible in complete solves where gradient work dominates.
+solve_analytic_ns=$(median_of "gradient_solve/analytic_n128_m16" gradient)
+solve_fd_ns=$(median_of "gradient_solve/fd_n128_m16" gradient)
+if [ -n "$solve_analytic_ns" ] && [ -n "$solve_fd_ns" ]; then
+    ratio=$(awk -v f="$solve_fd_ns" -v a="$solve_analytic_ns" 'BEGIN { printf "%.2f", f / a }')
+    echo "solve n128_m16: fd ${solve_fd_ns} ns / analytic ${solve_analytic_ns} ns = ${ratio}x faster end-to-end"
+fi
+
+echo
 echo "== streamed-ingest gate (op-log chunked reader) =="
 # Streaming an op-log through the chunked reader (DESIGN.md §12) must
 # not lose to materializing the trace first: same fit, strictly less

@@ -72,6 +72,23 @@ impl<'a> UtilizationEstimator<'a> {
         )
     }
 
+    /// The competing-rate sum alone — the numerator of `χᵢⱼ` over the
+    /// canonical pairwise association, bit-identical to the root of
+    /// `EvalEngine`'s cached tree `(i, j)`. The analytic gradient's
+    /// from-scratch path differentiates through this value.
+    pub fn competing(&self, layout: &Layout, i: usize, j: usize) -> f64 {
+        let specs = &self.problem.workloads.specs;
+        let o_i = &specs[i].overlaps;
+        kernel::competing_sum(
+            specs.len(),
+            i,
+            RateTransform::Average,
+            &|k| specs[k].total_rate(),
+            &|k| layout.get(k, j),
+            &|k| o_i[k],
+        )
+    }
+
     /// The contention factor computed from *busy-period* rates: each
     /// workload's average rate is divided by its duty cycle (fraction
     /// of time active) before entering Eq. 2. Rome's full language

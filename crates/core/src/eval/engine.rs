@@ -27,6 +27,7 @@
 
 use std::cell::RefCell;
 
+use crate::eval::grad::{self, CrossAdjacency};
 use crate::eval::objective::ObjectiveKind;
 use crate::eval::stats::EvalStats;
 use crate::layout_model::{self, PerTargetWorkload};
@@ -83,6 +84,13 @@ pub struct EvalEngine<'a> {
     obj_w: Vec<f64>,
     /// Scratch column for the weighted utilization vector `wⱼ·µⱼ`.
     wcol: Vec<f64>,
+    /// Sparse transposed overlap rows for the analytic cross terms
+    /// (layout-independent; shared shape with `ScratchEval`).
+    cross: CrossAdjacency,
+    /// Scratch per-object own-term derivatives for one column.
+    grad_du: Vec<f64>,
+    /// Scratch per-object contention sensitivities for one column.
+    grad_cs: Vec<f64>,
     /// Work counters (cumulative).
     pub stats: EvalStats,
 }
@@ -134,6 +142,9 @@ impl<'a> EvalEngine<'a> {
             objective,
             obj_w: objective.weights(problem),
             wcol: vec![0.0; m],
+            cross: CrossAdjacency::build(specs),
+            grad_du: vec![0.0; n],
+            grad_cs: vec![0.0; n],
             stats: EvalStats::default(),
         };
         // The zero layout's caches are all zeros already, except the
@@ -464,6 +475,7 @@ impl<'a> EvalEngine<'a> {
                 let up_step = fd;
                 let dn_step = fd.min(orig);
                 self.stats.fd_partials += 1;
+                self.stats.grad_fd_probes += 2;
                 let up = self.probe_coord(i, j, orig + up_step);
                 let dn = self.probe_coord(i, j, orig - dn_step);
                 g[i * self.m + j] = self.smax[j] * (up - dn) / (up_step + dn_step);
@@ -546,9 +558,50 @@ impl<'a> EvalEngine<'a> {
                 let up_step = fd;
                 let dn_step = fd.min(orig);
                 self.stats.fd_partials += 1;
+                self.stats.grad_fd_probes += 2;
                 let up = self.probe_coord(i, j, orig + up_step);
                 let dn = self.probe_coord(i, j, orig - dn_step);
                 g[i * self.m + j] = self.smax[j] * self.obj_w[j] * (up - dn) / (up_step + dn_step);
+            }
+        }
+    }
+
+    /// The analytic gradient of the smoothed score at `x`: exact
+    /// partials of `lse_max(w·µ, temp)` by the chain rule through the
+    /// cost model's per-cell slopes ([`grad::cell_grad`]) — zero
+    /// objective probes, O(N·M + nnz(overlap)·M) work. Matches the
+    /// from-scratch `ScratchEval::grad_at` bit-for-bit: both read the
+    /// canonical competing sums and accumulate cross terms through the
+    /// same [`CrossAdjacency`] rows. See DESIGN.md §15.
+    pub fn grad_at(&mut self, x: &[f64], temp: f64, g: &mut [f64]) {
+        self.set_point(x);
+        self.stats.gradient_evals += 1;
+        self.stats.grad_analytic_passes += 1;
+        self.refill_wcol();
+        softmax_weights(&self.wcol, temp, &mut self.smax);
+        let (n, m, p) = (self.n, self.m, self.p);
+        for j in 0..m {
+            let sw_j = self.smax[j] * self.obj_w[j];
+            for k in 0..n {
+                let f = self.x[k * m + j];
+                let competing = self.trees[(j * n + k) * 2 * p + 1];
+                let cg = grad::cell_grad(
+                    &*self.problem.models[j],
+                    &self.problem.workloads.specs[k],
+                    f,
+                    competing,
+                    self.stripe,
+                    &mut self.stats,
+                );
+                self.grad_du[k] = cg.du_own;
+                self.grad_cs[k] = cg.csens;
+            }
+            for i in 0..n {
+                let mut cross = 0.0;
+                for &(k, rw) in self.cross.row(i) {
+                    cross += self.grad_cs[k as usize] * rw;
+                }
+                g[i * m + j] = sw_j * (self.grad_du[i] + cross);
             }
         }
     }

@@ -107,6 +107,22 @@ pub fn contention(
         return 0.0;
     }
     let own = transform.own_rate(own_rate, i);
+    competing_sum(n, i, transform, rates, fractions, overlaps) / own
+}
+
+/// The numerator of `χᵢⱼ` alone — the gated competing-rate sum over
+/// the canonical pairwise association. This is exactly the value
+/// `EvalEngine` caches as tree `(i, j)`'s root; the analytic gradient
+/// path reads it directly (the from-scratch side recomputes it here)
+/// so both sides differentiate through bit-identical contention.
+pub fn competing_sum(
+    n: usize,
+    i: usize,
+    transform: RateTransform<'_>,
+    rates: &dyn Fn(usize) -> f64,
+    fractions: &dyn Fn(usize) -> f64,
+    overlaps: &dyn Fn(usize) -> f64,
+) -> f64 {
     let mut term = |k: usize| {
         if k == i {
             return 0.0;
@@ -117,7 +133,7 @@ pub fn contention(
         }
         (transform.effective_rate(rates(k), k) * overlaps(k)) * f
     };
-    pairwise_sum(n, &mut term) / own
+    pairwise_sum(n, &mut term)
 }
 
 #[cfg(test)]

@@ -33,12 +33,14 @@
 //! contract.
 
 pub mod engine;
+pub mod grad;
 pub mod kernel;
 pub mod objective;
 pub mod scratch;
 pub mod stats;
 
 pub use engine::{EngineOracle, EvalEngine, OracleObjective};
+pub use grad::{cell_grad, CellGrad, CrossAdjacency};
 pub use kernel::{pairwise_sum, RateTransform};
 pub use objective::{
     max_of, weighted_max, LayoutObjective, MinMaxUtilization, ObjectiveKind, ProvisioningCost,

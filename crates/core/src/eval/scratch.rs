@@ -13,6 +13,7 @@
 //! incremental bookkeeping.
 
 use crate::estimator::UtilizationEstimator;
+use crate::eval::grad::{self, CrossAdjacency};
 use crate::eval::objective::ObjectiveKind;
 use crate::eval::stats::EvalStats;
 use crate::problem::{Layout, LayoutProblem};
@@ -20,6 +21,7 @@ use wasla_solver::{lse_max, softmax_weights};
 
 /// From-scratch evaluator with reusable buffers.
 pub struct ScratchEval<'a> {
+    problem: &'a LayoutProblem,
     est: UtilizationEstimator<'a>,
     n: usize,
     m: usize,
@@ -31,6 +33,13 @@ pub struct ScratchEval<'a> {
     obj_w: Vec<f64>,
     /// Scratch for the weighted utilization vector `wⱼ·µⱼ`.
     wmus: Vec<f64>,
+    /// Sparse transposed overlap rows for the analytic cross terms
+    /// (same shape `EvalEngine` iterates).
+    cross: CrossAdjacency,
+    /// Scratch per-object own-term derivatives for one column.
+    grad_du: Vec<f64>,
+    /// Scratch per-object contention sensitivities for one column.
+    grad_cs: Vec<f64>,
     /// Work counters (cumulative). Probe-level counters stay zero on
     /// this path — it has no cache to reuse.
     pub stats: EvalStats,
@@ -48,6 +57,7 @@ impl<'a> ScratchEval<'a> {
         let n = problem.n();
         let m = problem.m();
         ScratchEval {
+            problem,
             est: UtilizationEstimator::new(problem),
             n,
             m,
@@ -56,6 +66,9 @@ impl<'a> ScratchEval<'a> {
             smax: Vec::with_capacity(m),
             obj_w: objective.weights(problem),
             wmus: vec![0.0; m],
+            cross: CrossAdjacency::build(&problem.workloads.specs),
+            grad_du: vec![0.0; n],
+            grad_cs: vec![0.0; n],
             stats: EvalStats::default(),
         }
     }
@@ -111,6 +124,7 @@ impl<'a> ScratchEval<'a> {
                 let up_step = fd;
                 let dn_step = fd.min(orig);
                 self.stats.fd_partials += 1;
+                self.stats.grad_fd_probes += 2;
                 self.layout.set(i, j, orig + up_step);
                 let up = self.est.target_utilization(&self.layout, j);
                 self.layout.set(i, j, orig - dn_step);
@@ -165,12 +179,53 @@ impl<'a> ScratchEval<'a> {
                 let up_step = fd;
                 let dn_step = fd.min(orig);
                 self.stats.fd_partials += 1;
+                self.stats.grad_fd_probes += 2;
                 self.layout.set(i, j, orig + up_step);
                 let up = self.est.target_utilization(&self.layout, j);
                 self.layout.set(i, j, orig - dn_step);
                 let dn = self.est.target_utilization(&self.layout, j);
                 self.layout.set(i, j, orig);
                 g[i * self.m + j] = self.smax[j] * self.obj_w[j] * (up - dn) / (up_step + dn_step);
+            }
+        }
+    }
+
+    /// The analytic gradient of the smoothed score at `x`, computed
+    /// from scratch: reload the layout, recompute every `µⱼ` and
+    /// competing sum through the canonical kernel, then apply the same
+    /// per-cell chain rule as `EvalEngine::grad_at` — identical
+    /// [`grad::cell_grad`] inputs and identical [`CrossAdjacency`]
+    /// accumulation order, hence bit-identical output.
+    pub fn grad_at(&mut self, x: &[f64], temp: f64, g: &mut [f64]) {
+        self.stats.gradient_evals += 1;
+        self.stats.grad_analytic_passes += 1;
+        self.load(x);
+        self.refresh_mus();
+        self.refill_wmus();
+        softmax_weights(&self.wmus, temp, &mut self.smax);
+        let (n, m) = (self.n, self.m);
+        for j in 0..m {
+            let sw_j = self.smax[j] * self.obj_w[j];
+            for k in 0..n {
+                let f = self.layout.get(k, j);
+                let competing = self.est.competing(&self.layout, k, j);
+                let cg = grad::cell_grad(
+                    &*self.problem.models[j],
+                    &self.problem.workloads.specs[k],
+                    f,
+                    competing,
+                    self.problem.stripe_size,
+                    &mut self.stats,
+                );
+                self.grad_du[k] = cg.du_own;
+                self.grad_cs[k] = cg.csens;
+            }
+            for i in 0..n {
+                let mut cross = 0.0;
+                for &(k, rw) in self.cross.row(i) {
+                    cross += self.grad_cs[k as usize] * rw;
+                }
+                g[i * m + j] = sw_j * (self.grad_du[i] + cross);
             }
         }
     }
@@ -264,5 +319,60 @@ mod tests {
         for (a, b) in ga.iter().zip(&gb) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn analytic_gradient_matches_engine_bitwise_and_probes_nothing() {
+        for (n, m, seed) in [(6usize, 4usize, 77u64), (9, 3, 5), (5, 5, 1234)] {
+            let p = problem(n, m);
+            let x = flat(n, m, seed);
+            let mut scratch = ScratchEval::new(&p);
+            let mut engine = EvalEngine::new(&p);
+            let temp = 0.05;
+            let mut ga = vec![0.0; n * m];
+            let mut gb = vec![0.0; n * m];
+            scratch.grad_at(&x, temp, &mut ga);
+            engine.grad_at(&x, temp, &mut gb);
+            for (c, (a, b)) in ga.iter().zip(&gb).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "n={n} m={m} seed={seed} cell {c}: scratch {a} engine {b}"
+                );
+            }
+            // The analytic pass must not have spent any probes on
+            // either path.
+            for s in [&scratch.stats, &engine.stats] {
+                assert_eq!(s.fd_partials, 0);
+                assert_eq!(s.column_probes, 0);
+                assert_eq!(s.grad_fd_probes, 0);
+                assert_eq!(s.grad_analytic_passes, 1);
+                assert_eq!(s.gradient_evals, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_gradient_handles_sparse_and_gated_layouts() {
+        // Rows with zero cells (gated), a fully-empty column, and a
+        // saturated cell — the subgradient pins must agree bitwise
+        // across paths on kinks too.
+        let p = problem(4, 3);
+        let x = vec![
+            1.0, 0.0, 0.0, //
+            0.0, 1.0, 0.0, //
+            0.5, 0.5, 0.0, //
+            0.0, 0.0, 1.0,
+        ];
+        let mut scratch = ScratchEval::new(&p);
+        let mut engine = EvalEngine::new(&p);
+        let mut ga = vec![0.0; 12];
+        let mut gb = vec![0.0; 12];
+        scratch.grad_at(&x, 0.05, &mut ga);
+        engine.grad_at(&x, 0.05, &mut gb);
+        for (a, b) in ga.iter().zip(&gb) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(ga.iter().all(|v| v.is_finite()));
     }
 }

@@ -29,6 +29,12 @@ pub struct EvalStats {
     pub full_rebuilds: u64,
     /// Incremental single-coordinate commits.
     pub coord_commits: u64,
+    /// Objective probes spent on finite-difference gradients (each FD
+    /// partial is two). Zero for a purely analytic solve.
+    pub grad_fd_probes: u64,
+    /// Whole-gradient analytic passes (`grad_at`), each covering all
+    /// N·M partials with zero probes.
+    pub grad_analytic_passes: u64,
 }
 
 impl_json_struct!(EvalStats {
@@ -41,12 +47,14 @@ impl_json_struct!(EvalStats {
     term_updates,
     full_rebuilds,
     coord_commits,
+    grad_fd_probes,
+    grad_analytic_passes,
 });
 
 impl EvalStats {
     /// Counter names and values, in declaration order, for bench
     /// reports.
-    pub fn entries(&self) -> [(&'static str, u64); 9] {
+    pub fn entries(&self) -> [(&'static str, u64); 11] {
         [
             ("objective_evals", self.objective_evals),
             ("gradient_evals", self.gradient_evals),
@@ -57,6 +65,8 @@ impl EvalStats {
             ("term_updates", self.term_updates),
             ("full_rebuilds", self.full_rebuilds),
             ("coord_commits", self.coord_commits),
+            ("grad_fd_probes", self.grad_fd_probes),
+            ("grad_analytic_passes", self.grad_analytic_passes),
         ]
     }
 
@@ -74,6 +84,10 @@ impl EvalStats {
             term_updates: self.term_updates.saturating_sub(earlier.term_updates),
             full_rebuilds: self.full_rebuilds.saturating_sub(earlier.full_rebuilds),
             coord_commits: self.coord_commits.saturating_sub(earlier.coord_commits),
+            grad_fd_probes: self.grad_fd_probes.saturating_sub(earlier.grad_fd_probes),
+            grad_analytic_passes: self
+                .grad_analytic_passes
+                .saturating_sub(earlier.grad_analytic_passes),
         }
     }
 }

@@ -77,6 +77,32 @@ pub fn run_count(spec: &WorkloadSpec, fraction: f64, stripe_size: f64) -> f64 {
     }
 }
 
+/// The derivative `dQᵢⱼ/dLᵢⱼ` of the Figure 7 run-count transform —
+/// the piecewise slope matching [`run_count`] branch for branch:
+/// `Qᵢⱼ` depends on the fraction only in the long-run branch, and
+/// there only while `Qᵢ·Lᵢⱼ` is above the `max(·, 1.0)` clamp. Branch
+/// boundaries are kinks; the subgradient takes each branch's own
+/// slope, with the clamp pinned open only for strict `Qᵢ·Lᵢⱼ > 1`.
+pub fn run_count_deriv(spec: &WorkloadSpec, fraction: f64, stripe_size: f64) -> f64 {
+    if fraction <= 0.0 {
+        return 0.0;
+    }
+    let q = spec.run_count;
+    let b = spec.mean_size().max(1.0);
+    let run_bytes = q * b;
+    if run_bytes < stripe_size {
+        0.0
+    } else if run_bytes > stripe_size / fraction {
+        if q * fraction > 1.0 {
+            q
+        } else {
+            0.0
+        }
+    } else {
+        0.0
+    }
+}
+
 /// The overlap gate `Oᵢⱼ[k]` from Figure 7: object `k`'s workload
 /// interferes with `i`'s on target `j` only if both are present there.
 pub fn overlap_on_target(o_ik: f64, l_ij: f64, l_kj: f64) -> f64 {

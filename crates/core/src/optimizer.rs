@@ -81,6 +81,47 @@ pub enum EvalPath {
     Scratch,
 }
 
+/// How the smoothed objective's gradient is computed.
+///
+/// Both paths drive the same projected-gradient iterations; they
+/// differ only in how each `∂lse/∂xᵢⱼ` is obtained. `Fd` is the
+/// original structured finite-difference scheme (two column probes
+/// per partial) and is kept selectable as the equivalence oracle for
+/// the analytic chain rule — byte-identical to the pre-analytic
+/// solver when selected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GradPath {
+    /// Exact chain-rule differentiation through the cost-model seam
+    /// (`CostModel::cost_with_grad`): one O(N·M) pass, zero probes.
+    #[default]
+    Analytic,
+    /// Structured finite differences (the pre-analytic scheme; the
+    /// FD step comes from `SolverOptions::fd_step`).
+    Fd,
+}
+
+impl GradPath {
+    /// Every gradient path, in documentation order.
+    pub const ALL: [GradPath; 2] = [GradPath::Analytic, GradPath::Fd];
+
+    /// The path's stable name (CLI/config strings).
+    pub fn name(self) -> &'static str {
+        match self {
+            GradPath::Analytic => "analytic",
+            GradPath::Fd => "fd",
+        }
+    }
+
+    /// Parses a path name; `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<GradPath> {
+        match name {
+            "analytic" => Some(GradPath::Analytic),
+            "fd" | "finite-difference" => Some(GradPath::Fd),
+            _ => None,
+        }
+    }
+}
+
 /// Options for [`solve_nlp`].
 #[derive(Clone, Debug)]
 pub struct SolverOptions {
@@ -95,8 +136,11 @@ pub struct SolverOptions {
     pub pg: PgOptions,
     /// Augmented-Lagrangian options (capacity constraints).
     pub auglag: AugLagOptions,
-    /// Finite-difference step for the black-box gradient.
+    /// Finite-difference step for the black-box gradient (used by
+    /// `GradPath::Fd` and by delta-oracle probes).
     pub fd_step: f64,
+    /// How the smoothed objective's gradient is computed.
+    pub grad: GradPath,
     /// Annealing options (when `method` is `Anneal`).
     pub anneal: AnnealOptions,
     /// The layout objective scored by the solve. The default
@@ -121,6 +165,7 @@ impl Default for SolverOptions {
                 ..AugLagOptions::default()
             },
             fd_step: 1e-4,
+            grad: GradPath::default(),
             anneal: AnnealOptions {
                 steps: 20_000,
                 sigma: 0.2,
@@ -282,12 +327,19 @@ fn solve_with_engine_in<'p>(
             // hot-closure-begin: solver objective/gradient closures —
             // all scratch lives in the engine workspace.
             let f: ObjectiveFn<'_> = Box::new(|xv: &[f64]| engine.borrow_mut().lse_score(xv, temp));
-            // Structured finite differences: perturbing Lᵢⱼ only moves
-            // target j's utilization, so each partial is two O(N)
-            // column probes weighted by the softmax.
-            let grad: ObjectiveGradFn<'_> = Box::new(|xv: &[f64], g: &mut [f64]| {
-                engine.borrow_mut().lse_score_gradient(xv, temp, fd, g)
-            });
+            // Analytic: one exact chain-rule pass over the cached
+            // state, zero probes. Fd: structured finite differences —
+            // perturbing Lᵢⱼ only moves target j's utilization, so
+            // each partial is two O(N) column probes weighted by the
+            // softmax (retained as the equivalence oracle).
+            let grad: ObjectiveGradFn<'_> = match opts.grad {
+                GradPath::Analytic => {
+                    Box::new(|xv: &[f64], g: &mut [f64]| engine.borrow_mut().grad_at(xv, temp, g))
+                }
+                GradPath::Fd => Box::new(|xv: &[f64], g: &mut [f64]| {
+                    engine.borrow_mut().lse_score_gradient(xv, temp, fd, g)
+                }),
+            };
             // hot-closure-end
             let oracle = EngineOracle::new(engine, OracleObjective::Lse(temp));
             let spec = SolveSpec {
@@ -352,9 +404,14 @@ fn solve_with_scratch(
             // buffers hoisted into the ScratchEval workspace.
             let f: ObjectiveFn<'_> =
                 Box::new(|xv: &[f64]| scratch.borrow_mut().lse_score(xv, temp));
-            let grad: ObjectiveGradFn<'_> = Box::new(|xv: &[f64], g: &mut [f64]| {
-                scratch.borrow_mut().lse_score_gradient(xv, temp, fd, g)
-            });
+            let grad: ObjectiveGradFn<'_> = match opts.grad {
+                GradPath::Analytic => {
+                    Box::new(|xv: &[f64], g: &mut [f64]| scratch.borrow_mut().grad_at(xv, temp, g))
+                }
+                GradPath::Fd => Box::new(|xv: &[f64], g: &mut [f64]| {
+                    scratch.borrow_mut().lse_score_gradient(xv, temp, fd, g)
+                }),
+            };
             // hot-closure-end
             let spec = SolveSpec {
                 objective: f,

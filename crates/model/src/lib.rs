@@ -29,5 +29,5 @@ pub mod target;
 
 pub use analytic::AnalyticDiskModel;
 pub use calibrate::{calibrate_device, calibration_fault, CalibrationGrid};
-pub use table::{CostModel, TableModel};
+pub use table::{CostGrad, CostModel, TableModel};
 pub use target::{ModelError, TargetCostModel};

@@ -4,6 +4,35 @@ use crate::grid::Grid3;
 use wasla_simlib::json::{self, FromJson, Json, JsonError, ToJson};
 use wasla_storage::{IoKind, Tier};
 
+/// Per-request cost plus its exact partial derivatives w.r.t. the
+/// three query coordinates, returned by [`CostModel::cost_with_grad`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostGrad {
+    /// The cost itself — bit-identical to `request_cost` at the same
+    /// query by contract.
+    pub value: f64,
+    /// ∂cost/∂size.
+    pub d_size: f64,
+    /// ∂cost/∂run_count.
+    pub d_run: f64,
+    /// ∂cost/∂contention.
+    pub d_contention: f64,
+}
+
+impl CostGrad {
+    /// A zero cost with zero partials.
+    pub const ZERO: CostGrad = CostGrad {
+        value: 0.0,
+        d_size: 0.0,
+        d_run: 0.0,
+        d_contention: 0.0,
+    };
+}
+
+/// Finite-difference step used by the default `cost_with_grad`
+/// implementation, relative to the coordinate magnitude.
+const DEFAULT_GRAD_STEP: f64 = 1e-6;
+
 /// A per-request cost model for one device or target type.
 ///
 /// `request_cost` returns the expected *service occupancy* in seconds
@@ -13,6 +42,35 @@ use wasla_storage::{IoKind, Tier};
 pub trait CostModel: Send + Sync {
     /// Expected per-request cost in seconds.
     fn request_cost(&self, kind: IoKind, size: f64, run_count: f64, contention: f64) -> f64;
+
+    /// Cost plus partial derivatives w.r.t. (size, run_count,
+    /// contention), consumed by the solver's analytic gradient.
+    ///
+    /// The `value` field MUST be bit-identical to `request_cost` at
+    /// the same query. The default implementation differences
+    /// `request_cost` with a relative central step (clamped to keep
+    /// probes non-negative), so external models keep working unchanged;
+    /// tabulated models override it with exact per-cell slopes.
+    fn cost_with_grad(&self, kind: IoKind, size: f64, run_count: f64, contention: f64) -> CostGrad {
+        let value = self.request_cost(kind, size, run_count, contention);
+        let partial = |axis: usize| {
+            let mut hi = [size, run_count, contention];
+            let mut lo = hi;
+            let h = (hi[axis].abs() * DEFAULT_GRAD_STEP).max(DEFAULT_GRAD_STEP);
+            hi[axis] += h;
+            lo[axis] = (lo[axis] - h).max(0.0);
+            let span = hi[axis] - lo[axis];
+            (self.request_cost(kind, hi[0], hi[1], hi[2])
+                - self.request_cost(kind, lo[0], lo[1], lo[2]))
+                / span
+        };
+        CostGrad {
+            value,
+            d_size: partial(0),
+            d_run: partial(1),
+            d_contention: partial(2),
+        }
+    }
 
     /// The economic tier of the modeled target, consumed by the
     /// tier-aware layout objectives (`ProvisioningCost`, `WearBlend`).
@@ -80,6 +138,21 @@ impl CostModel for TableModel {
         grid.interpolate(size, run_count, contention)
     }
 
+    fn cost_with_grad(&self, kind: IoKind, size: f64, run_count: f64, contention: f64) -> CostGrad {
+        let grid = match kind {
+            IoKind::Read => &self.reads,
+            IoKind::Write => &self.writes,
+        };
+        let (value, [d_size, d_run, d_contention]) =
+            grid.interpolate_with_grad(size, run_count, contention);
+        CostGrad {
+            value,
+            d_size,
+            d_run,
+            d_contention,
+        }
+    }
+
     fn tier(&self) -> Tier {
         self.tier.clone()
     }
@@ -132,6 +205,54 @@ mod tests {
         let r = m.request_cost(IoKind::Read, 8192.0, 4.0, 1.0);
         let w = m.request_cost(IoKind::Write, 8192.0, 4.0, 1.0);
         assert!(w > r);
+    }
+
+    #[test]
+    fn table_grad_value_is_bitwise_request_cost() {
+        let m = tiny_model();
+        for (s, r, c) in [(8192.0, 4.0, 1.0), (4096.0, 1.0, 0.0), (2e5, 99.0, 9.0)] {
+            for kind in [IoKind::Read, IoKind::Write] {
+                let g = m.cost_with_grad(kind, s, r, c);
+                assert_eq!(g.value.to_bits(), m.request_cost(kind, s, r, c).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn default_grad_impl_differences_request_cost() {
+        // An analytic model without an override gets FD partials from
+        // the trait default; on a smooth model they are near-exact.
+        struct Smooth;
+        impl CostModel for Smooth {
+            fn request_cost(&self, _k: IoKind, s: f64, r: f64, c: f64) -> f64 {
+                0.01 * s + 0.5 / r.max(1.0) + 0.003 * c * c
+            }
+        }
+        let g = Smooth.cost_with_grad(IoKind::Read, 10.0, 4.0, 2.0);
+        assert_eq!(
+            g.value.to_bits(),
+            Smooth.request_cost(IoKind::Read, 10.0, 4.0, 2.0).to_bits()
+        );
+        assert!((g.d_size - 0.01).abs() < 1e-6, "{}", g.d_size);
+        assert!((g.d_run - (-0.5 / 16.0)).abs() < 1e-6, "{}", g.d_run);
+        assert!((g.d_contention - 0.012).abs() < 1e-6, "{}", g.d_contention);
+    }
+
+    #[test]
+    fn table_grad_matches_central_difference() {
+        let m = tiny_model();
+        // An interior point away from knots: the table is linear in
+        // its cell, so a small central difference is exact.
+        let (s, r, c) = (8192.0, 4.0, 1.0);
+        let g = m.cost_with_grad(IoKind::Read, s, r, c);
+        let fd = |ds: f64, dr: f64, dc: f64, h: f64| {
+            (m.request_cost(IoKind::Read, s + ds * h, r + dr * h, c + dc * h)
+                - m.request_cost(IoKind::Read, s - ds * h, r - dr * h, c - dc * h))
+                / (2.0 * h)
+        };
+        assert!((g.d_size - fd(1.0, 0.0, 0.0, 1.0)).abs() < 1e-12);
+        assert!((g.d_run - fd(0.0, 1.0, 0.0, 1e-3)).abs() < 1e-9);
+        assert!((g.d_contention - fd(0.0, 0.0, 1.0, 1e-3)).abs() < 1e-9);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! target type", §5.2).
 
 use crate::calibrate::{calibrate_device, CalibrationGrid};
-use crate::table::{CostModel, TableModel};
+use crate::table::{CostGrad, CostModel, TableModel};
 use wasla_simlib::json::{self, FromJson, Json, JsonError, ToJson};
 use wasla_storage::{IoKind, TargetConfig, Tier};
 
@@ -239,6 +239,54 @@ impl CostModel for TargetCostModel {
         }
     }
 
+    fn cost_with_grad(&self, kind: IoKind, size: f64, run_count: f64, contention: f64) -> CostGrad {
+        let w = self.width as f64;
+        let par = self.parallelism as f64;
+        if self.width == 1 {
+            let g = self
+                .member
+                .cost_with_grad(kind, size, run_count, contention);
+            return CostGrad {
+                value: g.value / par,
+                d_size: g.d_size / par,
+                d_run: g.d_run / par,
+                d_contention: g.d_contention / par,
+            };
+        }
+        let stripe = self.stripe_unit as f64;
+        if size <= stripe {
+            // member_run = (run/w).max(1.0): the clamp kills the run
+            // sensitivity below one member-level run.
+            let member_run = (run_count / w).max(1.0);
+            let g = self
+                .member
+                .cost_with_grad(kind, size, member_run, contention);
+            let run_gate = if run_count / w > 1.0 { 1.0 / w } else { 0.0 };
+            CostGrad {
+                value: g.value / (w * par),
+                d_size: g.d_size / (w * par),
+                d_run: g.d_run * run_gate / (w * par),
+                d_contention: g.d_contention / (w * par),
+            }
+        } else {
+            // k = ceil(size/stripe) is piecewise-constant in size, so
+            // only the piece size `size/k` carries size sensitivity.
+            let k = (size / stripe).ceil().min(w);
+            let piece = size / k;
+            let member_run = (run_count * k / w).max(1.0);
+            let g = self
+                .member
+                .cost_with_grad(kind, piece, member_run, contention);
+            let run_gate = if run_count * k / w > 1.0 { k / w } else { 0.0 };
+            CostGrad {
+                value: g.value * k / (w * par),
+                d_size: g.d_size / (w * par),
+                d_run: g.d_run * run_gate * k / (w * par),
+                d_contention: g.d_contention * k / (w * par),
+            }
+        }
+    }
+
     fn tier(&self) -> Tier {
         self.tier.clone()
     }
@@ -384,6 +432,65 @@ mod tests {
         let old = format!("{}}}", &json[..pos]);
         let back: TargetCostModel = wasla_simlib::json::from_str(&old).unwrap();
         assert_eq!(back.tier, back.member.tier);
+    }
+
+    #[test]
+    fn target_grad_value_bitwise_and_fd_consistent() {
+        let grid = CalibrationGrid::coarse();
+        let models = [
+            TargetCostModel::from_target(&TargetConfig::single("d", disk_spec()), &grid, 3)
+                .unwrap(),
+            TargetCostModel::from_target(
+                &TargetConfig::raid0("r4", vec![disk_spec(); 4], 64 * KIB),
+                &grid,
+                3,
+            )
+            .unwrap(),
+        ];
+        // Queries covering all three width branches: single device,
+        // sub-stripe, and stripe-spanning requests. `(8192,1,0)` sits
+        // on bottom knots, where the pinned right-cell subgradient
+        // legitimately differs from a clamp-straddling central
+        // difference — it checks the bitwise-value contract only.
+        let queries = [
+            (8192.0, 1.0, 0.0, false),
+            (12000.0, 12.0, 1.3, true),
+            (262144.0, 40.0, 5.5, true),
+        ];
+        for m in &models {
+            for &(s, r, c, check_fd) in &queries {
+                for kind in [IoKind::Read, IoKind::Write] {
+                    let g = m.cost_with_grad(kind, s, r, c);
+                    assert_eq!(
+                        g.value.to_bits(),
+                        m.request_cost(kind, s, r, c).to_bits(),
+                        "{} ({s},{r},{c})",
+                        m.name
+                    );
+                    if !check_fd {
+                        continue;
+                    }
+                    // Central differences away from knots and branch
+                    // boundaries; generous tolerance since these
+                    // queries were not chosen to dodge cell edges.
+                    for (axis, analytic) in [(1, g.d_run), (2, g.d_contention)] {
+                        let h = 1e-5 * [s, r, c][axis].max(1.0);
+                        let probe = |delta: f64| {
+                            let mut q = [s, r, c];
+                            q[axis] += delta;
+                            m.request_cost(kind, q[0], q[1], q[2])
+                        };
+                        let fd = (probe(h) - probe(-h)) / (2.0 * h);
+                        let scale = analytic.abs().max(fd.abs()).max(1e-9);
+                        assert!(
+                            (fd - analytic).abs() <= 1e-3 * scale,
+                            "{} axis {axis} ({s},{r},{c}): fd {fd} analytic {analytic}",
+                            m.name
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

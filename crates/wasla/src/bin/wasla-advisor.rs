@@ -8,16 +8,16 @@
 //! wasla-advisor fit --oplog oplog.tsv --objects objects.json [--materialized]
 //! wasla-advisor advise --workloads w.json --targets t.json [--models m.json,...]
 //!                      [--objective minmax|provision-cost|wear-blend]
-//!                      [--tier-spec tiers.json]
+//!                      [--grad analytic|fd] [--tier-spec tiers.json]
 //!                      [--regular] [--pin OBJ=TARGET]... [--forbid OBJ=TARGET]...
 //!                      [--out layout.json]
 //! wasla-advisor capture [--scenario tpch|tpcc] [--scale S] [--max-time T] --out-dir DIR
 //! wasla-advisor replay  --oplog oplog.tsv [--scenario tpch|tpcc] [--scale S]
-//!                       [--objective NAME] [--coarse] [--cache-dir DIR]
+//!                       [--objective NAME] [--grad NAME] [--coarse] [--cache-dir DIR]
 //! wasla-advisor serve   --oplog oplog.tsv --budget BYTES_PER_TICK
 //!                       [--pane-s S] [--panes N] [--threshold X] [--alpha A]
-//!                       [--fail TICK:TARGET]... [--cache-dir DIR] [--json]
-//! wasla-advisor demo  [--scale 0.05] [--objective NAME] [--cache-dir DIR]
+//!                       [--fail TICK:TARGET]... [--grad NAME] [--cache-dir DIR] [--json]
+//! wasla-advisor demo  [--scale 0.05] [--objective NAME] [--grad NAME] [--cache-dir DIR]
 //! ```
 //!
 //! * `calibrate` builds a tabulated cost model for a device type and
@@ -31,7 +31,10 @@
 //!   target by its tier's $/IOPS; `wear-blend` penalizes write traffic
 //!   on wear-limited tiers) and `--tier-spec` overrides the per-target
 //!   tier descriptors from a JSON array of `Tier` objects (one per
-//!   target, in target order).
+//!   target, in target order). `--grad` selects how the NLP solver's
+//!   gradients are computed: `analytic` (default) differentiates the
+//!   cost model exactly in one pass; `fd` is the original structured
+//!   finite-difference scheme, kept as the equivalence oracle.
 //! * `capture` runs a built-in scenario under the SEE baseline with
 //!   op-log capture on and writes `oplog.tsv` (the compact
 //!   line-oriented record format) plus `objects.json` to `--out-dir`.
@@ -52,11 +55,14 @@
 //!   a quarantine that cannot be written maps to the I/O exit code.
 //!
 //! Every failure surfaces as a [`WaslaError`] with a stable exit
-//! code: `2` usage (including an unknown `--objective` name or a
-//! `--tier-spec` whose length does not match the target list), `3`
-//! file I/O, `4` malformed JSON (including an unparsable tier spec),
-//! `1` pipeline failures (infeasible problems, unmodelable targets,
-//! bad traces).
+//! code:
+//!
+//! | exit | class | examples |
+//! |------|-------|----------|
+//! | `2`  | usage | unknown subcommand or flag value, unknown `--objective` or `--grad` name, `--tier-spec`/`--models` length mismatch |
+//! | `3`  | file I/O | unreadable trace/workload/model file, unwritable `--out` |
+//! | `4`  | malformed JSON | corrupt model/workload/tier files |
+//! | `1`  | pipeline | infeasible problems, unmodelable targets, bad traces |
 
 use std::sync::Arc;
 use wasla::core::report::{render_layout, render_stages};
@@ -74,15 +80,15 @@ const USAGE: &str = "usage:
   wasla-advisor fit --trace FILE --objects FILE [--window-s S] [--out FILE]
   wasla-advisor fit --oplog FILE --objects FILE [--materialized] [--window-s S] [--out FILE]
   wasla-advisor advise --workloads FILE --targets FILE [--models FILE,...] \
-[--objective minmax|provision-cost|wear-blend] [--tier-spec FILE] \
+[--objective minmax|provision-cost|wear-blend] [--grad analytic|fd] [--tier-spec FILE] \
 [--regular] [--pin OBJ=T]... [--forbid OBJ=T]... [--out FILE]
   wasla-advisor capture [--scenario tpch|tpcc] [--scale S] [--max-time T] --out-dir DIR
   wasla-advisor replay --oplog FILE [--scenario tpch|tpcc] [--scale S] \
-[--objective NAME] [--coarse] [--cache-dir DIR]
+[--objective NAME] [--grad NAME] [--coarse] [--cache-dir DIR]
   wasla-advisor serve --oplog FILE --budget BYTES_PER_TICK [--scenario tpch|tpcc] \
 [--scale S] [--pane-s S] [--panes N] [--threshold X] [--alpha A] [--carry-cap N] \
-[--fail TICK:TARGET]... [--objective NAME] [--coarse] [--cache-dir DIR] [--json]
-  wasla-advisor demo [--scale S] [--objective NAME] [--cache-dir DIR]";
+[--fail TICK:TARGET]... [--objective NAME] [--grad NAME] [--coarse] [--cache-dir DIR] [--json]
+  wasla-advisor demo [--scale S] [--objective NAME] [--grad NAME] [--cache-dir DIR]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -136,6 +142,15 @@ fn objective_from_flags(args: &[String]) -> Result<wasla::core::ObjectiveKind, W
     match flag_value(args, "--objective") {
         Some(name) => pipeline::parse_objective(name),
         None => Ok(wasla::core::ObjectiveKind::MinMax),
+    }
+}
+
+/// The gradient path named by `--grad`, defaulting to the analytic
+/// chain rule. Unknown names are usage errors (exit code 2).
+fn grad_from_flags(args: &[String]) -> Result<wasla::core::GradPath, WaslaError> {
+    match flag_value(args, "--grad") {
+        Some(name) => pipeline::parse_grad_path(name),
+        None => Ok(wasla::core::GradPath::default()),
     }
 }
 
@@ -291,6 +306,7 @@ fn replay(args: &[String]) -> Result<(), WaslaError> {
         AdviseConfig::full()
     };
     config.advisor.solver.objective = objective_from_flags(args)?;
+    config.advisor.solver.grad = grad_from_flags(args)?;
     let validation = match flag_value(args, "--cache-dir") {
         Some(dir) => {
             let (mut service, notes) = wasla::Service::open(0x5eed, dir)?;
@@ -342,6 +358,7 @@ fn serve(args: &[String]) -> Result<(), WaslaError> {
         AdviseConfig::full()
     };
     config.advisor.solver.objective = objective_from_flags(args)?;
+    config.advisor.solver.grad = grad_from_flags(args)?;
     let numeric = |name: &str, default: f64| -> Result<f64, WaslaError> {
         match flag_value(args, name) {
             Some(v) => v
@@ -523,6 +540,7 @@ fn advise(args: &[String]) -> Result<(), WaslaError> {
         ..AdvisorOptions::default()
     };
     options.solver.objective = objective_from_flags(args)?;
+    options.solver.grad = grad_from_flags(args)?;
     let rec = recommend(&problem, &options)?;
     println!("{}", render_stages(&problem, &rec.stages));
     println!(
@@ -556,6 +574,7 @@ fn demo(args: &[String]) -> Result<(), WaslaError> {
     let workloads = [SqlWorkload::olap1_63(7)];
     let mut config = AdviseConfig::full();
     config.advisor.solver.objective = objective_from_flags(args)?;
+    config.advisor.solver.grad = grad_from_flags(args)?;
     eprintln!("running the built-in TPC-H-like demo at scale {scale}...");
     let outcome = match flag_value(args, "--cache-dir") {
         Some(dir) => {

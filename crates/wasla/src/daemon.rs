@@ -41,7 +41,7 @@
 //! and the per-tick solver seed derives from
 //! `par::task_seed(scenario.seed, tick)` — so decision logs are
 //! byte-identical at any `WASLA_THREADS` setting and under any
-//! `WASLA_FAULTS` plan replayed with the same seed.
+//! fault plan (`simlib::fault::ENV_VAR`) replayed with the same seed.
 
 use crate::error::WaslaError;
 use crate::persist;

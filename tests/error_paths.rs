@@ -102,6 +102,36 @@ fn unknown_objective_is_a_usage_error() {
 }
 
 #[test]
+fn unknown_grad_path_is_a_usage_error() {
+    use wasla::core::GradPath;
+    // The CLI's `--grad` values parse through this helper; an unknown
+    // name is a usage error (exit code 2) listing the valid names, and
+    // every valid name round-trips.
+    let err = pipeline::parse_grad_path("autodiff")
+        .err()
+        .expect("unknown gradient path should fail");
+    assert!(
+        matches!(err, WaslaError::Usage(_)),
+        "unknown gradient path should be a usage error, got {err:?}"
+    );
+    assert_eq!(err.exit_code(), 2);
+    let msg = err.to_string();
+    for path in GradPath::ALL {
+        assert!(
+            msg.contains(path.name()),
+            "usage error should list {:?}, got {msg}",
+            path.name()
+        );
+        assert_eq!(pipeline::parse_grad_path(path.name()).unwrap(), path);
+    }
+    // The long-form alias parses too.
+    assert_eq!(
+        pipeline::parse_grad_path("finite-difference").unwrap(),
+        GradPath::Fd
+    );
+}
+
+#[test]
 fn blocked_cache_quarantine_is_a_typed_io_error() {
     let dir = std::env::temp_dir().join(format!("wasla-error-paths-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
