@@ -153,3 +153,26 @@ else
     echo "error: no-drift tick is only ${ratio}x cheaper than a full re-solve (gate: 50x)" >&2
     exit 1
 fi
+
+echo
+echo "== stress admission-control gate (rejected tick vs served tick) =="
+# Load shedding only defends the service if rejecting a request is
+# nearly free: a shed slot must skip calibration, the trace run, and
+# the solve entirely. The rejected tick must stay >= 50x cheaper than
+# the served tick or admission control has become its own overload
+# source. In-run comparison, so machine drift cancels out.
+served_ns=$(median_of "stress/tick_served_b8" stress)
+rejected_ns=$(median_of "stress/tick_rejected_b8" stress)
+if [ -z "$served_ns" ] || [ -z "$rejected_ns" ]; then
+    echo "error: stress sweep missing from results/BENCH_stress.json" >&2
+    echo "(expected stress/tick_served_b8 and stress/tick_rejected_b8)" >&2
+    exit 1
+fi
+ratio=$(awk -v s="$served_ns" -v r="$rejected_ns" 'BEGIN { printf "%.1f", s / r }')
+echo "stress: tick_served ${served_ns} ns / tick_rejected ${rejected_ns} ns = ${ratio}x"
+if awk -v s="$served_ns" -v r="$rejected_ns" 'BEGIN { exit !(s / r >= 50.0) }'; then
+    echo "stress gate passed (rejection >= 50x cheaper than service)"
+else
+    echo "error: rejecting a request is only ${ratio}x cheaper than serving it (gate: 50x)" >&2
+    exit 1
+fi

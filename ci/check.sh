@@ -171,14 +171,24 @@ step "fault matrix (offline)"
 # must hold whatever the fault plan did to calibration (the multistart
 # quality-parity test self-skips — solver-budget faults legitimately
 # truncate the two descents at different points).
+# `synth_stress` rides the matrix for the fleet-scale robustness
+# contract: generator determinism is fault-blind, and the stress run's
+# totality/thread-independence claims are made under an explicit inner
+# plan, so an outer one must not break them. The small-tenant `repro
+# stress` smoke re-proves the every-request-resolves contract
+# end-to-end (CLI included) per seed, with admission control and
+# brownout both engaged.
 for fault_seed in 7 11 23 42 99 1337 2024 31337; do
     echo "-- fault seed $fault_seed --"
     WASLA_FAULTS=$fault_seed cargo test -q --offline -p wasla \
         --test failure_modes --test error_paths \
         --test fault_injection --test batch_determinism \
         --test oplog_stream --test objective_equivalence \
-        --test daemon --test gradient_equivalence
+        --test daemon --test gradient_equivalence \
+        --test synth_stress
     WASLA_FAULTS=$fault_seed target/release/repro drift > /dev/null
+    WASLA_FAULTS=$fault_seed target/release/repro stress \
+        --tenants 48 --batch 16 --queue-cap 12 --brownout 8 > /dev/null
 done
 
 step "op-log replay-validation gate (streamed == materialized)"
@@ -227,6 +237,19 @@ if ! cmp -s "$oplog_tmp/serve_t1.json" "$oplog_tmp/serve_t8.json"; then
     exit 1
 fi
 echo "daemon decision log byte-identical at WASLA_THREADS=1/8"
+# The stress report (tick stats + per-slot decision log) holds the
+# same contract at fleet scale: stdout is a pure function of the spec
+# and policy, byte-identical across pool widths, with admission
+# control, brownout, and deadline classes all engaged.
+for t in 1 8; do
+    WASLA_THREADS=$t "$advisor" stress --tenants 96 --batch 32 \
+        --queue-cap 24 --brownout 16 2> /dev/null > "$oplog_tmp/stress_t$t.txt"
+done
+if ! cmp -s "$oplog_tmp/stress_t1.txt" "$oplog_tmp/stress_t8.txt"; then
+    echo "error: stress report differs between WASLA_THREADS=1 and 8" >&2
+    exit 1
+fi
+echo "stress report byte-identical at WASLA_THREADS=1/8"
 cargo test -q --offline -p wasla-trace --test golden_oplog
 rm -rf "$oplog_tmp"
 

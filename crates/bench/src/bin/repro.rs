@@ -8,6 +8,7 @@
 //! repro bench-diff         # diff results/BENCH_*.json vs baselines
 //! repro replay             # capture/replay predict-vs-observe loop
 //! repro drift              # online control-loop soak (budget contract)
+//! repro stress             # fleet-scale multi-tenant stress (1000 tenants)
 //! ```
 //!
 //! Experiments: fig1 fig8 fig11 fig12 fig13 fig14 fig15 fig16 fig17
@@ -216,6 +217,42 @@ fn replay_loop(mut args: impl Iterator<Item = String>) -> ! {
     std::process::exit(0);
 }
 
+/// `repro stress [--tenants N] [--batch B] [--queue-cap N] ...`
+///
+/// The fleet-scale multi-tenant stress scenario: generate a synthetic
+/// tenant population (`wasla::workload::synth`) and drive it through
+/// `Service::advise_batch_with` in ticks under the flagged admission /
+/// deadline / backoff policy. The deterministic report (tick stats +
+/// per-slot decision log) goes to stdout — byte-identical at any
+/// `WASLA_THREADS` and under any fault plan seed — and wall-clock
+/// throughput goes to stderr. Exit codes follow `WaslaError` (usage
+/// errors exit 2).
+fn stress_loop(args: impl Iterator<Item = String>) -> ! {
+    let argv: Vec<String> = args.collect();
+    let opts = match wasla::StressOptions::from_args(&argv) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("stress: {e}");
+            std::process::exit(e.exit_code());
+        }
+    };
+    eprintln!(
+        "stressing {} tenants on {} shared targets (batch {})...",
+        opts.spec.tenants, opts.spec.targets, opts.batch
+    );
+    match wasla::stress::run_stress(&opts) {
+        Ok(outcome) => {
+            print!("{}", outcome.render_report());
+            eprintln!("{}", outcome.render_timing());
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("stress: {e}");
+            std::process::exit(e.exit_code());
+        }
+    }
+}
+
 /// `repro drift [--scale S] [--full]`
 ///
 /// The online control-loop soak: four drift shapes (rate ramp,
@@ -263,6 +300,7 @@ fn main() {
             "bench-diff" => bench_diff(args),
             "replay" => replay_loop(args),
             "drift" => drift_loop(args),
+            "stress" => stress_loop(args),
             "--scale" => {
                 config.scale = args
                     .next()
@@ -288,6 +326,9 @@ fn main() {
         eprintln!("       repro bench-diff [--baseline DIR] [--current DIR] [--fail-over PCT]");
         eprintln!("       repro replay [--scale S] [--full]");
         eprintln!("       repro drift [--scale S] [--full]");
+        eprintln!(
+            "       repro stress [--tenants N] [--batch B] [--queue-cap N] [--brownout N] ..."
+        );
         eprintln!("experiments: {FIGS:?} {ABLATIONS:?}");
         std::process::exit(2);
     }

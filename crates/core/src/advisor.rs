@@ -39,6 +39,12 @@ pub struct AdvisorOptions {
     pub random_starts: usize,
     /// Seed for the randomized starts.
     pub seed: u64,
+    /// Deliberate solve-budget ceiling (deadline-driven callers): the
+    /// solve runs under the *tighter* of this and any fault-injected
+    /// budget, degrading through the same anytime chain and recording
+    /// the same [`SolveQuality`]. `None` (the default) leaves the
+    /// budget entirely to the fault plan.
+    pub solve_budget: Option<SolverBudget>,
 }
 
 impl Default for AdvisorOptions {
@@ -49,7 +55,20 @@ impl Default for AdvisorOptions {
             extra_starts: Vec::new(),
             random_starts: 2,
             seed: 0x5eed,
+            solve_budget: None,
         }
+    }
+}
+
+/// Severity order of solve budgets: a larger rank means a cheaper
+/// (more constrained) solve. Used to combine a caller-requested budget
+/// with a fault-injected one — the tighter of the two wins.
+fn budget_rank(budget: Option<SolverBudget>) -> u8 {
+    match budget {
+        None => 0,
+        Some(SolverBudget::Tight) => 1,
+        Some(SolverBudget::PgOnly) => 2,
+        Some(SolverBudget::GreedyOnly) => 3,
     }
 }
 
@@ -366,11 +385,18 @@ pub fn solve_stage(
     }
     starts.extend(options.extra_starts.iter().cloned());
 
-    // Solver-budget fault injection: a plan may constrain the solve
-    // (fewer iterations, cheaper method, or none at all). The contract
-    // is anytime: `solve_stage` always returns a feasible layout, with
-    // `quality` recording how it got there.
-    let budget = fault::plan().and_then(|p| p.solver_budget(options.seed));
+    // Solver budget: a fault plan may constrain the solve (fewer
+    // iterations, cheaper method, or none at all), and deadline-driven
+    // callers may request a ceiling of their own via
+    // `options.solve_budget`; the tighter of the two applies. The
+    // contract is anytime: `solve_stage` always returns a feasible
+    // layout, with `quality` recording how it got there.
+    let injected = fault::plan().and_then(|p| p.solver_budget(options.seed));
+    let budget = if budget_rank(options.solve_budget) >= budget_rank(injected) {
+        options.solve_budget
+    } else {
+        injected
+    };
     let mut solver_opts = options.solver.clone();
     let mut quality = SolveQuality::Full;
     match budget {
@@ -611,6 +637,29 @@ mod tests {
         assert!(!rec.quality.degraded());
         assert!(SolveQuality::Budgeted.degraded());
         assert!(SolveQuality::FallbackGreedy.degraded());
+    }
+
+    #[test]
+    fn requested_budget_degrades_through_the_anytime_chain() {
+        let p = problem();
+        for (budget, expect) in [
+            (SolverBudget::Tight, SolveQuality::Budgeted),
+            (SolverBudget::PgOnly, SolveQuality::Budgeted),
+            (SolverBudget::GreedyOnly, SolveQuality::FallbackGreedy),
+        ] {
+            let rec = recommend(
+                &p,
+                &AdvisorOptions {
+                    solve_budget: Some(budget),
+                    ..AdvisorOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(rec.quality, expect, "budget {budget:?}");
+            assert!(rec
+                .final_layout()
+                .is_valid(&p.workloads.sizes, &p.capacities));
+        }
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! wasla-advisor serve   --oplog oplog.tsv --budget BYTES_PER_TICK
 //!                       [--pane-s S] [--panes N] [--threshold X] [--alpha A]
 //!                       [--fail TICK:TARGET]... [--grad NAME] [--cache-dir DIR] [--json]
+//! wasla-advisor stress [--tenants N] [--targets M] [--batch B] [--seed S]
+//!                      [--queue-cap N] [--brownout N] [--max-attempts K] ...
 //! wasla-advisor demo  [--scale 0.05] [--objective NAME] [--grad NAME] [--cache-dir DIR]
 //! ```
 //!
@@ -48,6 +50,12 @@
 //!   admitted). With `--cache-dir` the controller checkpoint persists
 //!   next to the stage caches, so a restarted daemon resumes where it
 //!   left off.
+//! * `stress` drives the fleet-scale multi-tenant stress scenario:
+//!   thousands of synthetic tenants (seeded, zipf-skewed — see
+//!   `wasla::workload::synth`) advised in batches under an explicit
+//!   admission/deadline/backoff policy. The deterministic report (tick
+//!   stats + per-slot decision log) goes to stdout — byte-identical at
+//!   any `WASLA_THREADS` — and wall-clock throughput goes to stderr.
 //! * `demo` runs the built-in TPC-H-like scenario end-to-end. With
 //!   `--cache-dir`, the advisor session persists its calibration and
 //!   fit caches there (crash-safe, versioned, checksummed): a rerun
@@ -62,6 +70,7 @@
 //! | `2`  | usage | unknown subcommand or flag value, unknown `--objective` or `--grad` name, `--tier-spec`/`--models` length mismatch |
 //! | `3`  | file I/O | unreadable trace/workload/model file, unwritable `--out` |
 //! | `4`  | malformed JSON | corrupt model/workload/tier files |
+//! | `5`  | overloaded | a batch request shed by admission control (`--queue-cap`) |
 //! | `1`  | pipeline | infeasible problems, unmodelable targets, bad traces |
 
 use std::sync::Arc;
@@ -88,6 +97,10 @@ const USAGE: &str = "usage:
   wasla-advisor serve --oplog FILE --budget BYTES_PER_TICK [--scenario tpch|tpcc] \
 [--scale S] [--pane-s S] [--panes N] [--threshold X] [--alpha A] [--carry-cap N] \
 [--fail TICK:TARGET]... [--objective NAME] [--grad NAME] [--coarse] [--cache-dir DIR] [--json]
+  wasla-advisor stress [--tenants N] [--targets M] [--batch B] [--seed S] [--zipf T] \
+[--objects-min N] [--objects-max N] [--size-mib-min X] [--size-mib-max X] \
+[--write-frac F] [--burstiness F] [--interactive-share F] [--batch-share F] \
+[--queue-cap N] [--brownout N] [--max-attempts K] [--backoff-base N] [--backoff-cap N]
   wasla-advisor demo [--scale S] [--objective NAME] [--grad NAME] [--cache-dir DIR]";
 
 fn main() {
@@ -99,6 +112,7 @@ fn main() {
         Some("capture") => capture(&args[1..]),
         Some("replay") => replay(&args[1..]),
         Some("serve") => serve(&args[1..]),
+        Some("stress") => stress(&args[1..]),
         Some("demo") => demo(&args[1..]),
         Some(other) => Err(WaslaError::Usage(format!("unknown subcommand {other:?}"))),
         None => Err(WaslaError::Usage("missing subcommand".to_string())),
@@ -566,6 +580,18 @@ fn advise(args: &[String]) -> Result<(), WaslaError> {
     Ok(())
 }
 
+fn stress(args: &[String]) -> Result<(), WaslaError> {
+    let opts = wasla::StressOptions::from_args(args)?;
+    eprintln!(
+        "stressing {} tenants on {} shared targets (batch {})...",
+        opts.spec.tenants, opts.spec.targets, opts.batch
+    );
+    let outcome = wasla::stress::run_stress(&opts)?;
+    print!("{}", outcome.render_report());
+    eprintln!("{}", outcome.render_timing());
+    Ok(())
+}
+
 fn demo(args: &[String]) -> Result<(), WaslaError> {
     let scale: f64 = flag_value(args, "--scale")
         .and_then(|v| v.parse().ok())
@@ -588,6 +614,7 @@ fn demo(args: &[String]) -> Result<(), WaslaError> {
                     workloads: workloads.to_vec(),
                     config: config.clone(),
                     seed: Some(AdvisorOptions::default().seed),
+                    deadline: None,
                 }])
                 .pop()
                 .ok_or_else(|| {

@@ -55,6 +55,16 @@ pub enum WaslaError {
         /// The OS error message.
         detail: String,
     },
+    /// Batch admission control rejected the request before any work
+    /// ran: the bounded in-flight queue was full (load shedding; see
+    /// `wasla::session::BatchPolicy`). Retry later or with a
+    /// higher-priority deadline class.
+    Overloaded {
+        /// The request's position in the admission order.
+        position: usize,
+        /// The queue capacity that was exceeded.
+        capacity: usize,
+    },
     /// The caller misused the CLI (bad flags, unknown subcommand).
     Usage(String),
     /// An internal invariant broke; a bug, not a user error.
@@ -71,13 +81,15 @@ impl WaslaError {
     }
 
     /// The process exit code the CLI maps this error to: `2` for
-    /// usage errors, `3` for file I/O, `4` for malformed JSON, `1`
-    /// for everything else (pipeline failures).
+    /// usage errors, `3` for file I/O, `4` for malformed JSON, `5`
+    /// for admission-control shedding (retryable overload), `1` for
+    /// everything else (pipeline failures).
     pub fn exit_code(&self) -> i32 {
         match self {
             WaslaError::Usage(_) => 2,
             WaslaError::Io { .. } => 3,
             WaslaError::Json(_) => 4,
+            WaslaError::Overloaded { .. } => 5,
             _ => 1,
         }
     }
@@ -155,6 +167,13 @@ impl ToJson for WaslaError {
                     ("detail".to_string(), detail.to_json()),
                 ]),
             ),
+            WaslaError::Overloaded { position, capacity } => json::variant(
+                "Overloaded",
+                Json::Obj(vec![
+                    ("position".to_string(), position.to_json()),
+                    ("capacity".to_string(), capacity.to_json()),
+                ]),
+            ),
             WaslaError::Usage(msg) => json::variant("Usage", msg.to_json()),
             WaslaError::Internal(msg) => json::variant("Internal", msg.to_json()),
         }
@@ -205,6 +224,17 @@ impl FromJson for WaslaError {
                     detail: String::from_json(get("detail")?)?,
                 })
             }
+            ("Overloaded", payload) => {
+                let get = |name: &str| {
+                    payload
+                        .field(name)
+                        .ok_or_else(|| JsonError::missing_field(name))
+                };
+                Ok(WaslaError::Overloaded {
+                    position: usize::from_json(get("position")?)?,
+                    capacity: usize::from_json(get("capacity")?)?,
+                })
+            }
             ("Usage", payload) => String::from_json(payload).map(WaslaError::Usage),
             ("Internal", payload) => String::from_json(payload).map(WaslaError::Internal),
             (other, _) => Err(JsonError::new(format!(
@@ -228,6 +258,10 @@ impl std::fmt::Display for WaslaError {
             WaslaError::Model(e) => write!(f, "model: {e}"),
             WaslaError::Json(e) => write!(f, "json: {e}"),
             WaslaError::Io { path, detail } => write!(f, "io: {path}: {detail}"),
+            WaslaError::Overloaded { position, capacity } => write!(
+                f,
+                "overloaded: shed at admission position {position} (queue capacity {capacity})"
+            ),
             WaslaError::Usage(msg) => write!(f, "usage: {msg}"),
             WaslaError::Internal(msg) => write!(f, "internal: {msg}"),
         }
@@ -278,6 +312,10 @@ mod tests {
                 path: "/tmp/x".into(),
                 detail: "denied".into(),
             },
+            WaslaError::Overloaded {
+                position: 9,
+                capacity: 8,
+            },
             WaslaError::Usage("missing --trace".into()),
             WaslaError::Internal("no trace captured".into()),
         ];
@@ -299,6 +337,14 @@ mod tests {
             3
         );
         assert_eq!(WaslaError::Json(JsonError::new("j")).exit_code(), 4);
+        assert_eq!(
+            WaslaError::Overloaded {
+                position: 4,
+                capacity: 4
+            }
+            .exit_code(),
+            5
+        );
         assert_eq!(
             WaslaError::Placement(PlacementError::ShapeMismatch).exit_code(),
             1

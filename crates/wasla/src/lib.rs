@@ -83,12 +83,17 @@ pub mod pipeline;
 pub mod replay;
 pub mod session;
 pub mod stages;
+pub mod stress;
 
 pub use daemon::{ControllerState, DaemonConfig, DaemonReport, TargetFailure, TickDecision};
 pub use error::WaslaError;
 pub use pipeline::DegradedNote;
 pub use replay::{capture_oplog, replay_validate, CaptureOutcome, ReplayValidation};
-pub use session::{AdviseRequest, AdvisorSession, OpLogAdvice, Service};
+pub use session::{
+    AdviseRequest, AdvisorSession, BatchPolicy, BatchReport, OpLogAdvice, Service, SlotDecision,
+    SlotDisposition,
+};
+pub use stress::{StressOptions, StressOutcome};
 
 /// Commonly used items in one import.
 pub mod prelude {
@@ -99,7 +104,9 @@ pub mod prelude {
     pub use crate::exec::{Engine, Placement, RunConfig, RunReport};
     pub use crate::model::{CalibrationGrid, CostModel, TargetCostModel};
     pub use crate::pipeline::{self, AdviseConfig, Scenario};
-    pub use crate::session::{AdviseRequest, AdvisorSession, Service};
+    pub use crate::session::{AdviseRequest, AdvisorSession, BatchPolicy, Service};
     pub use crate::storage::{DeviceSpec, DiskParams, SsdParams, StorageSystem, TargetConfig};
-    pub use crate::workload::{Catalog, SqlWorkload, WorkloadSet, WorkloadSpec};
+    pub use crate::workload::{
+        Catalog, DeadlineClass, SqlWorkload, SynthSpec, WorkloadSet, WorkloadSpec,
+    };
 }

@@ -407,6 +407,15 @@ pub enum DegradedNote {
         /// Where the damaged file was moved.
         path: String,
     },
+    /// Batch admission control browned this request out: it crossed
+    /// the policy's soft queue bound, so the solve ran at the cheapest
+    /// rung (rate-greedy) instead of being rejected outright.
+    Shed {
+        /// The request's position in the admission order.
+        position: usize,
+        /// The soft bound it crossed.
+        threshold: usize,
+    },
 }
 
 impl std::fmt::Display for DegradedNote {
@@ -430,6 +439,15 @@ impl std::fmt::Display for DegradedNote {
             }
             DegradedNote::CacheQuarantined { path } => {
                 write!(f, "corrupt session cache quarantined to {path}")
+            }
+            DegradedNote::Shed {
+                position,
+                threshold,
+            } => {
+                write!(
+                    f,
+                    "browned out at admission position {position} (soft bound {threshold}): cheapest-rung solve"
+                )
             }
         }
     }

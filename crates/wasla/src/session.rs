@@ -31,14 +31,17 @@ use crate::stages::{
     SolveStage, TraceInput, TraceStage,
 };
 use std::path::PathBuf;
-use wasla_core::{CacheStats, LayoutProblem, ObjectiveKind, Recommendation, Stage, StageCache};
+use wasla_core::{
+    CacheStats, LayoutProblem, ObjectiveKind, Recommendation, SolveQuality, Stage, StageCache,
+};
 use wasla_exec::DeviceEvent;
 use wasla_model::{calibration_fault, CalibrationGrid, TableModel, TargetCostModel};
-use wasla_simlib::{fault, par};
+use wasla_simlib::fault::{self, SolverBudget};
+use wasla_simlib::par;
 use wasla_storage::{TargetConfig, Trace};
 use wasla_trace::oplog::{fit_oplog_streamed, OpLog, DEFAULT_CHUNK};
 use wasla_trace::{fit_workloads_lossy, FitConfig, SalvageReport};
-use wasla_workload::{SqlWorkload, WorkloadSet};
+use wasla_workload::{DeadlineClass, SqlWorkload, WorkloadSet};
 
 /// Hit/miss counters for a session's stage caches.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -498,23 +501,239 @@ pub struct AdviseRequest {
     /// index ([`par::task_seed`]), keeping batch results independent
     /// of thread count and batch composition order.
     pub seed: Option<u64>,
+    /// The tenant's deadline class. `None` behaves like
+    /// [`DeadlineClass::Standard`] for admission priority but imposes
+    /// no solve-budget deadline at all (the historical behavior).
+    pub deadline: Option<DeadlineClass>,
 }
 
 impl AdviseRequest {
-    /// A request with the default (index-derived) seed.
+    /// A request with the default (index-derived) seed and no
+    /// deadline.
     pub fn new(scenario: Scenario, workloads: Vec<SqlWorkload>, config: AdviseConfig) -> Self {
         AdviseRequest {
             scenario,
             workloads,
             config,
             seed: None,
+            deadline: None,
+        }
+    }
+
+    /// The same request under a deadline class.
+    pub fn with_deadline(mut self, deadline: DeadlineClass) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Admission, deadline, and retry policy for one
+/// [`Service::advise_batch_with`] call.
+///
+/// The default policy reproduces the historical `advise_batch`
+/// behavior byte-for-byte: unbounded admission, no brownout, and the
+/// original retry budget of two attempts (one retry), deterministic by
+/// request index.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchPolicy {
+    /// Hard admission bound: requests whose admission position is at
+    /// or past this capacity are rejected with
+    /// [`WaslaError::Overloaded`] before any pipeline work runs.
+    /// `None` admits everything.
+    pub queue_capacity: Option<usize>,
+    /// Soft admission bound (brownout): admitted requests at or past
+    /// this position run at the cheapest solve rung (rate-greedy) and
+    /// carry a [`DegradedNote::Shed`] instead of being rejected.
+    /// `None` browns nothing out.
+    pub brownout_threshold: Option<usize>,
+    /// Total attempts per request under an active fault plan (the
+    /// first try plus retries). The default of 2 is the historical
+    /// single-retry budget. Values are clamped to at least 1.
+    pub max_attempts: u32,
+    /// Base virtual backoff (in abstract slots) before the first
+    /// retry; doubles per attempt. Backoff is *virtual*: simulators
+    /// model time rather than waiting on it, so the schedule is
+    /// recorded in the decision log instead of slept.
+    pub backoff_base: u64,
+    /// Cap on the exponential backoff slot count.
+    pub backoff_cap: u64,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            queue_capacity: None,
+            brownout_threshold: None,
+            max_attempts: 2,
+            backoff_base: 1,
+            backoff_cap: 8,
         }
     }
 }
 
-/// Retry budget for fault-injected batch requests: one retry per
-/// request, deterministic by request index.
-const MAX_ATTEMPTS: u32 = 2;
+impl BatchPolicy {
+    /// The deterministic virtual backoff taken after failed `attempt`
+    /// (0-based): exponential in the attempt index, capped, plus
+    /// bounded jitter derived from the request key via
+    /// [`par::task_seed`] — so retry schedules are reproducible at any
+    /// `WASLA_THREADS` and under any batch composition.
+    pub fn backoff_slots(&self, request_key: u64, attempt: u32) -> u64 {
+        let slot = self
+            .backoff_base
+            .saturating_mul(1u64 << attempt.min(16))
+            .clamp(1, self.backoff_cap.max(1));
+        slot + par::task_seed(request_key, attempt as u64 + 1) % slot
+    }
+}
+
+/// The tighter (cheaper-solve) of two budgets.
+fn tighter(a: Option<SolverBudget>, b: Option<SolverBudget>) -> Option<SolverBudget> {
+    fn rank(x: Option<SolverBudget>) -> u8 {
+        match x {
+            None => 0,
+            Some(SolverBudget::Tight) => 1,
+            Some(SolverBudget::PgOnly) => 2,
+            Some(SolverBudget::GreedyOnly) => 3,
+        }
+    }
+    if rank(a) >= rank(b) {
+        a
+    } else {
+        b
+    }
+}
+
+/// The solve budget a deadline class grants on a given attempt. Each
+/// consumed retry spends deadline in backoff, so the solve budget
+/// tightens one rung per attempt — the request degrades through the
+/// anytime chain (full → budgeted → PG-only → rate-greedy) instead of
+/// failing. `Batch` has no deadline: full quality at any attempt.
+fn deadline_budget(class: DeadlineClass, attempt: u32) -> Option<SolverBudget> {
+    let base_rung = match class {
+        DeadlineClass::Batch => return None,
+        DeadlineClass::Standard => 0,
+        DeadlineClass::Interactive => 1,
+    };
+    match base_rung + attempt.min(8) {
+        0 => None,
+        1 => Some(SolverBudget::Tight),
+        2 => Some(SolverBudget::PgOnly),
+        _ => Some(SolverBudget::GreedyOnly),
+    }
+}
+
+/// Admission order of a batch: deadline priority first (interactive
+/// before standard before batch; requests without a class rank as
+/// standard), request index as the tie-break. A pure function of the
+/// request list, so positions are identical at any thread count.
+fn admission_order(requests: &[AdviseRequest]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..requests.len()).collect();
+    order.sort_by_key(|&i| {
+        (
+            requests[i]
+                .deadline
+                .map_or(DeadlineClass::Standard.priority(), |c| c.priority()),
+            i,
+        )
+    });
+    order
+}
+
+/// How one batch slot ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlotDisposition {
+    /// Admitted and advised at full quality with no degradations.
+    Ok,
+    /// Admitted and advised, but with typed degradation notes.
+    Degraded,
+    /// Admitted but ended in a typed error.
+    Failed,
+    /// Rejected by admission control ([`WaslaError::Overloaded`]).
+    Rejected,
+}
+
+impl SlotDisposition {
+    /// Stable lower-case label for the decision log.
+    pub fn label(self) -> &'static str {
+        match self {
+            SlotDisposition::Ok => "ok",
+            SlotDisposition::Degraded => "degraded",
+            SlotDisposition::Failed => "failed",
+            SlotDisposition::Rejected => "rejected",
+        }
+    }
+}
+
+/// The per-request decision record of one batch: admission outcome,
+/// retry/backoff schedule, and final disposition. Every field is a
+/// deterministic function of (requests, policy, fault plan), so the
+/// rendered log is byte-identical at any `WASLA_THREADS`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SlotDecision {
+    /// Request index in the batch.
+    pub index: usize,
+    /// The request's deadline class (`None` ranks as standard).
+    pub class: Option<DeadlineClass>,
+    /// Position in the admission order.
+    pub position: usize,
+    /// False when admission control rejected the request outright.
+    pub admitted: bool,
+    /// True when the request was browned out (cheapest-rung solve).
+    pub shed: bool,
+    /// Attempts used (faulted tries plus the one that ran; equals the
+    /// policy budget when every attempt faulted).
+    pub attempts: u32,
+    /// Virtual backoff slots taken after each faulted attempt.
+    pub backoff: Vec<u64>,
+    /// Solve quality of the successful outcome, if any.
+    pub quality: Option<SolveQuality>,
+    /// How the slot ended.
+    pub disposition: SlotDisposition,
+}
+
+/// Everything [`Service::advise_batch_with`] produced: the per-request
+/// outcomes plus the decision log.
+pub struct BatchReport {
+    /// Per-request results, in request order.
+    pub outcomes: Vec<Result<AdviseOutcome, WaslaError>>,
+    /// Per-request decisions, in request order.
+    pub decisions: Vec<SlotDecision>,
+}
+
+impl BatchReport {
+    /// Renders the decision log in a stable line-per-slot text form
+    /// (the `WASLA_THREADS` 1-vs-8 byte-compare target in CI).
+    pub fn render_decisions(&self) -> String {
+        render_decisions(&self.decisions)
+    }
+}
+
+/// Renders slot decisions one line per slot, stable across runs.
+pub fn render_decisions(decisions: &[SlotDecision]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for d in decisions {
+        let backoff: Vec<String> = d.backoff.iter().map(|b| b.to_string()).collect();
+        let quality = match d.quality {
+            Some(q) => format!("{q:?}"),
+            None => "-".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "slot={} class={} pos={} admitted={} shed={} attempts={} backoff=[{}] quality={} disposition={}",
+            d.index,
+            d.class.map_or("default", |c| c.label()),
+            d.position,
+            if d.admitted { "yes" } else { "no" },
+            if d.shed { "yes" } else { "no" },
+            d.attempts,
+            backoff.join(","),
+            quality,
+            d.disposition.label(),
+        );
+    }
+    out
+}
 
 /// A long-lived advising service: one shared [`AdvisorSession`] plus a
 /// deterministic batch loop, optionally backed by a crash-safe cache
@@ -590,7 +809,8 @@ impl Service {
         self.cache_dir.as_deref()
     }
 
-    /// Advises every request, fanning across the [`par`] pool.
+    /// Advises every request under the default [`BatchPolicy`],
+    /// fanning across the [`par`] pool.
     ///
     /// Distinct member calibrations are prewarmed serially first (each
     /// is internally parallel); the fan-out then runs against
@@ -603,10 +823,49 @@ impl Service {
         &mut self,
         requests: &[AdviseRequest],
     ) -> Vec<Result<AdviseOutcome, WaslaError>> {
+        self.advise_batch_with(requests, &BatchPolicy::default())
+            .outcomes
+    }
+
+    /// [`advise_batch`](Service::advise_batch) under an explicit
+    /// admission/deadline/retry policy, returning the decision log
+    /// alongside the outcomes.
+    ///
+    /// Every request resolves to exactly one of: an [`AdviseOutcome`]
+    /// (possibly with typed [`DegradedNote`]s), or a typed
+    /// [`WaslaError`] ([`WaslaError::Overloaded`] for rejected
+    /// requests, [`WaslaError::Fault`] for persistent injected
+    /// faults) — never a panic. Admission positions, shed/brownout
+    /// assignments, retry counts, and backoff schedules are pure
+    /// functions of `(requests, policy, fault plan)`, so the whole
+    /// report is byte-identical at any `WASLA_THREADS`.
+    pub fn advise_batch_with(
+        &mut self,
+        requests: &[AdviseRequest],
+        policy: &BatchPolicy,
+    ) -> BatchReport {
+        let n = requests.len();
+        let order = admission_order(requests);
+        let mut position = vec![0usize; n];
+        for (pos, &i) in order.iter().enumerate() {
+            position[i] = pos;
+        }
+        let admitted: Vec<bool> = (0..n)
+            .map(|i| policy.queue_capacity.is_none_or(|c| position[i] < c))
+            .collect();
+        let shed: Vec<bool> = (0..n)
+            .map(|i| admitted[i] && policy.brownout_threshold.is_some_and(|t| position[i] >= t))
+            .collect();
+
         // Prewarm: every distinct (device, grid, seed) calibration the
-        // batch will need, serially at this level. Modeling errors are
-        // left for the per-request run to report.
-        for request in requests {
+        // admitted requests will need, serially at this level (each
+        // calibration is internally parallel). Rejected requests never
+        // touch the pipeline, so they warm nothing. Modeling errors
+        // are left for the per-request run to report.
+        for (i, request) in requests.iter().enumerate() {
+            if !admitted[i] {
+                continue;
+            }
             for target in &request.scenario.targets {
                 let _ =
                     self.session
@@ -615,48 +874,109 @@ impl Service {
         }
 
         let base_seed = self.base_seed;
+        let attempts_budget = policy.max_attempts.max(1);
         let plan = fault::plan();
         let snapshot = self.session.clone();
         let baseline = snapshot.stats();
-        let indices: Vec<usize> = (0..requests.len()).collect();
-        let runs: Vec<(Result<AdviseOutcome, WaslaError>, AdvisorSession)> =
-            par::par_map(&indices, |&i| {
-                let request = &requests[i];
-                let mut local = snapshot.clone();
-                let mut config = request.config.clone();
-                config.advisor.seed = request
-                    .seed
-                    .unwrap_or_else(|| par::task_seed(base_seed, i as u64));
-                // Bounded deterministic retry: an injected request
-                // fault consumes an attempt; attempts roll
-                // independently per (request index, attempt), so a
-                // transient fault succeeds on retry and a persistent
-                // one surfaces as a typed per-request error — the rest
-                // of the batch is unaffected.
-                let request_key = fault::request_key(base_seed, i as u64);
-                let mut outcome = None;
-                for attempt in 0..MAX_ATTEMPTS {
-                    if plan.is_some_and(|p| p.request_fault(request_key, attempt)) {
-                        continue;
-                    }
-                    outcome = Some(local.advise(&request.scenario, &request.workloads, &config));
-                    break;
+        let indices: Vec<usize> = (0..n).collect();
+        type SlotRun = (
+            Result<AdviseOutcome, WaslaError>,
+            SlotDecision,
+            Option<AdvisorSession>,
+        );
+        let runs: Vec<SlotRun> = par::par_map(&indices, |&i| {
+            let request = &requests[i];
+            let mut decision = SlotDecision {
+                index: i,
+                class: request.deadline,
+                position: position[i],
+                admitted: admitted[i],
+                shed: shed[i],
+                attempts: 0,
+                backoff: Vec::new(),
+                quality: None,
+                disposition: SlotDisposition::Rejected,
+            };
+            if !admitted[i] {
+                // Typed load shedding: rejected before any work ran.
+                let err = WaslaError::Overloaded {
+                    position: position[i],
+                    capacity: policy.queue_capacity.unwrap_or(0),
+                };
+                return (Err(err), decision, None);
+            }
+            let mut local = snapshot.clone();
+            let seed = request
+                .seed
+                .unwrap_or_else(|| par::task_seed(base_seed, i as u64));
+            // Bounded deterministic retry with virtual backoff: an
+            // injected request fault consumes an attempt and records
+            // its backoff slots; attempts roll independently per
+            // (request index, attempt), so a transient fault succeeds
+            // on retry and a persistent one surfaces as a typed
+            // per-request error — the rest of the batch is unaffected.
+            // Under a deadline class, each consumed attempt tightens
+            // the solve budget one rung (backoff spends deadline).
+            let request_key = fault::request_key(base_seed, i as u64);
+            let mut outcome = None;
+            for attempt in 0..attempts_budget {
+                if plan.is_some_and(|p| p.request_fault(request_key, attempt)) {
+                    decision
+                        .backoff
+                        .push(policy.backoff_slots(request_key, attempt));
+                    continue;
                 }
-                let outcome = outcome.unwrap_or_else(|| {
-                    Err(WaslaError::Fault {
-                        attempts: MAX_ATTEMPTS,
-                        detail: "injected request fault".to_string(),
-                    })
-                });
-                (outcome, local)
+                decision.attempts = attempt + 1;
+                let mut config = request.config.clone();
+                config.advisor.seed = seed;
+                let budget = if shed[i] {
+                    // Brownout: cheapest rung, unconditionally.
+                    Some(SolverBudget::GreedyOnly)
+                } else {
+                    request.deadline.and_then(|c| deadline_budget(c, attempt))
+                };
+                config.advisor.solve_budget = tighter(config.advisor.solve_budget, budget);
+                outcome = Some(local.advise(&request.scenario, &request.workloads, &config));
+                break;
+            }
+            let outcome = outcome.unwrap_or_else(|| {
+                decision.attempts = attempts_budget;
+                Err(WaslaError::Fault {
+                    attempts: attempts_budget,
+                    detail: "injected request fault".to_string(),
+                })
             });
+            let outcome = outcome.map(|mut o| {
+                if shed[i] {
+                    o.degraded.push(DegradedNote::Shed {
+                        position: position[i],
+                        threshold: policy.brownout_threshold.unwrap_or(0),
+                    });
+                }
+                o
+            });
+            decision.quality = outcome.as_ref().ok().map(|o| o.recommendation.quality);
+            decision.disposition = match &outcome {
+                Ok(o) if o.is_degraded() => SlotDisposition::Degraded,
+                Ok(_) => SlotDisposition::Ok,
+                Err(_) => SlotDisposition::Failed,
+            };
+            (outcome, decision, Some(local))
+        });
 
         let mut outcomes = Vec::with_capacity(runs.len());
-        for (outcome, local) in runs {
-            self.session.absorb(local, &baseline);
+        let mut decisions = Vec::with_capacity(runs.len());
+        for (outcome, decision, local) in runs {
+            if let Some(local) = local {
+                self.session.absorb(local, &baseline);
+            }
             outcomes.push(outcome);
+            decisions.push(decision);
         }
-        outcomes
+        BatchReport {
+            outcomes,
+            decisions,
+        }
     }
 }
 

@@ -19,6 +19,9 @@
 //! * [`estimator`] — an analytic storage-workload estimator in the
 //!   spirit of the paper's citation \[19\]: derives `Wᵢ` directly from a
 //!   catalog and SQL workload without tracing.
+//! * [`synth`] — a seeded multi-tenant scenario generator (zipf-skewed
+//!   popularity, size/count distributions, read/write mix, burstiness,
+//!   deadline classes) for fleet-scale stress.
 
 pub mod catalog;
 pub mod estimator;
@@ -27,6 +30,7 @@ pub mod query;
 pub mod replicate;
 pub mod spec;
 pub mod sql;
+pub mod synth;
 
 pub use catalog::Catalog;
 pub use object::{DbObject, ObjectId, ObjectKind};
@@ -34,3 +38,4 @@ pub use query::{AccessKind, AccessStep, QueryTemplate};
 pub use replicate::replicate_problem;
 pub use spec::{WorkloadSet, WorkloadSpec};
 pub use sql::{OlapConfig, OltpConfig, SqlWorkload, SqlWorkloadKind};
+pub use synth::{DeadlineClass, SynthSpec, SynthTenant};

@@ -8,14 +8,20 @@
 //! request *index*, not from scheduling order. Wall-clock timings are
 //! excluded on purpose.
 //!
+//! The same contract extends to `advise_batch_with` under an explicit
+//! `BatchPolicy`: admission rejections, brownout sheds, and deadline
+//! budgets land on the same slots at any thread count, warm or cold,
+//! including through a persist/reopen cycle.
+//!
 //! The whole check lives in ONE test function: it mutates the
 //! `WASLA_THREADS` environment variable, which is only safe while no
 //! other test in the same binary runs concurrently.
 
 use wasla::pipeline::{AdviseConfig, AdviseOutcome, Scenario};
 use wasla::simlib::fault::{self, FaultPlan};
-use wasla::workload::SqlWorkload;
-use wasla::{AdviseRequest, Service, WaslaError};
+use wasla::stress;
+use wasla::workload::{SqlWorkload, SynthSpec};
+use wasla::{AdviseRequest, BatchPolicy, Service, WaslaError};
 
 fn requests() -> Vec<AdviseRequest> {
     let scenario = Scenario::homogeneous_disks(4, 0.01);
@@ -123,4 +129,71 @@ fn batches_are_identical_at_any_thread_count_and_temperature() {
         fault_warm_1, fault_warm_8,
         "faulted warm depends on WASLA_THREADS"
     );
+
+    // Stress-policy case: admission control, brownout shedding, and
+    // deadline budgets produce the same slot-for-slot decision log at
+    // any thread count, and a service restarted through persist()
+    // re-derives it byte-for-byte.
+    let spec = SynthSpec {
+        tenants: 6,
+        ..SynthSpec::default()
+    };
+    let policy = BatchPolicy {
+        queue_capacity: Some(5),
+        brownout_threshold: Some(3),
+        max_attempts: 2,
+        ..BatchPolicy::default()
+    };
+    let targets = stress::fleet(&spec);
+    let stress_requests: Vec<AdviseRequest> = (0..spec.tenants as u64)
+        .map(|i| stress::tenant_request(&spec, &targets, i))
+        .collect();
+    let policy_report = |service: &mut Service| {
+        let report = service.advise_batch_with(&stress_requests, &policy);
+        let mut out = report.render_decisions();
+        for outcome in &report.outcomes {
+            match outcome {
+                Ok(o) => out.push_str(&format!("quality={:?}\n", o.recommendation.quality)),
+                Err(e) => out.push_str(&format!("error={e}\n")),
+            }
+        }
+        out
+    };
+    let policy_report_at = |threads: usize| {
+        std::env::set_var("WASLA_THREADS", threads.to_string());
+        let out = policy_report(&mut Service::new(0xBA7C4));
+        std::env::remove_var("WASLA_THREADS");
+        out
+    };
+    let stress_1 = policy_report_at(1);
+    let stress_8 = policy_report_at(8);
+    assert_eq!(
+        stress_1, stress_8,
+        "policy decisions depend on WASLA_THREADS"
+    );
+    assert!(
+        stress_1.contains("disposition=rejected") && stress_1.contains("shed=yes"),
+        "the policy case should exercise rejection and brownout:\n{stress_1}"
+    );
+
+    // Warm ≡ cold through persist: run once cold against a cache dir,
+    // persist, reopen, and demand the identical decision log.
+    let dir = std::path::PathBuf::from(std::env::temp_dir())
+        .join(format!("wasla-batch-determinism-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (mut cold, _) = Service::open(0xBA7C4, &dir).expect("cold open");
+    let stress_cold = policy_report(&mut cold);
+    cold.persist().expect("persist after cold stress batch");
+    let (mut warm, notes) = Service::open(0xBA7C4, &dir).expect("warm open");
+    assert!(notes.is_empty(), "warm open must be silent: {notes:?}");
+    let stress_warm = policy_report(&mut warm);
+    assert_eq!(
+        stress_cold, stress_warm,
+        "warm stress batch diverged from cold"
+    );
+    assert_eq!(
+        stress_cold, stress_1,
+        "persisted path diverged from in-memory"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

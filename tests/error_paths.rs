@@ -8,7 +8,10 @@
 //! and unsatisfiable admin constraints dead-end the regularizer. The
 //! last case opens a [`wasla::Service`] on a cache directory whose
 //! damage cannot be quarantined — the one persistence failure that is
-//! an error rather than a degradation.
+//! an error rather than a degradation. Batch admission control gets
+//! the same treatment: a shed request is a typed
+//! [`WaslaError::Overloaded`] (exit 5), and malformed stress CLI
+//! flags are [`WaslaError::Usage`] (exit 2).
 
 use wasla::core::{AdminConstraint, AdvisorError};
 use wasla::exec::PlacementError;
@@ -129,6 +132,77 @@ fn unknown_grad_path_is_a_usage_error() {
         pipeline::parse_grad_path("finite-difference").unwrap(),
         GradPath::Fd
     );
+}
+
+#[test]
+fn admission_rejection_is_a_typed_overloaded_error() {
+    use wasla::{AdviseRequest, BatchPolicy};
+    // A zero-capacity queue rejects every request before any work:
+    // each slot comes back as WaslaError::Overloaded (exit code 5),
+    // never a panic, and the decision log records the rejection.
+    let scenario = Scenario::homogeneous_disks(2, 0.01);
+    let requests = vec![AdviseRequest::new(
+        scenario,
+        vec![SqlWorkload::olap1_21(3)],
+        AdviseConfig::fast(),
+    )];
+    let policy = BatchPolicy {
+        queue_capacity: Some(0),
+        ..BatchPolicy::default()
+    };
+    let mut service = Service::new(0x5eed);
+    let report = service.advise_batch_with(&requests, &policy);
+    let err = report.outcomes[0]
+        .as_ref()
+        .err()
+        .expect("zero-capacity queue should reject");
+    assert!(
+        matches!(err, WaslaError::Overloaded { capacity: 0, .. }),
+        "expected Overloaded, got {err:?}"
+    );
+    assert_eq!(err.exit_code(), 5, "admission rejection must map to 5");
+    assert!(
+        report.render_decisions().contains("disposition=rejected"),
+        "decision log must record the rejection"
+    );
+}
+
+#[test]
+fn malformed_stress_flags_are_usage_errors() {
+    use wasla::StressOptions;
+    // Both `repro stress` and `wasla-advisor stress` parse through
+    // StressOptions::from_args: unknown flags, missing values,
+    // malformed numbers, and out-of-range generator specs all map to
+    // WaslaError::Usage (exit code 2).
+    let argv = |raw: &[&str]| -> Vec<String> { raw.iter().map(|s| s.to_string()).collect() };
+    for (case, raw) in [
+        ("unknown flag", vec!["--tenant-count", "5"]),
+        ("missing value", vec!["--tenants"]),
+        ("malformed number", vec!["--zipf", "steep"]),
+        ("zero tenants", vec!["--tenants", "0"]),
+        (
+            "inverted sizes",
+            vec!["--size-mib-min", "64", "--size-mib-max", "8"],
+        ),
+        (
+            "shares over 1",
+            vec!["--interactive-share", "0.9", "--batch-share", "0.9"],
+        ),
+    ] {
+        let err = StressOptions::from_args(&argv(&raw))
+            .err()
+            .unwrap_or_else(|| panic!("{case}: {raw:?} should fail"));
+        assert!(
+            matches!(err, WaslaError::Usage(_)),
+            "{case}: expected Usage, got {err:?}"
+        );
+        assert_eq!(err.exit_code(), 2, "{case}");
+    }
+    // The happy path still parses.
+    let opts = StressOptions::from_args(&argv(&["--tenants", "12", "--brownout", "4"]))
+        .expect("valid flags parse");
+    assert_eq!(opts.spec.tenants, 12);
+    assert_eq!(opts.policy.brownout_threshold, Some(4));
 }
 
 #[test]

@@ -1,0 +1,117 @@
+//! Fleet-scale stress invariants: the synthetic tenant generator is
+//! bit-identical for a seed at any `WASLA_THREADS`, its rendered form
+//! is pinned by a golden fixture, and a stress run over
+//! `Service::advise_batch_with` resolves every request into exactly
+//! one of ok / degraded / rejected / typed-error with a
+//! thread-count-independent report — fault plan or no fault plan.
+//!
+//! The whole check lives in ONE test function: it mutates the
+//! `WASLA_THREADS` and fault-plan environment variables, which is
+//! only safe while no other test in the same binary runs
+//! concurrently.
+
+use wasla::simlib::fault;
+use wasla::stress::{self, StressOptions};
+use wasla::workload::synth::{self, SynthSpec};
+use wasla::workload::SynthTenant;
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures")
+        .join("synth_tenants.golden")
+}
+
+fn generate_at(spec: &SynthSpec, threads: usize) -> Vec<SynthTenant> {
+    std::env::set_var("WASLA_THREADS", threads.to_string());
+    let tenants = synth::generate(spec).expect("valid spec generates");
+    std::env::remove_var("WASLA_THREADS");
+    tenants
+}
+
+fn stress_report_at(opts: &StressOptions, threads: usize) -> (String, Vec<stress::TickStats>) {
+    std::env::set_var("WASLA_THREADS", threads.to_string());
+    let outcome = stress::run_stress(opts).expect("stress run completes");
+    std::env::remove_var("WASLA_THREADS");
+    (outcome.render_report(), outcome.ticks)
+}
+
+#[test]
+fn generator_and_stress_runs_are_deterministic_and_total() {
+    std::env::remove_var(fault::ENV_VAR);
+
+    // Generator: bit-identical tenant fleets at 1 vs 8 threads, with
+    // fleet-unique tenant naming.
+    let spec = SynthSpec {
+        tenants: 12,
+        targets: 4,
+        ..SynthSpec::default()
+    };
+    let fleet_1 = generate_at(&spec, 1);
+    let fleet_8 = generate_at(&spec, 8);
+    assert_eq!(fleet_1, fleet_8, "generator depends on WASLA_THREADS");
+    assert_eq!(fleet_1.len(), spec.tenants);
+
+    // Golden fixture: the rendered fleet is pinned byte-for-byte, so
+    // any change to the generator's sampling order is a visible,
+    // deliberate diff (regenerate with WASLA_REGEN_FIXTURES=1).
+    let rendered = synth::render(&fleet_1);
+    let path = fixture_path();
+    if std::env::var("WASLA_REGEN_FIXTURES").is_ok() {
+        std::fs::write(&path, &rendered).expect("write fixture");
+        eprintln!("regenerated {}", path.display());
+    } else {
+        let golden = std::fs::read_to_string(&path).expect("read golden fixture");
+        assert_eq!(
+            rendered, golden,
+            "synthetic fleet drifted from its golden fixture; if \
+             intentional, regenerate with WASLA_REGEN_FIXTURES=1"
+        );
+    }
+
+    // Stress run under an aggressive policy: every request resolves
+    // (the driver's accounting invariant), rejection and brownout
+    // both fire, and the deterministic report is byte-identical at
+    // 1 vs 8 threads.
+    let opts = StressOptions::from_args(
+        &[
+            "--tenants",
+            "24",
+            "--targets",
+            "4",
+            "--batch",
+            "12",
+            "--queue-cap",
+            "10",
+            "--brownout",
+            "7",
+            "--max-attempts",
+            "2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>(),
+    )
+    .expect("valid stress flags");
+    let (report_1, ticks_1) = stress_report_at(&opts, 1);
+    let (report_8, _) = stress_report_at(&opts, 8);
+    assert_eq!(report_1, report_8, "stress report depends on WASLA_THREADS");
+    assert_eq!(ticks_1.len(), 2, "24 tenants at batch 12 is two ticks");
+    for tick in &ticks_1 {
+        assert!(tick.accounted(), "tick {tick:?} lost a request");
+        assert_eq!(tick.rejected, 2, "queue-cap 10 of 12 rejects two");
+        assert_eq!(tick.shed, 3, "brownout 7 of 10 admitted sheds three");
+    }
+
+    // The same run under a fault plan: faults inject solver budgets
+    // and request failures, but totality and thread-independence must
+    // hold all the same.
+    std::env::set_var(fault::ENV_VAR, "42");
+    let (fault_1, fault_ticks) = stress_report_at(&opts, 1);
+    let (fault_8, _) = stress_report_at(&opts, 8);
+    std::env::remove_var(fault::ENV_VAR);
+    assert_eq!(fault_1, fault_8, "faulted stress depends on WASLA_THREADS");
+    assert_ne!(fault_1, report_1, "fault plan 42 should perturb the run");
+    for tick in &fault_ticks {
+        assert!(tick.accounted(), "faulted tick {tick:?} lost a request");
+    }
+}
